@@ -1,0 +1,37 @@
+//! # drv-abd
+//!
+//! Message-passing substrate and the ABD atomic-register emulation.
+//!
+//! The possibility results of *"Asynchronous Fault-Tolerant Language
+//! Decidability for Runtime Verification of Distributed Systems"*
+//! (Castañeda & Rodríguez, PODC 2025) use only read/write registers, so — as
+//! the paper notes, citing Attiya, Bar-Noy and Dolev — they can be simulated
+//! in asynchronous message-passing systems tolerating crash faults in less
+//! than half the processes.  This crate makes that remark concrete:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator of an asynchronous
+//!   message-passing network with per-message random (seeded) delays and
+//!   crash faults,
+//! * [`abd`] — the multi-writer ABD atomic register emulation running on that
+//!   network, a workload driver, and history extraction; the produced
+//!   histories are verified linearizable with the `drv-consistency` checker,
+//!   which is exactly what lets the shared-memory monitors of `drv-core` run
+//!   unchanged on top of message passing.
+//!
+//! ```
+//! use drv_abd::{run_abd, NetConfig, Workload};
+//! use drv_consistency::is_linearizable;
+//! use drv_spec::Register;
+//!
+//! let run = run_abd(NetConfig::new(3, 42), &Workload::mixed(3, 2));
+//! assert!(is_linearizable(&Register::new(), &run.history, 3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abd;
+pub mod sim;
+
+pub use abd::{run_abd, AbdMessage, AbdNode, AbdRun, CompletedOp, Timestamp, Workload};
+pub use sim::{Envelope, NetConfig, Node, Outbox, Simulator, Time};

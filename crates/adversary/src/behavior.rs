@@ -1,0 +1,282 @@
+//! The [`Behavior`] trait — the adversary A as an online service — and the
+//! faithful (correct) object behaviours.
+//!
+//! In the paper (Section 3), the adversary A is a black-box distributed
+//! service: each monitor process sends it invocation symbols and later
+//! receives response symbols, and A decides both the content of the responses
+//! and the times at which all events occur.  The *timing* half of the
+//! adversary is played by the scheduler of the `drv-core` runtime; the
+//! *content* half is a [`Behavior`]: a state machine that is told about every
+//! send event and must produce a response at every receive event.
+//!
+//! [`AtomicObject`] is the canonical correct behaviour: it applies each
+//! invocation atomically to a sequential specification, at a configurable
+//! linearization point, and therefore only exhibits linearizable histories.
+
+use drv_lang::{Invocation, ProcId, Response};
+use drv_spec::SequentialSpec;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The content half of the adversary A: an online service producing response
+/// symbols for invocation symbols.
+///
+/// The runtime calls [`Behavior::on_invoke`] when it schedules the send event
+/// of a process (Figure 1, line 03) and [`Behavior::on_respond`] when it
+/// schedules the matching receive event (line 04).  Between the two calls the
+/// operation is *pending*; the runtime never issues a second `on_invoke` for
+/// the same process before the previous operation's `on_respond`.
+pub trait Behavior: Send {
+    /// Human-readable name of the behaviour (used in reports and benches).
+    fn name(&self) -> String;
+
+    /// Lets the adversary dictate the invocation a process picks next
+    /// (Figure 1, line 01 is non-deterministic, and Claim 3.1 resolves the
+    /// non-determinism adversarially).  Returning `None` leaves the choice to
+    /// the monitor.
+    fn next_invocation(&mut self, proc: ProcId) -> Option<Invocation> {
+        let _ = proc;
+        None
+    }
+
+    /// The send event of `proc` (Figure 1, line 03).
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation);
+
+    /// The receive event of `proc` (Figure 1, line 04): produces the response
+    /// for the process's pending invocation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `proc` has no pending invocation; the
+    /// runtime never does this.
+    fn on_respond(&mut self, proc: ProcId) -> Response;
+
+    /// Whether the adversary is willing to schedule the receive event of
+    /// `proc` yet.  Fair executions require every pending operation to be
+    /// eventually answered, but the adversary may delay responses arbitrarily
+    /// long; the runtime consults this before scheduling a receive event and
+    /// ignores it once an execution needs to wind down.
+    fn response_ready(&self, proc: ProcId) -> bool {
+        let _ = proc;
+        true
+    }
+}
+
+impl fmt::Debug for dyn Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Behavior({})", self.name())
+    }
+}
+
+impl<B: Behavior + ?Sized> Behavior for Box<B> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn next_invocation(&mut self, proc: ProcId) -> Option<Invocation> {
+        (**self).next_invocation(proc)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        (**self).on_invoke(proc, invocation);
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        (**self).on_respond(proc)
+    }
+
+    fn response_ready(&self, proc: ProcId) -> bool {
+        (**self).response_ready(proc)
+    }
+}
+
+/// When an [`AtomicObject`] applies a pending invocation to its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinearizationPoint {
+    /// The invocation takes effect at the send event.
+    AtInvoke,
+    /// The invocation takes effect at the receive event (default).
+    #[default]
+    AtRespond,
+}
+
+/// A faithful, linearizable behaviour: every invocation is applied atomically
+/// to the sequential specification `S`.
+///
+/// Whatever interleaving the scheduler produces, the resulting history is
+/// linearizable — the linearization point of every operation is its
+/// [`LinearizationPoint`], which always lies inside the operation's interval.
+///
+/// ```
+/// use drv_adversary::{AtomicObject, Behavior};
+/// use drv_lang::{Invocation, ProcId, Response};
+/// use drv_spec::Register;
+///
+/// let mut object = AtomicObject::new(Register::new());
+/// object.on_invoke(ProcId(0), &Invocation::Write(3));
+/// assert_eq!(object.on_respond(ProcId(0)), Response::Ack);
+/// object.on_invoke(ProcId(1), &Invocation::Read);
+/// assert_eq!(object.on_respond(ProcId(1)), Response::Value(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AtomicObject<S: SequentialSpec> {
+    spec: S,
+    state: S::State,
+    point: LinearizationPoint,
+    pending: HashMap<ProcId, PendingOp>,
+}
+
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// The invocation has been applied already; the response is stored.
+    Applied(Response),
+    /// The invocation is applied lazily at the receive event.
+    Deferred(Invocation),
+}
+
+impl<S: SequentialSpec> AtomicObject<S> {
+    /// Creates a faithful behaviour around `spec`, linearizing at the receive
+    /// event.
+    #[must_use]
+    pub fn new(spec: S) -> Self {
+        let state = spec.initial();
+        AtomicObject {
+            spec,
+            state,
+            point: LinearizationPoint::AtRespond,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Sets the linearization point.
+    #[must_use]
+    pub fn with_linearization_point(mut self, point: LinearizationPoint) -> Self {
+        self.point = point;
+        self
+    }
+
+    /// The current object state.
+    #[must_use]
+    pub fn state(&self) -> &S::State {
+        &self.state
+    }
+
+    /// The underlying specification.
+    #[must_use]
+    pub fn spec(&self) -> &S {
+        &self.spec
+    }
+
+    fn apply(&mut self, invocation: &Invocation) -> Response {
+        let (next, response) = self
+            .spec
+            .apply(&self.state, invocation)
+            .unwrap_or_else(|| panic!("invocation {invocation} is not in the object's alphabet"));
+        self.state = next;
+        response
+    }
+}
+
+impl<S: SequentialSpec> Behavior for AtomicObject<S> {
+    fn name(&self) -> String {
+        format!("atomic {}", self.spec.name())
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        assert!(
+            !self.pending.contains_key(&proc),
+            "process {proc} already has a pending invocation"
+        );
+        let entry = match self.point {
+            LinearizationPoint::AtInvoke => PendingOp::Applied(self.apply(invocation)),
+            LinearizationPoint::AtRespond => PendingOp::Deferred(invocation.clone()),
+        };
+        self.pending.insert(proc, entry);
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self
+            .pending
+            .remove(&proc)
+            .unwrap_or_else(|| panic!("process {proc} has no pending invocation"))
+        {
+            PendingOp::Applied(response) => response,
+            PendingOp::Deferred(invocation) => self.apply(&invocation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drv_spec::{Counter, Ledger, Register};
+
+    #[test]
+    fn atomic_register_round_trips() {
+        let mut object = AtomicObject::new(Register::new());
+        object.on_invoke(ProcId(0), &Invocation::Write(9));
+        assert_eq!(object.on_respond(ProcId(0)), Response::Ack);
+        object.on_invoke(ProcId(1), &Invocation::Read);
+        assert_eq!(object.on_respond(ProcId(1)), Response::Value(9));
+        assert_eq!(object.name(), "atomic register");
+        assert_eq!(*object.state(), 9);
+    }
+
+    #[test]
+    fn linearization_point_at_invoke_freezes_the_response() {
+        // p0's read linearizes at its send event, before p1's write takes
+        // effect, even though p0's receive event happens after p1's.
+        let mut object =
+            AtomicObject::new(Register::new()).with_linearization_point(LinearizationPoint::AtInvoke);
+        object.on_invoke(ProcId(0), &Invocation::Read);
+        object.on_invoke(ProcId(1), &Invocation::Write(5));
+        assert_eq!(object.on_respond(ProcId(1)), Response::Ack);
+        assert_eq!(object.on_respond(ProcId(0)), Response::Value(0));
+    }
+
+    #[test]
+    fn linearization_point_at_respond_sees_later_writes() {
+        let mut object = AtomicObject::new(Register::new());
+        object.on_invoke(ProcId(0), &Invocation::Read);
+        object.on_invoke(ProcId(1), &Invocation::Write(5));
+        assert_eq!(object.on_respond(ProcId(1)), Response::Ack);
+        assert_eq!(object.on_respond(ProcId(0)), Response::Value(5));
+    }
+
+    #[test]
+    fn counter_and_ledger_behave() {
+        let mut counter = AtomicObject::new(Counter::new());
+        counter.on_invoke(ProcId(0), &Invocation::Inc);
+        counter.on_respond(ProcId(0));
+        counter.on_invoke(ProcId(1), &Invocation::Read);
+        assert_eq!(counter.on_respond(ProcId(1)), Response::Value(1));
+
+        let mut ledger = AtomicObject::new(Ledger::new());
+        ledger.on_invoke(ProcId(0), &Invocation::Append(4));
+        ledger.on_respond(ProcId(0));
+        ledger.on_invoke(ProcId(1), &Invocation::Get);
+        assert_eq!(ledger.on_respond(ProcId(1)), Response::Sequence(vec![4]));
+    }
+
+    #[test]
+    fn default_hooks_are_permissive() {
+        let mut object = AtomicObject::new(Register::new());
+        assert_eq!(Behavior::next_invocation(&mut object, ProcId(0)), None);
+        assert!(object.response_ready(ProcId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a pending invocation")]
+    fn double_invoke_is_rejected() {
+        let mut object = AtomicObject::new(Register::new());
+        object.on_invoke(ProcId(0), &Invocation::Read);
+        object.on_invoke(ProcId(0), &Invocation::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending invocation")]
+    fn respond_without_invoke_is_rejected() {
+        let mut object = AtomicObject::new(Register::new());
+        let _ = object.on_respond(ProcId(0));
+    }
+}

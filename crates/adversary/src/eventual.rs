@@ -1,0 +1,241 @@
+//! Faithful eventually-consistent behaviours.
+//!
+//! The eventual languages of the paper (`WEC_COUNT`, `SEC_COUNT`, `EC_LED`)
+//! are satisfied by services that propagate updates with a delay, the way
+//! replicated CRDT-style implementations do (references \[2, 3, 44, 45\] of
+//! the paper).  The behaviours here model exactly that: updates become
+//! visible to readers only after a configurable number of subsequent events,
+//! so histories are *not* linearizable in general but do satisfy the eventual
+//! properties.
+//!
+//! They are the "correct" workloads for the `WEC_COUNT`/`SEC_COUNT`/`EC_LED`
+//! rows of Table 1 and the counterpart of the fault-injecting behaviours in
+//! [`crate::faulty`].
+
+use crate::behavior::Behavior;
+use drv_lang::{Invocation, ProcId, Record, Response};
+use std::collections::HashMap;
+
+/// A replicated counter with delayed propagation.
+///
+/// Each increment becomes visible to *other* processes only after
+/// `delay_events` further events have been served; a process always sees its
+/// own increments immediately.  The produced histories satisfy both the
+/// weakly- and strongly-eventual counter properties but are generally not
+/// linearizable.
+#[derive(Debug, Clone)]
+pub struct ReplicatedCounter {
+    /// `(completion time, incrementing process)` of every applied increment.
+    incs: Vec<(u64, ProcId)>,
+    clock: u64,
+    delay_events: u64,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl ReplicatedCounter {
+    /// Creates a counter whose increments take `delay_events` events to
+    /// propagate to remote readers.
+    #[must_use]
+    pub fn new(delay_events: u64) -> Self {
+        ReplicatedCounter {
+            incs: Vec::new(),
+            clock: 0,
+            delay_events,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn visible_to(&self, reader: ProcId) -> u64 {
+        self.incs
+            .iter()
+            .filter(|(t, p)| *p == reader || t + self.delay_events <= self.clock)
+            .count() as u64
+    }
+}
+
+impl Behavior for ReplicatedCounter {
+    fn name(&self) -> String {
+        format!("replicated counter (delay {})", self.delay_events)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        self.clock += 1;
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Inc => {
+                self.incs.push((self.clock, proc));
+                Response::Ack
+            }
+            Invocation::Read => Response::Value(self.visible_to(proc)),
+            other => panic!("replicated counter cannot serve {other}"),
+        }
+    }
+}
+
+/// A replicated ledger with delayed propagation.
+///
+/// Appends are totally ordered by arrival; a `get()` returns the prefix of
+/// that total order whose appends have propagated (own appends are always
+/// visible).  All gets therefore return prefixes of one total order, which
+/// keeps the histories eventually consistent (`EC_LED`), though generally not
+/// linearizable.
+#[derive(Debug, Clone)]
+pub struct ReplicatedLedger {
+    /// `(completion time, appending process, record)` in arrival order.
+    records: Vec<(u64, ProcId, Record)>,
+    clock: u64,
+    delay_events: u64,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl ReplicatedLedger {
+    /// Creates a ledger whose appends take `delay_events` events to propagate
+    /// to remote readers.
+    #[must_use]
+    pub fn new(delay_events: u64) -> Self {
+        ReplicatedLedger {
+            records: Vec::new(),
+            clock: 0,
+            delay_events,
+            pending: HashMap::new(),
+        }
+    }
+
+    fn visible_to(&self, reader: ProcId) -> Vec<Record> {
+        // The visible sequence must stay a prefix of the arrival order so
+        // that all gets are mutually consistent; an own append that has not
+        // propagated yet is only included if everything before it has.
+        let mut out = Vec::new();
+        for (t, p, r) in &self.records {
+            if *p == reader || t + self.delay_events <= self.clock {
+                out.push(*r);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+}
+
+impl Behavior for ReplicatedLedger {
+    fn name(&self) -> String {
+        format!("replicated ledger (delay {})", self.delay_events)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        self.clock += 1;
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Append(r) => {
+                self.records.push((self.clock, proc, r));
+                Response::Ack
+            }
+            Invocation::Get => Response::Sequence(self.visible_to(proc)),
+            other => panic!("replicated ledger cannot serve {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invoke_respond<B: Behavior>(b: &mut B, proc: ProcId, inv: Invocation) -> Response {
+        b.on_invoke(proc, &inv);
+        b.on_respond(proc)
+    }
+
+    #[test]
+    fn replicated_counter_lags_then_converges() {
+        let mut counter = ReplicatedCounter::new(3);
+        invoke_respond(&mut counter, ProcId(0), Invocation::Inc);
+        // Remote reader does not see the increment yet…
+        assert_eq!(
+            invoke_respond(&mut counter, ProcId(1), Invocation::Read),
+            Response::Value(0)
+        );
+        // …the incrementing process does…
+        assert_eq!(
+            invoke_respond(&mut counter, ProcId(0), Invocation::Read),
+            Response::Value(1)
+        );
+        // …and after the delay everyone does.
+        invoke_respond(&mut counter, ProcId(1), Invocation::Read);
+        assert_eq!(
+            invoke_respond(&mut counter, ProcId(1), Invocation::Read),
+            Response::Value(1)
+        );
+    }
+
+    #[test]
+    fn replicated_counter_never_overshoots() {
+        let mut counter = ReplicatedCounter::new(1);
+        for k in 1..=5u64 {
+            invoke_respond(&mut counter, ProcId(0), Invocation::Inc);
+            let read = invoke_respond(&mut counter, ProcId(1), Invocation::Read);
+            if let Response::Value(v) = read {
+                assert!(v <= k);
+            } else {
+                panic!("unexpected response");
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_ledger_serves_prefixes_of_one_order() {
+        let mut ledger = ReplicatedLedger::new(2);
+        invoke_respond(&mut ledger, ProcId(0), Invocation::Append(1));
+        invoke_respond(&mut ledger, ProcId(1), Invocation::Append(2));
+        let g0 = invoke_respond(&mut ledger, ProcId(0), Invocation::Get);
+        let g1 = invoke_respond(&mut ledger, ProcId(1), Invocation::Get);
+        let s0 = match g0 {
+            Response::Sequence(s) => s,
+            _ => panic!(),
+        };
+        let s1 = match g1 {
+            Response::Sequence(s) => s,
+            _ => panic!(),
+        };
+        // Each view is a prefix of the other (or equal).
+        let shorter = s0.len().min(s1.len());
+        assert_eq!(&s0[..shorter], &s1[..shorter]);
+        // Eventually every record is visible to everyone.
+        for _ in 0..4 {
+            invoke_respond(&mut ledger, ProcId(2), Invocation::Get);
+        }
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(2), Invocation::Get),
+            Response::Sequence(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn own_appends_are_visible_when_contiguous() {
+        let mut ledger = ReplicatedLedger::new(10);
+        invoke_respond(&mut ledger, ProcId(0), Invocation::Append(7));
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(0), Invocation::Get),
+            Response::Sequence(vec![7])
+        );
+        // A remote append that has not propagated hides later own appends so
+        // the view stays a prefix of the arrival order.
+        invoke_respond(&mut ledger, ProcId(1), Invocation::Append(8));
+        invoke_respond(&mut ledger, ProcId(0), Invocation::Append(9));
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(0), Invocation::Get),
+            Response::Sequence(vec![7])
+        );
+    }
+
+    #[test]
+    fn names_mention_delay() {
+        assert!(ReplicatedCounter::new(4).name().contains('4'));
+        assert!(ReplicatedLedger::new(2).name().contains('2'));
+    }
+}

@@ -1,0 +1,407 @@
+//! Fault-injecting behaviours.
+//!
+//! The possibility entries of Table 1 are demonstrated by running the
+//! monitors of `drv-core` against both correct and *incorrect* services:
+//! a monitor is only interesting if it flags the incorrect ones.  The
+//! behaviours in this module each violate one specific clause of one of the
+//! paper's correctness properties, so tests and benches can state precisely
+//! which violation a monitor is expected to catch:
+//!
+//! * [`StaleReadRegister`] — reads may return overwritten values
+//!   (violates `LIN_REG`, and for sufficiently old values also `SC_REG`),
+//! * [`LossyCounter`] — acknowledged increments are dropped
+//!   (violates clause (1) of the weakly-eventual counter),
+//! * [`NonMonotoneCounter`] — consecutive reads of a process may decrease
+//!   (violates clause (2)),
+//! * [`OverCounter`] — reads overshoot the number of increments performed
+//!   (violates clause (4) of the strongly-eventual counter, and clause (3)
+//!   once increments stop),
+//! * [`ForgetfulLedger`] — `get()` never shows other processes' appends
+//!   (violates the eventual-visibility clause of `EC_LED`),
+//! * [`ForkingLedger`] — different processes observe incompatible record
+//!   orders (violates the validity clause of `EC_LED` and all stronger
+//!   ledger languages).
+//!
+//! All behaviours are deterministic: fault injection is driven by operation
+//! counts, not randomness, so every run is reproducible.
+
+use crate::behavior::Behavior;
+use drv_lang::{Invocation, ProcId, Record, Response};
+use std::collections::HashMap;
+
+/// A register whose reads may return stale (already overwritten) values.
+///
+/// Every `stale_every`-th read returns the value that was current `lag`
+/// completed writes ago.  With `lag ≥ 1` and at least two completed writes
+/// the resulting histories are not linearizable.
+#[derive(Debug, Clone)]
+pub struct StaleReadRegister {
+    history: Vec<u64>,
+    pending: HashMap<ProcId, Invocation>,
+    reads_served: u64,
+    stale_every: u64,
+    lag: usize,
+}
+
+impl StaleReadRegister {
+    /// Creates a register that serves every `stale_every`-th read from `lag`
+    /// writes in the past.
+    #[must_use]
+    pub fn new(stale_every: u64, lag: usize) -> Self {
+        StaleReadRegister {
+            history: vec![0],
+            pending: HashMap::new(),
+            reads_served: 0,
+            stale_every: stale_every.max(1),
+            lag: lag.max(1),
+        }
+    }
+}
+
+impl Behavior for StaleReadRegister {
+    fn name(&self) -> String {
+        format!("stale-read register (every {} reads)", self.stale_every)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Write(x) => {
+                self.history.push(x);
+                Response::Ack
+            }
+            Invocation::Read => {
+                self.reads_served += 1;
+                let current = *self.history.last().expect("history is never empty");
+                if self.reads_served % self.stale_every == 0 && self.history.len() > self.lag {
+                    Response::Value(self.history[self.history.len() - 1 - self.lag])
+                } else {
+                    Response::Value(current)
+                }
+            }
+            other => panic!("stale-read register cannot serve {other}"),
+        }
+    }
+}
+
+/// A counter that silently drops every `drop_every`-th increment.
+#[derive(Debug, Clone)]
+pub struct LossyCounter {
+    count: u64,
+    incs_seen: u64,
+    drop_every: u64,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl LossyCounter {
+    /// Creates a counter that drops every `drop_every`-th increment.
+    #[must_use]
+    pub fn new(drop_every: u64) -> Self {
+        LossyCounter {
+            count: 0,
+            incs_seen: 0,
+            drop_every: drop_every.max(1),
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl Behavior for LossyCounter {
+    fn name(&self) -> String {
+        format!("lossy counter (drops every {}-th inc)", self.drop_every)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Inc => {
+                self.incs_seen += 1;
+                if self.incs_seen % self.drop_every != 0 {
+                    self.count += 1;
+                }
+                Response::Ack
+            }
+            Invocation::Read => Response::Value(self.count),
+            other => panic!("lossy counter cannot serve {other}"),
+        }
+    }
+}
+
+/// A counter whose reads oscillate: every `dip_every`-th read returns one
+/// less than the previous read of the same process.
+#[derive(Debug, Clone)]
+pub struct NonMonotoneCounter {
+    count: u64,
+    reads_served: u64,
+    dip_every: u64,
+    last_read: HashMap<ProcId, u64>,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl NonMonotoneCounter {
+    /// Creates a counter whose every `dip_every`-th read dips below the
+    /// previous read of the same process.
+    #[must_use]
+    pub fn new(dip_every: u64) -> Self {
+        NonMonotoneCounter {
+            count: 0,
+            reads_served: 0,
+            dip_every: dip_every.max(2),
+            last_read: HashMap::new(),
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl Behavior for NonMonotoneCounter {
+    fn name(&self) -> String {
+        format!("non-monotone counter (dips every {} reads)", self.dip_every)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Inc => {
+                self.count += 1;
+                Response::Ack
+            }
+            Invocation::Read => {
+                self.reads_served += 1;
+                let previous = self.last_read.get(&proc).copied().unwrap_or(0);
+                let value = if self.reads_served % self.dip_every == 0 && previous > 0 {
+                    previous - 1
+                } else {
+                    self.count.max(previous)
+                };
+                self.last_read.insert(proc, value);
+                Response::Value(value)
+            }
+            other => panic!("non-monotone counter cannot serve {other}"),
+        }
+    }
+}
+
+/// A counter whose reads overshoot the true count by a fixed amount.
+#[derive(Debug, Clone)]
+pub struct OverCounter {
+    count: u64,
+    overshoot: u64,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl OverCounter {
+    /// Creates a counter overshooting every read by `overshoot`.
+    #[must_use]
+    pub fn new(overshoot: u64) -> Self {
+        OverCounter {
+            count: 0,
+            overshoot,
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl Behavior for OverCounter {
+    fn name(&self) -> String {
+        format!("over-counting counter (+{})", self.overshoot)
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Inc => {
+                self.count += 1;
+                Response::Ack
+            }
+            Invocation::Read => Response::Value(self.count + self.overshoot),
+            other => panic!("over-counting counter cannot serve {other}"),
+        }
+    }
+}
+
+/// A ledger that only ever shows a process its *own* appends.
+#[derive(Debug, Clone, Default)]
+pub struct ForgetfulLedger {
+    per_proc: HashMap<ProcId, Vec<Record>>,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl ForgetfulLedger {
+    /// Creates the behaviour.
+    #[must_use]
+    pub fn new() -> Self {
+        ForgetfulLedger::default()
+    }
+}
+
+impl Behavior for ForgetfulLedger {
+    fn name(&self) -> String {
+        "forgetful ledger (never shows remote appends)".to_string()
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Append(r) => {
+                self.per_proc.entry(proc).or_default().push(r);
+                Response::Ack
+            }
+            Invocation::Get => {
+                Response::Sequence(self.per_proc.get(&proc).cloned().unwrap_or_default())
+            }
+            other => panic!("forgetful ledger cannot serve {other}"),
+        }
+    }
+}
+
+/// A ledger that forks: even-indexed processes see records in append order,
+/// odd-indexed processes see them in reverse order.
+#[derive(Debug, Clone, Default)]
+pub struct ForkingLedger {
+    records: Vec<Record>,
+    pending: HashMap<ProcId, Invocation>,
+}
+
+impl ForkingLedger {
+    /// Creates the behaviour.
+    #[must_use]
+    pub fn new() -> Self {
+        ForkingLedger::default()
+    }
+}
+
+impl Behavior for ForkingLedger {
+    fn name(&self) -> String {
+        "forking ledger (incompatible orders)".to_string()
+    }
+
+    fn on_invoke(&mut self, proc: ProcId, invocation: &Invocation) {
+        self.pending.insert(proc, invocation.clone());
+    }
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self.pending.remove(&proc).expect("pending invocation") {
+            Invocation::Append(r) => {
+                self.records.push(r);
+                Response::Ack
+            }
+            Invocation::Get => {
+                let mut view = self.records.clone();
+                if proc.index() % 2 == 1 {
+                    view.reverse();
+                }
+                Response::Sequence(view)
+            }
+            other => panic!("forking ledger cannot serve {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn invoke_respond<B: Behavior>(b: &mut B, proc: ProcId, inv: Invocation) -> Response {
+        b.on_invoke(proc, &inv);
+        b.on_respond(proc)
+    }
+
+    #[test]
+    fn stale_register_serves_old_values() {
+        let mut reg = StaleReadRegister::new(2, 1);
+        assert_eq!(invoke_respond(&mut reg, ProcId(0), Invocation::Write(1)), Response::Ack);
+        assert_eq!(invoke_respond(&mut reg, ProcId(0), Invocation::Write(2)), Response::Ack);
+        // First read: fresh.  Second read: stale (previous value).
+        assert_eq!(invoke_respond(&mut reg, ProcId(1), Invocation::Read), Response::Value(2));
+        assert_eq!(invoke_respond(&mut reg, ProcId(1), Invocation::Read), Response::Value(1));
+        assert!(reg.name().contains("stale"));
+    }
+
+    #[test]
+    fn lossy_counter_drops_increments() {
+        let mut counter = LossyCounter::new(2);
+        for _ in 0..4 {
+            invoke_respond(&mut counter, ProcId(0), Invocation::Inc);
+        }
+        // Two of the four increments were dropped.
+        assert_eq!(
+            invoke_respond(&mut counter, ProcId(0), Invocation::Read),
+            Response::Value(2)
+        );
+    }
+
+    #[test]
+    fn non_monotone_counter_dips() {
+        let mut counter = NonMonotoneCounter::new(2);
+        invoke_respond(&mut counter, ProcId(0), Invocation::Inc);
+        invoke_respond(&mut counter, ProcId(0), Invocation::Inc);
+        let first = invoke_respond(&mut counter, ProcId(1), Invocation::Read);
+        let second = invoke_respond(&mut counter, ProcId(1), Invocation::Read);
+        assert_eq!(first, Response::Value(2));
+        assert_eq!(second, Response::Value(1));
+    }
+
+    #[test]
+    fn over_counter_overshoots() {
+        let mut counter = OverCounter::new(3);
+        invoke_respond(&mut counter, ProcId(0), Invocation::Inc);
+        assert_eq!(
+            invoke_respond(&mut counter, ProcId(1), Invocation::Read),
+            Response::Value(4)
+        );
+    }
+
+    #[test]
+    fn forgetful_ledger_hides_remote_appends() {
+        let mut ledger = ForgetfulLedger::new();
+        invoke_respond(&mut ledger, ProcId(0), Invocation::Append(10));
+        invoke_respond(&mut ledger, ProcId(1), Invocation::Append(20));
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(0), Invocation::Get),
+            Response::Sequence(vec![10])
+        );
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(1), Invocation::Get),
+            Response::Sequence(vec![20])
+        );
+    }
+
+    #[test]
+    fn forking_ledger_shows_incompatible_orders() {
+        let mut ledger = ForkingLedger::new();
+        invoke_respond(&mut ledger, ProcId(0), Invocation::Append(1));
+        invoke_respond(&mut ledger, ProcId(0), Invocation::Append(2));
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(0), Invocation::Get),
+            Response::Sequence(vec![1, 2])
+        );
+        assert_eq!(
+            invoke_respond(&mut ledger, ProcId(1), Invocation::Get),
+            Response::Sequence(vec![2, 1])
+        );
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert!(LossyCounter::new(3).name().contains("lossy"));
+        assert!(NonMonotoneCounter::new(3).name().contains("non-monotone"));
+        assert!(OverCounter::new(1).name().contains("over-counting"));
+        assert!(ForgetfulLedger::new().name().contains("forgetful"));
+        assert!(ForkingLedger::new().name().contains("forking"));
+    }
+}

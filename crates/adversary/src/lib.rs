@@ -1,0 +1,53 @@
+//! # drv-adversary
+//!
+//! The adversary A, the timed adversary Aτ and the sketch construction of
+//! *"Asynchronous Fault-Tolerant Language Decidability for Runtime
+//! Verification of Distributed Systems"* (Castañeda & Rodríguez, PODC 2025).
+//!
+//! In the paper's model (Section 3), the monitors interact with a black-box
+//! distributed service A — the *adversary* — which decides the responses the
+//! processes receive and the times at which all events occur.  This crate
+//! provides the content half of the adversary (the timing half is the
+//! scheduler of the `drv-core` runtime):
+//!
+//! * [`Behavior`] — the adversary as an online service, with
+//!   [`AtomicObject`] (faithful, linearizable behaviour over any
+//!   [`drv_spec::SequentialSpec`]), the fault-injecting behaviours of
+//!   [`faulty`], the eventually-consistent behaviours of [`eventual`] and the
+//!   word-replaying [`ScriptedBehavior`] (realizing Claim 3.1),
+//! * [`TimedAdversary`] — the Figure 6 wrapper Aτ that attaches [`View`]s
+//!   (announce-array snapshots) to responses,
+//! * [`sketch`] — the Appendix B construction of the sketch x∼(E) from the
+//!   views, together with the executable form of Theorem 6.1.
+//!
+//! ```
+//! use drv_adversary::{AtomicObject, TimedAdversary};
+//! use drv_lang::{Invocation, ProcId};
+//! use drv_spec::Register;
+//!
+//! let mut adversary = TimedAdversary::new(2, AtomicObject::new(Register::new()));
+//! let (key, timed) = adversary.tight_exchange(ProcId(0), &Invocation::Write(3));
+//! assert!(timed.view.contains(&key));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod eventual;
+pub mod faulty;
+pub mod scripted;
+pub mod sketch;
+pub mod timed;
+
+pub use behavior::{AtomicObject, Behavior, LinearizationPoint};
+pub use eventual::{ReplicatedCounter, ReplicatedLedger};
+pub use faulty::{
+    ForgetfulLedger, ForkingLedger, LossyCounter, NonMonotoneCounter, OverCounter,
+    StaleReadRegister,
+};
+pub use scripted::{event_script, ScriptedBehavior};
+pub use sketch::{
+    input_word, locals_preserved, precedence_preserved, sketch_word, SketchError, TimedOp,
+};
+pub use timed::{InvocationKey, TimedAdversary, TimedResponse, View};

@@ -1,0 +1,244 @@
+//! Scripted behaviours: replaying an arbitrary well-formed word.
+//!
+//! Claim 3.1 of the paper states that for *every* well-formed ω-word `x`
+//! there is a fair failure-free execution of any algorithm whose input is
+//! `x` — the adversary is a black box and can exhibit any behaviour.  The
+//! [`ScriptedBehavior`] realizes the content half of that claim: it dictates
+//! both the invocations the processes pick (Figure 1, line 01) and the
+//! responses they receive (line 04), in exactly the per-process order of the
+//! scripted word.  The timing half — the global interleaving — is realized by
+//! the scripted scheduler of the `drv-core` runtime, which replays the
+//! positions of the word's symbols.
+//!
+//! Together the two sides make the proof constructions of Lemmas 5.1, 5.2,
+//! 6.2 and 6.5 executable.
+
+use crate::behavior::Behavior;
+use drv_lang::{Invocation, ProcId, Response, Symbol, Word};
+use std::collections::VecDeque;
+
+/// A behaviour that replays the per-process content of a fixed word.
+///
+/// ```
+/// use drv_adversary::{Behavior, ScriptedBehavior};
+/// use drv_lang::{Invocation, ProcId, Response, WordBuilder};
+///
+/// let word = WordBuilder::new()
+///     .op(ProcId(0), Invocation::Write(1), Response::Ack)
+///     .op(ProcId(1), Invocation::Read, Response::Value(1))
+///     .build();
+/// let mut scripted = ScriptedBehavior::from_word(&word, 2);
+/// assert_eq!(scripted.next_invocation(ProcId(0)), Some(Invocation::Write(1)));
+/// scripted.on_invoke(ProcId(0), &Invocation::Write(1));
+/// assert_eq!(scripted.on_respond(ProcId(0)), Response::Ack);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedBehavior {
+    invocations: Vec<VecDeque<Invocation>>,
+    responses: Vec<VecDeque<Response>>,
+    /// What to answer once the script is exhausted (fair executions are
+    /// infinite; a finite script is a prefix).  `None` panics instead.
+    filler: Option<Response>,
+    name: String,
+}
+
+impl ScriptedBehavior {
+    /// Builds a scripted behaviour from a finite word over `n` processes.
+    ///
+    /// The word's local projections give, for every process, the sequence of
+    /// invocations it must pick and responses it must receive.
+    #[must_use]
+    pub fn from_word(word: &Word, n: usize) -> Self {
+        let mut invocations = vec![VecDeque::new(); n];
+        let mut responses = vec![VecDeque::new(); n];
+        for symbol in word.symbols() {
+            let idx = symbol.proc.index();
+            if idx >= n {
+                continue;
+            }
+            if let Some(inv) = symbol.invocation() {
+                invocations[idx].push_back(inv.clone());
+            } else if let Some(resp) = symbol.response() {
+                responses[idx].push_back(resp.clone());
+            }
+        }
+        ScriptedBehavior {
+            invocations,
+            responses,
+            filler: None,
+            name: "scripted".to_string(),
+        }
+    }
+
+    /// Sets a filler response returned once a process's script is exhausted,
+    /// instead of panicking.  Useful when a finite prefix is extended by an
+    /// arbitrary fair continuation.
+    #[must_use]
+    pub fn with_filler(mut self, filler: Response) -> Self {
+        self.filler = Some(filler);
+        self
+    }
+
+    /// Sets the display name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Remaining scripted invocations of `proc`.
+    #[must_use]
+    pub fn remaining_invocations(&self, proc: ProcId) -> usize {
+        self.invocations
+            .get(proc.index())
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Remaining scripted responses of `proc`.
+    #[must_use]
+    pub fn remaining_responses(&self, proc: ProcId) -> usize {
+        self.responses.get(proc.index()).map_or(0, VecDeque::len)
+    }
+
+    /// Returns `true` when every process has consumed its whole script.
+    #[must_use]
+    pub fn is_exhausted(&self) -> bool {
+        self.invocations.iter().all(VecDeque::is_empty)
+            && self.responses.iter().all(VecDeque::is_empty)
+    }
+}
+
+impl Behavior for ScriptedBehavior {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn next_invocation(&mut self, proc: ProcId) -> Option<Invocation> {
+        self.invocations
+            .get_mut(proc.index())
+            .and_then(VecDeque::pop_front)
+    }
+
+    fn on_invoke(&mut self, _proc: ProcId, _invocation: &Invocation) {}
+
+    fn on_respond(&mut self, proc: ProcId) -> Response {
+        match self
+            .responses
+            .get_mut(proc.index())
+            .and_then(VecDeque::pop_front)
+        {
+            Some(response) => response,
+            None => self
+                .filler
+                .clone()
+                .unwrap_or_else(|| panic!("script for {proc} exhausted and no filler configured")),
+        }
+    }
+
+    fn response_ready(&self, proc: ProcId) -> bool {
+        self.filler.is_some()
+            || self
+                .responses
+                .get(proc.index())
+                .is_some_and(|q| !q.is_empty())
+    }
+}
+
+/// Derives the scheduler script — the global order of send/receive events —
+/// from a word: entry `k` names the process whose send (for an invocation
+/// symbol) or receive (for a response symbol) event is the `k`-th of the
+/// execution.
+///
+/// Used by the `drv-core` runtime to realize Claim 3.1: replaying this script
+/// against [`ScriptedBehavior::from_word`] of the same word yields an
+/// execution whose input is exactly that word.
+#[must_use]
+pub fn event_script(word: &Word) -> Vec<Symbol> {
+    word.symbols().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drv_lang::WordBuilder;
+
+    fn sample_word() -> Word {
+        WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .invoke(ProcId(1), Invocation::Read)
+            .respond(ProcId(1), Response::Value(1))
+            .op(ProcId(0), Invocation::Read, Response::Value(1))
+            .build()
+    }
+
+    #[test]
+    fn scripts_replay_per_process_content() {
+        let word = sample_word();
+        let mut scripted = ScriptedBehavior::from_word(&word, 2);
+        assert_eq!(scripted.remaining_invocations(ProcId(0)), 2);
+        assert_eq!(scripted.remaining_responses(ProcId(1)), 1);
+
+        assert_eq!(
+            scripted.next_invocation(ProcId(0)),
+            Some(Invocation::Write(1))
+        );
+        scripted.on_invoke(ProcId(0), &Invocation::Write(1));
+        assert_eq!(scripted.on_respond(ProcId(0)), Response::Ack);
+
+        assert_eq!(scripted.next_invocation(ProcId(1)), Some(Invocation::Read));
+        scripted.on_invoke(ProcId(1), &Invocation::Read);
+        assert_eq!(scripted.on_respond(ProcId(1)), Response::Value(1));
+
+        assert_eq!(scripted.next_invocation(ProcId(0)), Some(Invocation::Read));
+        scripted.on_invoke(ProcId(0), &Invocation::Read);
+        assert_eq!(scripted.on_respond(ProcId(0)), Response::Value(1));
+
+        assert!(scripted.is_exhausted());
+        assert_eq!(scripted.next_invocation(ProcId(0)), None);
+    }
+
+    #[test]
+    fn exhausted_script_uses_filler() {
+        let word = sample_word();
+        let mut scripted =
+            ScriptedBehavior::from_word(&word, 2).with_filler(Response::Value(0));
+        for _ in 0..2 {
+            let _ = scripted.on_respond(ProcId(0));
+        }
+        assert_eq!(scripted.on_respond(ProcId(0)), Response::Value(0));
+        assert!(scripted.response_ready(ProcId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhausted_script_without_filler_panics() {
+        let mut scripted = ScriptedBehavior::from_word(&Word::new(), 2);
+        let _ = scripted.on_respond(ProcId(0));
+    }
+
+    #[test]
+    fn response_ready_tracks_the_script() {
+        let word = sample_word();
+        let scripted = ScriptedBehavior::from_word(&word, 2);
+        assert!(scripted.response_ready(ProcId(0)));
+        assert!(scripted.response_ready(ProcId(1)));
+        let empty = ScriptedBehavior::from_word(&Word::new(), 2);
+        assert!(!empty.response_ready(ProcId(0)));
+    }
+
+    #[test]
+    fn event_script_lists_symbols_in_order() {
+        let word = sample_word();
+        let script = event_script(&word);
+        assert_eq!(script.len(), word.len());
+        assert_eq!(script[0].proc, ProcId(0));
+        assert!(script[0].is_invocation());
+    }
+
+    #[test]
+    fn names_can_be_customised() {
+        let word = sample_word();
+        let scripted = ScriptedBehavior::from_word(&word, 2).with_name("lemma 5.1 run E");
+        assert_eq!(scripted.name(), "lemma 5.1 run E");
+    }
+}

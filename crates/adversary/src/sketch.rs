@@ -1,0 +1,507 @@
+//! The sketch construction x∼(E) (Appendix B, Figure 7).
+//!
+//! Given an execution of an algorithm interacting with the timed adversary
+//! Aτ, every completed operation carries a view.  Appendix B of the paper
+//! shows how the processes can locally reconstruct, from these views alone, a
+//! concurrent history x∼(E) — the *sketch* — which is the input word of some
+//! execution indistinguishable from the real one (Theorem 6.1(2)), and in
+//! which every real-time precedence of the real input is preserved
+//! (Theorem 6.1(1)): operations can only *shrink*.
+//!
+//! The construction: order the distinct views by containment
+//! `view₁ ⊂ view₂ ⊂ …` (snapshot views are always comparable); iterating in
+//! ascending order, first append the invocations that are new in the current
+//! view, then append the responses of all operations carrying exactly that
+//! view.
+//!
+//! [`sketch_word`] implements the construction; [`precedence_preserved`] and
+//! [`locals_preserved`] are the executable forms of Theorem 6.1.
+
+use crate::timed::{InvocationKey, View};
+use drv_lang::{Invocation, OpId, ProcId, Response, Word};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One operation of an execution against Aτ, as recorded by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedOp {
+    /// The unique key assigned at announce time.
+    pub key: InvocationKey,
+    /// The invocation payload.
+    pub invocation: Invocation,
+    /// The response payload, when the operation completed.
+    pub response: Option<Response>,
+    /// The view returned with the response, when the operation completed.
+    pub view: Option<View>,
+}
+
+impl TimedOp {
+    /// A completed operation.
+    #[must_use]
+    pub fn complete(
+        key: InvocationKey,
+        invocation: Invocation,
+        response: Response,
+        view: View,
+    ) -> Self {
+        TimedOp {
+            key,
+            invocation,
+            response: Some(response),
+            view: Some(view),
+        }
+    }
+
+    /// A pending operation (announced and possibly sent, never answered).
+    #[must_use]
+    pub fn pending(key: InvocationKey, invocation: Invocation) -> Self {
+        TimedOp {
+            key,
+            invocation,
+            response: None,
+            view: None,
+        }
+    }
+
+    /// The issuing process.
+    #[must_use]
+    pub fn proc(&self) -> ProcId {
+        self.key.proc
+    }
+
+    /// Returns `true` when the operation completed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.response.is_some()
+    }
+}
+
+/// Why a sketch could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// Two operations carry views that are not comparable by containment —
+    /// impossible for views produced by Aτ's snapshot, so this indicates the
+    /// records do not come from a single execution.
+    IncomparableViews {
+        /// Key of the first operation.
+        first: InvocationKey,
+        /// Key of the second operation.
+        second: InvocationKey,
+    },
+    /// A completed operation's view does not contain its own invocation,
+    /// which Aτ guarantees (the announce precedes the snapshot).
+    ViewMissingOwnInvocation {
+        /// Key of the offending operation.
+        key: InvocationKey,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::IncomparableViews { first, second } => {
+                write!(f, "operations {first} and {second} carry incomparable views")
+            }
+            SketchError::ViewMissingOwnInvocation { key } => {
+                write!(f, "the view of operation {key} does not contain its own invocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+/// Builds the sketch x∼(E) from the recorded operations of one execution.
+///
+/// Pending operations contribute their invocation only if some completed
+/// operation's view contains it (otherwise no process can know about them,
+/// and they do not appear in the sketch).
+///
+/// # Errors
+///
+/// Returns a [`SketchError`] when the views are inconsistent (not produced by
+/// a single Aτ execution).
+pub fn sketch_word(ops: &[TimedOp]) -> Result<Word, SketchError> {
+    let completed: Vec<&TimedOp> = ops.iter().filter(|op| op.is_complete()).collect();
+
+    // Validate the views: each contains its own invocation, and all are
+    // pairwise comparable.
+    for op in &completed {
+        let view = op.view.as_ref().expect("completed op has a view");
+        if !view.contains(&op.key) {
+            return Err(SketchError::ViewMissingOwnInvocation { key: op.key });
+        }
+    }
+    for (i, a) in completed.iter().enumerate() {
+        for b in &completed[i + 1..] {
+            let va = a.view.as_ref().expect("completed op has a view");
+            let vb = b.view.as_ref().expect("completed op has a view");
+            if !va.comparable(vb) {
+                return Err(SketchError::IncomparableViews {
+                    first: a.key,
+                    second: b.key,
+                });
+            }
+        }
+    }
+
+    // Distinct views in ascending containment order (size order suffices once
+    // comparability holds).
+    let mut distinct: Vec<&View> = Vec::new();
+    for op in &completed {
+        let view = op.view.as_ref().expect("completed op has a view");
+        if !distinct.iter().any(|v| *v == view) {
+            distinct.push(view);
+        }
+    }
+    distinct.sort_by_key(|v| v.len());
+
+    let mut word = Word::new();
+    let mut emitted: BTreeSet<InvocationKey> = BTreeSet::new();
+    for view in distinct {
+        // Step 1: append the invocations that are new in this view.
+        for (key, invocation) in view.iter() {
+            if emitted.insert(*key) {
+                word.invoke(key.proc, invocation.clone());
+            }
+        }
+        // Step 2: append the responses of the operations carrying exactly
+        // this view.
+        for op in &completed {
+            if op.view.as_ref() == Some(view) {
+                word.respond(
+                    op.proc(),
+                    op.response.clone().expect("completed op has a response"),
+                );
+            }
+        }
+    }
+    Ok(word)
+}
+
+/// Builds the *input word* x(E) corresponding to the recorded operations,
+/// given the global order of their send and receive events.
+///
+/// `events` lists, in execution order, `(key, is_invocation)` pairs; the
+/// payloads are taken from `ops`.  The helper exists so tests and the
+/// `drv-core` runtime construct x(E) and x∼(E) from the same records.
+#[must_use]
+pub fn input_word(ops: &[TimedOp], events: &[(InvocationKey, bool)]) -> Word {
+    let mut word = Word::new();
+    for (key, is_invocation) in events {
+        let Some(op) = ops.iter().find(|op| op.key == *key) else {
+            continue;
+        };
+        if *is_invocation {
+            word.invoke(op.proc(), op.invocation.clone());
+        } else if let Some(response) = &op.response {
+            word.respond(op.proc(), response.clone());
+        }
+    }
+    word
+}
+
+/// Matches the operations of `original` and `sketch` by `(process,
+/// local index)` and checks Theorem 6.1(1): every real-time precedence of
+/// `original` holds in `sketch` as well.
+#[must_use]
+pub fn precedence_preserved(original: &Word, sketch: &Word) -> bool {
+    let orig_ops = original.operation_set();
+    let sketch_ops = sketch.operation_set();
+
+    let find_in_sketch = |proc: ProcId, local_index: usize| -> Option<OpId> {
+        sketch_ops
+            .iter()
+            .find(|op| op.proc == proc && op.local_index == local_index)
+            .map(|op| op.id)
+    };
+
+    for a in orig_ops.iter() {
+        for b in orig_ops.iter() {
+            if a.id == b.id || !a.precedes(b) {
+                continue;
+            }
+            let (Some(sa), Some(sb)) = (
+                find_in_sketch(a.proc, a.local_index),
+                find_in_sketch(b.proc, b.local_index),
+            ) else {
+                // Operations missing from the sketch (unobserved pending
+                // operations) carry no precedence obligations.
+                continue;
+            };
+            let (Some(sa), Some(sb)) = (sketch_ops.get(sa), sketch_ops.get(sb)) else {
+                continue;
+            };
+            if !sa.precedes(sb) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that the sketch preserves every process's local word (same
+/// operations, same payloads, same order), restricted to the operations that
+/// appear in the sketch.  Together with well-formedness this is the
+/// executable content of Theorem 6.1(2): the sketch is the input of a
+/// legitimate execution of the same processes.
+#[must_use]
+pub fn locals_preserved(original: &Word, sketch: &Word, n: usize) -> bool {
+    let sketch_ops = sketch.operation_set();
+    let orig_ops = original.operation_set();
+    for proc in ProcId::all(n) {
+        let mut sketch_local: Vec<_> = sketch_ops
+            .iter()
+            .filter(|op| op.proc == proc)
+            .collect();
+        sketch_local.sort_by_key(|op| op.local_index);
+        let mut orig_local: Vec<_> = orig_ops.iter().filter(|op| op.proc == proc).collect();
+        orig_local.sort_by_key(|op| op.local_index);
+        // Every sketch operation must match the original operation with the
+        // same local index in invocation; completed ones must match in
+        // response too.
+        for s_op in &sketch_local {
+            let Some(o_op) = orig_local
+                .iter()
+                .find(|op| op.local_index == s_op.local_index)
+            else {
+                return false;
+            };
+            if o_op.invocation != s_op.invocation {
+                return false;
+            }
+            if let (Some(o_resp), Some(s_resp)) = (&o_op.response, &s_op.response) {
+                if o_resp != s_resp {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::AtomicObject;
+    use crate::timed::TimedAdversary;
+    use drv_lang::{Invocation, ProcId, Response};
+    use drv_spec::Register;
+
+    fn key(proc: usize, seq: u64) -> InvocationKey {
+        InvocationKey {
+            proc: ProcId(proc),
+            seq,
+        }
+    }
+
+    /// Reproduces the structure of Figure 7: three processes, operations with
+    /// nested views.
+    fn figure7_ops() -> Vec<TimedOp> {
+        // view₁ = {a, b}, carried by the operations of p1 and p2;
+        // view₂ = {a, b, c}, carried by the operation of p3;
+        // view₃ = {a, b, c, d}, carried by a second operation of p1.
+        let a = key(0, 0);
+        let b = key(1, 0);
+        let c = key(2, 0);
+        let d = key(0, 1);
+        let mut view1 = View::new();
+        view1.insert(a, Invocation::Write(1));
+        view1.insert(b, Invocation::Write(2));
+        let mut view2 = view1.clone();
+        view2.insert(c, Invocation::Read);
+        let mut view3 = view2.clone();
+        view3.insert(d, Invocation::Read);
+        vec![
+            TimedOp::complete(a, Invocation::Write(1), Response::Ack, view1.clone()),
+            TimedOp::complete(b, Invocation::Write(2), Response::Ack, view1),
+            TimedOp::complete(c, Invocation::Read, Response::Value(2), view2),
+            TimedOp::complete(d, Invocation::Read, Response::Value(2), view3),
+        ]
+    }
+
+    #[test]
+    fn figure7_sketch_has_expected_shape() {
+        let ops = figure7_ops();
+        let sketch = sketch_word(&ops).expect("views are consistent");
+        // Invocations of a and b first, then their responses, then c's
+        // invocation and response, then d's.
+        assert_eq!(sketch.len(), 8);
+        assert!(sketch.is_well_formed_prefix());
+        let ops_in_sketch = sketch.operation_set();
+        assert_eq!(ops_in_sketch.len(), 4);
+        // a and b are concurrent in the sketch; both precede c; c precedes d.
+        let find = |proc: usize, idx: usize| {
+            ops_in_sketch
+                .iter()
+                .find(|op| op.proc == ProcId(proc) && op.local_index == idx)
+                .unwrap()
+        };
+        let (a, b, c, d) = (find(0, 0), find(1, 0), find(2, 0), find(0, 1));
+        assert!(a.concurrent_with(b));
+        assert!(a.precedes(c) && b.precedes(c));
+        assert!(c.precedes(d));
+    }
+
+    #[test]
+    fn sketch_of_tight_execution_equals_input() {
+        // Build a sequential (tight) execution against Aτ and check that the
+        // sketch reproduces the input word exactly.
+        let mut timed = TimedAdversary::new(2, AtomicObject::new(Register::new()));
+        let mut ops = Vec::new();
+        let mut events = Vec::new();
+        let script = [
+            (ProcId(0), Invocation::Write(7)),
+            (ProcId(1), Invocation::Read),
+            (ProcId(0), Invocation::Read),
+        ];
+        for (proc, invocation) in script {
+            let (key, timed_response) = timed.tight_exchange(proc, &invocation);
+            events.push((key, true));
+            events.push((key, false));
+            ops.push(TimedOp::complete(
+                key,
+                invocation,
+                timed_response.response,
+                timed_response.view,
+            ));
+        }
+        let x_e = input_word(&ops, &events);
+        let sketch = sketch_word(&ops).unwrap();
+        assert_eq!(x_e.symbols(), sketch.symbols());
+        assert!(precedence_preserved(&x_e, &sketch));
+        assert!(locals_preserved(&x_e, &sketch, 2));
+    }
+
+    #[test]
+    fn sketch_shrinks_but_never_reorders_operations() {
+        // A genuinely concurrent execution: p0 and p1 announce before either
+        // snapshots, so their operations are concurrent both in x(E) and in
+        // the sketch; the later operation of p0 must still follow both.
+        let mut timed = TimedAdversary::new(2, AtomicObject::new(Register::new()));
+        let w = Invocation::Write(3);
+        let r = Invocation::Read;
+        let k0 = timed.announce(ProcId(0), &w);
+        let k1 = timed.announce(ProcId(1), &r);
+        timed.forward_invoke(ProcId(0), &w);
+        timed.forward_invoke(ProcId(1), &r);
+        let resp0 = timed.forward_respond(ProcId(0));
+        let resp1 = timed.forward_respond(ProcId(1));
+        let v0 = timed.snapshot_view(ProcId(0));
+        let v1 = timed.snapshot_view(ProcId(1));
+        let (k2, tr2) = timed.tight_exchange(ProcId(0), &Invocation::Read);
+
+        let ops = vec![
+            TimedOp::complete(k0, w.clone(), resp0, v0),
+            TimedOp::complete(k1, r.clone(), resp1, v1),
+            TimedOp::complete(k2, Invocation::Read, tr2.response, tr2.view),
+        ];
+        let events = vec![
+            (k0, true),
+            (k1, true),
+            (k0, false),
+            (k1, false),
+            (k2, true),
+            (k2, false),
+        ];
+        let x_e = input_word(&ops, &events);
+        let sketch = sketch_word(&ops).unwrap();
+        assert!(sketch.is_well_formed_prefix());
+        assert!(precedence_preserved(&x_e, &sketch));
+        assert!(locals_preserved(&x_e, &sketch, 2));
+    }
+
+    #[test]
+    fn pending_operations_appear_only_if_observed() {
+        let a = key(0, 0);
+        let b = key(1, 0);
+        let mut view = View::new();
+        view.insert(a, Invocation::Write(1));
+        view.insert(b, Invocation::Write(2));
+        let ops = vec![
+            TimedOp::complete(a, Invocation::Write(1), Response::Ack, view),
+            // b is pending: announced, observed by a's view, never answered.
+            TimedOp::pending(b, Invocation::Write(2)),
+        ];
+        let sketch = sketch_word(&ops).unwrap();
+        assert_eq!(sketch.invocation_count(), 2);
+        assert_eq!(sketch.response_count(), 1);
+
+        // An unobserved pending operation does not appear at all.
+        let mut own_view = View::new();
+        own_view.insert(a, Invocation::Write(1));
+        let ops = vec![
+            TimedOp::complete(a, Invocation::Write(1), Response::Ack, own_view),
+            TimedOp::pending(b, Invocation::Write(2)),
+        ];
+        let sketch = sketch_word(&ops).unwrap();
+        assert_eq!(sketch.invocation_count(), 1);
+        assert_eq!(sketch.response_count(), 1);
+    }
+
+    #[test]
+    fn inconsistent_views_are_rejected() {
+        let a = key(0, 0);
+        let b = key(1, 0);
+        let mut va = View::new();
+        va.insert(a, Invocation::Inc);
+        let mut vb = View::new();
+        vb.insert(b, Invocation::Inc);
+        let ops = vec![
+            TimedOp::complete(a, Invocation::Inc, Response::Ack, va),
+            TimedOp::complete(b, Invocation::Inc, Response::Ack, vb),
+        ];
+        let err = sketch_word(&ops).unwrap_err();
+        assert!(matches!(err, SketchError::IncomparableViews { .. }));
+        assert!(err.to_string().contains("incomparable"));
+
+        let mut missing_own = View::new();
+        missing_own.insert(b, Invocation::Inc);
+        let ops = vec![TimedOp::complete(
+            a,
+            Invocation::Inc,
+            Response::Ack,
+            missing_own,
+        )];
+        let err = sketch_word(&ops).unwrap_err();
+        assert!(matches!(err, SketchError::ViewMissingOwnInvocation { .. }));
+        assert!(err.to_string().contains("own invocation"));
+    }
+
+    #[test]
+    fn precedence_check_detects_reordering() {
+        // original: p0's op strictly precedes p1's op.
+        let original = drv_lang::WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(1))
+            .build();
+        // candidate sketch reverses the order.
+        let reordered = drv_lang::WordBuilder::new()
+            .op(ProcId(1), Invocation::Read, Response::Value(1))
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .build();
+        assert!(!precedence_preserved(&original, &reordered));
+        assert!(precedence_preserved(&original, &original));
+    }
+
+    #[test]
+    fn locals_check_detects_payload_changes() {
+        let original = drv_lang::WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .build();
+        let altered = drv_lang::WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(2), Response::Ack)
+            .build();
+        assert!(!locals_preserved(&original, &altered, 1));
+        assert!(locals_preserved(&original, &original, 1));
+    }
+
+    #[test]
+    fn timed_op_constructors() {
+        let op = TimedOp::pending(key(1, 3), Invocation::Get);
+        assert!(!op.is_complete());
+        assert_eq!(op.proc(), ProcId(1));
+        let op = TimedOp::complete(key(0, 0), Invocation::Get, Response::Sequence(vec![]), View::new());
+        assert!(op.is_complete());
+    }
+}

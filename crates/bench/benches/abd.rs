@@ -1,0 +1,53 @@
+//! Bench: the ABD message-passing emulation (reference [5] of the paper).
+//!
+//! Measures whole-workload cost as the cluster size grows and the effect of
+//! minority crashes, and the cost of verifying the produced histories with
+//! the linearizability checker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drv_abd::{run_abd, NetConfig, Workload};
+use drv_consistency::is_linearizable;
+use drv_spec::Register;
+
+fn bench_cluster_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abd_cluster_size");
+    for n in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("failure_free", n), &n, |b, &n| {
+            let workload = Workload::mixed(n, 2);
+            b.iter(|| run_abd(NetConfig::new(n, 9), &workload));
+        });
+    }
+    group.finish();
+}
+
+fn bench_crashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abd_crashes");
+    group.bench_function("n5_f0", |b| {
+        let workload = Workload::mixed(5, 2);
+        b.iter(|| run_abd(NetConfig::new(5, 4), &workload));
+    });
+    group.bench_function("n5_f2", |b| {
+        let workload = Workload::mixed(5, 2);
+        b.iter(|| run_abd(NetConfig::new(5, 4).crash(3, 50).crash(4, 90), &workload));
+    });
+    group.finish();
+}
+
+fn bench_history_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abd_history_verification");
+    group.sample_size(20);
+    for rounds in [1usize, 2, 3] {
+        let run = run_abd(NetConfig::new(3, 17), &Workload::mixed(3, rounds));
+        group.bench_with_input(
+            BenchmarkId::new("ops", run.completed.len()),
+            &run.history,
+            |b, history| {
+                b.iter(|| is_linearizable(&Register::new(), history, 3));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_sizes, bench_crashes, bench_history_verification);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Bench: the consistency checkers underlying the languages of Table 1.
+//!
+//! The Figure 8 monitor calls the linearizability / sequential-consistency
+//! checker on its reconstructed history every iteration, so the checker's
+//! growth with history length is the dominant cost of the predictive cells.
+//! This bench reproduces that profile, plus the cost of the eventual-counter
+//! and eventual-ledger membership checks used for run classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drv_adversary::{AtomicObject, Behavior};
+use drv_consistency::{check_ec_ledger, check_sec_count, check_wec_count};
+use drv_consistency::{is_linearizable, is_sequentially_consistent};
+use drv_core::monitor::ConstantFamily;
+use drv_core::runtime::{run, RunConfig, Schedule};
+use drv_lang::{ObjectKind, SymbolSampler, Word};
+use drv_spec::{Counter, Ledger, Register};
+
+fn history(kind: ObjectKind, n: usize, iterations: usize) -> Word {
+    let config = RunConfig::new(n, iterations)
+        .with_schedule(Schedule::Random { seed: 23 })
+        .with_sampler(SymbolSampler::new(kind).with_mutator_ratio(0.5));
+    let behavior: Box<dyn Behavior> = match kind {
+        ObjectKind::Register => Box::new(AtomicObject::new(Register::new())),
+        ObjectKind::Counter => Box::new(AtomicObject::new(Counter::new())),
+        _ => Box::new(AtomicObject::new(Ledger::new())),
+    };
+    run(&config, &ConstantFamily::always_yes(), behavior)
+        .word()
+        .clone()
+}
+
+fn bench_linearizability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_linearizability");
+    for iterations in [10usize, 20, 40] {
+        let word = history(ObjectKind::Register, 3, iterations);
+        group.bench_with_input(
+            BenchmarkId::new("register_ops", word.operations().len()),
+            &word,
+            |b, word| {
+                b.iter(|| assert!(is_linearizable(&Register::new(), word, 3)));
+            },
+        );
+    }
+    let word = history(ObjectKind::Ledger, 2, 20);
+    group.bench_with_input(
+        BenchmarkId::new("ledger_ops", word.operations().len()),
+        &word,
+        |b, word| {
+            b.iter(|| assert!(is_linearizable(&Ledger::new(), word, 2)));
+        },
+    );
+    group.finish();
+}
+
+fn bench_sequential_consistency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_sequential_consistency");
+    group.sample_size(30);
+    for iterations in [10usize, 20] {
+        let word = history(ObjectKind::Register, 2, iterations);
+        group.bench_with_input(
+            BenchmarkId::new("register_ops", word.operations().len()),
+            &word,
+            |b, word| {
+                b.iter(|| assert!(is_sequentially_consistent(&Register::new(), word, 2)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eventual_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_eventual");
+    let counter_word = history(ObjectKind::Counter, 3, 60);
+    let cut = counter_word.len() / 2;
+    group.bench_function("wec_count", |b| {
+        b.iter(|| check_wec_count(&counter_word, cut));
+    });
+    group.bench_function("sec_count", |b| {
+        b.iter(|| check_sec_count(&counter_word, cut));
+    });
+    let ledger_word = history(ObjectKind::Ledger, 2, 40);
+    let ledger_cut = ledger_word.len() / 2;
+    group.bench_function("ec_ledger", |b| {
+        b.iter(|| check_ec_ledger(&ledger_word, ledger_cut));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linearizability,
+    bench_sequential_consistency,
+    bench_eventual_checkers
+);
+criterion_main!(benches);

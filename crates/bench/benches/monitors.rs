@@ -1,0 +1,122 @@
+//! Bench: the monitor algorithms of Figures 5, 8 and 9.
+//!
+//! Reproduces the cost profile the paper's constructions imply:
+//!
+//! * the Figure 5 / Figure 9 counter monitors do O(n) shared-memory work per
+//!   iteration (one announce, one snapshot), so whole-run cost grows linearly
+//!   in both the number of processes and the number of iterations;
+//! * the Figure 8 monitor re-checks consistency of the whole reconstructed
+//!   history every iteration, so its per-run cost grows super-linearly with
+//!   the run length — the motivation for the incremental algorithms of [41].
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use drv_adversary::AtomicObject;
+use drv_core::monitors::{PredictiveFamily, SecCountFamily, WecCountFamily};
+use drv_core::runtime::{run, RunConfig, Schedule};
+use drv_lang::{ObjectKind, SymbolSampler};
+use drv_spec::{Counter, Ledger, Register};
+
+fn counter_config(n: usize, iterations: usize, timed: bool) -> RunConfig {
+    let config = RunConfig::new(n, iterations)
+        .with_schedule(Schedule::Random { seed: 7 })
+        .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.4))
+        .stop_mutators_after(iterations / 2);
+    if timed {
+        config.timed()
+    } else {
+        config
+    }
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_wec_monitor");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("processes", n), &n, |b, &n| {
+            let config = counter_config(n, 40, false);
+            b.iter_batched(
+                || Box::new(AtomicObject::new(Counter::new())),
+                |behavior| run(&config, &WecCountFamily::new(), behavior),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    for iterations in [20usize, 40, 80] {
+        group.bench_with_input(
+            BenchmarkId::new("iterations", iterations),
+            &iterations,
+            |b, &iterations| {
+                let config = counter_config(3, iterations, false);
+                b.iter_batched(
+                    || Box::new(AtomicObject::new(Counter::new())),
+                    |behavior| run(&config, &WecCountFamily::new(), behavior),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_figure9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_sec_monitor");
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("processes", n), &n, |b, &n| {
+            let config = counter_config(n, 40, true);
+            b.iter_batched(
+                || Box::new(AtomicObject::new(Counter::new())),
+                |behavior| run(&config, &SecCountFamily::new(), behavior),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8_vo_monitor");
+    group.sample_size(20);
+    for iterations in [8usize, 16, 24] {
+        group.bench_with_input(
+            BenchmarkId::new("register_iterations", iterations),
+            &iterations,
+            |b, &iterations| {
+                let config = RunConfig::new(2, iterations)
+                    .timed()
+                    .with_schedule(Schedule::Random { seed: 3 })
+                    .with_sampler(SymbolSampler::new(ObjectKind::Register));
+                b.iter_batched(
+                    || Box::new(AtomicObject::new(Register::new())),
+                    |behavior| {
+                        run(
+                            &config,
+                            &PredictiveFamily::linearizable(Register::new()),
+                            behavior,
+                        )
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.bench_function("ledger_16_iterations", |b| {
+        let config = RunConfig::new(2, 16)
+            .timed()
+            .with_schedule(Schedule::Random { seed: 3 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Ledger));
+        b.iter_batched(
+            || Box::new(AtomicObject::new(Ledger::new())),
+            |behavior| {
+                run(
+                    &config,
+                    &PredictiveFamily::linearizable(Ledger::new()),
+                    behavior,
+                )
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure5, bench_figure9, bench_figure8);
+criterion_main!(benches);

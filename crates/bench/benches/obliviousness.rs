@@ -1,0 +1,53 @@
+//! Bench: the Theorem 5.2 characterization experiments.
+//!
+//! Measures the cost of searching for real-time-obliviousness
+//! counterexamples — exhaustively for the small Appendix A witnesses and by
+//! sampling for longer prefixes — across the seven Table 1 languages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drv_bench::{appendix_a_ledger_witness, counter_witness, register_witness};
+use drv_consistency::languages::{ec_led, lin_led, lin_reg, sc_reg, sec_count, wec_count};
+use drv_lang::{oblivious_counterexample, Language, ObliviousnessTester};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_exhaustive_witnesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem5_2_exhaustive");
+    let witnesses: Vec<(&str, Box<dyn Language>, _, usize)> = vec![
+        ("LIN_REG", Box::new(lin_reg(2)) as Box<dyn Language>, register_witness(2).0, 4),
+        ("SC_REG", Box::new(sc_reg(2)), register_witness(2).0, 4),
+        ("LIN_LED", Box::new(lin_led(2)), appendix_a_ledger_witness(2).0, 6),
+        ("EC_LED", Box::new(ec_led()), appendix_a_ledger_witness(2).0, 6),
+        ("SEC_COUNT", Box::new(sec_count()), counter_witness(2).0, 4),
+        ("WEC_COUNT", Box::new(wec_count()), counter_witness(2).0, 4),
+    ];
+    for (name, language, word, split) in &witnesses {
+        group.bench_with_input(BenchmarkId::new("witness", name), name, |b, _| {
+            b.iter(|| oblivious_counterexample(language.as_ref(), 2, word, *split));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem5_2_sampled");
+    for extra in [2usize, 6, 10] {
+        let (word, split) = appendix_a_ledger_witness(extra);
+        group.bench_with_input(
+            BenchmarkId::new("ledger_prefix_len", split + extra * 4),
+            &word,
+            |b, word| {
+                let tester = ObliviousnessTester::sampled(2, 64);
+                let language = lin_led(2);
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(11);
+                    tester.check_witness(&language, word, split, &mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exhaustive_witnesses, bench_sampled_search);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench: the timed adversary Aτ (Figure 6) and the sketch construction
+//! x∼(E) (Figure 7 / Appendix B).
+//!
+//! Measures the cost of the announce/snapshot wrapper as a function of the
+//! number of processes and the cost of reconstructing the sketch as a
+//! function of the number of recorded operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drv_adversary::{sketch_word, AtomicObject, TimedAdversary, TimedOp};
+use drv_lang::{Invocation, ProcId};
+use drv_spec::Counter;
+
+fn tight_ops(n: usize, per_process: usize) -> Vec<TimedOp> {
+    let mut timed = TimedAdversary::new(n, AtomicObject::new(Counter::new()));
+    let mut ops = Vec::new();
+    for round in 0..per_process {
+        for p in 0..n {
+            let invocation = if round % 3 == 0 {
+                Invocation::Inc
+            } else {
+                Invocation::Read
+            };
+            let (key, response) = timed.tight_exchange(ProcId(p), &invocation);
+            ops.push(TimedOp::complete(
+                key,
+                invocation,
+                response.response,
+                response.view,
+            ));
+        }
+    }
+    ops
+}
+
+fn bench_timed_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_timed_adversary");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("exchange", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut timed = TimedAdversary::new(n, AtomicObject::new(Counter::new()));
+                for p in 0..n {
+                    let _ = timed.tight_exchange(ProcId(p), &Invocation::Inc);
+                }
+                timed
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketch_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure7_sketch");
+    for ops_per_process in [5usize, 20, 50] {
+        let ops = tight_ops(3, ops_per_process);
+        group.bench_with_input(
+            BenchmarkId::new("ops", ops.len()),
+            &ops,
+            |b, ops| {
+                b.iter(|| sketch_word(ops).expect("consistent views"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timed_adversary, bench_sketch_construction);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Bench: the Afek et al. snapshot substrate (reference [1] of the paper).
+//!
+//! Measures the direct (ungated) cost of scans and updates as the number of
+//! components grows, and the cost of a full adversarially scheduled run under
+//! the step-level simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drv_shmem::afek::{AfekSnapshot, Ungated};
+use drv_shmem::{SchedulePolicy, SharedArray, StepSim};
+
+fn bench_direct_operations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afek_direct");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("scan_after_updates", n), &n, |b, &n| {
+            let snapshot = AfekSnapshot::new(n, 0u64);
+            for p in 0..n {
+                snapshot.update(&Ungated, p, p as u64 + 1);
+            }
+            b.iter(|| snapshot.scan(&Ungated, 0));
+        });
+        group.bench_with_input(BenchmarkId::new("update", n), &n, |b, &n| {
+            let snapshot = AfekSnapshot::new(n, 0u64);
+            b.iter(|| snapshot.update(&Ungated, 0, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_builtin_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_array_snapshot");
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |b, &n| {
+            let array = SharedArray::new(n, 0u64);
+            b.iter(|| array.snapshot());
+        });
+    }
+    group.finish();
+}
+
+fn bench_adversarial_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("afek_under_step_scheduler");
+    group.sample_size(20);
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("processes", n), &n, |b, &n| {
+            b.iter(|| {
+                let snapshot = AfekSnapshot::new(n, 0u64);
+                let sim = StepSim::new(n).with_policy(SchedulePolicy::Random { seed: 11 });
+                sim.run(|ctx| {
+                    let snapshot = snapshot.clone();
+                    move || {
+                        for k in 1..=4u64 {
+                            snapshot.update(&ctx, ctx.pid(), k);
+                            let _ = snapshot.scan(&ctx, ctx.pid());
+                        }
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_direct_operations,
+    bench_builtin_snapshot,
+    bench_adversarial_runs
+);
+criterion_main!(benches);

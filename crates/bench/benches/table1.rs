@@ -1,0 +1,77 @@
+//! Bench: regenerating Table 1.
+//!
+//! Measures the end-to-end cost of reproducing the paper's results matrix
+//! (quick configuration) and of the individual possibility cells, so the
+//! growth of the harness can be tracked as languages and monitors are added.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drv_adversary::AtomicObject;
+use drv_bench::{reproduce_table1, Table1Config};
+use drv_consistency::languages::{lin_reg, wec_count};
+use drv_core::decidability::{Decider, Notion};
+use drv_core::monitors::{PredictiveFamily, WecCountFamily};
+use drv_core::runtime::{run, RunConfig, Schedule};
+use drv_core::transform::WadAllFamily;
+use drv_lang::{ObjectKind, SymbolSampler};
+use drv_spec::{Counter, Register};
+use std::sync::Arc;
+
+fn bench_full_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("reproduce_quick", |b| {
+        b.iter(|| {
+            let report = reproduce_table1(&Table1Config::quick());
+            assert!(report.matches_paper());
+            report
+        });
+    });
+    group.finish();
+}
+
+fn bench_possibility_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cells");
+    group.sample_size(20);
+
+    group.bench_function("wec_count_wd_cell", |b| {
+        let config = RunConfig::new(3, 40)
+            .with_schedule(Schedule::Random { seed: 1 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.4))
+            .stop_mutators_after(20);
+        let family = WadAllFamily::new(WecCountFamily::new());
+        let decider = Decider::new(Arc::new(wec_count()));
+        b.iter_batched(
+            || Box::new(AtomicObject::new(Counter::new())),
+            |behavior| {
+                let trace = run(&config, &family, behavior);
+                decider.evaluate(&trace, Notion::Weak).unwrap().holds
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("lin_reg_psd_cell", |b| {
+        let config = RunConfig::new(2, 12)
+            .timed()
+            .with_schedule(Schedule::Random { seed: 1 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Register));
+        let family = PredictiveFamily::linearizable(Register::new());
+        let decider = Decider::new(Arc::new(lin_reg(2)));
+        b.iter_batched(
+            || Box::new(AtomicObject::new(Register::new())),
+            |behavior| {
+                let trace = run(&config, &family, behavior);
+                decider
+                    .evaluate(&trace, Notion::PredictiveStrong)
+                    .unwrap()
+                    .holds
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_table, bench_possibility_cells);
+criterion_main!(benches);

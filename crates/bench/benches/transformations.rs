@@ -1,0 +1,54 @@
+//! Bench: the Figure 2–4 stability transformations and the shared-memory
+//! ablation.
+//!
+//! Compares the Figure 5 monitor raw, wrapped by each of the three
+//! transformations (Lemmas 4.1–4.3), and the communication-free baseline —
+//! both to measure the wrappers' overhead (one extra register or one extra
+//! snapshot per report) and to document what the shared `INCS` array costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use drv_adversary::AtomicObject;
+use drv_core::monitor::MonitorFamily;
+use drv_core::monitors::{LocalWecFamily, WecCountFamily};
+use drv_core::runtime::{run, RunConfig, Schedule};
+use drv_core::transform::{StabilizedFamily, WadAllFamily, WodStableFamily};
+use drv_lang::{ObjectKind, SymbolSampler};
+use drv_spec::Counter;
+
+fn config() -> RunConfig {
+    RunConfig::new(3, 40)
+        .with_schedule(Schedule::Random { seed: 5 })
+        .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.4))
+        .stop_mutators_after(20)
+}
+
+fn bench_family(c: &mut Criterion, name: &str, family: &dyn MonitorFamily) {
+    let config = config();
+    c.benchmark_group("figure2_3_4_transformations")
+        .bench_function(name, |b| {
+            b.iter_batched(
+                || Box::new(AtomicObject::new(Counter::new())),
+                |behavior| run(&config, family, behavior),
+                BatchSize::SmallInput,
+            );
+        });
+}
+
+fn bench_transformations(c: &mut Criterion) {
+    bench_family(c, "figure5_raw", &WecCountFamily::new());
+    bench_family(
+        c,
+        "figure2_stabilized",
+        &StabilizedFamily::new(WecCountFamily::new()),
+    );
+    bench_family(c, "figure3_wad_all", &WadAllFamily::new(WecCountFamily::new()));
+    bench_family(
+        c,
+        "figure4_wod_stable",
+        &WodStableFamily::new(WecCountFamily::new()),
+    );
+    bench_family(c, "local_only_baseline", &LocalWecFamily::new());
+}
+
+criterion_group!(benches, bench_transformations);
+criterion_main!(benches);

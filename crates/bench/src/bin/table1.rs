@@ -1,0 +1,49 @@
+//! Regenerates Table 1 of the paper and prints a per-cell account.
+//!
+//! ```text
+//! cargo run -p drv-bench --bin table1 --release          # full configuration
+//! cargo run -p drv-bench --bin table1 --release -- quick # reduced configuration
+//! ```
+
+use drv_bench::{reproduce_table1, Table1Config};
+
+fn main() {
+    let quick = std::env::args().any(|arg| arg == "quick");
+    let config = if quick {
+        Table1Config::quick()
+    } else {
+        Table1Config::default()
+    };
+    eprintln!(
+        "reproducing Table 1 ({} seeds, {} counter iterations, {} object iterations)…",
+        config.seeds.len(),
+        config.counter_iterations,
+        config.object_iterations
+    );
+    let report = reproduce_table1(&config);
+
+    println!("{report}");
+    println!("cells matching the paper: {}/28", 28 - report.mismatches().len());
+    println!();
+    println!("per-cell account:");
+    for cell in &report.cells {
+        println!(
+            "  {:<10} {:<4} expected {} observed {}  [{} run(s)] {}",
+            cell.language,
+            cell.notion.label(),
+            if cell.expected_decidable { "✓" } else { "✗" },
+            if cell.observed_decidable { "✓" } else { "✗" },
+            cell.runs,
+            cell.detail
+        );
+    }
+    if report.matches_paper() {
+        println!("\nRESULT: the reproduced table matches the paper's Table 1.");
+    } else {
+        println!("\nRESULT: MISMATCHES against the paper's Table 1:");
+        for cell in report.mismatches() {
+            println!("  {} {}: {}", cell.language, cell.notion, cell.detail);
+        }
+        std::process::exit(1);
+    }
+}

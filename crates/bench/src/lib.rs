@@ -1,0 +1,30 @@
+//! # drv-bench
+//!
+//! The experiment harness of the repository: regenerates Table 1 of
+//! *"Asynchronous Fault-Tolerant Language Decidability for Runtime
+//! Verification of Distributed Systems"* (Castañeda & Rodríguez, PODC 2025)
+//! and hosts the Criterion benchmarks that reproduce the cost profile of
+//! every figure's construction (see `benches/` and EXPERIMENTS.md).
+//!
+//! * [`table1`] — the cell-by-cell reproduction of Table 1
+//!   ([`reproduce_table1`]), also exposed as the `table1` binary:
+//!   `cargo run -p drv-bench --bin table1 --release`.
+//! * [`witnesses`] — the Appendix A / Theorem 5.2 witness words used by the
+//!   characterization experiments.
+//!
+//! ```no_run
+//! use drv_bench::{reproduce_table1, Table1Config};
+//!
+//! let report = reproduce_table1(&Table1Config::quick());
+//! println!("{report}");
+//! assert!(report.matches_paper());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod table1;
+pub mod witnesses;
+
+pub use table1::{reproduce_table1, CellResult, Table1Config, Table1Report};
+pub use witnesses::{appendix_a_ledger_witness, counter_witness, register_witness};

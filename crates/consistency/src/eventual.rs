@@ -1,0 +1,459 @@
+//! Eventual-consistency checkers: the weakly- and strongly-eventual counter
+//! (Definitions 2.7 and 2.8) and the eventually-consistent ledger
+//! (Definition 2.9).
+//!
+//! The definitions are over infinite histories; the checkers use the finitary
+//! reading documented in `DESIGN.md`: a finite word together with a
+//! *stabilization cut* `cut`.  Safety clauses are checked over the whole word,
+//! eventual clauses over the suffix after the cut (the finite stand-in for
+//! "eventually").
+
+use drv_lang::{Invocation, Operation, ProcId, Record, Response, Word};
+use std::collections::HashMap;
+
+/// Maximum value of a counter read used when a response is malformed.
+fn read_value(op: &Operation) -> Option<u64> {
+    match (&op.invocation, &op.response) {
+        (Invocation::Read, Some(Response::Value(v))) => Some(*v),
+        _ => None,
+    }
+}
+
+fn is_inc(op: &Operation) -> bool {
+    matches!(op.invocation, Invocation::Inc)
+}
+
+/// Checks clauses (1) and (2) of the weakly-eventual consistent counter
+/// (Definition 2.7): reads of a process return at least the number of its own
+/// preceding `inc` operations and are monotonically non-decreasing per
+/// process.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated clause.
+pub fn check_wec_safety(word: &Word) -> Result<(), String> {
+    let ops = word.operations();
+    let mut incs_per_proc: HashMap<ProcId, u64> = HashMap::new();
+    let mut last_read: HashMap<ProcId, u64> = HashMap::new();
+    for op in &ops {
+        if is_inc(op) {
+            *incs_per_proc.entry(op.proc).or_insert(0) += 1;
+            continue;
+        }
+        if let Some(v) = read_value(op) {
+            let own_incs = incs_per_proc.get(&op.proc).copied().unwrap_or(0);
+            if v < own_incs {
+                return Err(format!(
+                    "clause (1) violated: {} read {v} after performing {own_incs} inc operations",
+                    op.proc
+                ));
+            }
+            if let Some(prev) = last_read.get(&op.proc) {
+                if v < *prev {
+                    return Err(format!(
+                        "clause (2) violated: {} read {v} after previously reading {prev}",
+                        op.proc
+                    ));
+                }
+            }
+            last_read.insert(op.proc, v);
+        }
+    }
+    Ok(())
+}
+
+/// Checks clause (3) of the weakly-eventual consistent counter
+/// (Definition 2.7) under the finitary cut semantics: when no `inc` is invoked
+/// at or after `cut`, the last completed read of every process that reads
+/// after the cut must return the total number of `inc` operations of the word.
+///
+/// # Errors
+///
+/// Returns a description of the first process whose reads fail to converge.
+pub fn check_wec_eventual(word: &Word, cut: usize) -> Result<(), String> {
+    let ops = word.operations();
+    let incs_after_cut = ops.iter().any(|op| is_inc(op) && op.inv_pos >= cut);
+    if incs_after_cut {
+        // The infinite suffix may still contain inc operations; clause (3) is
+        // vacuous under the finitary reading.
+        return Ok(());
+    }
+    let total_incs = ops.iter().filter(|op| is_inc(op)).count() as u64;
+    let mut last_read_after_cut: HashMap<ProcId, u64> = HashMap::new();
+    for op in &ops {
+        if let (Some(v), Some(resp_pos)) = (read_value(op), op.resp_pos) {
+            if resp_pos >= cut {
+                last_read_after_cut.insert(op.proc, v);
+            }
+        }
+    }
+    for (proc, v) in &last_read_after_cut {
+        if *v != total_incs {
+            return Err(format!(
+                "clause (3) violated: last read of {proc} after the cut returned {v}, expected {total_incs}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks clause (4) of the strongly-eventual consistent counter
+/// (Definition 2.8): every completed read returns at most the number of `inc`
+/// operations that precede it or are concurrent with it.
+///
+/// This is the real-time-sensitive clause: an `inc` precedes-or-is-concurrent
+/// to a read exactly when the `inc` invocation appears before the read's
+/// response.
+///
+/// # Errors
+///
+/// Returns a description of the first read returning an impossible value.
+pub fn check_sec_realtime(word: &Word) -> Result<(), String> {
+    let ops = word.operations();
+    for op in &ops {
+        let (Some(v), Some(resp_pos)) = (read_value(op), op.resp_pos) else {
+            continue;
+        };
+        let available = ops
+            .iter()
+            .filter(|o| is_inc(o) && o.inv_pos < resp_pos)
+            .count() as u64;
+        if v > available {
+            return Err(format!(
+                "clause (4) violated: {} read {v} but only {available} inc operations precede or are concurrent with the read",
+                op.proc
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks the weakly-eventual consistent counter (Definition 2.7) under the
+/// finitary cut semantics: clauses (1)–(2) on the whole word and clause (3)
+/// after the cut.
+///
+/// # Errors
+///
+/// Returns the first violated clause.
+pub fn check_wec_count(word: &Word, cut: usize) -> Result<(), String> {
+    check_wec_safety(word)?;
+    check_wec_eventual(word, cut)
+}
+
+/// Checks the strongly-eventual consistent counter (Definition 2.8) under the
+/// finitary cut semantics: clauses (1)–(2) and (4) on the whole word and
+/// clause (3) after the cut.
+///
+/// # Errors
+///
+/// Returns the first violated clause.
+pub fn check_sec_count(word: &Word, cut: usize) -> Result<(), String> {
+    check_wec_safety(word)?;
+    check_sec_realtime(word)?;
+    check_wec_eventual(word, cut)
+}
+
+fn get_sequence(op: &Operation) -> Option<&[Record]> {
+    match (&op.invocation, &op.response) {
+        (Invocation::Get, Some(Response::Sequence(s))) => Some(s),
+        _ => None,
+    }
+}
+
+/// Checks clause (1) of the eventually-consistent ledger (Definition 2.9) on
+/// *every* prefix of the word: pending operations can be completed so that
+/// some permutation of the operations is a valid sequential ledger history.
+///
+/// A permutation exists exactly when (a) the sequences returned by completed
+/// `get` operations are pairwise prefix-comparable, and (b) at the point each
+/// `get` responds, every record it returns has already been submitted by an
+/// `append` invocation, with sufficient multiplicity.
+///
+/// # Errors
+///
+/// Returns a description of the first `get` whose response is unjustifiable.
+pub fn check_ec_ledger_validity(word: &Word) -> Result<(), String> {
+    let ops = word.operations();
+    // Positions at which each append invocation becomes available.
+    let mut append_positions: HashMap<Record, Vec<usize>> = HashMap::new();
+    for op in &ops {
+        if let Invocation::Append(r) = &op.invocation {
+            append_positions.entry(*r).or_default().push(op.inv_pos);
+        }
+    }
+    // Process completed gets in response order.
+    let mut gets: Vec<(&Operation, &[Record], usize)> = ops
+        .iter()
+        .filter_map(|op| {
+            let seq = get_sequence(op)?;
+            Some((op, seq, op.resp_pos.expect("completed get")))
+        })
+        .collect();
+    gets.sort_by_key(|(_, _, resp_pos)| *resp_pos);
+
+    let mut longest: &[Record] = &[];
+    for (op, seq, resp_pos) in gets {
+        // (a) prefix-comparability with the longest sequence seen so far.
+        let (short, long) = if seq.len() <= longest.len() {
+            (seq, longest)
+        } else {
+            (longest, seq)
+        };
+        if long[..short.len()] != *short {
+            return Err(format!(
+                "clause (1) violated: get of {} returned {:?}, incomparable with an earlier get returning {:?}",
+                op.proc, seq, longest
+            ));
+        }
+        if seq.len() > longest.len() {
+            longest = seq;
+        }
+        // (b) multiplicity of records available at the response position.
+        let mut needed: HashMap<Record, usize> = HashMap::new();
+        for r in seq {
+            *needed.entry(*r).or_insert(0) += 1;
+        }
+        for (r, count) in needed {
+            let available = append_positions
+                .get(&r)
+                .map(|positions| positions.iter().filter(|p| **p < resp_pos).count())
+                .unwrap_or(0);
+            if available < count {
+                return Err(format!(
+                    "clause (1) violated: get of {} returned record {r} {count} time(s) but only {available} append(s) of it were invoked before the response",
+                    op.proc
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks clause (2) of the eventually-consistent ledger (Definition 2.9)
+/// under the finitary cut semantics: every record appended before the cut must
+/// appear in the last completed `get` of every process that performs a `get`
+/// after the cut.
+///
+/// # Errors
+///
+/// Returns a description of the first missing record.
+pub fn check_ec_ledger_eventual(word: &Word, cut: usize) -> Result<(), String> {
+    let ops = word.operations();
+    let appended_before_cut: Vec<Record> = ops
+        .iter()
+        .filter_map(|op| match &op.invocation {
+            Invocation::Append(r) if op.inv_pos < cut => Some(*r),
+            _ => None,
+        })
+        .collect();
+    let mut last_get: HashMap<ProcId, &[Record]> = HashMap::new();
+    for op in &ops {
+        if let (Some(seq), Some(resp_pos)) = (get_sequence(op), op.resp_pos) {
+            if resp_pos >= cut {
+                last_get.insert(op.proc, seq);
+            }
+        }
+    }
+    for (proc, seq) in &last_get {
+        for r in &appended_before_cut {
+            if !seq.contains(r) {
+                return Err(format!(
+                    "clause (2) violated: record {r} appended before the cut never appears in the final get of {proc}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the eventually-consistent ledger (Definition 2.9) under the
+/// finitary cut semantics.
+///
+/// # Errors
+///
+/// Returns the first violated clause.
+pub fn check_ec_ledger(word: &Word, cut: usize) -> Result<(), String> {
+    check_ec_ledger_validity(word)?;
+    check_ec_ledger_eventual(word, cut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drv_lang::{ProcId, WordBuilder};
+
+    fn p(i: usize) -> ProcId {
+        ProcId(i)
+    }
+
+    #[test]
+    fn wec_safety_accepts_monotone_reads() {
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .op(p(0), Invocation::Read, Response::Value(1))
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .build();
+        assert!(check_wec_safety(&w).is_ok());
+    }
+
+    #[test]
+    fn wec_safety_rejects_forgotten_own_inc() {
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .op(p(0), Invocation::Read, Response::Value(0))
+            .build();
+        let err = check_wec_safety(&w).unwrap_err();
+        assert!(err.contains("clause (1)"));
+    }
+
+    #[test]
+    fn wec_safety_rejects_non_monotone_reads() {
+        let w = WordBuilder::new()
+            .op(p(1), Invocation::Read, Response::Value(3))
+            .op(p(1), Invocation::Read, Response::Value(2))
+            .build();
+        let err = check_wec_safety(&w).unwrap_err();
+        assert!(err.contains("clause (2)"));
+    }
+
+    #[test]
+    fn wec_eventual_requires_convergence() {
+        // One inc by p1; afterwards both processes read. p2 never converges.
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .op(p(0), Invocation::Read, Response::Value(1))
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .build();
+        // Cut right after the inc operation (position 2).
+        let err = check_wec_eventual(&w, 2).unwrap_err();
+        assert!(err.contains("clause (3)"));
+        // Converging run.
+        let good = WordBuilder::new()
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(0), Invocation::Read, Response::Value(1))
+            .build();
+        assert!(check_wec_eventual(&good, 2).is_ok());
+        assert!(check_wec_count(&good, 2).is_ok());
+    }
+
+    #[test]
+    fn wec_eventual_is_vacuous_with_incs_after_cut() {
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .build();
+        assert!(check_wec_eventual(&w, 0).is_ok());
+    }
+
+    #[test]
+    fn sec_realtime_rejects_reads_from_the_future() {
+        // p2 reads 1 although no inc has even been invoked yet.
+        let w = WordBuilder::new()
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .build();
+        let err = check_sec_realtime(&w).unwrap_err();
+        assert!(err.contains("clause (4)"));
+        assert!(check_sec_count(&w, 2).is_err());
+    }
+
+    #[test]
+    fn sec_realtime_allows_concurrent_incs() {
+        // The inc is concurrent with the read (invocation before the read's
+        // response), so reading 1 is allowed.
+        let w = WordBuilder::new()
+            .invoke(p(1), Invocation::Read)
+            .invoke(p(0), Invocation::Inc)
+            .respond(p(0), Response::Ack)
+            .respond(p(1), Response::Value(1))
+            .build();
+        assert!(check_sec_realtime(&w).is_ok());
+        assert!(check_sec_count(&w, w.len()).is_ok());
+    }
+
+    #[test]
+    fn sec_is_stricter_than_wec() {
+        // Reading a value before any inc is invoked violates SEC but not WEC.
+        let w = WordBuilder::new()
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(0), Invocation::Inc, Response::Ack)
+            .op(p(0), Invocation::Read, Response::Value(1))
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .build();
+        assert!(check_wec_count(&w, 2).is_ok());
+        assert!(check_sec_count(&w, 2).is_err());
+    }
+
+    #[test]
+    fn ec_ledger_validity_accepts_chained_gets() {
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Append(1), Response::Ack)
+            .op(p(1), Invocation::Get, Response::Sequence(vec![1]))
+            .op(p(0), Invocation::Append(2), Response::Ack)
+            .op(p(1), Invocation::Get, Response::Sequence(vec![1, 2]))
+            .build();
+        assert!(check_ec_ledger_validity(&w).is_ok());
+    }
+
+    #[test]
+    fn ec_ledger_validity_rejects_incomparable_gets() {
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Append(1), Response::Ack)
+            .op(p(0), Invocation::Append(2), Response::Ack)
+            .op(p(1), Invocation::Get, Response::Sequence(vec![1]))
+            .op(p(1), Invocation::Get, Response::Sequence(vec![2]))
+            .build();
+        let err = check_ec_ledger_validity(&w).unwrap_err();
+        assert!(err.contains("incomparable"));
+    }
+
+    #[test]
+    fn ec_ledger_validity_rejects_phantom_records() {
+        let w = WordBuilder::new()
+            .op(p(1), Invocation::Get, Response::Sequence(vec![9]))
+            .op(p(0), Invocation::Append(9), Response::Ack)
+            .build();
+        let err = check_ec_ledger_validity(&w).unwrap_err();
+        assert!(err.contains("record 9"));
+    }
+
+    #[test]
+    fn ec_ledger_validity_allows_pending_appends() {
+        let w = WordBuilder::new()
+            .invoke(p(0), Invocation::Append(7))
+            .op(p(1), Invocation::Get, Response::Sequence(vec![7]))
+            .build();
+        assert!(check_ec_ledger_validity(&w).is_ok());
+    }
+
+    #[test]
+    fn ec_ledger_eventual_requires_visibility() {
+        let w = WordBuilder::new()
+            .op(p(0), Invocation::Append(1), Response::Ack)
+            .op(p(1), Invocation::Get, Response::Sequence(vec![]))
+            .op(p(1), Invocation::Get, Response::Sequence(vec![]))
+            .build();
+        let err = check_ec_ledger_eventual(&w, 2).unwrap_err();
+        assert!(err.contains("record 1"));
+        assert!(check_ec_ledger(&w, 2).is_err());
+
+        let good = WordBuilder::new()
+            .op(p(0), Invocation::Append(1), Response::Ack)
+            .op(p(1), Invocation::Get, Response::Sequence(vec![]))
+            .op(p(1), Invocation::Get, Response::Sequence(vec![1]))
+            .op(p(0), Invocation::Get, Response::Sequence(vec![1]))
+            .build();
+        assert!(check_ec_ledger(&good, 2).is_ok());
+    }
+
+    #[test]
+    fn empty_words_satisfy_everything() {
+        let w = WordBuilder::new().build();
+        assert!(check_wec_count(&w, 0).is_ok());
+        assert!(check_sec_count(&w, 0).is_ok());
+        assert!(check_ec_ledger(&w, 0).is_ok());
+    }
+}

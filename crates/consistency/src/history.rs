@@ -1,0 +1,211 @@
+//! Concurrent histories: the operation-level view of a word used by the
+//! consistency checkers.
+
+use drv_lang::{OpId, Operation, ProcId, Word};
+use serde::{Deserialize, Serialize};
+
+/// A concurrent history extracted from a finite word: the matched operations,
+/// organized per process, with real-time precedence helpers.
+///
+/// Operation ids are indices into [`ConcurrentHistory::ops`], assigned in
+/// invocation order, exactly as in [`drv_lang::operations`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConcurrentHistory {
+    ops: Vec<Operation>,
+    per_proc: Vec<Vec<OpId>>,
+    n: usize,
+}
+
+impl ConcurrentHistory {
+    /// Builds the history of a finite word for `n` processes.  Processes with
+    /// ids `≥ n` found in the word extend `n` automatically.
+    #[must_use]
+    pub fn from_word(word: &Word, n: usize) -> Self {
+        let ops = word.operations();
+        let max_proc = ops.iter().map(|o| o.proc.0 + 1).max().unwrap_or(0);
+        let n = n.max(max_proc);
+        let mut per_proc: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        for op in &ops {
+            per_proc[op.proc.0].push(op.id);
+        }
+        ConcurrentHistory { ops, per_proc, n }
+    }
+
+    /// Number of processes of the history.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// All operations, in invocation order.
+    #[must_use]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the history has no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this history.
+    #[must_use]
+    pub fn op(&self, id: OpId) -> &Operation {
+        &self.ops[id.0]
+    }
+
+    /// The operations of `proc` in program order.
+    #[must_use]
+    pub fn ops_of(&self, proc: ProcId) -> &[OpId] {
+        &self.per_proc[proc.0]
+    }
+
+    /// Number of *complete* operations.
+    #[must_use]
+    pub fn complete_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_complete()).count()
+    }
+
+    /// Number of *pending* operations.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_pending()).count()
+    }
+
+    /// Given the per-process progress `counts` (number of already-linearized
+    /// operations of each process), returns the candidate operation of `proc`
+    /// (its next unlinearized operation), if any.
+    #[must_use]
+    pub fn next_of(&self, proc: ProcId, counts: &[usize]) -> Option<&Operation> {
+        self.per_proc[proc.0]
+            .get(counts[proc.0])
+            .map(|id| self.op(*id))
+    }
+
+    /// Returns `true` when `candidate` may be linearized next given the
+    /// per-process progress `counts`, i.e. no *unlinearized* operation
+    /// precedes it in real time.
+    ///
+    /// Only the first unlinearized operation of each process needs checking:
+    /// if it does not precede `candidate`, no later operation of the same
+    /// process does either.
+    #[must_use]
+    pub fn respects_real_time(&self, candidate: &Operation, counts: &[usize]) -> bool {
+        for p in 0..self.n {
+            if let Some(id) = self.per_proc[p].get(counts[p]) {
+                let first_unlinearized = self.op(*id);
+                if first_unlinearized.id != candidate.id && first_unlinearized.precedes(candidate) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when every process has been fully linearized or only its
+    /// trailing pending operation remains and `allow_drop_pending` is set.
+    #[must_use]
+    pub fn is_done(&self, counts: &[usize], allow_drop_pending: bool) -> bool {
+        for p in 0..self.n {
+            let remaining = &self.per_proc[p][counts[p]..];
+            match remaining {
+                [] => {}
+                [single] if allow_drop_pending && self.op(*single).is_pending() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drv_lang::{Invocation, Response, WordBuilder};
+
+    fn history() -> ConcurrentHistory {
+        // p1: |-w(1)-|      |--w(2)--|
+        // p2:    |-----r:1-----|
+        let w = WordBuilder::new()
+            .invoke(ProcId(0), Invocation::Write(1))
+            .invoke(ProcId(1), Invocation::Read)
+            .respond(ProcId(0), Response::Ack)
+            .respond(ProcId(1), Response::Value(1))
+            .invoke(ProcId(0), Invocation::Write(2))
+            .respond(ProcId(0), Response::Ack)
+            .build();
+        ConcurrentHistory::from_word(&w, 2)
+    }
+
+    #[test]
+    fn construction_counts() {
+        let h = history();
+        assert_eq!(h.process_count(), 2);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.complete_count(), 3);
+        assert_eq!(h.pending_count(), 0);
+        assert_eq!(h.ops_of(ProcId(0)).len(), 2);
+        assert_eq!(h.ops_of(ProcId(1)).len(), 1);
+    }
+
+    #[test]
+    fn process_count_extends_to_cover_word() {
+        let w = WordBuilder::new()
+            .op(ProcId(4), Invocation::Read, Response::Value(0))
+            .build();
+        let h = ConcurrentHistory::from_word(&w, 2);
+        assert_eq!(h.process_count(), 5);
+    }
+
+    #[test]
+    fn next_of_tracks_progress() {
+        let h = history();
+        let counts = vec![0, 0];
+        let first_p0 = h.next_of(ProcId(0), &counts).unwrap();
+        assert_eq!(first_p0.invocation, Invocation::Write(1));
+        let counts = vec![1, 0];
+        let second_p0 = h.next_of(ProcId(0), &counts).unwrap();
+        assert_eq!(second_p0.invocation, Invocation::Write(2));
+        let counts = vec![2, 1];
+        assert!(h.next_of(ProcId(0), &counts).is_none());
+    }
+
+    #[test]
+    fn real_time_blocking() {
+        let h = history();
+        // write(2) cannot be linearized before write(1) and read are done.
+        let write2 = h.op(OpId(2));
+        assert!(!h.respects_real_time(write2, &[0, 0]));
+        assert!(!h.respects_real_time(write2, &[1, 0]));
+        assert!(h.respects_real_time(write2, &[1, 1]));
+        // write(1) and read are mutually concurrent: both can go first.
+        assert!(h.respects_real_time(h.op(OpId(0)), &[0, 0]));
+        assert!(h.respects_real_time(h.op(OpId(1)), &[0, 0]));
+    }
+
+    #[test]
+    fn is_done_handles_pending() {
+        let w = WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .invoke(ProcId(1), Invocation::Read)
+            .build();
+        let h = ConcurrentHistory::from_word(&w, 2);
+        assert_eq!(h.pending_count(), 1);
+        assert!(!h.is_done(&[0, 0], true));
+        assert!(h.is_done(&[1, 0], true));
+        assert!(!h.is_done(&[1, 0], false));
+        assert!(h.is_done(&[1, 1], false));
+    }
+}

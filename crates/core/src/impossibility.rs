@@ -1,0 +1,530 @@
+//! Executable forms of the paper's impossibility proofs.
+//!
+//! The impossibility results of the paper are proved through
+//! *indistinguishability*: the adversary produces two executions that no
+//! process can tell apart even though their inputs differ in membership, or
+//! it extends a prefix on which a verdict has already been emitted into an
+//! input of the opposite membership.  Because the `drv-core` runtime is
+//! deterministic and schedules send/receive events as separate, purely local
+//! phases, these constructions are *runnable*: they take an arbitrary
+//! [`MonitorFamily`] and produce the offending execution pairs, which the
+//! Table 1 harness then inspects.
+//!
+//! | function | paper result | construction |
+//! |---|---|---|
+//! | [`lemma_5_1`] | `LIN_REG`, `SC_REG` ∉ WD (hence ∉ SD) | the "almost synchronous" write/read rounds and their swapped variant |
+//! | [`lemma_5_2`] | `WEC_COUNT`, `SEC_COUNT` ∉ SD | prefix extension of a rejected non-member into a member |
+//! | [`lemma_6_2`] | `WEC_COUNT`, `SEC_COUNT` ∉ PSD | the same extension on *tight* executions against Aτ |
+//! | [`lemma_6_5`] | `EC_LED` ∉ PWD | the alternating stale/fresh ledger construction forcing unbounded NO bursts |
+
+use crate::monitor::MonitorFamily;
+use crate::runtime::{run, RunConfig, Schedule};
+use crate::trace::ExecutionTrace;
+use drv_adversary::ScriptedBehavior;
+use drv_lang::{Invocation, Language, ProcId, Record, Response, Word, WordBuilder};
+
+/// Outcome of an indistinguishability construction: two executions whose
+/// inputs differ in membership but whose verdict streams are identical.
+#[derive(Debug, Clone)]
+pub struct IndistinguishablePair {
+    /// The execution whose input belongs to the language.
+    pub member_trace: ExecutionTrace,
+    /// The execution whose input does not belong to the language.
+    pub non_member_trace: ExecutionTrace,
+    /// Whether the two runs produced identical verdict streams.
+    pub verdicts_identical: bool,
+}
+
+impl IndistinguishablePair {
+    /// Returns `true` when the pair refutes every notion of decidability for
+    /// `language` and the monitor that produced it: the inputs differ in
+    /// membership yet every process reported exactly the same verdicts.
+    #[must_use]
+    pub fn refutes_decidability(&self, language: &dyn Language) -> bool {
+        self.verdicts_identical
+            && self.member_trace.is_member(language)
+            && !self.non_member_trace.is_member(language)
+    }
+}
+
+/// The Lemma 5.1 construction for `LIN_REG` / `SC_REG`.
+///
+/// For `rounds` rounds, `p₁` writes the round number and `p₂` immediately
+/// reads it.  In execution `E` the write's send/receive events precede the
+/// read's; in execution `F` they are swapped.  All monitor blocks (the
+/// shared-memory phases) occur in the same order in both executions, so every
+/// process passes through the same local states and reports the same
+/// verdicts — but `x(E)` is linearizable while `x(F)` has each read preceding
+/// its write.
+///
+/// # Panics
+///
+/// Panics when `family` requires views: the lemma concerns the plain
+/// adversary A (against Aτ the announce/snapshot events would let the
+/// processes distinguish `E` from `F`, which is exactly why Section 6 escapes
+/// the impossibility).
+#[must_use]
+pub fn lemma_5_1(family: &dyn MonitorFamily, rounds: usize) -> IndistinguishablePair {
+    assert!(
+        !family.requires_views(),
+        "Lemma 5.1 is a statement about the plain adversary A"
+    );
+    let mut content = WordBuilder::new();
+    for r in 1..=rounds as u64 {
+        content = content
+            .op(ProcId(0), Invocation::Write(r), Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(r));
+    }
+    let content = content.build();
+
+    // Phase order per round (4 plain-mode phases per process and iteration:
+    // Pick, Send, Receive, Report).
+    let per_round_e = [0, 1, 0, 0, 1, 1, 0, 1];
+    let per_round_f = [0, 1, 1, 1, 0, 0, 0, 1];
+    let script = |per_round: [usize; 8]| -> Vec<usize> {
+        (0..rounds).flat_map(|_| per_round).collect()
+    };
+
+    let run_with = |phase_script: Vec<usize>| {
+        let config = RunConfig::new(2, rounds).with_schedule(Schedule::PhaseScript(phase_script));
+        run(
+            &config,
+            family,
+            Box::new(ScriptedBehavior::from_word(&content, 2).with_name("Lemma 5.1 content")),
+        )
+    };
+    let member_trace = run_with(script(per_round_e));
+    let non_member_trace = run_with(script(per_round_f));
+
+    let verdicts_identical = (0..2).all(|p| {
+        member_trace.verdicts(p).verdicts() == non_member_trace.verdicts(p).verdicts()
+    });
+    IndistinguishablePair {
+        member_trace,
+        non_member_trace,
+        verdicts_identical,
+    }
+}
+
+/// Outcome of a prefix-extension construction (Lemmas 5.2 and 6.2).
+#[derive(Debug, Clone)]
+pub struct PrefixExtension {
+    /// The run on the non-member input.
+    pub non_member_trace: ExecutionTrace,
+    /// The run on the member input that extends the rejected prefix, when a
+    /// NO was found to extend from.
+    pub member_trace: Option<ExecutionTrace>,
+    /// `(process, report index)` of the earliest NO in the non-member run.
+    pub first_no: Option<(usize, usize)>,
+    /// Whether the member run reproduces that NO at the same report index
+    /// (it must, by determinism: the runs share the prefix).
+    pub no_replayed: bool,
+    /// Whether the extended input really is a member.
+    pub member_is_member: bool,
+    /// Whether the member run is tight (x∼(E) = x(E)); always true for the
+    /// Lemma 6.2 variant, irrelevant (false) for the plain-adversary variant.
+    pub tight: bool,
+}
+
+impl PrefixExtension {
+    /// Returns `true` when the construction refutes strong decidability of
+    /// the counter languages for this monitor: either the non-member input
+    /// never triggered a NO at all, or the NO is replayed on a member input.
+    #[must_use]
+    pub fn refutes_strong_decidability(&self) -> bool {
+        match self.first_no {
+            None => true,
+            Some(_) => self.no_replayed && self.member_is_member,
+        }
+    }
+
+    /// Returns `true` when the construction refutes *predictive* strong
+    /// decidability (Lemma 6.2): as above, and additionally the member run is
+    /// tight, so the sketch equals the member input and cannot justify the
+    /// false negative.
+    #[must_use]
+    pub fn refutes_predictive_strong_decidability(&self) -> bool {
+        match self.first_no {
+            None => true,
+            Some(_) => self.no_replayed && self.member_is_member && self.tight,
+        }
+    }
+}
+
+/// The base word of Lemmas 5.2/6.2: `p₁` increments once, then both processes
+/// alternate reads that stubbornly return 0.
+fn counter_base_word(read_rounds: usize) -> Word {
+    let mut builder = WordBuilder::new().op(ProcId(0), Invocation::Inc, Response::Ack);
+    for _ in 0..read_rounds {
+        builder = builder
+            .op(ProcId(1), Invocation::Read, Response::Value(0))
+            .op(ProcId(0), Invocation::Read, Response::Value(0));
+    }
+    builder.build()
+}
+
+/// The member continuation: reads that return the true count 1.
+fn counter_member_extension(rounds: usize) -> Vec<(ProcId, Invocation, Response)> {
+    let mut ops = Vec::new();
+    for _ in 0..rounds {
+        ops.push((ProcId(0), Invocation::Read, Response::Value(1)));
+        ops.push((ProcId(1), Invocation::Read, Response::Value(1)));
+    }
+    ops
+}
+
+fn prefix_extension(
+    family: &dyn MonitorFamily,
+    language: &dyn Language,
+    timed: bool,
+    read_rounds: usize,
+    extension_rounds: usize,
+) -> PrefixExtension {
+    let base = counter_base_word(read_rounds);
+    let make_config = |word: &Word| {
+        let config =
+            RunConfig::new(2, word.len()).with_schedule(Schedule::WordScript(word.clone()));
+        if timed {
+            config.timed()
+        } else {
+            config
+        }
+    };
+    let run_word = |word: &Word| {
+        run(
+            &make_config(word),
+            family,
+            Box::new(ScriptedBehavior::from_word(word, 2)),
+        )
+    };
+
+    let non_member_trace = run_word(&base);
+
+    // The earliest NO, by the input length recorded at reporting time.
+    let mut first_no: Option<(usize, usize, usize)> = None; // (proc, report idx, word len)
+    for p in 0..2 {
+        for (idx, report) in non_member_trace.verdicts(p).reports().iter().enumerate() {
+            if report.verdict.is_no()
+                && first_no.is_none_or(|(_, _, len)| report.word_len < len)
+            {
+                first_no = Some((p, idx, report.word_len));
+            }
+        }
+    }
+
+    let Some((no_proc, no_idx, no_len)) = first_no else {
+        return PrefixExtension {
+            non_member_trace,
+            member_trace: None,
+            first_no: None,
+            no_replayed: false,
+            member_is_member: false,
+            tight: timed,
+        };
+    };
+
+    // x' = the rejected prefix followed by a converging continuation.
+    let mut extended = base.prefix(no_len);
+    for (proc, invocation, response) in counter_member_extension(extension_rounds) {
+        extended.invoke(proc, invocation);
+        extended.respond(proc, response);
+    }
+    let member_trace = run_word(&extended);
+
+    let no_replayed = member_trace
+        .verdicts(no_proc)
+        .reports()
+        .get(no_idx)
+        .is_some_and(|report| report.verdict.is_no());
+    let member_is_member = member_trace.is_member(language);
+    let tight = if timed {
+        member_trace
+            .sketch()
+            .ok()
+            .flatten()
+            .is_some_and(|sketch| sketch.symbols() == member_trace.word().symbols())
+    } else {
+        false
+    };
+    PrefixExtension {
+        non_member_trace,
+        member_trace: Some(member_trace),
+        first_no: Some((no_proc, no_idx)),
+        no_replayed,
+        member_is_member,
+        tight,
+    }
+}
+
+/// The Lemma 5.2 construction: `WEC_COUNT` (and `SEC_COUNT`) are not strongly
+/// decidable.
+///
+/// Runs `family` on the non-member word `inc · (read 0)^ω` (truncated), finds
+/// its first NO, and extends the rejected prefix with reads returning 1 —
+/// a member of the language on which the monitor, deterministically, repeats
+/// the same NO.
+#[must_use]
+pub fn lemma_5_2(
+    family: &dyn MonitorFamily,
+    language: &dyn Language,
+    read_rounds: usize,
+    extension_rounds: usize,
+) -> PrefixExtension {
+    prefix_extension(family, language, false, read_rounds, extension_rounds)
+}
+
+/// The Lemma 6.2 construction: `WEC_COUNT` and `SEC_COUNT` are not
+/// predictively strongly decidable, even against Aτ.
+///
+/// Identical to [`lemma_5_2`] but against the timed adversary, scheduling the
+/// word as a *tight* execution so the sketch x∼(E) equals the input and
+/// cannot justify the replayed NO.
+#[must_use]
+pub fn lemma_6_2(
+    family: &dyn MonitorFamily,
+    language: &dyn Language,
+    read_rounds: usize,
+    extension_rounds: usize,
+) -> PrefixExtension {
+    prefix_extension(family, language, true, read_rounds, extension_rounds)
+}
+
+/// Outcome of the Lemma 6.5 construction.
+#[derive(Debug, Clone)]
+pub struct AlternatingLedgerOutcome {
+    /// The final run (ending in a fresh, converged phase).
+    pub final_trace: ExecutionTrace,
+    /// Whether the final input is a member of `EC_LED`.
+    pub final_is_member: bool,
+    /// Whether the final run is tight (x∼(E) = x(E)).
+    pub tight: bool,
+    /// Number of stale phases in which at least one process reported NO.
+    pub no_bursts: usize,
+    /// Number of alternations attempted.
+    pub alternations: usize,
+    /// Per-process NO totals over the final run.
+    pub no_totals: Vec<usize>,
+}
+
+impl AlternatingLedgerOutcome {
+    /// Returns `true` when the construction exhibits the Lemma 6.5
+    /// phenomenon for this monitor: the adversary forced a NO burst in
+    /// *every* stale phase while keeping the input extendable to (and
+    /// finally, equal to) a member — iterating forever would therefore
+    /// produce a member execution with infinitely many NO reports and a
+    /// sketch equal to the input, contradicting predictive weak decidability.
+    #[must_use]
+    pub fn demonstrates_unbounded_no_bursts(&self) -> bool {
+        self.final_is_member && self.tight && self.no_bursts == self.alternations
+    }
+}
+
+/// The Lemma 6.5 construction: `EC_LED` is not predictively weakly decidable.
+///
+/// The adversary alternates *stale* phases — a fresh record is appended but
+/// `get()`s keep returning the old ledger — with *fresh* phases in which the
+/// gets catch up.  Any monitor that flags the stale phases (as a correct PWD
+/// monitor must, since extending a stale phase forever yields a non-member)
+/// is forced into a NO burst per alternation, yet the word always returns to
+/// a member of `EC_LED`; in the limit this contradicts the PWD definition.
+#[must_use]
+pub fn lemma_6_5(
+    family: &dyn MonitorFamily,
+    language: &dyn Language,
+    alternations: usize,
+    rounds_per_phase: usize,
+) -> AlternatingLedgerOutcome {
+    let mut word = Word::new();
+    let mut appended: Vec<Record> = Vec::new();
+    let mut no_bursts = 0usize;
+    let mut final_trace: Option<ExecutionTrace> = None;
+
+    let run_word = |word: &Word| {
+        let config = RunConfig::new(2, word.len())
+            .timed()
+            .with_schedule(Schedule::WordScript(word.clone()));
+        run(
+            &config,
+            family,
+            Box::new(ScriptedBehavior::from_word(word, 2)),
+        )
+    };
+
+    for k in 1..=alternations as u64 {
+        let stale_view = appended.clone();
+        let before_stale = count_reports(&run_word(&word));
+        // Stale phase: p₀ appends record k, gets keep returning the old view.
+        word.invoke(ProcId(0), Invocation::Append(k));
+        word.respond(ProcId(0), Response::Ack);
+        appended.push(k);
+        for _ in 0..rounds_per_phase {
+            word.invoke(ProcId(1), Invocation::Get);
+            word.respond(ProcId(1), Response::Sequence(stale_view.clone()));
+            word.invoke(ProcId(0), Invocation::Get);
+            word.respond(ProcId(0), Response::Sequence(stale_view.clone()));
+        }
+        let stale_trace = run_word(&word);
+        let after_stale = count_reports(&stale_trace);
+        let stale_nos: usize = after_stale
+            .iter()
+            .zip(before_stale.iter())
+            .map(|((_, no_after), (_, no_before))| no_after - no_before)
+            .sum();
+        if stale_nos > 0 {
+            no_bursts += 1;
+        }
+
+        // Fresh phase: gets catch up with the full ledger.
+        for _ in 0..rounds_per_phase {
+            word.invoke(ProcId(1), Invocation::Get);
+            word.respond(ProcId(1), Response::Sequence(appended.clone()));
+            word.invoke(ProcId(0), Invocation::Get);
+            word.respond(ProcId(0), Response::Sequence(appended.clone()));
+        }
+        final_trace = Some(run_word(&word));
+    }
+
+    let final_trace = final_trace.unwrap_or_else(|| run_word(&word));
+    let final_is_member = final_trace.is_member(language);
+    let tight = final_trace
+        .sketch()
+        .ok()
+        .flatten()
+        .is_some_and(|sketch| sketch.symbols() == final_trace.word().symbols());
+    let no_totals = final_trace.no_counts();
+    AlternatingLedgerOutcome {
+        final_trace,
+        final_is_member,
+        tight,
+        no_bursts,
+        alternations,
+        no_totals,
+    }
+}
+
+/// Per-process `(total reports, NO reports)` of a trace.
+fn count_reports(trace: &ExecutionTrace) -> Vec<(usize, usize)> {
+    trace
+        .all_verdicts()
+        .iter()
+        .map(|stream| (stream.len(), stream.no_count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ConstantFamily;
+    use crate::monitors::{
+        EcLedgerGuessFamily, PredictiveFamily, SecCountFamily, WecCountFamily,
+    };
+    use crate::transform::StabilizedFamily;
+    use drv_consistency::languages::{ec_led, lin_reg, sc_reg, sec_count, wec_count};
+
+    #[test]
+    fn lemma_5_1_fools_the_plain_adversary_monitors() {
+        // Any plain-adversary monitor is fooled; exercise a few.
+        for family in [
+            Box::new(ConstantFamily::always_yes()) as Box<dyn MonitorFamily>,
+            Box::new(WecCountFamily::new()),
+            Box::new(StabilizedFamily::new(ConstantFamily::always_yes())),
+        ] {
+            let pair = lemma_5_1(family.as_ref(), 6);
+            assert!(pair.verdicts_identical, "{}", family.name());
+            assert!(pair.refutes_decidability(&lin_reg(2)), "{}", family.name());
+            assert!(pair.refutes_decidability(&sc_reg(2)), "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn lemma_5_1_word_shapes() {
+        let pair = lemma_5_1(&ConstantFamily::always_yes(), 3);
+        // E: write precedes read in every round.
+        assert!(pair.member_trace.is_member(&lin_reg(2)));
+        // F: each read precedes the write of the same value.
+        assert!(!pair.non_member_trace.is_member(&lin_reg(2)));
+        assert!(!pair.non_member_trace.is_member(&sc_reg(2)));
+        assert_eq!(
+            pair.member_trace.word().len(),
+            pair.non_member_trace.word().len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "plain adversary")]
+    fn lemma_5_1_rejects_view_requiring_families() {
+        let _ = lemma_5_1(&SecCountFamily::new(), 2);
+    }
+
+    #[test]
+    fn lemma_5_2_refutes_strong_decidability_of_wec() {
+        let outcome = lemma_5_2(&WecCountFamily::new(), &wec_count(), 6, 6);
+        assert!(outcome.first_no.is_some(), "the monitor does flag the stale reads");
+        assert!(outcome.no_replayed);
+        assert!(outcome.member_is_member);
+        assert!(outcome.refutes_strong_decidability());
+    }
+
+    #[test]
+    fn lemma_5_2_applies_to_stabilized_monitors_too() {
+        // Wrapping with Figure 2 (the natural way to aim for strong
+        // decidability) does not help.
+        let family = StabilizedFamily::new(WecCountFamily::new());
+        let outcome = lemma_5_2(&family, &wec_count(), 6, 6);
+        assert!(outcome.refutes_strong_decidability());
+    }
+
+    #[test]
+    fn lemma_5_2_handles_silent_monitors() {
+        // A monitor that never says NO fails strong decidability outright on
+        // the non-member word.
+        let outcome = lemma_5_2(&ConstantFamily::always_yes(), &wec_count(), 4, 4);
+        assert!(outcome.first_no.is_none());
+        assert!(outcome.refutes_strong_decidability());
+        assert!(!outcome.non_member_trace.is_member(&wec_count()));
+    }
+
+    #[test]
+    fn lemma_6_2_refutes_psd_for_the_counters() {
+        let wec = lemma_6_2(&WecCountFamily::new(), &wec_count(), 6, 6);
+        assert!(wec.refutes_predictive_strong_decidability());
+        assert!(wec.tight);
+
+        let sec = lemma_6_2(&SecCountFamily::new(), &sec_count(), 6, 6);
+        assert!(sec.refutes_predictive_strong_decidability());
+        assert!(sec.tight);
+    }
+
+    #[test]
+    fn lemma_6_5_forces_unbounded_no_bursts() {
+        let outcome = lemma_6_5(&EcLedgerGuessFamily::new(), &ec_led(), 3, 3);
+        assert_eq!(outcome.alternations, 3);
+        assert!(outcome.final_is_member);
+        assert!(outcome.tight);
+        assert_eq!(outcome.no_bursts, 3);
+        assert!(outcome.demonstrates_unbounded_no_bursts());
+        assert!(outcome.no_totals.iter().sum::<usize>() >= 3);
+    }
+
+    #[test]
+    fn lemma_6_5_also_traps_the_linearizability_monitor() {
+        // V_O for the ledger also keeps flagging the stale phases (they are
+        // not linearizable), so it exhibits the same bursts.
+        let family = PredictiveFamily::linearizable(drv_spec::Ledger::new());
+        let outcome = lemma_6_5(&family, &ec_led(), 2, 2);
+        assert!(outcome.final_is_member);
+        assert!(outcome.no_bursts >= 1);
+    }
+
+    #[test]
+    fn lemma_5_1_scripted_content_is_shared_between_runs() {
+        // Sanity check on the interplay of scripted content and schedules:
+        // both traces use the same per-process content.
+        let pair = lemma_5_1(&ConstantFamily::always_yes(), 4);
+        for p in 0..2 {
+            let member_local = pair.member_trace.word().project(ProcId(p));
+            let non_member_local = pair.non_member_trace.word().project(ProcId(p));
+            assert_eq!(member_local, non_member_local);
+        }
+    }
+}

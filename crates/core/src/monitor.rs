@@ -1,0 +1,168 @@
+//! The generic monitor structure of Figure 1.
+//!
+//! A distributed monitor is a collection of `n` local algorithms, one per
+//! process, each running the infinite loop of Figure 1: pick an invocation,
+//! exchange information through shared memory, send the invocation to the
+//! adversary, receive the response, exchange information again, and report a
+//! verdict.  The wait-free shared-memory blocks (lines 02, 05, 06) are what a
+//! [`Monitor`] implements; the picking, sending and receiving (lines 01, 03,
+//! 04) are driven by the [`crate::runtime`].
+//!
+//! A [`MonitorFamily`] creates the `n` local monitors of one distributed
+//! monitor, wiring up whatever shared-memory objects they communicate
+//! through.
+
+use crate::verdict::Verdict;
+use drv_adversary::View;
+use drv_lang::{Invocation, ProcId, Response};
+
+/// One process's local monitor algorithm (the body of Figure 1).
+///
+/// The runtime calls the three methods once per loop iteration, in order:
+/// [`Monitor::before_send`] (line 02 block, executed atomically just before
+/// the send event), [`Monitor::after_receive`] (line 05 block, executed
+/// atomically just after the receive event) and [`Monitor::report`]
+/// (line 06).  Each block is wait-free by construction: it runs to completion
+/// regardless of the progress of other processes.
+pub trait Monitor: Send {
+    /// Human-readable name of the local algorithm.
+    fn name(&self) -> String;
+
+    /// The process this local monitor runs at.
+    fn proc(&self) -> ProcId;
+
+    /// Figure 1, line 02: the shared-memory block executed before the
+    /// invocation `invocation` is sent to the adversary.
+    fn before_send(&mut self, invocation: &Invocation);
+
+    /// Figure 1, line 05: the shared-memory block executed after the
+    /// response is received from the adversary.
+    ///
+    /// `view` is `Some` when the monitor interacts with the timed adversary
+    /// Aτ (Section 6) and `None` under the plain adversary A.
+    fn after_receive(&mut self, invocation: &Invocation, response: &Response, view: Option<&View>);
+
+    /// Figure 1, line 06: report a verdict for the current iteration.
+    fn report(&mut self) -> Verdict;
+}
+
+/// A distributed monitor: a recipe for creating the `n` local monitors of one
+/// run, typically sharing shared-memory objects among them.
+pub trait MonitorFamily {
+    /// Human-readable name of the distributed monitor (used in reports).
+    fn name(&self) -> String;
+
+    /// Creates the local monitors for an `n`-process run.
+    ///
+    /// Implementations create fresh shared-memory objects per call, so every
+    /// run starts from the initial configuration.
+    fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>>;
+
+    /// Whether the family requires the timed adversary Aτ (its local monitors
+    /// use the views).  The runtime refuses to run a view-requiring family
+    /// against the plain adversary A.
+    fn requires_views(&self) -> bool {
+        false
+    }
+}
+
+/// A trivial monitor that reports a fixed verdict forever.
+///
+/// `AlwaysYes` (the unit family built by [`ConstantFamily::always_yes`])
+/// vacuously satisfies the "no false positives on members" half of every
+/// decidability definition and is the natural baseline for step-complexity
+/// benches.
+#[derive(Debug, Clone)]
+pub struct ConstantMonitor {
+    proc: ProcId,
+    verdict: Verdict,
+}
+
+impl Monitor for ConstantMonitor {
+    fn name(&self) -> String {
+        format!("constant {}", self.verdict)
+    }
+
+    fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn before_send(&mut self, _invocation: &Invocation) {}
+
+    fn after_receive(
+        &mut self,
+        _invocation: &Invocation,
+        _response: &Response,
+        _view: Option<&View>,
+    ) {
+    }
+
+    fn report(&mut self) -> Verdict {
+        self.verdict
+    }
+}
+
+/// Family of [`ConstantMonitor`]s.
+#[derive(Debug, Clone)]
+pub struct ConstantFamily {
+    verdict: Verdict,
+}
+
+impl ConstantFamily {
+    /// A family whose processes always report the given verdict.
+    #[must_use]
+    pub fn new(verdict: Verdict) -> Self {
+        ConstantFamily { verdict }
+    }
+
+    /// The always-YES baseline.
+    #[must_use]
+    pub fn always_yes() -> Self {
+        ConstantFamily::new(Verdict::Yes)
+    }
+
+    /// The always-NO baseline.
+    #[must_use]
+    pub fn always_no() -> Self {
+        ConstantFamily::new(Verdict::No)
+    }
+}
+
+impl MonitorFamily for ConstantFamily {
+    fn name(&self) -> String {
+        format!("always-{}", self.verdict)
+    }
+
+    fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
+        ProcId::all(n)
+            .map(|proc| {
+                Box::new(ConstantMonitor {
+                    proc,
+                    verdict: self.verdict,
+                }) as Box<dyn Monitor>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_family_spawns_constant_monitors() {
+        let family = ConstantFamily::always_yes();
+        assert_eq!(family.name(), "always-YES");
+        assert!(!family.requires_views());
+        let mut monitors = family.spawn(3);
+        assert_eq!(monitors.len(), 3);
+        assert_eq!(monitors[1].proc(), ProcId(1));
+        monitors[0].before_send(&Invocation::Read);
+        monitors[0].after_receive(&Invocation::Read, &Response::Value(0), None);
+        assert_eq!(monitors[0].report(), Verdict::Yes);
+        assert!(monitors[0].name().contains("YES"));
+
+        let mut no_monitors = ConstantFamily::always_no().spawn(1);
+        assert_eq!(no_monitors[0].report(), Verdict::No);
+    }
+}

@@ -1,0 +1,23 @@
+//! The paper's monitor algorithms.
+//!
+//! | module | figure / section | decides |
+//! |---|---|---|
+//! | [`wec_count`] | Figure 5 (Lemma 5.3) | `WEC_COUNT`, weakly, against A |
+//! | [`sec_count`] | Figure 9 (Lemma 6.4) | `SEC_COUNT`, predictively weakly, against Aτ |
+//! | [`predictive`] | Figure 8 (Theorem 6.2) | `LIN_O` / `SC_O`, predictively strongly, against Aτ |
+//! | [`three_valued`] | Section 7 | 3-valued variants for the eventual counters |
+//! | [`baseline`] | — | ablation baselines (no shared memory) |
+
+pub mod baseline;
+pub mod ec_ledger;
+pub mod predictive;
+pub mod sec_count;
+pub mod three_valued;
+pub mod wec_count;
+
+pub use baseline::LocalWecFamily;
+pub use ec_ledger::EcLedgerGuessFamily;
+pub use predictive::{Criterion, PredictiveFamily};
+pub use sec_count::SecCountFamily;
+pub use three_valued::{ThreeValuedSecFamily, ThreeValuedWecFamily};
+pub use wec_count::WecCountFamily;

@@ -1,0 +1,408 @@
+//! The Figure 8 monitor `V_O`: predictively strongly deciding `LIN_O` (and
+//! `SC_O`) against Aτ (Theorem 6.2).
+//!
+//! Each process accumulates its completed operations — invocation, response
+//! and the view Aτ attached to the response — in a shared array `M`.  Every
+//! iteration it writes its set, snapshots `M`, locally reconstructs a finite
+//! history `hᵢ` from all the triples it saw (the Appendix B sketch
+//! construction) and reports YES exactly when `hᵢ` is linearizable (resp.
+//! sequentially consistent) with respect to the sequential object `O`.
+//!
+//! Correctness (Theorem 8.1 of \[17\], restated as Theorem 6.2): if x(E) is
+//! not linearizable then neither is the sketch, and because linearizability
+//! is prefix-closed every process eventually reports NO forever; if x(E) is
+//! linearizable, any NO is justified by the sketch x∼(E) — a behaviour Aτ
+//! could genuinely have produced — being non-linearizable.
+
+use crate::monitor::{Monitor, MonitorFamily};
+use crate::verdict::Verdict;
+use drv_adversary::{sketch_word, InvocationKey, TimedOp, View};
+use drv_consistency::{check_history, CheckerConfig, ConcurrentHistory};
+use drv_lang::{Invocation, ProcId, Response, Word};
+use drv_shmem::SharedArray;
+use drv_spec::SequentialSpec;
+
+/// Which consistency criterion the reconstructed history is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Linearizability (Definitions 2.4/2.6, language `LIN_O`).
+    Linearizable,
+    /// Sequential consistency (Definitions 2.3/2.5, language `SC_O`).
+    SequentiallyConsistent,
+}
+
+impl Criterion {
+    fn label(self) -> &'static str {
+        match self {
+            Criterion::Linearizable => "LIN",
+            Criterion::SequentiallyConsistent => "SC",
+        }
+    }
+
+    fn checker_config(self) -> CheckerConfig {
+        match self {
+            Criterion::Linearizable => CheckerConfig::linearizability(),
+            Criterion::SequentiallyConsistent => CheckerConfig::sequential_consistency(),
+        }
+    }
+}
+
+/// The per-process local algorithm of Figure 8.
+#[derive(Debug)]
+pub struct PredictiveMonitor<S> {
+    proc: ProcId,
+    n: usize,
+    spec: S,
+    criterion: Criterion,
+    max_states: usize,
+    published: SharedArray<Vec<TimedOp>>,
+    own_ops: Vec<TimedOp>,
+    next_seq: u64,
+    local_history: Option<Word>,
+}
+
+impl<S: SequentialSpec> PredictiveMonitor<S> {
+    /// Creates the local monitor of process `proc`.
+    #[must_use]
+    pub fn new(
+        proc: ProcId,
+        n: usize,
+        spec: S,
+        criterion: Criterion,
+        max_states: usize,
+        published: SharedArray<Vec<TimedOp>>,
+    ) -> Self {
+        PredictiveMonitor {
+            proc,
+            n,
+            spec,
+            criterion,
+            max_states,
+            published,
+            own_ops: Vec::new(),
+            next_seq: 0,
+            local_history: None,
+        }
+    }
+
+    /// The finite history `hᵢ` the process reconstructed in its latest
+    /// iteration, if any.
+    #[must_use]
+    pub fn local_history(&self) -> Option<&Word> {
+        self.local_history.as_ref()
+    }
+}
+
+impl<S: SequentialSpec> Monitor for PredictiveMonitor<S> {
+    fn name(&self) -> String {
+        format!(
+            "V_O ({} {}) at {}",
+            self.criterion.label(),
+            self.spec.name(),
+            self.proc
+        )
+    }
+
+    fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    fn before_send(&mut self, _invocation: &Invocation) {
+        // Figure 8, line 02: no communication is needed before sending.
+    }
+
+    fn after_receive(
+        &mut self,
+        invocation: &Invocation,
+        response: &Response,
+        view: Option<&View>,
+    ) {
+        // Figure 8, line 05: publish the triple, snapshot M, rebuild hᵢ.
+        let view = view
+            .cloned()
+            .expect("the Figure 8 monitor runs against the timed adversary Aτ");
+        let key = InvocationKey {
+            proc: self.proc,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.own_ops.push(TimedOp::complete(
+            key,
+            invocation.clone(),
+            response.clone(),
+            view,
+        ));
+        self.published.write(self.proc.index(), self.own_ops.clone());
+        let snapshot = self.published.snapshot();
+        let all_ops: Vec<TimedOp> = snapshot.into_iter().flatten().collect();
+        self.local_history = sketch_word(&all_ops).ok();
+    }
+
+    fn report(&mut self) -> Verdict {
+        // Figure 8, line 06: YES iff hᵢ is consistent with O.
+        let Some(history) = &self.local_history else {
+            return Verdict::No;
+        };
+        let concurrent = ConcurrentHistory::from_word(history, self.n);
+        let config = self.criterion.checker_config().with_max_states(self.max_states);
+        if check_history(&self.spec, &concurrent, &config).is_consistent() {
+            Verdict::Yes
+        } else {
+            Verdict::No
+        }
+    }
+}
+
+/// The distributed monitor of Figure 8, generic over the sequential object.
+#[derive(Debug, Clone)]
+pub struct PredictiveFamily<S> {
+    spec: S,
+    criterion: Criterion,
+    max_states: usize,
+}
+
+impl<S: SequentialSpec + Clone> PredictiveFamily<S> {
+    /// The linearizability monitor `V_O` for object `spec`.
+    #[must_use]
+    pub fn linearizable(spec: S) -> Self {
+        PredictiveFamily {
+            spec,
+            criterion: Criterion::Linearizable,
+            max_states: 200_000,
+        }
+    }
+
+    /// The sequential-consistency variant of `V_O`.
+    #[must_use]
+    pub fn sequentially_consistent(spec: S) -> Self {
+        PredictiveFamily {
+            spec,
+            criterion: Criterion::SequentiallyConsistent,
+            max_states: 200_000,
+        }
+    }
+
+    /// Bounds the state budget of the per-iteration consistency check.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// The criterion this family checks.
+    #[must_use]
+    pub fn criterion(&self) -> Criterion {
+        self.criterion
+    }
+}
+
+impl<S: SequentialSpec + Clone + 'static> MonitorFamily for PredictiveFamily<S> {
+    fn name(&self) -> String {
+        format!(
+            "Figure 8 (V_O, {} {}, predictive strong)",
+            self.criterion.label(),
+            self.spec.name()
+        )
+    }
+
+    fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
+        let published = SharedArray::new(n, Vec::new());
+        ProcId::all(n)
+            .map(|proc| {
+                Box::new(PredictiveMonitor::new(
+                    proc,
+                    n,
+                    self.spec.clone(),
+                    self.criterion,
+                    self.max_states,
+                    published.clone(),
+                )) as Box<dyn Monitor>
+            })
+            .collect()
+    }
+
+    fn requires_views(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decidability::{Decider, Notion};
+    use crate::runtime::{run, RunConfig, Schedule};
+    use drv_adversary::{AtomicObject, ReplicatedLedger, StaleReadRegister};
+    use drv_consistency::languages::{lin_led, lin_reg, sc_reg};
+    use drv_lang::{ObjectKind, SymbolSampler};
+    use drv_spec::{Ledger, Register};
+    use std::sync::Arc;
+
+    fn register_config(n: usize, iterations: usize, seed: u64) -> RunConfig {
+        RunConfig::new(n, iterations)
+            .timed()
+            .with_schedule(Schedule::Random { seed })
+            .with_sampler(SymbolSampler::new(ObjectKind::Register).with_mutator_ratio(0.5))
+            .with_sampler_seed(seed.wrapping_mul(7))
+    }
+
+    #[test]
+    fn atomic_register_runs_satisfy_psd() {
+        for seed in [2, 5, 8] {
+            let config = register_config(3, 25, seed);
+            let trace = run(
+                &config,
+                &PredictiveFamily::linearizable(Register::new()),
+                Box::new(AtomicObject::new(Register::new())),
+            );
+            assert!(trace.is_member(&lin_reg(3)), "atomic register is linearizable");
+            let decider = Decider::new(Arc::new(lin_reg(3)));
+            let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+            assert!(evaluation.holds, "seed {seed}: {evaluation}");
+        }
+    }
+
+    #[test]
+    fn stale_register_is_reported() {
+        let config = register_config(2, 30, 3);
+        let trace = run(
+            &config,
+            &PredictiveFamily::linearizable(Register::new()),
+            Box::new(StaleReadRegister::new(3, 2)),
+        );
+        let decider = Decider::new(Arc::new(lin_reg(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        assert!(evaluation.holds, "{evaluation}");
+        // The behaviour really is non-linearizable on this run, and the
+        // monitor catches it.
+        assert!(!trace.is_member(&lin_reg(2)));
+        assert!(trace.no_counts().iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn sequential_consistency_variant_accepts_sc_runs() {
+        let config = register_config(2, 25, 6);
+        let trace = run(
+            &config,
+            &PredictiveFamily::sequentially_consistent(Register::new()),
+            Box::new(AtomicObject::new(Register::new())),
+        );
+        assert!(trace.is_member(&sc_reg(2)));
+        let decider = Decider::new(Arc::new(sc_reg(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        assert!(evaluation.holds, "{evaluation}");
+    }
+
+    #[test]
+    fn ledger_monitor_rejects_eventually_consistent_ledger() {
+        // A replicated (eventually-consistent) ledger lags behind appends, so
+        // its histories are usually not linearizable; V_O must keep flagging
+        // it, and the verdict is legitimate because the input itself is not
+        // in LIN_LED.
+        let config = RunConfig::new(2, 25)
+            .timed()
+            .with_schedule(Schedule::Random { seed: 12 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Ledger).with_mutator_ratio(0.5))
+            .with_sampler_seed(99);
+        let trace = run(
+            &config,
+            &PredictiveFamily::linearizable(Ledger::new()),
+            Box::new(ReplicatedLedger::new(4)),
+        );
+        let decider = Decider::new(Arc::new(lin_led(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        assert!(evaluation.holds, "{evaluation}");
+    }
+
+    #[test]
+    fn ledger_monitor_accepts_atomic_ledger() {
+        let config = RunConfig::new(2, 20)
+            .timed()
+            .with_schedule(Schedule::Random { seed: 14 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Ledger).with_mutator_ratio(0.5))
+            .with_sampler_seed(7);
+        let trace = run(
+            &config,
+            &PredictiveFamily::linearizable(Ledger::new()),
+            Box::new(AtomicObject::new(Ledger::new())),
+        );
+        assert!(trace.is_member(&lin_led(2)));
+        let decider = Decider::new(Arc::new(lin_led(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        assert!(evaluation.holds, "{evaluation}");
+    }
+
+    #[test]
+    fn queue_and_stack_monitors_work_for_any_total_object() {
+        // Queues and stacks are the objects for which [17] proved the
+        // original strong-decidability impossibility; V_O is generic over any
+        // total sequential object, so the same monitor machinery covers them.
+        use drv_consistency::languages::{lin_queue, lin_stack};
+        use drv_spec::{Queue, Stack};
+
+        let queue_config = RunConfig::new(2, 18)
+            .timed()
+            .with_schedule(Schedule::Random { seed: 4 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Queue).with_mutator_ratio(0.5))
+            .with_sampler_seed(40);
+        let trace = run(
+            &queue_config,
+            &PredictiveFamily::linearizable(Queue::new()),
+            Box::new(AtomicObject::new(Queue::new())),
+        );
+        assert!(trace.is_member(&lin_queue(2)));
+        let decider = Decider::new(Arc::new(lin_queue(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        assert!(evaluation.holds, "{evaluation}");
+
+        let stack_config = RunConfig::new(2, 18)
+            .timed()
+            .with_schedule(Schedule::Random { seed: 6 })
+            .with_sampler(SymbolSampler::new(ObjectKind::Stack).with_mutator_ratio(0.5))
+            .with_sampler_seed(41);
+        let trace = run(
+            &stack_config,
+            &PredictiveFamily::linearizable(Stack::new()),
+            Box::new(AtomicObject::new(Stack::new())),
+        );
+        assert!(trace.is_member(&lin_stack(2)));
+        let decider = Decider::new(Arc::new(lin_stack(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        assert!(evaluation.holds, "{evaluation}");
+    }
+
+    #[test]
+    fn family_metadata_and_local_history() {
+        let family = PredictiveFamily::linearizable(Register::new()).with_max_states(1000);
+        assert!(family.requires_views());
+        assert_eq!(family.criterion(), Criterion::Linearizable);
+        assert!(family.name().contains("Figure 8"));
+        let sc = PredictiveFamily::sequentially_consistent(Register::new());
+        assert_eq!(sc.criterion(), Criterion::SequentiallyConsistent);
+        assert!(sc.name().contains("SC"));
+
+        let published = SharedArray::new(1, Vec::new());
+        let mut monitor = PredictiveMonitor::new(
+            ProcId(0),
+            1,
+            Register::new(),
+            Criterion::Linearizable,
+            10_000,
+            published,
+        );
+        assert!(monitor.local_history().is_none());
+        assert_eq!(monitor.report(), Verdict::No);
+        monitor.before_send(&Invocation::Write(1));
+        let mut view = drv_adversary::View::new();
+        view.insert(
+            InvocationKey {
+                proc: ProcId(0),
+                seq: 0,
+            },
+            Invocation::Write(1),
+        );
+        monitor.after_receive(&Invocation::Write(1), &Response::Ack, Some(&view));
+        assert!(monitor.local_history().is_some());
+        assert_eq!(monitor.report(), Verdict::Yes);
+        assert!(monitor.name().contains("LIN"));
+    }
+}

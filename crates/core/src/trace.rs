@@ -1,0 +1,279 @@
+//! Execution traces: everything one run of a distributed monitor produced.
+//!
+//! An [`ExecutionTrace`] records the input word x(E) (the subsequence of send
+//! and receive events), the verdict stream of every process, and — when the
+//! run interacted with the timed adversary Aτ — the per-operation views from
+//! which the sketch x∼(E) can be reconstructed.  The decidability evaluators
+//! of [`crate::decidability`] operate on traces.
+
+use crate::verdict::VerdictStream;
+use drv_adversary::{sketch_word, InvocationKey, SketchError, TimedOp};
+use drv_lang::{Language, RunVerdict, Word};
+
+/// Whether a run interacted with the plain adversary A or the timed
+/// adversary Aτ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AdversaryMode {
+    /// The plain adversary A of Sections 3–5.
+    #[default]
+    Plain,
+    /// The timed adversary Aτ of Section 6 (responses carry views).
+    Timed,
+}
+
+/// The complete record of one fair, failure-free execution of a distributed
+/// monitor.
+#[derive(Debug, Clone)]
+pub struct ExecutionTrace {
+    n: usize,
+    mode: AdversaryMode,
+    monitor_name: String,
+    behavior_name: String,
+    word: Word,
+    verdicts: Vec<VerdictStream>,
+    ops: Vec<TimedOp>,
+    events: Vec<(InvocationKey, bool)>,
+    mutator_cut: usize,
+}
+
+impl ExecutionTrace {
+    /// Assembles a trace.  Used by the runtimes; tests may build traces
+    /// directly to exercise the decidability evaluators in isolation.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        mode: AdversaryMode,
+        monitor_name: String,
+        behavior_name: String,
+        word: Word,
+        verdicts: Vec<VerdictStream>,
+        ops: Vec<TimedOp>,
+        events: Vec<(InvocationKey, bool)>,
+    ) -> Self {
+        let mutator_cut = Self::cut_after_last_mutator(&word);
+        ExecutionTrace {
+            n,
+            mode,
+            monitor_name,
+            behavior_name,
+            word,
+            verdicts,
+            ops,
+            events,
+            mutator_cut,
+        }
+    }
+
+    fn cut_after_last_mutator(word: &Word) -> usize {
+        word.symbols()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.invocation().is_some_and(drv_lang::Invocation::is_mutator))
+            .map(|(i, _)| i + 1)
+            .next_back()
+            .unwrap_or(0)
+    }
+
+    /// Number of monitor processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Which adversary the run interacted with.
+    #[must_use]
+    pub fn mode(&self) -> AdversaryMode {
+        self.mode
+    }
+
+    /// Name of the distributed monitor that produced the trace.
+    #[must_use]
+    pub fn monitor_name(&self) -> &str {
+        &self.monitor_name
+    }
+
+    /// Name of the behaviour the adversary exhibited.
+    #[must_use]
+    pub fn behavior_name(&self) -> &str {
+        &self.behavior_name
+    }
+
+    /// The input word x(E).
+    #[must_use]
+    pub fn word(&self) -> &Word {
+        &self.word
+    }
+
+    /// The recorded operations (with views when the run was timed).
+    #[must_use]
+    pub fn ops(&self) -> &[TimedOp] {
+        &self.ops
+    }
+
+    /// The global order of send (`true`) and receive (`false`) events.
+    #[must_use]
+    pub fn events(&self) -> &[(InvocationKey, bool)] {
+        &self.events
+    }
+
+    /// The verdict stream of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ≥ n`.
+    #[must_use]
+    pub fn verdicts(&self, p: usize) -> &VerdictStream {
+        &self.verdicts[p]
+    }
+
+    /// All verdict streams, indexed by process.
+    #[must_use]
+    pub fn all_verdicts(&self) -> &[VerdictStream] {
+        &self.verdicts
+    }
+
+    /// `NO(E, p)` for every process.
+    #[must_use]
+    pub fn no_counts(&self) -> Vec<usize> {
+        self.verdicts.iter().map(VerdictStream::no_count).collect()
+    }
+
+    /// The number of completed loop iterations of the slowest process.
+    #[must_use]
+    pub fn min_iterations(&self) -> usize {
+        self.verdicts
+            .iter()
+            .map(VerdictStream::len)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// The symbol index right after the last mutator invocation of x(E); used
+    /// as the cut `|α|` when evaluating eventual languages on the finite run.
+    #[must_use]
+    pub fn cut(&self) -> usize {
+        self.mutator_cut
+    }
+
+    /// Per-process report index from which the "tail" of the run starts,
+    /// given a fraction in `[0, 1]`; the finitary reading of "finitely many
+    /// NO" is "no NO from the tail onwards".
+    #[must_use]
+    pub fn tail_start(&self, fraction: f64) -> Vec<usize> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        self.verdicts
+            .iter()
+            .map(|s| ((s.len() as f64) * fraction).floor() as usize)
+            .collect()
+    }
+
+    /// Whether x(E) belongs to `language`, under the trace's cut.
+    #[must_use]
+    pub fn is_member(&self, language: &dyn Language) -> bool {
+        language.accepts_run(&self.word, self.mutator_cut)
+    }
+
+    /// Like [`ExecutionTrace::is_member`], with an explanation.
+    #[must_use]
+    pub fn judge(&self, language: &dyn Language) -> RunVerdict {
+        language.judge_run(&self.word, self.mutator_cut)
+    }
+
+    /// The sketch x∼(E) reconstructed from the views (Appendix B), when the
+    /// run was timed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the recorded views are inconsistent, which
+    /// indicates a bug in the runtime rather than in the monitored service.
+    pub fn sketch(&self) -> Result<Option<Word>, SketchError> {
+        match self.mode {
+            AdversaryMode::Plain => Ok(None),
+            AdversaryMode::Timed => sketch_word(&self.ops).map(Some),
+        }
+    }
+
+    /// Whether the sketch x∼(E) belongs to `language` (timed runs only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchError`] from the sketch construction.
+    pub fn sketch_is_member(&self, language: &dyn Language) -> Result<Option<bool>, SketchError> {
+        Ok(self
+            .sketch()?
+            .map(|sketch| language.accepts_run(&sketch, Self::cut_after_last_mutator(&sketch))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::Verdict;
+    use drv_consistency::languages::wec_count;
+    use drv_lang::{Invocation, ProcId, Response, WordBuilder};
+
+    fn make_trace(word: Word, verdicts: Vec<Vec<Verdict>>) -> ExecutionTrace {
+        ExecutionTrace::new(
+            verdicts.len(),
+            AdversaryMode::Plain,
+            "test monitor".to_string(),
+            "test behaviour".to_string(),
+            word,
+            verdicts
+                .into_iter()
+                .map(|vs| vs.into_iter().collect())
+                .collect(),
+            Vec::new(),
+            Vec::new(),
+        )
+    }
+
+    #[test]
+    fn cut_is_right_after_last_mutator() {
+        let word = WordBuilder::new()
+            .op(ProcId(0), Invocation::Inc, Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(1))
+            .op(ProcId(0), Invocation::Read, Response::Value(1))
+            .build();
+        let trace = make_trace(word, vec![vec![Verdict::Yes], vec![Verdict::Yes]]);
+        // The inc invocation is at position 0, so the cut is 1.
+        assert_eq!(trace.cut(), 1);
+        assert!(trace.is_member(&wec_count()));
+        assert!(trace.judge(&wec_count()).is_member());
+    }
+
+    #[test]
+    fn read_only_word_has_cut_zero() {
+        let word = WordBuilder::new()
+            .op(ProcId(0), Invocation::Read, Response::Value(0))
+            .build();
+        let trace = make_trace(word, vec![vec![Verdict::Yes]]);
+        assert_eq!(trace.cut(), 0);
+    }
+
+    #[test]
+    fn accessors_expose_run_data() {
+        let word = WordBuilder::new()
+            .op(ProcId(0), Invocation::Inc, Response::Ack)
+            .build();
+        let trace = make_trace(
+            word,
+            vec![vec![Verdict::Yes, Verdict::No], vec![Verdict::Yes]],
+        );
+        assert_eq!(trace.process_count(), 2);
+        assert_eq!(trace.mode(), AdversaryMode::Plain);
+        assert_eq!(trace.monitor_name(), "test monitor");
+        assert_eq!(trace.behavior_name(), "test behaviour");
+        assert_eq!(trace.word().len(), 2);
+        assert_eq!(trace.no_counts(), vec![1, 0]);
+        assert_eq!(trace.min_iterations(), 1);
+        assert_eq!(trace.verdicts(0).len(), 2);
+        assert_eq!(trace.all_verdicts().len(), 2);
+        assert!(trace.ops().is_empty());
+        assert!(trace.events().is_empty());
+        assert_eq!(trace.tail_start(0.5), vec![1, 0]);
+        assert_eq!(trace.sketch().unwrap(), None);
+        assert_eq!(trace.sketch_is_member(&wec_count()).unwrap(), None);
+    }
+}

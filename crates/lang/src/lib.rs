@@ -1,0 +1,62 @@
+//! # drv-lang
+//!
+//! Distributed alphabets, words, concurrent histories and distributed
+//! languages, following Section 2 of *"Asynchronous Fault-Tolerant Language
+//! Decidability for Runtime Verification of Distributed Systems"*
+//! (Castañeda & Rodríguez, PODC 2025).
+//!
+//! A *distributed alphabet* Σ is the union of `n ≥ 2` disjoint local alphabets
+//! Σ₁, …, Σₙ, each split into invocation symbols Σ<ᵢ and response symbols Σ>ᵢ.
+//! A *word* over Σ models a concurrent history where invocations to and
+//! responses from a distributed service are interleaved; a *distributed
+//! language* is a set of well-formed ω-words, i.e. a correctness property of
+//! the service under inspection.
+//!
+//! This crate provides:
+//!
+//! * [`ProcId`], [`Invocation`], [`Response`], [`Symbol`] — the concrete
+//!   distributed alphabet used by the paper's examples (registers, counters,
+//!   ledgers, plus queues and stacks mentioned in related work),
+//! * [`Word`] — finite words / prefixes of ω-words, with well-formedness
+//!   checking (Definition 2.1), local projections, and builders,
+//! * [`Operation`] and [`operations`] — matched invocation/response pairs with
+//!   the real-time precedence (`≺`) and concurrency (`‖`) relations,
+//! * [`shuffle`] — the shuffle operator of Definition 5.2,
+//! * [`Language`] — the distributed-language abstraction (Definition 2.2) with
+//!   a finitary, cut-based reading of eventual ("Büchi-style") properties,
+//! * [`oblivious`] — real-time obliviousness testing (Definition 5.3), the key
+//!   notion of the paper's characterization (Theorem 5.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use drv_lang::{ProcId, Invocation, Response, Word};
+//!
+//! // p1 writes 7, then p2 reads 7: a linearizable register history.
+//! let mut w = Word::new();
+//! w.invoke(ProcId(0), Invocation::Write(7));
+//! w.respond(ProcId(0), Response::Ack);
+//! w.invoke(ProcId(1), Invocation::Read);
+//! w.respond(ProcId(1), Response::Value(7));
+//! assert!(w.check_well_formed_prefix().is_ok());
+//! assert_eq!(w.operations().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alphabet;
+pub mod language;
+pub mod oblivious;
+pub mod operation;
+pub mod shuffle;
+pub mod symbol;
+pub mod word;
+
+pub use alphabet::{ObjectKind, SymbolSampler};
+pub use language::{Complement, Intersection, Language, RunVerdict, Union};
+pub use oblivious::{oblivious_counterexample, ObliviousReport, ObliviousnessTester};
+pub use operation::{operations, OpId, Operation, OperationSet, Ordering as OpOrdering};
+pub use shuffle::{enumerate_shuffles, is_interleaving_of, random_shuffle, Shuffle};
+pub use symbol::{Action, Invocation, ProcId, Record, Response, Symbol};
+pub use word::{LocalWord, WellFormedError, Word, WordBuilder};

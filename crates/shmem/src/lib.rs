@@ -1,0 +1,50 @@
+//! # drv-shmem
+//!
+//! Simulated wait-free shared-memory substrate for the distributed runtime
+//! verification monitors of `drv-core`, following the computation model of
+//! Section 3 of *"Asynchronous Fault-Tolerant Language Decidability for
+//! Runtime Verification of Distributed Systems"* (Castañeda & Rodríguez,
+//! PODC 2025).
+//!
+//! The paper assumes an asynchronous system of `n` crash-prone processes that
+//! communicate through atomic shared-memory operations: read/write registers
+//! and the (wait-free implementable) atomic *snapshot* operation.  This crate
+//! provides:
+//!
+//! * [`AtomicRegister`] and [`SharedArray`] — the atomic registers, snapshot
+//!   and (weaker) collect primitives used by all monitor algorithms,
+//! * [`stepper`] — a step-level execution harness that runs real process code
+//!   on OS threads while a deterministic scheduler decides, memory operation
+//!   by memory operation, which process moves next; it supports round-robin,
+//!   seeded-random and scripted schedules and crash injection (up to `n − 1`
+//!   crashes, as in the paper's model),
+//! * [`afek`] — the Afek et al. wait-free atomic snapshot construction from
+//!   single-writer registers (reference \[1\] of the paper), executed under
+//!   the step-level scheduler and checked against the atomic-snapshot
+//!   correctness conditions.
+//!
+//! The monitors in `drv-core` use [`SharedArray::snapshot`] directly (the
+//! paper's `Snapshot(·)`); [`afek`] exists to discharge the paper's "snapshot
+//! is wait-free implementable from registers" assumption by actually
+//! implementing and verifying it.
+//!
+//! ```
+//! use drv_shmem::SharedArray;
+//!
+//! let incs = SharedArray::new(3, 0u64);
+//! incs.write(1, 5);
+//! assert_eq!(incs.snapshot(), vec![0, 5, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod afek;
+pub mod registers;
+pub mod stepper;
+
+pub use afek::{AfekSnapshot, ScanRecord, SnapshotAudit, SnapshotViolation};
+pub use registers::{AtomicRegister, SharedArray};
+pub use stepper::{
+    CrashPlan, ProcCtx, SchedulePolicy, StepLog, StepOutcome, StepSim, StepSimReport,
+};

@@ -1,0 +1,249 @@
+//! Atomic registers, shared arrays, snapshots and collects.
+//!
+//! These are the shared-memory primitives the paper's monitor algorithms use
+//! (Section 3): atomic read/write registers, the atomic *snapshot* operation
+//! that reads a whole array in one atomic step (wait-free implementable from
+//! registers, Afek et al. \[1\]; see [`crate::afek`] for that construction),
+//! and the weaker *collect* that reads the entries one by one.
+//!
+//! The implementations here are the ones the monitors of `drv-core` use.  They
+//! are linearizable by construction (interior mutability guarded by
+//! `parking_lot` locks), both under the deterministic discrete-event runtime
+//! (where each monitor block executes atomically anyway) and under the
+//! real-thread runtime.
+
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+
+/// A single multi-writer multi-reader atomic register.
+///
+/// Cloning the handle shares the underlying register.
+#[derive(Debug, Default)]
+pub struct AtomicRegister<T> {
+    cell: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for AtomicRegister<T> {
+    fn clone(&self) -> Self {
+        AtomicRegister {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+}
+
+impl<T: Clone> AtomicRegister<T> {
+    /// Creates a register holding `initial`.
+    pub fn new(initial: T) -> Self {
+        AtomicRegister {
+            cell: Arc::new(Mutex::new(initial)),
+        }
+    }
+
+    /// Atomically reads the register.
+    pub fn read(&self) -> T {
+        self.cell.lock().clone()
+    }
+
+    /// Atomically writes the register.
+    pub fn write(&self, value: T) {
+        *self.cell.lock() = value;
+    }
+
+    /// Atomically applies `f` to the current value and stores the result,
+    /// returning the new value.  (A convenience not present in the paper's
+    /// model; the monitors only use plain reads and writes.)
+    pub fn update<F: FnOnce(&T) -> T>(&self, f: F) -> T {
+        let mut guard = self.cell.lock();
+        let next = f(&guard);
+        *guard = next.clone();
+        next
+    }
+}
+
+/// A shared array of `n` single-writer registers supporting atomic
+/// [`SharedArray::snapshot`] and non-atomic [`SharedArray::collect`].
+///
+/// Entry `i` is meant to be written only by process `pᵢ` (as in all the
+/// paper's algorithms), although this is not enforced.
+#[derive(Debug)]
+pub struct SharedArray<T> {
+    entries: Arc<RwLock<Vec<T>>>,
+}
+
+impl<T> Clone for SharedArray<T> {
+    fn clone(&self) -> Self {
+        SharedArray {
+            entries: Arc::clone(&self.entries),
+        }
+    }
+}
+
+impl<T: Clone> SharedArray<T> {
+    /// Creates an array of `n` entries, each holding `initial`.
+    pub fn new(n: usize, initial: T) -> Self {
+        SharedArray {
+            entries: Arc::new(RwLock::new(vec![initial; n])),
+        }
+    }
+
+    /// Creates an array from explicit initial entries.
+    pub fn from_entries(entries: Vec<T>) -> Self {
+        SharedArray {
+            entries: Arc::new(RwLock::new(entries)),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Returns `true` when the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Atomically writes entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn write(&self, i: usize, value: T) {
+        self.entries.write()[i] = value;
+    }
+
+    /// Atomically reads entry `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn read(&self, i: usize) -> T {
+        self.entries.read()[i].clone()
+    }
+
+    /// Atomically reads all entries (the `Snapshot(·)` operation of the
+    /// paper's algorithms).
+    pub fn snapshot(&self) -> Vec<T> {
+        self.entries.read().clone()
+    }
+
+    /// Reads the entries one by one, releasing the lock between reads (the
+    /// weaker `collect` operation: the result need not correspond to any
+    /// single point in time).
+    pub fn collect(&self) -> Vec<T> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.read(i));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn register_read_write() {
+        let r = AtomicRegister::new(0u64);
+        assert_eq!(r.read(), 0);
+        r.write(7);
+        assert_eq!(r.read(), 7);
+        assert_eq!(r.update(|v| v + 1), 8);
+        assert_eq!(r.read(), 8);
+    }
+
+    #[test]
+    fn register_handles_share_state() {
+        let r = AtomicRegister::new(String::from("a"));
+        let r2 = r.clone();
+        r.write("b".into());
+        assert_eq!(r2.read(), "b");
+    }
+
+    #[test]
+    fn shared_array_basicops() {
+        let a = SharedArray::new(3, 0u64);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        a.write(1, 5);
+        assert_eq!(a.read(1), 5);
+        assert_eq!(a.snapshot(), vec![0, 5, 0]);
+        assert_eq!(a.collect(), vec![0, 5, 0]);
+        let b = SharedArray::from_entries(vec![9u64]);
+        assert_eq!(b.snapshot(), vec![9]);
+    }
+
+    #[test]
+    fn shared_array_clone_shares_entries() {
+        let a = SharedArray::new(2, 0u64);
+        let b = a.clone();
+        a.write(0, 3);
+        assert_eq!(b.read(0), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_write_panics() {
+        SharedArray::new(1, 0u64).write(5, 1);
+    }
+
+    #[test]
+    fn snapshot_is_atomic_under_threads() {
+        // Writers keep the invariant entries[0] == entries[1]; concurrent
+        // snapshots must never observe the invariant broken, while collects
+        // might (we only require snapshots to be clean).
+        let a = SharedArray::new(2, 0u64);
+        let writer = {
+            let a = a.clone();
+            thread::spawn(move || {
+                for v in 1..=1000u64 {
+                    // Both entries updated under one atomic snapshot-write is
+                    // not available; emulate an atomic double-write by a single
+                    // write lock via two writes guarded by the invariant check
+                    // below being on snapshot only.
+                    a.write(0, v);
+                    a.write(1, v);
+                }
+            })
+        };
+        let reader = {
+            let a = a.clone();
+            thread::spawn(move || {
+                let mut violations = 0usize;
+                for _ in 0..1000 {
+                    let snap = a.snapshot();
+                    if snap[0] < snap[1] {
+                        violations += 1;
+                    }
+                }
+                violations
+            })
+        };
+        writer.join().unwrap();
+        // entries[0] is always written before entries[1], so a snapshot can
+        // only ever observe entries[0] >= entries[1].
+        assert_eq!(reader.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn concurrent_register_updates_are_not_lost() {
+        let r = AtomicRegister::new(0u64);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.update(|v| v + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.read(), 4000);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based integration tests: invariants that must hold for every
+//! seed, schedule and system size.
+
+use drv_abd::{run_abd, NetConfig, Workload};
+use drv_adversary::{precedence_preserved, AtomicObject, ReplicatedCounter};
+use drv_consistency::languages::{lin_reg, sec_count, wec_count};
+use drv_core::decidability::{Decider, Notion};
+use drv_core::monitors::{PredictiveFamily, SecCountFamily, WecCountFamily};
+use drv_core::runtime::{run, RunConfig, Schedule};
+use drv_lang::{Language, ObjectKind, SymbolSampler};
+use drv_spec::{Counter, Register};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every run of the deterministic runtime yields a well-formed prefix of
+    /// an ω-word, whatever the schedule seed, system size or object.
+    #[test]
+    fn runtime_words_are_always_well_formed(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        iterations in 1usize..30,
+        mutators in 0.0f64..1.0,
+    ) {
+        let config = RunConfig::new(n, iterations)
+            .with_schedule(Schedule::Random { seed })
+            .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(mutators))
+            .with_sampler_seed(seed ^ 0xABCD);
+        let trace = run(
+            &config,
+            &WecCountFamily::new(),
+            Box::new(AtomicObject::new(Counter::new())),
+        );
+        prop_assert!(trace.word().is_well_formed_prefix());
+        prop_assert_eq!(trace.word().len(), n * iterations * 2);
+        prop_assert_eq!(trace.min_iterations(), iterations);
+    }
+
+    /// Theorem 6.1(1) as a property: on every timed run, the sketch preserves
+    /// all real-time precedences of the input word.
+    #[test]
+    fn sketches_always_preserve_precedence(
+        seed in 0u64..10_000,
+        n in 2usize..5,
+        iterations in 1usize..20,
+    ) {
+        let config = RunConfig::new(n, iterations)
+            .timed()
+            .with_schedule(Schedule::Random { seed })
+            .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.5))
+            .with_sampler_seed(seed);
+        let trace = run(
+            &config,
+            &SecCountFamily::new(),
+            Box::new(AtomicObject::new(Counter::new())),
+        );
+        let sketch = trace.sketch().unwrap().expect("timed run");
+        prop_assert!(sketch.is_well_formed_prefix());
+        prop_assert!(precedence_preserved(trace.word(), &sketch));
+    }
+
+    /// Soundness of the counter monitors on correct services: runs against an
+    /// atomic or replicated counter always satisfy the corresponding
+    /// decidability notion.
+    #[test]
+    fn counter_monitors_are_sound_on_correct_services(
+        seed in 0u64..10_000,
+        replicated in proptest::bool::ANY,
+        delay in 1u64..5,
+    ) {
+        let iterations = 50;
+        let config = RunConfig::new(3, iterations)
+            .with_schedule(Schedule::Random { seed })
+            .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.4))
+            .with_sampler_seed(seed)
+            .stop_mutators_after(iterations / 2);
+        let behavior: Box<dyn drv_adversary::Behavior> = if replicated {
+            Box::new(ReplicatedCounter::new(delay))
+        } else {
+            Box::new(AtomicObject::new(Counter::new()))
+        };
+        let trace = run(&config, &WecCountFamily::new(), behavior);
+        prop_assert!(trace.is_member(&wec_count()));
+        let decider = Decider::new(Arc::new(wec_count()));
+        let evaluation = decider.evaluate(&trace, Notion::WeakAll).unwrap();
+        prop_assert!(evaluation.holds, "{}", evaluation);
+    }
+
+    /// Soundness of the Figure 9 monitor on correct services, against Aτ.
+    #[test]
+    fn sec_monitor_is_sound_on_correct_services(seed in 0u64..10_000) {
+        let iterations = 40;
+        let config = RunConfig::new(2, iterations)
+            .timed()
+            .with_schedule(Schedule::Random { seed })
+            .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.4))
+            .with_sampler_seed(seed)
+            .stop_mutators_after(iterations / 2);
+        let trace = run(
+            &config,
+            &SecCountFamily::new(),
+            Box::new(AtomicObject::new(Counter::new())),
+        );
+        prop_assert!(trace.is_member(&sec_count()));
+        let decider = Decider::new(Arc::new(sec_count()));
+        prop_assert!(decider.evaluate(&trace, Notion::PredictiveWeak).unwrap().holds);
+    }
+
+    /// The Figure 8 monitor never mis-flags an atomic register without
+    /// justification, for any schedule seed.
+    #[test]
+    fn figure8_monitor_is_psd_sound_on_atomic_registers(seed in 0u64..10_000) {
+        let config = RunConfig::new(2, 15)
+            .timed()
+            .with_schedule(Schedule::Random { seed })
+            .with_sampler(SymbolSampler::new(ObjectKind::Register).with_mutator_ratio(0.5))
+            .with_sampler_seed(seed);
+        let trace = run(
+            &config,
+            &PredictiveFamily::linearizable(Register::new()),
+            Box::new(AtomicObject::new(Register::new())),
+        );
+        prop_assert!(trace.is_member(&lin_reg(2)));
+        let decider = Decider::new(Arc::new(lin_reg(2)));
+        let evaluation = decider.evaluate(&trace, Notion::PredictiveStrong).unwrap();
+        prop_assert!(evaluation.holds, "{}", evaluation);
+    }
+
+    /// The ABD emulation produces linearizable histories for every seed and
+    /// cluster size — the invariant the message-passing port rests on.
+    #[test]
+    fn abd_emulation_is_always_linearizable(seed in 0u64..10_000, n in 3usize..6) {
+        let abd_run = run_abd(NetConfig::new(n, seed), &Workload::mixed(n, 2));
+        prop_assert!(abd_run.history.is_well_formed_prefix());
+        prop_assert!(lin_reg(n).accepts_prefix(&abd_run.history));
+    }
+}
