@@ -403,6 +403,7 @@ pub fn run_abd(config: NetConfig, workload: &Workload) -> AbdRun {
             }
         }
         let stepped = sim.step();
+        #[allow(clippy::needless_range_loop)] // `node` indexes the sim and two trackers
         for node in 0..n {
             let done = sim.node(node).completed.len();
             for op in &sim.node(node).completed[completed_seen[node]..done] {
@@ -434,7 +435,6 @@ mod tests {
     use super::*;
     use drv_consistency::{check_linearizable, is_linearizable};
     use drv_spec::Register;
-    use proptest::prelude::*;
 
     #[test]
     fn timestamps_order_lexicographically() {
@@ -537,15 +537,22 @@ mod tests {
         node.issue(Invocation::Read, 0, &mut outbox);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        #[test]
-        fn abd_histories_are_always_linearizable(seed in 0u64..5_000, n in 3usize..6, rounds in 1usize..3) {
+    #[test]
+    fn abd_histories_are_always_linearizable() {
+        // Deterministic property sweep (replaces the earlier proptest case
+        // generator): parameters derived from a seeded generator.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xABD0);
+        for case in 0..12 {
+            let seed = rng.gen_range(0..5_000u64);
+            let n = rng.gen_range(3..6usize);
+            let rounds = rng.gen_range(1..3usize);
             let run = run_abd(NetConfig::new(n, seed), &Workload::mixed(n, rounds));
-            prop_assert!(run.history.is_well_formed_prefix());
+            let ctx = format!("case {case}: seed={seed} n={n} rounds={rounds}");
+            assert!(run.history.is_well_formed_prefix(), "{ctx}");
             let result = check_linearizable(&Register::new(), &run.history, n);
-            prop_assert!(result.is_consistent());
+            assert!(result.is_consistent(), "{ctx}");
         }
     }
 }

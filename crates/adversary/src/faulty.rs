@@ -76,7 +76,7 @@ impl Behavior for StaleReadRegister {
             Invocation::Read => {
                 self.reads_served += 1;
                 let current = *self.history.last().expect("history is never empty");
-                if self.reads_served % self.stale_every == 0 && self.history.len() > self.lag {
+                if self.reads_served.is_multiple_of(self.stale_every) && self.history.len() > self.lag {
                     Response::Value(self.history[self.history.len() - 1 - self.lag])
                 } else {
                     Response::Value(current)
@@ -122,7 +122,7 @@ impl Behavior for LossyCounter {
         match self.pending.remove(&proc).expect("pending invocation") {
             Invocation::Inc => {
                 self.incs_seen += 1;
-                if self.incs_seen % self.drop_every != 0 {
+                if !self.incs_seen.is_multiple_of(self.drop_every) {
                     self.count += 1;
                 }
                 Response::Ack
@@ -177,7 +177,7 @@ impl Behavior for NonMonotoneCounter {
             Invocation::Read => {
                 self.reads_served += 1;
                 let previous = self.last_read.get(&proc).copied().unwrap_or(0);
-                let value = if self.reads_served % self.dip_every == 0 && previous > 0 {
+                let value = if self.reads_served.is_multiple_of(self.dip_every) && previous > 0 {
                     previous - 1
                 } else {
                     self.count.max(previous)

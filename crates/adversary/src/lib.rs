@@ -48,6 +48,7 @@ pub use faulty::{
 };
 pub use scripted::{event_script, ScriptedBehavior};
 pub use sketch::{
-    input_word, locals_preserved, precedence_preserved, sketch_word, SketchError, TimedOp,
+    input_word, locals_preserved, precedence_preserved, sketch_word, sketch_word_from,
+    IncrementalSketch, SketchError, TimedOp,
 };
 pub use timed::{InvocationKey, TimedAdversary, TimedResponse, View};

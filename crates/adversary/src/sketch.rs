@@ -94,6 +94,14 @@ pub enum SketchError {
         /// Key of the offending operation.
         key: InvocationKey,
     },
+    /// An operation was pushed into an [`IncrementalSketch`] after an
+    /// operation with a strictly larger view — the sketch word can no longer
+    /// be extended in place.  Recoverable: rebuild with
+    /// [`IncrementalSketch::from_ops`], which sorts by view containment.
+    OutOfOrder {
+        /// Key of the late operation.
+        key: InvocationKey,
+    },
 }
 
 impl fmt::Display for SketchError {
@@ -104,6 +112,9 @@ impl fmt::Display for SketchError {
             }
             SketchError::ViewMissingOwnInvocation { key } => {
                 write!(f, "the view of operation {key} does not contain its own invocation")
+            }
+            SketchError::OutOfOrder { key } => {
+                write!(f, "operation {key} arrived after an operation with a larger view")
             }
         }
     }
@@ -122,7 +133,23 @@ impl std::error::Error for SketchError {}
 /// Returns a [`SketchError`] when the views are inconsistent (not produced by
 /// a single Aτ execution).
 pub fn sketch_word(ops: &[TimedOp]) -> Result<Word, SketchError> {
-    let completed: Vec<&TimedOp> = ops.iter().filter(|op| op.is_complete()).collect();
+    sketch_word_from(ops)
+}
+
+/// Iterator variant of [`sketch_word`]: reconstructs the sketch from
+/// borrowed operations, so callers that keep per-process logs (the Figure 8
+/// monitor's delta-maintained mirror) need not clone them into one
+/// contiguous buffer first.
+///
+/// # Errors
+///
+/// Returns a [`SketchError`] when the views are inconsistent (not produced by
+/// a single Aτ execution).
+pub fn sketch_word_from<'a, I>(ops: I) -> Result<Word, SketchError>
+where
+    I: IntoIterator<Item = &'a TimedOp>,
+{
+    let completed: Vec<&TimedOp> = ops.into_iter().filter(|op| op.is_complete()).collect();
 
     // Validate the views: each contains its own invocation, and all are
     // pairwise comparable.
@@ -150,7 +177,7 @@ pub fn sketch_word(ops: &[TimedOp]) -> Result<Word, SketchError> {
     let mut distinct: Vec<&View> = Vec::new();
     for op in &completed {
         let view = op.view.as_ref().expect("completed op has a view");
-        if !distinct.iter().any(|v| *v == view) {
+        if !distinct.contains(&view) {
             distinct.push(view);
         }
     }
@@ -177,6 +204,129 @@ pub fn sketch_word(ops: &[TimedOp]) -> Result<Word, SketchError> {
         }
     }
     Ok(word)
+}
+
+/// An incrementally maintained sketch x∼(E).
+///
+/// [`sketch_word`] re-validates every pair of views and rebuilds the word on
+/// every call — Θ(ops² · view) per call, Θ(ops³ · view) over a monitoring
+/// run.  This structure exploits the fact that Aτ's views grow monotonically
+/// along the execution: operations are pushed *in completion order* (their
+/// views then form an ascending containment chain), each push validates the
+/// new operation against the chain's maximum only, appends the invocations
+/// that are new in its view and then its response — O(view) per operation,
+/// and the word only ever grows, which is exactly what the incremental
+/// consistency checker wants to see.
+///
+/// The word differs from [`sketch_word`]'s only in the order of responses
+/// that carry the *same* view.  Such operations overlap (all their
+/// invocations are emitted before either response), so swapping their
+/// responses changes no real-time precedence and no operation content: the
+/// two words describe the same concurrent history, and every consistency
+/// verdict over them is the same.
+///
+/// A push that arrives out of containment order (possible when publishing
+/// races delivery across threads) is rejected with
+/// [`SketchError::OutOfOrder`]; callers recover by rebuilding once via
+/// [`IncrementalSketch::from_ops`], which sorts by view containment first.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalSketch {
+    word: Word,
+    emitted: BTreeSet<InvocationKey>,
+    /// The chain maximum: the view of the last pushed operation, plus its
+    /// key for error reporting.
+    max_view: Option<(View, InvocationKey)>,
+}
+
+impl IncrementalSketch {
+    /// An empty sketch.
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalSketch::default()
+    }
+
+    /// The sketch word built so far.
+    #[must_use]
+    pub fn word(&self) -> &Word {
+        &self.word
+    }
+
+    /// Number of responses in the sketch (= completed operations pushed).
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.word.response_count()
+    }
+
+    /// Pushes the next completed operation (pending operations are ignored:
+    /// they enter the sketch only through the views of completed ones).
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::ViewMissingOwnInvocation`] /
+    /// [`SketchError::IncomparableViews`] mean the records cannot come from
+    /// one Aτ execution; [`SketchError::OutOfOrder`] means this operation
+    /// completed before an already-pushed one — rebuild via
+    /// [`IncrementalSketch::from_ops`].  The sketch is unchanged on error.
+    pub fn push_op(&mut self, op: &TimedOp) -> Result<(), SketchError> {
+        let Some(view) = op.view.as_ref() else {
+            return Ok(());
+        };
+        if !view.contains(&op.key) {
+            return Err(SketchError::ViewMissingOwnInvocation { key: op.key });
+        }
+        if let Some((max_view, max_key)) = &self.max_view {
+            if !max_view.comparable(view) {
+                return Err(SketchError::IncomparableViews {
+                    first: *max_key,
+                    second: op.key,
+                });
+            }
+            if view.len() < max_view.len() {
+                return Err(SketchError::OutOfOrder { key: op.key });
+            }
+        }
+        for (key, invocation) in view.iter() {
+            if self.emitted.insert(*key) {
+                self.word.invoke(key.proc, invocation.clone());
+            }
+        }
+        self.word.respond(
+            op.proc(),
+            op.response.clone().expect("op with a view has a response"),
+        );
+        let grew = self
+            .max_view
+            .as_ref()
+            .is_none_or(|(max_view, _)| view.len() > max_view.len());
+        if grew {
+            self.max_view = Some((view.clone(), op.key));
+        }
+        Ok(())
+    }
+
+    /// Builds a sketch from operations in arbitrary order by sorting them
+    /// into a containment chain first (the rebuild path after
+    /// [`SketchError::OutOfOrder`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SketchError`] when the views are inconsistent, exactly
+    /// like [`sketch_word`].
+    pub fn from_ops<'a, I>(ops: I) -> Result<Self, SketchError>
+    where
+        I: IntoIterator<Item = &'a TimedOp>,
+    {
+        let mut completed: Vec<&TimedOp> = ops
+            .into_iter()
+            .filter(|op| op.is_complete())
+            .collect();
+        completed.sort_by_key(|op| op.view.as_ref().map_or(0, View::len));
+        let mut sketch = IncrementalSketch::new();
+        for op in completed {
+            sketch.push_op(op)?;
+        }
+        Ok(sketch)
+    }
 }
 
 /// Builds the *input word* x(E) corresponding to the recorded operations,
@@ -318,6 +468,83 @@ mod tests {
             TimedOp::complete(c, Invocation::Read, Response::Value(2), view2),
             TimedOp::complete(d, Invocation::Read, Response::Value(2), view3),
         ]
+    }
+
+    #[test]
+    fn incremental_sketch_matches_batch_construction() {
+        // Pushing the Figure 7 operations in completion order yields exactly
+        // the word sketch_word builds (the ops are listed in view order).
+        let ops = figure7_ops();
+        let batch = sketch_word(&ops).expect("views are consistent");
+        let mut sketch = IncrementalSketch::new();
+        let mut prior_len = 0;
+        for op in &ops {
+            sketch.push_op(op).expect("in-order pushes extend the sketch");
+            // Every push strictly extends the word: the engine downstream
+            // relies on never seeing a rewrite.
+            assert!(sketch.word().len() > prior_len);
+            assert!(batch.has_prefix(sketch.word()));
+            prior_len = sketch.word().len();
+        }
+        assert_eq!(sketch.word().symbols(), batch.symbols());
+        assert_eq!(sketch.completed(), 4);
+    }
+
+    #[test]
+    fn incremental_sketch_rejects_out_of_order_and_rebuilds() {
+        let ops = figure7_ops();
+        let mut sketch = IncrementalSketch::new();
+        // Push the largest view first: the earlier operations then arrive
+        // out of containment order.
+        sketch.push_op(&ops[3]).unwrap();
+        assert!(matches!(
+            sketch.push_op(&ops[0]),
+            Err(SketchError::OutOfOrder { .. })
+        ));
+        // The recovery path sorts by containment and reproduces the batch
+        // construction's operation structure.
+        let rebuilt = IncrementalSketch::from_ops(ops.iter()).expect("views are consistent");
+        assert_eq!(
+            rebuilt.word().symbols(),
+            sketch_word(&ops).unwrap().symbols()
+        );
+    }
+
+    #[test]
+    fn incremental_sketch_same_view_order_is_semantically_equivalent() {
+        // Two operations carrying the same view: pushing them in either
+        // order produces different words but the same concurrent history
+        // (same operations, same precedence relation).
+        let ops = figure7_ops();
+        let mut forward = IncrementalSketch::new();
+        forward.push_op(&ops[0]).unwrap();
+        forward.push_op(&ops[1]).unwrap();
+        let mut backward = IncrementalSketch::new();
+        backward.push_op(&ops[1]).unwrap();
+        backward.push_op(&ops[0]).unwrap();
+        let f = forward.word().operation_set();
+        let b = backward.word().operation_set();
+        assert_eq!(f.len(), b.len());
+        let find = |set: &drv_lang::OperationSet, proc: usize| {
+            set.iter()
+                .find(|op| op.proc == ProcId(proc))
+                .unwrap()
+                .clone()
+        };
+        assert!(find(&f, 0).concurrent_with(&find(&f, 1)));
+        assert!(find(&b, 0).concurrent_with(&find(&b, 1)));
+    }
+
+    #[test]
+    fn incremental_sketch_propagates_view_validation() {
+        let a = key(0, 0);
+        let mut empty_view = View::new();
+        empty_view.insert(key(1, 7), Invocation::Read);
+        let op = TimedOp::complete(a, Invocation::Write(1), Response::Ack, empty_view);
+        assert!(matches!(
+            IncrementalSketch::new().push_op(&op),
+            Err(SketchError::ViewMissingOwnInvocation { .. })
+        ));
     }
 
     #[test]

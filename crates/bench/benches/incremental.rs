@@ -1,0 +1,250 @@
+//! Incremental vs from-scratch checking on the Figure 8 monitor path.
+//!
+//! Reproduces the monitor's per-iteration work in isolation: after every
+//! completed operation of a growing register history the verdict is
+//! re-computed, either from scratch (`ConcurrentHistory` + `check_history`,
+//! exactly what `CheckStrategy::FromScratch` does per iteration) or through a
+//! long-lived `IncrementalChecker` (`CheckStrategy::Incremental`).  The two
+//! paths are verified to agree verdict for verdict while being timed.
+//!
+//! Besides the per-size report lines, the bench writes the machine-readable
+//! baseline `BENCH_checker.json` at the workspace root so future PRs can
+//! track the perf trajectory:
+//!
+//! ```text
+//! cargo bench -p drv-bench --bench incremental
+//! ```
+
+use drv_consistency::{
+    check_history, CheckerConfig, ConcurrentHistory, IncrementalChecker,
+};
+use drv_lang::{Action, Invocation, ProcId, Response, Word};
+use drv_spec::Register;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Number of monitor processes in the generated histories (the Table 1
+/// object-cell default).
+const PROCESSES: usize = 3;
+/// The monitor's per-check node budget.
+const MAX_STATES: usize = 200_000;
+/// History sizes, in completed operations ≈ monitor loop iterations.
+const SIZES: [usize; 4] = [25, 50, 100, 200];
+/// Timed repetitions per measurement (minimum is reported).
+const REPS: usize = 3;
+
+/// A linearizable register history: most operations complete immediately,
+/// some overlap in pairs; responses are drawn from an atomic register whose
+/// writes take effect at the response, so the history is a member of
+/// `LIN_REG` (and hence `SC_REG`) by construction.
+fn register_history(n: usize, ops: usize, seed: u64) -> Word {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut word = Word::new();
+    let mut value = 0u64;
+    let mut next_write = 1u64;
+    let mut emitted = 0usize;
+    let mut respond = |word: &mut Word, proc: usize, invocation: &Invocation| match invocation {
+        Invocation::Write(v) => {
+            value = *v;
+            word.respond(ProcId(proc), Response::Ack);
+        }
+        _ => word.respond(ProcId(proc), Response::Value(value)),
+    };
+    while emitted < ops {
+        let invocation = |rng: &mut StdRng, next_write: &mut u64| {
+            if rng.gen_bool(0.5) {
+                let v = *next_write;
+                *next_write += 1;
+                Invocation::Write(v)
+            } else {
+                Invocation::Read
+            }
+        };
+        if ops - emitted >= 2 && rng.gen_bool(0.25) {
+            // Two overlapping operations on distinct processes, responded in
+            // random order: real concurrency for the search to resolve.
+            let p = rng.gen_range(0..n);
+            let q = (p + 1 + rng.gen_range(0..n - 1)) % n;
+            let inv_p = invocation(&mut rng, &mut next_write);
+            let inv_q = invocation(&mut rng, &mut next_write);
+            word.invoke(ProcId(p), inv_p.clone());
+            word.invoke(ProcId(q), inv_q.clone());
+            if rng.gen_bool(0.5) {
+                respond(&mut word, p, &inv_p);
+                respond(&mut word, q, &inv_q);
+            } else {
+                respond(&mut word, q, &inv_q);
+                respond(&mut word, p, &inv_p);
+            }
+            emitted += 2;
+        } else {
+            let p = rng.gen_range(0..n);
+            let inv = invocation(&mut rng, &mut next_write);
+            word.invoke(ProcId(p), inv.clone());
+            respond(&mut word, p, &inv);
+            emitted += 1;
+        }
+    }
+    word
+}
+
+/// The from-scratch monitor path: after every response symbol, rebuild the
+/// operation view and re-run the Wing–Gong search from the root.
+fn scratch_path(word: &Word, config: &CheckerConfig) -> (Duration, Vec<bool>) {
+    let spec = Register::new();
+    let mut prefix = Word::new();
+    let mut verdicts = Vec::new();
+    let start = Instant::now();
+    for symbol in word.symbols() {
+        prefix.push(symbol.clone());
+        if matches!(symbol.action, Action::Respond(_)) {
+            let history = ConcurrentHistory::from_word(&prefix, PROCESSES);
+            verdicts.push(check_history(&spec, &history, config).is_consistent());
+        }
+    }
+    (start.elapsed(), verdicts)
+}
+
+/// The incremental monitor path: one long-lived engine fed symbol by symbol.
+fn incremental_path(word: &Word, config: &CheckerConfig) -> (Duration, Vec<bool>) {
+    let mut checker = IncrementalChecker::new(Register::new(), *config, PROCESSES);
+    let mut verdicts = Vec::new();
+    let start = Instant::now();
+    for symbol in word.symbols() {
+        checker.push_symbol(symbol);
+        if matches!(symbol.action, Action::Respond(_)) {
+            verdicts.push(checker.check().is_consistent());
+        }
+    }
+    (start.elapsed(), verdicts)
+}
+
+fn best_of<F: FnMut() -> (Duration, Vec<bool>)>(mut f: F) -> (Duration, Vec<bool>) {
+    let mut best: Option<(Duration, Vec<bool>)> = None;
+    for _ in 0..REPS {
+        let run = f();
+        if best.as_ref().is_none_or(|(d, _)| run.0 < *d) {
+            best = Some(run);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+struct Row {
+    size: usize,
+    scratch: Duration,
+    incremental: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scratch.as_secs_f64() / self.incremental.as_secs_f64().max(1e-12)
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn measure_criterion(label: &str, config: &CheckerConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (index, &size) in SIZES.iter().enumerate() {
+        let word = register_history(PROCESSES, size, 0xC0FFEE + index as u64);
+        let (scratch, scratch_verdicts) = best_of(|| scratch_path(&word, config));
+        let (incremental, incremental_verdicts) = best_of(|| incremental_path(&word, config));
+        assert_eq!(
+            scratch_verdicts, incremental_verdicts,
+            "{label}/{size}: the two paths disagree"
+        );
+        println!(
+            "checker/{label}/scratch/{size:<4}      time: [min {}]",
+            format_duration(scratch)
+        );
+        println!(
+            "checker/{label}/incremental/{size:<4}  time: [min {}]",
+            format_duration(incremental)
+        );
+        rows.push(Row {
+            size,
+            scratch,
+            incremental,
+        });
+    }
+    rows
+}
+
+fn json_section(label: &str, rows: &[Row]) -> String {
+    let sizes: Vec<String> = rows.iter().map(|r| r.size.to_string()).collect();
+    let scratch: Vec<String> = rows.iter().map(|r| r.scratch.as_nanos().to_string()).collect();
+    let incremental: Vec<String> = rows
+        .iter()
+        .map(|r| r.incremental.as_nanos().to_string())
+        .collect();
+    let at_max = rows.last().expect("at least one size");
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"sizes\": [{}],\n",
+            "      \"scratch_ns\": [{}],\n",
+            "      \"incremental_ns\": [{}],\n",
+            "      \"speedup_at_{}\": {:.2}\n",
+            "    }}"
+        ),
+        label,
+        sizes.join(", "),
+        scratch.join(", "),
+        incremental.join(", "),
+        at_max.size,
+        at_max.speedup(),
+    )
+}
+
+fn main() {
+    let lin = CheckerConfig::linearizability().with_max_states(MAX_STATES);
+    let sc = CheckerConfig::sequential_consistency().with_max_states(MAX_STATES);
+    let lin_rows = measure_criterion("lin", &lin);
+    let sc_rows = measure_criterion("sc", &sc);
+
+    for (label, rows) in [("lin", &lin_rows), ("sc", &sc_rows)] {
+        let at_max = rows.last().expect("at least one size");
+        println!(
+            "checker/{label}: {:.1}x speedup at {} iterations",
+            at_max.speedup(),
+            at_max.size
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"incremental checker vs from-scratch (Figure 8 monitor path)\",\n",
+            "  \"regenerate\": \"cargo bench -p drv-bench --bench incremental\",\n",
+            "  \"object\": \"register\",\n",
+            "  \"processes\": {},\n",
+            "  \"max_states\": {},\n",
+            "  \"unit\": \"total nanoseconds for one run of <size> monitor iterations\",\n",
+            "  \"criteria\": {{\n",
+            "{},\n",
+            "{}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        PROCESSES,
+        MAX_STATES,
+        json_section("linearizability", &lin_rows),
+        json_section("sequential_consistency", &sc_rows),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checker.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}

@@ -1,19 +1,68 @@
 //! Regenerates Table 1 of the paper and prints a per-cell account.
 //!
 //! ```text
-//! cargo run -p drv-bench --bin table1 --release          # full configuration
-//! cargo run -p drv-bench --bin table1 --release -- quick # reduced configuration
+//! cargo run -p drv-bench --bin table1 --release           # full configuration
+//! cargo run -p drv-bench --bin table1 --release -- quick  # reduced configuration
+//! cargo run -p drv-bench --bin table1 --release -- --fast # time the object
+//!                                                         # cells, scratch vs
+//!                                                         # incremental
 //! ```
+//!
+//! `--fast` runs only the four expensive object cells (the rows whose
+//! Figure 8 monitors re-check consistency every iteration), once through the
+//! historical from-scratch checking path and once through the incremental
+//! engine, and prints the per-cell wall-clock of both so the speedup is
+//! observable directly from the CLI.
 
-use drv_bench::{reproduce_table1, Table1Config};
+use drv_bench::{reproduce_table1, time_object_cells, Table1Config};
 
 fn main() {
-    let quick = std::env::args().any(|arg| arg == "quick");
-    let config = if quick {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|arg| arg == "quick");
+    let fast = args.iter().any(|arg| arg == "--fast");
+    let mut config = if quick {
         Table1Config::quick()
     } else {
         Table1Config::default()
     };
+
+    if fast {
+        // The object cells only get expensive as the histories grow (the
+        // table's default of 24 iterations keeps the full reproduction
+        // fast); `--fast` exists to show the checker speedup, so default to
+        // a history length where checking dominates.  An optional trailing
+        // number overrides it: `table1 -- --fast 200`.
+        config.object_iterations = args
+            .iter()
+            .find_map(|arg| arg.parse::<usize>().ok())
+            .unwrap_or(100);
+        eprintln!(
+            "timing the object cells ({} seeds, {} object iterations), scratch vs incremental…",
+            config.seeds.len(),
+            config.object_iterations
+        );
+        let timings = time_object_cells(&config);
+        println!(
+            "{:<10} {:>14} {:>14} {:>9}  PSD",
+            "cell", "from-scratch", "incremental", "speedup"
+        );
+        for timing in &timings {
+            println!(
+                "{:<10} {:>11.2} ms {:>11.2} ms {:>8.1}x  {}",
+                timing.cell,
+                timing.scratch.as_secs_f64() * 1e3,
+                timing.incremental.as_secs_f64() * 1e3,
+                timing.speedup(),
+                if timing.holds { "✓" } else { "✗" },
+            );
+        }
+        if timings.iter().any(|t| !t.holds) {
+            println!("\nRESULT: a cell no longer satisfies predictive strong decidability!");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     eprintln!(
         "reproducing Table 1 ({} seeds, {} counter iterations, {} object iterations)…",
         config.seeds.len(),

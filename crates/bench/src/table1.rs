@@ -580,6 +580,143 @@ pub fn reproduce_table1(config: &Table1Config) -> Table1Report {
     Table1Report { cells }
 }
 
+/// Wall-clock of one Table 1 object cell under both checking strategies.
+///
+/// Produced by [`time_object_cells`]; `holds` is the PSD evaluation under
+/// the incremental path (it must match the from-scratch one — the engine is
+/// a pure speedup).
+#[derive(Debug, Clone)]
+pub struct ObjectCellTiming {
+    /// Cell label, e.g. `"LIN_REG"`.
+    pub cell: String,
+    /// Total wall-clock of the cell's runs under
+    /// [`CheckStrategy::FromScratch`].
+    pub scratch: std::time::Duration,
+    /// Total wall-clock of the same runs under
+    /// [`CheckStrategy::Incremental`].
+    pub incremental: std::time::Duration,
+    /// Whether predictive strong decidability held on every run (it must,
+    /// under either strategy).
+    pub holds: bool,
+}
+
+impl ObjectCellTiming {
+    /// `scratch / incremental`.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.scratch.as_secs_f64() / self.incremental.as_secs_f64().max(1e-12)
+    }
+}
+
+fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
+    cell: &str,
+    language: &Arc<dyn Language>,
+    family: &PredictiveFamily<S>,
+    configs: &[RunConfig],
+    behaviors: &dyn Fn() -> Vec<BehaviorFactory>,
+    tail_fraction: f64,
+) -> ObjectCellTiming {
+    use drv_core::monitors::CheckStrategy;
+    use std::time::Instant;
+
+    let decider = Decider::new(Arc::clone(language)).with_tail_fraction(tail_fraction);
+    let mut timings = [std::time::Duration::ZERO; 2];
+    let mut holds = true;
+    for (slot, strategy) in [
+        (0, CheckStrategy::FromScratch),
+        (1, CheckStrategy::Incremental),
+    ] {
+        let mut traces = Vec::new();
+        // Only the monitored runs are on the clock; the PSD evaluation is a
+        // post-hoc analysis the monitors never perform.
+        let start = Instant::now();
+        for run_config in configs {
+            for make_behavior in behaviors() {
+                traces.push(run(
+                    run_config,
+                    &family.clone().with_strategy(strategy),
+                    make_behavior(),
+                ));
+            }
+        }
+        timings[slot] = start.elapsed();
+        if strategy == CheckStrategy::Incremental {
+            for trace in &traces {
+                holds &= decider
+                    .evaluate(trace, Notion::PredictiveStrong)
+                    .map(|evaluation| evaluation.holds)
+                    .unwrap_or(false);
+            }
+        }
+    }
+    ObjectCellTiming {
+        cell: cell.to_string(),
+        scratch: timings[0],
+        incremental: timings[1],
+        holds,
+    }
+}
+
+/// Times the expensive Table 1 cells — the four register/ledger rows whose
+/// monitors run a consistency check every iteration — under the from-scratch
+/// and the incremental checking strategy (`table1 --fast` prints the result).
+#[must_use]
+pub fn time_object_cells(config: &Table1Config) -> Vec<ObjectCellTiming> {
+    let n_obj = config.object_processes;
+    let reg_configs = object_configs(config, ObjectKind::Register, n_obj);
+    let led_configs = object_configs(config, ObjectKind::Ledger, 2);
+
+    let register_behaviors = || -> Vec<BehaviorFactory> {
+        vec![
+            Box::new(|| Box::new(AtomicObject::new(Register::new())) as Box<dyn Behavior>),
+            Box::new(|| Box::new(StaleReadRegister::new(3, 2)) as Box<dyn Behavior>),
+        ]
+    };
+    let ledger_behaviors = || -> Vec<BehaviorFactory> {
+        vec![
+            Box::new(|| Box::new(AtomicObject::new(Ledger::new())) as Box<dyn Behavior>),
+            Box::new(|| Box::new(ReplicatedLedger::new(3)) as Box<dyn Behavior>),
+            Box::new(|| Box::new(ForkingLedger::new()) as Box<dyn Behavior>),
+        ]
+    };
+
+    let tail = config.tail_fraction;
+    vec![
+        time_one_cell(
+            "LIN_REG",
+            &(Arc::new(lin_reg(n_obj)) as Arc<dyn Language>),
+            &PredictiveFamily::linearizable(Register::new()),
+            &reg_configs,
+            &register_behaviors,
+            tail,
+        ),
+        time_one_cell(
+            "SC_REG",
+            &(Arc::new(sc_reg(n_obj)) as Arc<dyn Language>),
+            &PredictiveFamily::sequentially_consistent(Register::new()),
+            &reg_configs,
+            &register_behaviors,
+            tail,
+        ),
+        time_one_cell(
+            "LIN_LED",
+            &(Arc::new(lin_led(2)) as Arc<dyn Language>),
+            &PredictiveFamily::linearizable(Ledger::new()),
+            &led_configs,
+            &ledger_behaviors,
+            tail,
+        ),
+        time_one_cell(
+            "SC_LED",
+            &(Arc::new(sc_led(2)) as Arc<dyn Language>),
+            &PredictiveFamily::sequentially_consistent(Ledger::new()),
+            &led_configs,
+            &ledger_behaviors,
+            tail,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

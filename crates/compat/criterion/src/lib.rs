@@ -1,0 +1,275 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the source-level API the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, `BenchmarkId`, `BatchSize`, `black_box` — with a
+//! simple wall-clock measurement loop instead of criterion's statistical
+//! machinery: each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a fixed measurement window, and the mean/min per-iteration
+//! time is printed in criterion-like one-line format.
+//!
+//! Good enough to compare the from-scratch and incremental checker paths and
+//! to keep `cargo bench` working offline; swap in the real criterion for
+//! publication-grade statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(600);
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Batching strategy for [`Bencher::iter_batched`]; the stand-in times each
+/// routine invocation individually, so the variants are equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times a closure: warm-up, then as many timed runs as fit in the window.
+fn measure<F: FnMut() -> Duration>(mut timed_run: F) -> Sample {
+    let warmup_deadline = Instant::now() + WARMUP;
+    while Instant::now() < warmup_deadline {
+        timed_run();
+    }
+    let mut iterations = 0u64;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let deadline = Instant::now() + MEASURE;
+    while Instant::now() < deadline || iterations == 0 {
+        let elapsed = timed_run();
+        total += elapsed;
+        min = min.min(elapsed);
+        iterations += 1;
+    }
+    Sample {
+        iterations,
+        total,
+        min,
+    }
+}
+
+struct Sample {
+    iterations: u64,
+    total: Duration,
+    min: Duration,
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(path: &str, sample: &Sample) {
+    let mean = sample.total / u32::try_from(sample.iterations.max(1)).unwrap_or(u32::MAX);
+    println!(
+        "{path:<60} time: [mean {} / min {}]  ({} iterations)",
+        format_duration(mean),
+        format_duration(sample.min),
+        sample.iterations
+    );
+}
+
+/// The per-benchmark measurement handle.
+pub struct Bencher {
+    sample: Option<Sample>,
+}
+
+impl Bencher {
+    /// Times `routine` over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.sample = Some(measure(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        }));
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.sample = Some(measure(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        }));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stand-in sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { sample: None };
+        f(&mut bencher);
+        if let Some(sample) = &bencher.sample {
+            report(&format!("{}/{}", self.name, id), sample);
+        }
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { sample: None };
+        f(&mut bencher, input);
+        if let Some(sample) = &bencher.sample {
+            report(&format!("{}/{}", self.name, id), sample);
+        }
+        self
+    }
+
+    /// Ends the group (no-op; printing happens per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { sample: None };
+        f(&mut bencher);
+        if let Some(sample) = &bencher.sample {
+            report(&id.to_string(), sample);
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_reports_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+}

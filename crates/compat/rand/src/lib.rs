@@ -1,0 +1,186 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements exactly the surface the workspace uses — `Rng::gen_range`,
+//! `Rng::gen_bool`, `SeedableRng::seed_from_u64`, `rngs::StdRng`,
+//! `rngs::mock::StepRng` — on top of SplitMix64.  All generators are fully
+//! deterministic from their seed, which the repository relies on for
+//! reproducible schedules and property tests.
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling a uniform value from a range type (the subset of rand's
+/// `SampleRange` the workspace needs).
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + (rng.next_u64() as $t);
+                }
+                start + (reduce(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u16, u8);
+
+/// Maps a uniform `u64` onto `0..span` without modulo bias worth caring
+/// about here (Lemire-style multiply-shift reduction).
+fn reduce(value: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(value) * u128::from(span)) >> 64) as u64
+}
+
+/// User-facing random-value methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 high bits give a uniform float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: SplitMix64.
+    ///
+    /// Not cryptographic (neither is the workspace's use of it); chosen for
+    /// speed, full determinism and good equidistribution of the low bits.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    /// Trivial mock generators for tests.
+    pub mod mock {
+        use super::RngCore;
+
+        /// A generator yielding `initial`, `initial + increment`, … — rand's
+        /// `StepRng`, used where tests need a predictable stream.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates the stepping generator.
+            #[must_use]
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    value: initial,
+                    increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1..=5u64);
+            assert!((1..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = StepRng::new(0, 1);
+        // With increment 1 the Lemire reduction maps tiny values to 0.
+        assert_eq!(rng.gen_range(0..10usize), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds without network access, so the real serde cannot be
+//! fetched from crates.io.  Nothing in the workspace serializes on a hot path
+//! (the derives keep types source-compatible with the real crate), so this
+//! shim provides:
+//!
+//! * marker traits [`Serialize`] and [`Deserialize`] blanket-implemented for
+//!   every type, and
+//! * the `Serialize`/`Deserialize` derive macros, which expand to nothing.
+//!
+//! Swapping in the real serde later is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented for all
+/// types, so bounds written against it are always satisfied.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`; blanket-implemented for
+/// all types, so bounds written against it are always satisfied.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

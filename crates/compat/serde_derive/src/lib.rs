@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace builds in environments with no crates.io access, so the real
+//! serde cannot be fetched.  Serialization is not on any hot path here — the
+//! derives exist so types stay source-compatible with the real serde.  The
+//! companion `serde` shim blanket-implements `Serialize`/`Deserialize` for
+//! every type, so these derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` attributes) and
+/// generates no code; the `serde` shim's blanket impl covers the trait bound.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` attributes)
+/// and generates no code; the `serde` shim's blanket impl covers the bound.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

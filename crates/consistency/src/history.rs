@@ -1,7 +1,17 @@
 //! Concurrent histories: the operation-level view of a word used by the
 //! consistency checkers.
+//!
+//! Two representations live here:
+//!
+//! * [`ConcurrentHistory`] — the original, payload-carrying view built in one
+//!   shot from a word; used by the from-scratch [`crate::check_history`],
+//! * [`InternedHistory`] — an append-only, interned view (operations are
+//!   `Copy` [`OpRecord`]s, payloads live in an arena) fed symbol by symbol;
+//!   the representation of the [`crate::IncrementalChecker`].
 
-use drv_lang::{OpId, Operation, ProcId, Word};
+use drv_lang::{
+    Action, Interner, InvocationId, OpId, OpRecord, Operation, ProcId, ResponseId, Symbol, Word,
+};
 use serde::{Deserialize, Serialize};
 
 /// A concurrent history extracted from a finite word: the matched operations,
@@ -102,8 +112,8 @@ impl ConcurrentHistory {
     /// process does either.
     #[must_use]
     pub fn respects_real_time(&self, candidate: &Operation, counts: &[usize]) -> bool {
-        for p in 0..self.n {
-            if let Some(id) = self.per_proc[p].get(counts[p]) {
+        for (per, &count) in self.per_proc.iter().zip(counts) {
+            if let Some(id) = per.get(count) {
                 let first_unlinearized = self.op(*id);
                 if first_unlinearized.id != candidate.id && first_unlinearized.precedes(candidate) {
                     return false;
@@ -117,11 +127,248 @@ impl ConcurrentHistory {
     /// trailing pending operation remains and `allow_drop_pending` is set.
     #[must_use]
     pub fn is_done(&self, counts: &[usize], allow_drop_pending: bool) -> bool {
-        for p in 0..self.n {
-            let remaining = &self.per_proc[p][counts[p]..];
+        for (per, &count) in self.per_proc.iter().zip(counts) {
+            let remaining = &per[count..];
             match remaining {
                 [] => {}
                 [single] if allow_drop_pending && self.op(*single).is_pending() => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// What [`InternedHistory::push_symbol`] did with a symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoryDelta {
+    /// The symbol opened a new (pending) operation.
+    Invoked(OpId),
+    /// The symbol completed the given operation.
+    Completed(OpId),
+    /// The symbol was ill-formed at this point (orphan response, invocation
+    /// while pending) and was skipped, exactly as [`drv_lang::operations`]
+    /// skips it.
+    Skipped,
+}
+
+/// An append-only concurrent history over interned operations.
+///
+/// Grown one symbol at a time by [`InternedHistory::push_symbol`]; payloads
+/// are interned into the owned [`Interner`] once, and the per-operation view
+/// is the `Copy`-able [`OpRecord`].  Mirrors the query surface of
+/// [`ConcurrentHistory`] (`next_of`, `respects_real_time`, `is_done`) so the
+/// Wing–Gong search runs unchanged on either representation.
+#[derive(Debug, Clone, Default)]
+pub struct InternedHistory {
+    interner: Interner,
+    records: Vec<OpRecord>,
+    per_proc: Vec<Vec<OpId>>,
+    /// Per-process index into `records` of the currently open operation.
+    open: Vec<Option<usize>>,
+    /// Number of symbols consumed so far (= next symbol position).
+    symbols: usize,
+    n: usize,
+}
+
+impl InternedHistory {
+    /// Creates an empty history for (at least) `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        InternedHistory {
+            interner: Interner::new(),
+            records: Vec::new(),
+            per_proc: vec![Vec::new(); n],
+            open: vec![None; n],
+            symbols: 0,
+            n,
+        }
+    }
+
+    /// Clears the history but keeps the payload arena and allocations, so a
+    /// rebuilt history re-uses every previously interned payload.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        for per in &mut self.per_proc {
+            per.clear();
+        }
+        for slot in &mut self.open {
+            *slot = None;
+        }
+        self.symbols = 0;
+    }
+
+    fn ensure_proc(&mut self, proc: ProcId) {
+        if proc.0 >= self.n {
+            self.n = proc.0 + 1;
+            self.per_proc.resize_with(self.n, Vec::new);
+            self.open.resize(self.n, None);
+        }
+    }
+
+    /// Consumes one symbol, extending the history.
+    pub fn push_symbol(&mut self, symbol: &Symbol) -> HistoryDelta {
+        self.ensure_proc(symbol.proc);
+        let position = u32::try_from(self.symbols).expect("< 2^32 symbols");
+        self.symbols += 1;
+        let p = symbol.proc.0;
+        match (&symbol.action, self.open[p]) {
+            (Action::Invoke(invocation), None) => {
+                let invocation = self.interner.invocation(invocation);
+                let id = OpId(self.records.len());
+                let local_index = u32::try_from(self.per_proc[p].len()).expect("< 2^32 ops");
+                self.open[p] = Some(self.records.len());
+                self.per_proc[p].push(id);
+                self.records.push(OpRecord {
+                    id,
+                    proc: symbol.proc,
+                    invocation,
+                    response: None,
+                    inv_pos: position,
+                    resp_pos: None,
+                    local_index,
+                });
+                HistoryDelta::Invoked(id)
+            }
+            (Action::Respond(response), Some(index)) => {
+                let response = self.interner.response(response);
+                self.records[index].response = Some(response);
+                self.records[index].resp_pos = Some(position);
+                self.open[p] = None;
+                HistoryDelta::Completed(self.records[index].id)
+            }
+            _ => HistoryDelta::Skipped,
+        }
+    }
+
+    /// Consumes every symbol of `word` in order.
+    pub fn push_word(&mut self, word: &Word) {
+        for symbol in word.symbols() {
+            self.push_symbol(symbol);
+        }
+    }
+
+    /// The payload arena.
+    #[must_use]
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interns a response produced outside the history (e.g. a specification
+    /// response assigned to a completed-pending operation).
+    pub fn intern_response(&mut self, response: &drv_lang::Response) -> ResponseId {
+        self.interner.response(response)
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no operations have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of symbols consumed so far.
+    #[must_use]
+    pub fn symbols_consumed(&self) -> usize {
+        self.symbols
+    }
+
+    /// The record of an operation (a cheap copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this history.
+    #[must_use]
+    pub fn record(&self, id: OpId) -> OpRecord {
+        self.records[id.0]
+    }
+
+    /// All records, in invocation order.
+    #[must_use]
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// The resolved invocation payload of an operation.
+    #[must_use]
+    pub fn invocation_of(&self, id: InvocationId) -> &drv_lang::Invocation {
+        self.interner.resolve_invocation(id)
+    }
+
+    /// The resolved response payload.
+    #[must_use]
+    pub fn response_of(&self, id: ResponseId) -> &drv_lang::Response {
+        self.interner.resolve_response(id)
+    }
+
+    /// The candidate operation of `proc` given per-process progress `counts`.
+    #[must_use]
+    pub fn next_of(&self, proc: ProcId, counts: &[u32]) -> Option<OpRecord> {
+        self.per_proc[proc.0]
+            .get(counts[proc.0] as usize)
+            .map(|id| self.records[id.0])
+    }
+
+    /// The currently open (pending) operation of each process, in process
+    /// order.
+    #[must_use]
+    pub fn open_ops(&self) -> Vec<OpId> {
+        self.open
+            .iter()
+            .filter_map(|slot| slot.map(|index| self.records[index].id))
+            .collect()
+    }
+
+    /// The id of `proc`'s `local_index`-th operation, if it exists.
+    ///
+    /// `(proc, local_index)` identifies an operation across *rebuilds* of a
+    /// history (word-position-based [`OpId`]s do not survive them), which is
+    /// what lets the incremental checker carry its search frontier over to a
+    /// reconstructed history.
+    #[must_use]
+    pub fn op_at(&self, proc: ProcId, local_index: u32) -> Option<OpId> {
+        self.per_proc
+            .get(proc.0)?
+            .get(local_index as usize)
+            .copied()
+    }
+
+    /// Returns `true` when `candidate` may be linearized next: no
+    /// unlinearized operation precedes it in real time (cf.
+    /// [`ConcurrentHistory::respects_real_time`]).
+    #[must_use]
+    pub fn respects_real_time(&self, candidate: OpRecord, counts: &[u32]) -> bool {
+        for (per, &count) in self.per_proc.iter().zip(counts) {
+            if let Some(id) = per.get(count as usize) {
+                let first = self.records[id.0];
+                if first.id != candidate.id && first.precedes(&candidate) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when every process is fully linearized, up to trailing
+    /// droppable pending operations (cf. [`ConcurrentHistory::is_done`]).
+    #[must_use]
+    pub fn is_done(&self, counts: &[u32], allow_drop_pending: bool) -> bool {
+        for (per, &count) in self.per_proc.iter().zip(counts) {
+            let remaining = &per[count as usize..];
+            match remaining {
+                [] => {}
+                [single] if allow_drop_pending && self.records[single.0].is_pending() => {}
                 _ => return false,
             }
         }

@@ -1,0 +1,1080 @@
+//! The incremental consistency-checking engine.
+//!
+//! The Figure 8 monitor re-checks its reconstructed history every loop
+//! iteration; done naively (rebuild the history, run the Wing–Gong DFS from
+//! the root) a run of `k` iterations costs Θ(k × full-DFS).  This engine
+//! makes the per-iteration cost amortized O(delta) in the common case by
+//! persisting three things across calls:
+//!
+//! 1. **The last witness.**  When the previous check found a linearization,
+//!    a newly completed operation is first *greedily spliced* into it: try
+//!    every legal suffix position of the previous order, deepest first (the
+//!    append-at-the-end case is O(1); position `i` costs a replay of the
+//!    suffix, and a budget caps the replays so the scan never degenerates
+//!    to O(m²)).  Two further maintenance moves run before the search
+//!    fallback: *repair* — an operation the search had completed with an
+//!    assumed specification response and that came back differently is
+//!    re-validated in place or excised and re-spliced — and *pending
+//!    rescue* — when the new operation observed the effect of an operation
+//!    that is still pending (its view ran ahead of its acknowledgement, the
+//!    signature pattern of the Figure 8 sketches), that open operation is
+//!    linearized at the end first.  Only when all of these fail does the
+//!    engine fall back to search.  A new *pending* invocation is free: both
+//!    criteria allow dropping pending operations, so the old witness stays
+//!    valid untouched.
+//! 2. **The search frontier.**  The DFS fallback never explores blindly from
+//!    the root: at every depth it first tries the operation the previous
+//!    witness chose there (the preserved frontier), so the search walks
+//!    straight back to the old linearization and only branches where the new
+//!    operation actually forces a difference.
+//! 3. **The memo table.**  Dead configurations are keyed by a compact
+//!    progress vector (counts packed exactly into a `u128` whenever they
+//!    fit) plus a 128-bit FNV-1a hash of the sequential state — no state
+//!    clones, no re-hashing of heap payloads in the inner loop.  Entries are
+//!    epoch-tagged: growing the history changes which configurations are
+//!    dead (a fresh operation can resurrect an old dead end), so stale
+//!    entries are invalidated by bumping the epoch instead of reallocating
+//!    the table.
+//!
+//! Two further structural facts are exploited:
+//!
+//! * **Linearizability is prefix-closed** (Herlihy & Wing): once a word
+//!   prefix is non-linearizable, every extension is too, so a definite NO
+//!   latches and later checks are O(1).  Sequential consistency is *not*
+//!   closed under extension (a later write by the same process can legalize
+//!   an earlier wild read), so the SC engine never latches.
+//! * Histories are interned ([`InternedHistory`]): operations are `Copy`
+//!   records, payload comparisons happen once at intern time.
+//!
+//! **Exactness.**  For definite verdicts the engine agrees with
+//! [`check_history`] bit for bit: a witness is only ever accepted after
+//! explicit legality + order validation, and the fallback search is the same
+//! complete Wing–Gong enumeration.  The two ways the engines can differ are
+//! (a) `Unknown`: search order differs, so one engine may exhaust its node
+//! budget where the other does not — `Unknown` is only ever refined into a
+//! definite verdict, never contradicted — and (b) a 2⁻¹²⁸-probability state
+//! hash collision, which would prune a live branch (the from-scratch checker
+//! keys its memo on full states and has no such term).  The property tests
+//! in `tests/incremental_vs_scratch.rs` check exact agreement on thousands
+//! of seeded histories.
+
+use crate::checker::{CheckerConfig, ConsistencyResult, Witness};
+use crate::history::{HistoryDelta, InternedHistory};
+use drv_lang::{OpId, ProcId, ResponseId, Symbol, Word};
+use drv_spec::SequentialSpec;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// 128-bit FNV-1a, fed through the standard `Hash` machinery so any
+/// `Hash`-implementing sequential state can be fingerprinted without cloning.
+struct Fnv128 {
+    state: u128,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128 {
+            state: FNV128_OFFSET,
+        }
+    }
+
+    fn finish128(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Hasher for Fnv128 {
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state as u64
+    }
+}
+
+fn hash_state<T: Hash>(value: &T) -> u128 {
+    let mut hasher = Fnv128::new();
+    value.hash(&mut hasher);
+    hasher.finish128()
+}
+
+/// Packs the progress vector exactly into a `u128` when every count fits in
+/// `128 / n` bits (it essentially always does: six processes leave 21 bits —
+/// two million operations — per process); otherwise falls back to hashing
+/// the counts.  The packed and hashed key kinds share one `u128` namespace
+/// with no disambiguation — a cross-kind collision is as unlikely as any
+/// other 128-bit collision, and the memo already tolerates that probability
+/// for the state fingerprint.
+fn pack_counts(counts: &[u32]) -> u128 {
+    let n = counts.len().max(1);
+    // Cap at 32: counts are u32, so 32 bits are always lossless, and the cap
+    // keeps every shift amount < 128 (with n = 1 the uncapped width would be
+    // the full 128 and the shift would overflow).
+    let bits = (128 / n).min(32);
+    if bits >= 32 || counts.iter().all(|&c| u64::from(c) < (1u64 << bits)) {
+        let mut packed: u128 = 0;
+        for &c in counts {
+            packed = (packed << bits) | u128::from(c);
+        }
+        packed
+    } else {
+        let mut hasher = Fnv128::new();
+        counts.hash(&mut hasher);
+        hasher.finish128()
+    }
+}
+
+/// Counters describing how the engine resolved its checks; exposed so
+/// benches and tests can assert the fast paths actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Calls to [`IncrementalChecker::check_word`] / `check`.
+    pub checks: u64,
+    /// Checks answered without any search: untouched witness, successful
+    /// splice, latched NO, or cached verdict.
+    pub fast_path: u64,
+    /// Successful greedy splices of a completed operation into the witness.
+    pub splices: u64,
+    /// Witness repairs: a pending operation the search had completed with an
+    /// assumed specification response came back with a different one, and
+    /// the witness was fixed by suffix replay instead of a fresh search.
+    pub repairs: u64,
+    /// Fallback DFS runs.
+    pub dfs_runs: u64,
+    /// Total DFS nodes explored across all fallback runs.
+    pub dfs_nodes: u64,
+    /// Full resets because the fed word was not an extension of the
+    /// previous one.
+    pub rebuilds: u64,
+    /// Checks answered by the latched (prefix-closed) Inconsistent.
+    pub latched: u64,
+}
+
+/// A witness-free verdict: what per-iteration callers (the Figure 8
+/// monitor) need, without cloning the linearization out of the engine on
+/// every check.  [`IncrementalChecker::check`] upgrades it to a full
+/// [`ConsistencyResult`] by materializing the maintained witness on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The history is consistent (a witness is held by the engine).
+    Consistent,
+    /// The history is definitely not consistent.
+    Inconsistent,
+    /// The node budget was exhausted before a definite verdict.
+    Unknown,
+}
+
+impl CheckOutcome {
+    /// `true` for [`CheckOutcome::Consistent`].
+    #[must_use]
+    pub fn is_consistent(self) -> bool {
+        self == CheckOutcome::Consistent
+    }
+}
+
+/// How many suffix replays a splice scan may attempt before the
+/// frontier-guided DFS takes over (see `incorporate_completion`).
+const MAX_SPLICE_REPLAYS: usize = 16;
+
+struct WitnessPath<S: SequentialSpec> {
+    /// Linearization order with interned responses.
+    order: Vec<(OpId, ResponseId)>,
+    /// `states[i]` is the sequential state after the first `i` operations;
+    /// `states[0]` is the initial state (so `states.len() == order.len()+1`).
+    states: Vec<S::State>,
+}
+
+enum DfsOutcome {
+    Found,
+    NotFound,
+    Budget,
+}
+
+/// A resumable Wing–Gong checker: feed the history symbol by symbol (or word
+/// snapshot by word snapshot) and ask for the verdict after each step.
+///
+/// See the module docs for the persistence and exactness story.  Typical
+/// driver loop:
+///
+/// ```
+/// use drv_consistency::{CheckerConfig, IncrementalChecker};
+/// use drv_lang::{Invocation, ProcId, Response, WordBuilder};
+/// use drv_spec::Register;
+///
+/// let mut checker =
+///     IncrementalChecker::new(Register::new(), CheckerConfig::linearizability(), 2);
+/// let word = WordBuilder::new()
+///     .op(ProcId(0), Invocation::Write(1), Response::Ack)
+///     .op(ProcId(1), Invocation::Read, Response::Value(1))
+///     .build();
+/// // Monitors feed the latest reconstructed history; the engine reuses
+/// // everything it can from the previous call.
+/// assert!(checker.check_word(&word).is_consistent());
+/// assert_eq!(checker.stats().checks, 1);
+/// ```
+pub struct IncrementalChecker<S: SequentialSpec> {
+    spec: S,
+    config: CheckerConfig,
+    history: InternedHistory,
+    /// The symbols consumed so far (for extension detection in
+    /// [`IncrementalChecker::check_word`]).
+    symbols: Vec<Symbol>,
+    witness: Option<WitnessPath<S>>,
+    /// The last successful linearization order, kept (even after the witness
+    /// is invalidated) as the move-ordering hint — the preserved frontier —
+    /// of the fallback DFS.
+    frontier: Vec<OpId>,
+    latched_inconsistent: bool,
+    /// Cached verdict for the current history, cleared on every new symbol.
+    cached: Option<CheckOutcome>,
+    memo: HashMap<(u128, u128), u32>,
+    epoch: u32,
+    stats: CheckerStats,
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for IncrementalChecker<S> {
+    // `S::State` need not be `Debug` and witness paths can be large; show
+    // the engine's progress summary instead.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalChecker")
+            .field("config", &self.config)
+            .field("symbols", &self.symbols.len())
+            .field("has_witness", &self.witness.is_some())
+            .field("latched_inconsistent", &self.latched_inconsistent)
+            .field("memo_entries", &self.memo.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: SequentialSpec> IncrementalChecker<S> {
+    /// Creates an engine for `n` processes (more are adopted on sight).
+    #[must_use]
+    pub fn new(spec: S, config: CheckerConfig, n: usize) -> Self {
+        IncrementalChecker {
+            spec,
+            config,
+            history: InternedHistory::new(n),
+            symbols: Vec::new(),
+            witness: None,
+            frontier: Vec::new(),
+            latched_inconsistent: false,
+            cached: None,
+            memo: HashMap::new(),
+            epoch: 0,
+            stats: CheckerStats::default(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// The fast-path/fallback counters.
+    #[must_use]
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// Number of symbols currently incorporated.
+    #[must_use]
+    pub fn symbols_consumed(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Drops all history state (memo capacity and interned payloads are
+    /// kept), ready for an unrelated word.
+    pub fn reset(&mut self) {
+        self.history.reset();
+        self.symbols.clear();
+        self.witness = None;
+        self.frontier.clear();
+        self.latched_inconsistent = false;
+        self.cached = None;
+        self.bump_epoch();
+    }
+
+    fn bump_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One-in-4-billion wrap: drop the table rather than risk stale
+            // epoch-0 entries being trusted.
+            self.memo.clear();
+            self.epoch = 1;
+        }
+    }
+
+    /// Feeds one more symbol of the (extending) history.
+    pub fn push_symbol(&mut self, symbol: &Symbol) {
+        self.symbols.push(symbol.clone());
+        let delta = self.history.push_symbol(symbol);
+        self.cached = None;
+        if self.latched_inconsistent {
+            // Prefix-closure: nothing to maintain, the NO is final.
+            return;
+        }
+        match delta {
+            HistoryDelta::Skipped => {}
+            HistoryDelta::Invoked(_) => {
+                // A fresh pending operation can always be dropped (both
+                // criteria), so an existing witness stays valid as-is.  In
+                // the no-drop configuration the witness must cover it; keep
+                // things simple and let the fallback handle that rare mode.
+                if !self.config.allow_drop_pending {
+                    self.witness = None;
+                }
+            }
+            HistoryDelta::Completed(op) => self.incorporate_completion(op),
+        }
+    }
+
+    /// Checks the history consisting of all symbols fed so far.
+    pub fn check(&mut self) -> ConsistencyResult {
+        match self.check_outcome() {
+            CheckOutcome::Consistent => {
+                let witness = match &self.witness {
+                    Some(witness) => self.materialize(&witness.order),
+                    // Only the empty history is consistent without a search
+                    // having built a witness path.
+                    None => Witness { order: Vec::new() },
+                };
+                ConsistencyResult::Consistent(witness)
+            }
+            CheckOutcome::Inconsistent => ConsistencyResult::Inconsistent,
+            CheckOutcome::Unknown => ConsistencyResult::Unknown,
+        }
+    }
+
+    /// Checks the history fed so far, returning only the verdict: no
+    /// witness is cloned out of the engine, which makes this the right call
+    /// in per-iteration loops that only branch on consistency.
+    pub fn check_outcome(&mut self) -> CheckOutcome {
+        self.stats.checks += 1;
+        if let Some(cached) = self.cached {
+            self.stats.fast_path += 1;
+            return cached;
+        }
+        let outcome = self.evaluate();
+        self.cached = Some(outcome);
+        outcome
+    }
+
+    /// Checks a word snapshot: when `word` extends the previously checked
+    /// word only the delta is processed; otherwise the engine resets and
+    /// re-feeds (counted in [`CheckerStats::rebuilds`]).
+    ///
+    /// A rebuild is *not* a from-scratch search: the previous linearization
+    /// is translated across the reset by `(process, local index)` — the
+    /// operation identity that survives reconstruction — and seeds the
+    /// fallback DFS's move ordering, so the search walks straight back along
+    /// the old witness and only branches where the reshuffled word forces it
+    /// to.
+    pub fn check_word(&mut self, word: &Word) -> ConsistencyResult {
+        self.feed_word(word);
+        self.check()
+    }
+
+    /// [`IncrementalChecker::check_word`] without the witness: the
+    /// per-iteration monitor call.
+    pub fn check_word_outcome(&mut self, word: &Word) -> CheckOutcome {
+        self.feed_word(word);
+        self.check_outcome()
+    }
+
+    /// [`IncrementalChecker::check_word_outcome`] for callers that *know*
+    /// `word` extends the previously fed word — e.g. they grew it
+    /// append-only themselves, as the Figure 8 monitor's incremental sketch
+    /// does.  Skips the O(history) prefix comparison and feeds only the
+    /// delta, making the engine entry point O(delta) too.
+    ///
+    /// The promise is checked in debug builds; a `word` *shorter* than what
+    /// was already consumed falls back to the checked path (which detects
+    /// the non-extension and rebuilds).
+    pub fn check_word_extension_outcome(&mut self, word: &Word) -> CheckOutcome {
+        let symbols = word.symbols();
+        if symbols.len() < self.symbols.len() {
+            return self.check_word_outcome(word);
+        }
+        debug_assert!(
+            symbols[..self.symbols.len()] == self.symbols[..],
+            "caller promised an extension of the previously fed word"
+        );
+        for symbol in &symbols[self.symbols.len()..] {
+            self.push_symbol(symbol);
+        }
+        self.check_outcome()
+    }
+
+    fn feed_word(&mut self, word: &Word) {
+        let symbols = word.symbols();
+        let extends = symbols.len() >= self.symbols.len()
+            && symbols[..self.symbols.len()] == self.symbols[..];
+        let mut carried: Vec<(ProcId, u32)> = Vec::new();
+        if !extends {
+            self.stats.rebuilds += 1;
+            let order: Vec<OpId> = match &self.witness {
+                Some(witness) => witness.order.iter().map(|(id, _)| *id).collect(),
+                None => self.frontier.clone(),
+            };
+            carried = order
+                .iter()
+                .map(|id| {
+                    let record = self.history.record(*id);
+                    (record.proc, record.local_index)
+                })
+                .collect();
+            self.reset();
+        }
+        for symbol in &symbols[self.symbols.len()..] {
+            self.push_symbol(symbol);
+        }
+        if !carried.is_empty() {
+            self.frontier = carried
+                .iter()
+                .filter_map(|(proc, local_index)| self.history.op_at(*proc, *local_index))
+                .collect();
+        }
+    }
+
+    /// Greedy witness maintenance for a newly completed operation.
+    fn incorporate_completion(&mut self, op: OpId) {
+        let Some(mut witness) = self.witness.take() else {
+            return;
+        };
+        let record = self.history.record(op);
+        let observed = record.response.expect("completed op has a response");
+
+        // Case 1: the operation is already in the witness — the previous
+        // search completed it as a pending op with the specification
+        // response.  If that response is what actually came back, the
+        // witness (orders and legality untouched by the completion — the new
+        // response position creates no constraint *on* ops already ordered
+        // before it) survives unchanged.
+        if let Some(position) = witness.order.iter().position(|(id, _)| *id == op) {
+            if witness.order[position].1 == observed {
+                self.stats.splices += 1;
+                self.witness = Some(witness);
+                return;
+            }
+            // The assumed response was wrong.  Repair in place: swap the
+            // actual response in and revalidate the suffix (reads and other
+            // non-mutators often still fit where they are)…
+            if let Some(repaired) = self.swap_response(&witness, position, observed) {
+                self.stats.repairs += 1;
+                self.frontier = repaired.order.iter().map(|(id, _)| *id).collect();
+                self.witness = Some(repaired);
+                return;
+            }
+            // …or excise it and fall through to re-splicing it afresh at a
+            // position where the actual response is legal.
+            match self.remove_at(&witness, position) {
+                Some(reduced) => witness = reduced,
+                None => {
+                    self.frontier = witness.order.iter().map(|(id, _)| *id).collect();
+                    return;
+                }
+            }
+        }
+
+        // Case 2: splice the operation into the order.  It must come after
+        // all earlier operations of its process (program order) and — for
+        // linearizability — after every operation that precedes it in real
+        // time.  Nothing is forced *after* it: its response is the latest
+        // symbol, so it precedes no operation yet.
+        let mut lo = 0usize;
+        for (i, (id, _)) in witness.order.iter().enumerate() {
+            let q = self.history.record(*id);
+            let program_order = q.proc == record.proc && q.local_index < record.local_index;
+            let real_time = self.config.respect_real_time && q.precedes(&record);
+            if program_order || real_time {
+                lo = i + 1;
+            }
+        }
+        let m = witness.order.len();
+        let invocation = self.history.invocation_of(record.invocation).clone();
+        let response = self.history.response_of(observed).clone();
+        // Deepest-first, with a replay budget: without real-time pruning
+        // (sequential consistency) `lo` can be far from `m`, and replaying
+        // the suffix at every candidate position would cost O(m²) — past the
+        // budget the frontier-guided DFS is the cheaper fallback.
+        let mut replays = 0usize;
+        for i in (lo..=m).rev() {
+            let Some(mut state) = self
+                .spec
+                .step_if_legal(&witness.states[i], &invocation, &response)
+            else {
+                continue;
+            };
+            if replays >= MAX_SPLICE_REPLAYS {
+                break;
+            }
+            replays += 1;
+            // Replay the suffix on the shifted state.
+            let mut new_states = Vec::with_capacity(m + 2 - i);
+            new_states.push(state.clone());
+            let mut legal = true;
+            for (id, resp) in &witness.order[i..] {
+                let q = self.history.record(*id);
+                let q_invocation = self.history.invocation_of(q.invocation);
+                let q_response = self.history.response_of(*resp);
+                match self.spec.step_if_legal(&state, q_invocation, q_response) {
+                    Some(next) => {
+                        state = next;
+                        new_states.push(state.clone());
+                    }
+                    None => {
+                        legal = false;
+                        break;
+                    }
+                }
+            }
+            if !legal {
+                continue;
+            }
+            let mut order = witness.order;
+            order.insert(i, (op, observed));
+            let mut states = witness.states;
+            states.truncate(i + 1);
+            states.extend(new_states);
+            debug_assert_eq!(states.len(), order.len() + 1);
+            self.stats.splices += 1;
+            self.frontier = order.iter().map(|(id, _)| *id).collect();
+            self.witness = Some(WitnessPath { order, states });
+            return;
+        }
+        // Pending rescue: the append can fail because the new operation
+        // observed the effect of an operation that is still pending — its
+        // view ran ahead of its acknowledgement, the signature pattern of
+        // the Figure 8 sketches.  Linearize one such open operation at the
+        // end (with its specification response, exactly as the search
+        // would), then append the new operation after it.
+        let mut rescue: Option<(OpId, S::State, S::State, drv_lang::Response)> = None;
+        for q in self.history.open_ops() {
+            if witness.order.iter().any(|(id, _)| *id == q) {
+                continue;
+            }
+            let q_record = self.history.record(q);
+            let applied = {
+                let q_invocation = self.history.invocation_of(q_record.invocation);
+                self.spec.apply(&witness.states[m], q_invocation)
+            };
+            let Some((mid_state, q_response)) = applied else {
+                continue;
+            };
+            let Some(final_state) = self.spec.step_if_legal(&mid_state, &invocation, &response)
+            else {
+                continue;
+            };
+            rescue = Some((q, mid_state, final_state, q_response));
+            break;
+        }
+        if let Some((q, mid_state, final_state, q_response)) = rescue {
+            let assumed = self.history.intern_response(&q_response);
+            let mut order = witness.order;
+            order.push((q, assumed));
+            order.push((op, observed));
+            let mut states = witness.states;
+            states.push(mid_state);
+            states.push(final_state);
+            debug_assert_eq!(states.len(), order.len() + 1);
+            self.stats.splices += 1;
+            self.frontier = order.iter().map(|(id, _)| *id).collect();
+            self.witness = Some(WitnessPath { order, states });
+            return;
+        }
+
+        // No legal splice: keep the old order as the search frontier.
+        self.frontier = witness.order.iter().map(|(id, _)| *id).collect();
+    }
+
+    /// Replaces the response at `position` with `observed` and replays the
+    /// suffix; `None` when the replay is illegal.
+    fn swap_response(
+        &self,
+        witness: &WitnessPath<S>,
+        position: usize,
+        observed: ResponseId,
+    ) -> Option<WitnessPath<S>> {
+        let (id, _) = witness.order[position];
+        let record = self.history.record(id);
+        let invocation = self.history.invocation_of(record.invocation);
+        let response = self.history.response_of(observed);
+        let mut state = self
+            .spec
+            .step_if_legal(&witness.states[position], invocation, response)?;
+        let mut states = witness.states[..=position].to_vec();
+        states.push(state.clone());
+        for (id, resp) in &witness.order[position + 1..] {
+            let q = self.history.record(*id);
+            let q_invocation = self.history.invocation_of(q.invocation);
+            let q_response = self.history.response_of(*resp);
+            state = self.spec.step_if_legal(&state, q_invocation, q_response)?;
+            states.push(state.clone());
+        }
+        let mut order = witness.order.clone();
+        order[position].1 = observed;
+        Some(WitnessPath { order, states })
+    }
+
+    /// Removes the operation at `position` and replays the suffix; `None`
+    /// when the suffix is illegal without it.
+    fn remove_at(
+        &self,
+        witness: &WitnessPath<S>,
+        position: usize,
+    ) -> Option<WitnessPath<S>> {
+        let mut states = witness.states[..=position].to_vec();
+        let mut state = witness.states[position].clone();
+        for (id, resp) in &witness.order[position + 1..] {
+            let q = self.history.record(*id);
+            let q_invocation = self.history.invocation_of(q.invocation);
+            let q_response = self.history.response_of(*resp);
+            state = self.spec.step_if_legal(&state, q_invocation, q_response)?;
+            states.push(state.clone());
+        }
+        let mut order = witness.order.clone();
+        order.remove(position);
+        debug_assert_eq!(states.len(), order.len() + 1);
+        Some(WitnessPath { order, states })
+    }
+
+    fn evaluate(&mut self) -> CheckOutcome {
+        if self.latched_inconsistent {
+            self.stats.fast_path += 1;
+            self.stats.latched += 1;
+            return CheckOutcome::Inconsistent;
+        }
+        if self.witness.is_some() {
+            self.stats.fast_path += 1;
+            return CheckOutcome::Consistent;
+        }
+        self.run_dfs()
+    }
+
+    fn materialize(&self, order: &[(OpId, ResponseId)]) -> Witness {
+        Witness {
+            order: order
+                .iter()
+                .map(|(id, resp)| (*id, self.history.response_of(*resp).clone()))
+                .collect(),
+        }
+    }
+
+    fn run_dfs(&mut self) -> CheckOutcome {
+        self.stats.dfs_runs += 1;
+        self.bump_epoch();
+        let n = self.history.process_count();
+        let mut counts = vec![0u32; n];
+        let mut order: Vec<(OpId, ResponseId)> = Vec::with_capacity(self.history.len());
+        let mut explored = 0usize;
+        let hint = std::mem::take(&mut self.frontier);
+        let outcome = self.dfs(
+            &mut counts,
+            self.spec.initial(),
+            &hint,
+            true,
+            &mut order,
+            &mut explored,
+        );
+        self.frontier = hint;
+        self.stats.dfs_nodes += explored as u64;
+        match outcome {
+            DfsOutcome::Found => {
+                // Rebuild the state path once, outside the search.
+                let mut states = Vec::with_capacity(order.len() + 1);
+                let mut state = self.spec.initial();
+                states.push(state.clone());
+                for (id, resp) in &order {
+                    let q = self.history.record(*id);
+                    let invocation = self.history.invocation_of(q.invocation);
+                    let response = self.history.response_of(*resp);
+                    state = self
+                        .spec
+                        .step_if_legal(&state, invocation, response)
+                        .expect("witness found by the search replays legally");
+                    states.push(state.clone());
+                }
+                self.frontier = order.iter().map(|(id, _)| *id).collect();
+                self.witness = Some(WitnessPath { order, states });
+                CheckOutcome::Consistent
+            }
+            DfsOutcome::NotFound => {
+                if self.config.respect_real_time {
+                    // Linearizability is prefix-closed: the NO is final for
+                    // every extension of this word.
+                    self.latched_inconsistent = true;
+                }
+                CheckOutcome::Inconsistent
+            }
+            DfsOutcome::Budget => CheckOutcome::Unknown,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dfs(
+        &mut self,
+        counts: &mut Vec<u32>,
+        state: S::State,
+        hint: &[OpId],
+        on_hint: bool,
+        order: &mut Vec<(OpId, ResponseId)>,
+        explored: &mut usize,
+    ) -> DfsOutcome {
+        if self.history.is_done(counts, self.config.allow_drop_pending) {
+            return DfsOutcome::Found;
+        }
+        if *explored >= self.config.max_states {
+            return DfsOutcome::Budget;
+        }
+        *explored += 1;
+        let key = (pack_counts(counts), hash_state(&state));
+        if self.memo.insert(key, self.epoch) == Some(self.epoch) {
+            return DfsOutcome::NotFound;
+        }
+
+        let n = self.history.process_count();
+        // Preserved-frontier move ordering: at this depth, try the process
+        // the previous witness linearized here first, so the search descends
+        // along the old linearization and only branches where the extension
+        // forces it to.
+        let hint_proc = if on_hint {
+            hint.get(order.len()).map(|id| self.history.record(*id).proc.0)
+        } else {
+            None
+        };
+        let process_order =
+            hint_proc.into_iter().chain((0..n).filter(|p| Some(*p) != hint_proc));
+        for p in process_order {
+            let Some(op) = self.history.next_of(ProcId(p), counts) else {
+                continue;
+            };
+            if self.config.respect_real_time && !self.history.respects_real_time(op, counts) {
+                continue;
+            }
+            let child_on_hint = on_hint && Some(p) == hint_proc;
+            // Choice 1: linearize the operation.
+            let stepped: Option<(S::State, ResponseId)> = match op.response {
+                Some(observed) => {
+                    let invocation = self.history.invocation_of(op.invocation);
+                    let response = self.history.response_of(observed);
+                    self.spec
+                        .step_if_legal(&state, invocation, response)
+                        .map(|next| (next, observed))
+                }
+                None => {
+                    let applied = {
+                        let invocation = self.history.invocation_of(op.invocation);
+                        self.spec.apply(&state, invocation)
+                    };
+                    // The spec's response for a completed-pending operation
+                    // is interned on sight (idempotent, so the arena stays
+                    // small).
+                    applied.map(|(next, resp)| {
+                        let id = self.history.intern_response(&resp);
+                        (next, id)
+                    })
+                }
+            };
+            if let Some((next_state, assigned)) = stepped {
+                counts[p] += 1;
+                order.push((op.id, assigned));
+                match self.dfs(counts, next_state, hint, child_on_hint, order, explored) {
+                    DfsOutcome::Found => return DfsOutcome::Found,
+                    DfsOutcome::Budget => return DfsOutcome::Budget,
+                    DfsOutcome::NotFound => {}
+                }
+                order.pop();
+                counts[p] -= 1;
+            }
+            // Choice 2: drop a pending operation.
+            if op.is_pending() && self.config.allow_drop_pending {
+                counts[p] += 1;
+                match self.dfs(counts, state.clone(), hint, false, order, explored) {
+                    DfsOutcome::Found => return DfsOutcome::Found,
+                    DfsOutcome::Budget => return DfsOutcome::Budget,
+                    DfsOutcome::NotFound => {}
+                }
+                counts[p] -= 1;
+            }
+        }
+        DfsOutcome::NotFound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check_history, validate_witness};
+    use crate::history::ConcurrentHistory;
+    use drv_lang::{Invocation, Response, WordBuilder};
+    use drv_spec::{Queue, Register};
+
+    fn p(i: usize) -> ProcId {
+        ProcId(i)
+    }
+
+    fn lin<S: SequentialSpec>(spec: S) -> IncrementalChecker<S> {
+        IncrementalChecker::new(spec, CheckerConfig::linearizability(), 2)
+    }
+
+    #[test]
+    fn empty_history_is_consistent() {
+        let mut checker = lin(Register::new());
+        assert!(checker.check().is_consistent());
+    }
+
+    #[test]
+    fn symbol_by_symbol_register_run_uses_fast_paths() {
+        let mut checker = lin(Register::new());
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(0), Invocation::Write(2), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(2))
+            .build();
+        for symbol in word.symbols() {
+            checker.push_symbol(symbol);
+            assert!(checker.check().is_consistent());
+        }
+        let stats = checker.stats();
+        // One DFS to seed the witness (first check); everything after is
+        // witness maintenance.
+        assert!(stats.dfs_runs <= 1, "{stats:?}");
+        assert!(stats.splices >= 3, "{stats:?}");
+    }
+
+    #[test]
+    fn stale_read_is_flagged_and_latched() {
+        let mut checker = lin(Register::new());
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .build();
+        assert_eq!(checker.check_word(&word), ConsistencyResult::Inconsistent);
+        // Extensions stay inconsistent without any further search.
+        let extended = {
+            let mut w = word.clone();
+            w.op(p(0), Invocation::Write(2), Response::Ack);
+            w
+        };
+        let dfs_before = checker.stats().dfs_runs;
+        assert_eq!(checker.check_word(&extended), ConsistencyResult::Inconsistent);
+        assert_eq!(checker.stats().dfs_runs, dfs_before);
+        assert!(checker.stats().latched >= 1);
+    }
+
+    #[test]
+    fn sc_does_not_latch_and_can_recover() {
+        // Not SC as long as nobody wrote 2 — but the later write legalizes
+        // the read, so the verdict must flip back to consistent.
+        let mut checker = IncrementalChecker::new(
+            Register::new(),
+            CheckerConfig::sequential_consistency(),
+            2,
+        );
+        let bad = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(2))
+            .build();
+        assert_eq!(checker.check_word(&bad), ConsistencyResult::Inconsistent);
+        let recovered = {
+            let mut w = bad.clone();
+            w.op(p(0), Invocation::Write(2), Response::Ack);
+            w
+        };
+        assert!(checker.check_word(&recovered).is_consistent());
+    }
+
+    #[test]
+    fn verdicts_match_scratch_on_interleaved_queue() {
+        let word = WordBuilder::new()
+            .invoke(p(0), Invocation::Enqueue(1))
+            .invoke(p(1), Invocation::Enqueue(2))
+            .respond(p(0), Response::Ack)
+            .respond(p(1), Response::Ack)
+            .op(p(0), Invocation::Dequeue, Response::MaybeValue(Some(2)))
+            .op(p(1), Invocation::Dequeue, Response::MaybeValue(Some(1)))
+            .build();
+        let mut checker = IncrementalChecker::new(
+            Queue::new(),
+            CheckerConfig::linearizability(),
+            2,
+        );
+        for len in 0..=word.len() {
+            let prefix = word.prefix(len);
+            let scratch = check_history(
+                &Queue::new(),
+                &ConcurrentHistory::from_word(&prefix, 2),
+                &CheckerConfig::linearizability(),
+            );
+            let incremental = checker.check_word(&prefix);
+            assert_eq!(
+                incremental.is_consistent(),
+                scratch.is_consistent(),
+                "prefix length {len}"
+            );
+            assert_eq!(
+                matches!(incremental, ConsistencyResult::Inconsistent),
+                matches!(scratch, ConsistencyResult::Inconsistent),
+                "prefix length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn produced_witnesses_validate() {
+        let word = WordBuilder::new()
+            .invoke(p(0), Invocation::Write(1))
+            .invoke(p(1), Invocation::Read)
+            .respond(p(1), Response::Value(1))
+            .respond(p(0), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .build();
+        let mut checker = lin(Register::new());
+        let result = checker.check_word(&word);
+        let witness = result.witness().expect("linearizable").clone();
+        let history = ConcurrentHistory::from_word(&word, 2);
+        assert!(validate_witness(&Register::new(), &history, &witness, true));
+    }
+
+    #[test]
+    fn non_extension_words_trigger_rebuild() {
+        let mut checker = lin(Register::new());
+        let first = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .build();
+        let other = WordBuilder::new()
+            .op(p(0), Invocation::Write(7), Response::Ack)
+            .build();
+        assert!(checker.check_word(&first).is_consistent());
+        assert!(checker.check_word(&other).is_consistent());
+        assert_eq!(checker.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let mut builder = WordBuilder::new();
+        for i in 0..6 {
+            builder = builder.invoke(ProcId(i), Invocation::Write(i as u64));
+        }
+        for i in 0..6 {
+            builder = builder.respond(ProcId(i), Response::Ack);
+        }
+        let word = builder.build();
+        let mut checker = IncrementalChecker::new(
+            Register::new(),
+            CheckerConfig::linearizability().with_max_states(1),
+            6,
+        );
+        assert_eq!(checker.check_word(&word), ConsistencyResult::Unknown);
+        // Unknown does not latch: a bigger budget resolves it.
+        let mut roomy = IncrementalChecker::new(
+            Register::new(),
+            CheckerConfig::linearizability(),
+            6,
+        );
+        assert!(roomy.check_word(&word).is_consistent());
+    }
+
+    #[test]
+    fn pending_rescue_keeps_the_witness_alive() {
+        // A read observes a write that is still pending: appending the read
+        // alone is illegal, but linearizing the open write first rescues
+        // the witness without a search.
+        let mut checker = lin(Register::new());
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .build();
+        assert!(checker.check_word(&word).is_consistent());
+        let extended = {
+            let mut w = word.clone();
+            w.invoke(p(0), Invocation::Write(2)); // still pending
+            w.invoke(p(1), Invocation::Read);
+            w.respond(p(1), Response::Value(2)); // observed the pending write
+            w
+        };
+        let dfs_before = checker.stats().dfs_runs;
+        assert!(checker.check_word(&extended).is_consistent());
+        let stats = checker.stats();
+        assert_eq!(stats.dfs_runs, dfs_before, "rescue must avoid the search: {stats:?}");
+        assert!(stats.splices >= 1, "{stats:?}");
+        // When the pending write finally acks, the assumed response matches
+        // and the witness survives again.
+        let completed = {
+            let mut w = extended.clone();
+            w.respond(p(0), Response::Ack);
+            w
+        };
+        assert!(checker.check_word(&completed).is_consistent());
+        assert_eq!(checker.stats().dfs_runs, dfs_before, "{:?}", checker.stats());
+    }
+
+    #[test]
+    fn outcome_api_agrees_with_full_results() {
+        let mut with_witness = lin(Register::new());
+        let mut outcome_only = lin(Register::new());
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .build();
+        for len in 0..=word.len() {
+            let prefix = word.prefix(len);
+            let full = with_witness.check_word(&prefix);
+            let outcome = outcome_only.check_word_outcome(&prefix);
+            assert_eq!(full.is_consistent(), outcome.is_consistent(), "prefix {len}");
+            assert_eq!(
+                matches!(full, ConsistencyResult::Unknown),
+                outcome == CheckOutcome::Unknown,
+                "prefix {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_counts_is_injective_in_range() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                for c in 0..6u32 {
+                    assert!(seen.insert(pack_counts(&[a, b, c])));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_counts_handles_tiny_and_wide_vectors() {
+        // One process: the uncapped per-count width would be 128 bits and
+        // the shift would overflow.
+        assert_ne!(pack_counts(&[0]), pack_counts(&[u32::MAX]));
+        assert_eq!(pack_counts(&[7]), 7);
+        // Single-process engines reach this through the DFS as well.
+        let mut checker = IncrementalChecker::new(
+            Register::new(),
+            CheckerConfig::linearizability(),
+            1,
+        );
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(0), Invocation::Read, Response::Value(1))
+            .build();
+        assert!(checker.check_word(&word).is_consistent());
+    }
+
+    #[test]
+    fn fnv128_distinguishes_small_perturbations() {
+        assert_ne!(hash_state(&vec![1u64, 2]), hash_state(&vec![2u64, 1]));
+        assert_ne!(hash_state(&0u64), hash_state(&1u64));
+    }
+}

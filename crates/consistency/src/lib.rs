@@ -34,6 +34,7 @@
 pub mod checker;
 pub mod eventual;
 pub mod history;
+pub mod incremental;
 pub mod languages;
 
 pub use checker::{
@@ -44,7 +45,8 @@ pub use eventual::{
     check_ec_ledger, check_ec_ledger_eventual, check_ec_ledger_validity, check_sec_count,
     check_sec_realtime, check_wec_count, check_wec_eventual, check_wec_safety,
 };
-pub use history::ConcurrentHistory;
+pub use history::{ConcurrentHistory, HistoryDelta, InternedHistory};
+pub use incremental::{CheckOutcome, CheckerStats, IncrementalChecker};
 pub use languages::{
     ec_led, lin_led, lin_queue, lin_reg, lin_stack, sc_led, sc_reg, sec_count, table1_languages,
     wec_count, EcLedger, Linearizable, SecCounter, SequentiallyConsistent, WecCounter,

@@ -262,7 +262,7 @@ impl Decider {
             }
             Notion::WeakOne => {
                 // member ⟺ ∃p finitely many NO (Definition 4.3).
-                let some_finite = tail_no.iter().any(|&c| c == 0);
+                let some_finite = tail_no.contains(&0);
                 if member == some_finite {
                     Evaluation::ok(
                         notion,

@@ -15,6 +15,7 @@
 use crate::verdict::Verdict;
 use drv_adversary::View;
 use drv_lang::{Invocation, ProcId, Response};
+use std::borrow::Cow;
 
 /// One process's local monitor algorithm (the body of Figure 1).
 ///
@@ -26,7 +27,11 @@ use drv_lang::{Invocation, ProcId, Response};
 /// regardless of the progress of other processes.
 pub trait Monitor: Send {
     /// Human-readable name of the local algorithm.
-    fn name(&self) -> String;
+    ///
+    /// Called once per iteration by the reporting paths, so implementations
+    /// must not allocate: return a `Cow::Borrowed` of a `'static` string or
+    /// of a name computed once at construction.
+    fn name(&self) -> Cow<'_, str>;
 
     /// The process this local monitor runs at.
     fn proc(&self) -> ProcId;
@@ -50,7 +55,10 @@ pub trait Monitor: Send {
 /// run, typically sharing shared-memory objects among them.
 pub trait MonitorFamily {
     /// Human-readable name of the distributed monitor (used in reports).
-    fn name(&self) -> String;
+    ///
+    /// Like [`Monitor::name`], allocation-free: borrow a static or cached
+    /// name.
+    fn name(&self) -> Cow<'_, str>;
 
     /// Creates the local monitors for an `n`-process run.
     ///
@@ -79,8 +87,12 @@ pub struct ConstantMonitor {
 }
 
 impl Monitor for ConstantMonitor {
-    fn name(&self) -> String {
-        format!("constant {}", self.verdict)
+    fn name(&self) -> Cow<'_, str> {
+        match self.verdict {
+            Verdict::Yes => Cow::Borrowed("constant YES"),
+            Verdict::No => Cow::Borrowed("constant NO"),
+            Verdict::Maybe(_) => Cow::Owned(format!("constant {}", self.verdict)),
+        }
     }
 
     fn proc(&self) -> ProcId {
@@ -129,8 +141,12 @@ impl ConstantFamily {
 }
 
 impl MonitorFamily for ConstantFamily {
-    fn name(&self) -> String {
-        format!("always-{}", self.verdict)
+    fn name(&self) -> Cow<'_, str> {
+        match self.verdict {
+            Verdict::Yes => Cow::Borrowed("always-YES"),
+            Verdict::No => Cow::Borrowed("always-NO"),
+            Verdict::Maybe(_) => Cow::Owned(format!("always-{}", self.verdict)),
+        }
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {

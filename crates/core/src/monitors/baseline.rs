@@ -10,6 +10,7 @@
 //! shared `INCS` array.
 
 use crate::monitor::{Monitor, MonitorFamily};
+use std::borrow::Cow;
 use crate::verdict::Verdict;
 use drv_adversary::View;
 use drv_lang::{Invocation, ProcId, Response};
@@ -23,6 +24,8 @@ pub struct LocalWecMonitor {
     last_read: Option<u64>,
     violated: bool,
     current_ok: bool,
+    /// Formatted once at construction; reporting borrows it.
+    name: String,
 }
 
 impl LocalWecMonitor {
@@ -35,13 +38,14 @@ impl LocalWecMonitor {
             last_read: None,
             violated: false,
             current_ok: true,
+            name: format!("local-only WEC monitor at {proc}"),
         }
     }
 }
 
 impl Monitor for LocalWecMonitor {
-    fn name(&self) -> String {
-        format!("local-only WEC monitor at {}", self.proc)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -96,8 +100,8 @@ impl LocalWecFamily {
 }
 
 impl MonitorFamily for LocalWecFamily {
-    fn name(&self) -> String {
-        "local-only WEC baseline (no shared memory)".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("local-only WEC baseline (no shared memory)")
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {

@@ -18,6 +18,7 @@
 //! eventually consistent.
 
 use crate::monitor::{Monitor, MonitorFamily};
+use std::borrow::Cow;
 use crate::verdict::Verdict;
 use drv_adversary::View;
 use drv_lang::{Invocation, ProcId, Record, Response};
@@ -34,6 +35,8 @@ pub struct EcLedgerGuessMonitor {
     last_get: Option<Vec<Record>>,
     longest_get: SharedArray<Vec<Record>>,
     verdict: Verdict,
+    /// Formatted once at construction; reporting borrows it.
+    name: String,
 }
 
 impl EcLedgerGuessMonitor {
@@ -52,6 +55,7 @@ impl EcLedgerGuessMonitor {
             last_get: None,
             longest_get,
             verdict: Verdict::Yes,
+            name: format!("EC_LED candidate monitor at {proc}"),
         }
     }
 
@@ -70,8 +74,8 @@ fn prefix_compatible(a: &[Record], b: &[Record]) -> bool {
 }
 
 impl Monitor for EcLedgerGuessMonitor {
-    fn name(&self) -> String {
-        format!("EC_LED candidate monitor at {}", self.proc)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -149,8 +153,8 @@ impl EcLedgerGuessFamily {
 }
 
 impl MonitorFamily for EcLedgerGuessFamily {
-    fn name(&self) -> String {
-        "EC_LED candidate (announce + grace period)".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("EC_LED candidate (announce + grace period)")
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {

@@ -17,7 +17,7 @@ pub mod wec_count;
 
 pub use baseline::LocalWecFamily;
 pub use ec_ledger::EcLedgerGuessFamily;
-pub use predictive::{Criterion, PredictiveFamily};
+pub use predictive::{CheckStrategy, Criterion, PredictiveFamily, PredictiveMonitor};
 pub use sec_count::SecCountFamily;
 pub use three_valued::{ThreeValuedSecFamily, ThreeValuedWecFamily};
 pub use wec_count::WecCountFamily;

@@ -13,6 +13,7 @@
 //! predictive definitions require.
 
 use crate::monitor::{Monitor, MonitorFamily};
+use std::borrow::Cow;
 use crate::monitors::wec_count::WecCountMonitor;
 use crate::verdict::Verdict;
 use drv_adversary::View;
@@ -28,8 +29,15 @@ pub struct SecCountMonitor {
     wec: WecCountMonitor,
     proc: ProcId,
     published: SharedArray<Vec<PublishedOp>>,
-    own_ops: Vec<PublishedOp>,
-    snapshot: Vec<Vec<PublishedOp>>,
+    /// Per-entry cursors into `M`: operations up to them have been tested,
+    /// and only the published suffixes are cloned on the next iteration
+    /// (entries are single-writer append-only).
+    cursors: Vec<usize>,
+    /// Latched clause (4) evidence: published operations are never
+    /// retracted, so one overshooting read stays a violation forever.
+    overshoot: bool,
+    /// Formatted once at construction; reporting borrows it.
+    name: String,
 }
 
 impl SecCountMonitor {
@@ -45,8 +53,9 @@ impl SecCountMonitor {
             wec: WecCountMonitor::new(proc, incs),
             proc,
             published,
-            own_ops: Vec::new(),
-            snapshot: Vec::new(),
+            cursors: Vec::new(),
+            overshoot: false,
+            name: format!("SEC_COUNT monitor at {proc}"),
         }
     }
 
@@ -57,22 +66,27 @@ impl SecCountMonitor {
         self.wec.flagged()
     }
 
-    /// The real-time clause (4) test on the published operations: is there a
-    /// read whose value exceeds the increments in its view?
+    /// The real-time clause (4) test on the published operations: has some
+    /// published read returned more than the increments in its view?
+    ///
+    /// Evaluated incrementally — each published operation is tested exactly
+    /// once, when the delta snapshot first delivers it — and latched.
     #[must_use]
     pub fn overshooting_read_published(&self) -> bool {
-        self.snapshot.iter().flatten().any(|(inv, resp, view)| {
-            inv.is_read()
-                && resp
-                    .as_value()
-                    .is_some_and(|v| v > view.count_matching(Invocation::is_inc) as u64)
-        })
+        self.overshoot
+    }
+
+    fn overshoots((inv, resp, view): &PublishedOp) -> bool {
+        inv.is_read()
+            && resp
+                .as_value()
+                .is_some_and(|v| v > view.count_matching(Invocation::is_inc) as u64)
     }
 }
 
 impl Monitor for SecCountMonitor {
-    fn name(&self) -> String {
-        format!("SEC_COUNT monitor at {}", self.proc)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -93,10 +107,17 @@ impl Monitor for SecCountMonitor {
         let view = view
             .cloned()
             .expect("the Figure 9 monitor runs against the timed adversary Aτ");
-        self.own_ops
-            .push((invocation.clone(), response.clone(), view));
-        self.published.write(self.proc.index(), self.own_ops.clone());
-        self.snapshot = self.published.snapshot();
+        let op = (invocation.clone(), response.clone(), view);
+        self.published.update(self.proc.index(), |ops| ops.push(op));
+        // O(delta): only the operations published since the last iteration
+        // come back, and each is tested exactly once.
+        let delta = self.published.snapshot_appended_since(&self.cursors);
+        for (_, _, ops) in &delta.appended {
+            if ops.iter().any(Self::overshoots) {
+                self.overshoot = true;
+            }
+        }
+        self.cursors = delta.lens;
     }
 
     fn report(&mut self) -> Verdict {
@@ -129,8 +150,8 @@ impl SecCountFamily {
 }
 
 impl MonitorFamily for SecCountFamily {
-    fn name(&self) -> String {
-        "Figure 9 (SEC_COUNT, predictive weak)".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("Figure 9 (SEC_COUNT, predictive weak)")
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {

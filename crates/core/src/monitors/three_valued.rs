@@ -18,6 +18,7 @@
 //! variants; [`three_valued_holds`] is the corresponding evaluator.
 
 use crate::monitor::{Monitor, MonitorFamily};
+use std::borrow::Cow;
 use crate::monitors::sec_count::SecCountMonitor;
 use crate::monitors::wec_count::WecCountMonitor;
 use crate::trace::ExecutionTrace;
@@ -52,11 +53,13 @@ impl Inner {
 pub struct ThreeValuedMonitor {
     inner: Inner,
     proc: ProcId,
+    /// Formatted once at construction; reporting borrows it.
+    name: String,
 }
 
 impl Monitor for ThreeValuedMonitor {
-    fn name(&self) -> String {
-        format!("3-valued counter monitor at {}", self.proc)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -114,8 +117,8 @@ impl ThreeValuedWecFamily {
 }
 
 impl MonitorFamily for ThreeValuedWecFamily {
-    fn name(&self) -> String {
-        "Section 7 (3-valued WEC_COUNT)".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("Section 7 (3-valued WEC_COUNT)")
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
@@ -125,6 +128,7 @@ impl MonitorFamily for ThreeValuedWecFamily {
                 Box::new(ThreeValuedMonitor {
                     inner: Inner::Wec(WecCountMonitor::new(proc, incs.clone())),
                     proc,
+                    name: format!("3-valued counter monitor at {proc}"),
                 }) as Box<dyn Monitor>
             })
             .collect()
@@ -144,8 +148,8 @@ impl ThreeValuedSecFamily {
 }
 
 impl MonitorFamily for ThreeValuedSecFamily {
-    fn name(&self) -> String {
-        "Section 7 (3-valued SEC_COUNT)".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("Section 7 (3-valued SEC_COUNT)")
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
@@ -160,6 +164,7 @@ impl MonitorFamily for ThreeValuedSecFamily {
                         published.clone(),
                     )),
                     proc,
+                    name: format!("3-valued counter monitor at {proc}"),
                 }) as Box<dyn Monitor>
             })
             .collect()

@@ -25,6 +25,7 @@
 //! iterations only the convergence clause can fire.
 
 use crate::monitor::{Monitor, MonitorFamily};
+use std::borrow::Cow;
 use crate::verdict::Verdict;
 use drv_adversary::View;
 use drv_lang::{Invocation, ProcId, Response};
@@ -43,6 +44,8 @@ pub struct WecCountMonitor {
     curr_incs: u64,
     own_announced: u64,
     read_this_iteration: bool,
+    /// Formatted once at construction; reporting borrows it.
+    name: String,
 }
 
 impl WecCountMonitor {
@@ -61,6 +64,7 @@ impl WecCountMonitor {
             curr_incs: 0,
             own_announced: 0,
             read_this_iteration: false,
+            name: format!("WEC_COUNT monitor at {proc}"),
         }
     }
 
@@ -78,8 +82,8 @@ impl WecCountMonitor {
 }
 
 impl Monitor for WecCountMonitor {
-    fn name(&self) -> String {
-        format!("WEC_COUNT monitor at {}", self.proc)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -146,8 +150,8 @@ impl WecCountFamily {
 }
 
 impl MonitorFamily for WecCountFamily {
-    fn name(&self) -> String {
-        "Figure 5 (WEC_COUNT, weak)".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("Figure 5 (WEC_COUNT, weak)")
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {

@@ -380,7 +380,7 @@ pub fn run(
     ExecutionTrace::new(
         n,
         config.mode,
-        family.name(),
+        family.name().into_owned(),
         behavior_name,
         word,
         verdicts,
@@ -694,8 +694,8 @@ mod tests {
     fn view_requiring_family_needs_timed_mode() {
         struct NeedsViews;
         impl MonitorFamily for NeedsViews {
-            fn name(&self) -> String {
-                "needs views".into()
+            fn name(&self) -> std::borrow::Cow<'_, str> {
+                std::borrow::Cow::Borrowed("needs views")
             }
             fn spawn(&self, n: usize) -> Vec<Box<dyn crate::monitor::Monitor>> {
                 ConstantFamily::always_yes().spawn(n)

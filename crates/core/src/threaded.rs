@@ -252,7 +252,7 @@ pub fn run_threaded(
     ExecutionTrace::new(
         n,
         config.mode,
-        family.name(),
+        family.name().into_owned(),
         behavior_name,
         log.word,
         all_verdicts,

@@ -25,16 +25,19 @@ use crate::verdict::Verdict;
 use drv_adversary::View;
 use drv_lang::{Invocation, ProcId, Response};
 use drv_shmem::{AtomicRegister, SharedArray};
+use std::borrow::Cow;
 
 /// The Figure 2 wrapper around one local monitor.
 pub struct StabilizedMonitor {
     inner: Box<dyn Monitor>,
     flag: AtomicRegister<bool>,
+    /// `"stabilized[{inner}]"`, formatted once at spawn.
+    name: String,
 }
 
 impl Monitor for StabilizedMonitor {
-    fn name(&self) -> String {
-        format!("stabilized[{}]", self.inner.name())
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -82,8 +85,8 @@ impl<F: MonitorFamily> StabilizedFamily<F> {
 }
 
 impl<F: MonitorFamily> MonitorFamily for StabilizedFamily<F> {
-    fn name(&self) -> String {
-        format!("Figure 2 ∘ {}", self.inner.name())
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("Figure 2 ∘ {}", self.inner.name()))
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
@@ -92,9 +95,11 @@ impl<F: MonitorFamily> MonitorFamily for StabilizedFamily<F> {
             .spawn(n)
             .into_iter()
             .map(|inner| {
+                let name = format!("stabilized[{}]", inner.name());
                 Box::new(StabilizedMonitor {
                     inner,
                     flag: flag.clone(),
+                    name,
                 }) as Box<dyn Monitor>
             })
             .collect()
@@ -120,15 +125,36 @@ pub struct CounterPropagationMonitor {
     counters: SharedArray<u64>,
     prev: Vec<u64>,
     mode: CounterMode,
+    /// `"wad-all[{inner}]"` / `"wod-stable[{inner}]"`, formatted once at
+    /// spawn.
+    name: String,
 }
 
-impl Monitor for CounterPropagationMonitor {
-    fn name(&self) -> String {
-        let label = match self.mode {
+impl CounterPropagationMonitor {
+    fn new(
+        inner: Box<dyn Monitor>,
+        counters: SharedArray<u64>,
+        n: usize,
+        mode: CounterMode,
+    ) -> Self {
+        let label = match mode {
             CounterMode::NoWhenGrowing => "wad-all",
             CounterMode::YesWhenStable => "wod-stable",
         };
-        format!("{label}[{}]", self.inner.name())
+        let name = format!("{label}[{}]", inner.name());
+        CounterPropagationMonitor {
+            inner,
+            counters,
+            prev: vec![0; n],
+            mode,
+            name,
+        }
+    }
+}
+
+impl Monitor for CounterPropagationMonitor {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
     }
 
     fn proc(&self) -> ProcId {
@@ -201,8 +227,8 @@ impl<F: MonitorFamily> WadAllFamily<F> {
 }
 
 impl<F: MonitorFamily> MonitorFamily for WadAllFamily<F> {
-    fn name(&self) -> String {
-        format!("Figure 3 ∘ {}", self.inner.name())
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("Figure 3 ∘ {}", self.inner.name()))
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
@@ -211,12 +237,12 @@ impl<F: MonitorFamily> MonitorFamily for WadAllFamily<F> {
             .spawn(n)
             .into_iter()
             .map(|inner| {
-                Box::new(CounterPropagationMonitor {
+                Box::new(CounterPropagationMonitor::new(
                     inner,
-                    counters: counters.clone(),
-                    prev: vec![0; n],
-                    mode: CounterMode::NoWhenGrowing,
-                }) as Box<dyn Monitor>
+                    counters.clone(),
+                    n,
+                    CounterMode::NoWhenGrowing,
+                )) as Box<dyn Monitor>
             })
             .collect()
     }
@@ -242,8 +268,8 @@ impl<F: MonitorFamily> WodStableFamily<F> {
 }
 
 impl<F: MonitorFamily> MonitorFamily for WodStableFamily<F> {
-    fn name(&self) -> String {
-        format!("Figure 4 ∘ {}", self.inner.name())
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("Figure 4 ∘ {}", self.inner.name()))
     }
 
     fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
@@ -252,12 +278,12 @@ impl<F: MonitorFamily> MonitorFamily for WodStableFamily<F> {
             .spawn(n)
             .into_iter()
             .map(|inner| {
-                Box::new(CounterPropagationMonitor {
+                Box::new(CounterPropagationMonitor::new(
                     inner,
-                    counters: counters.clone(),
-                    prev: vec![0; n],
-                    mode: CounterMode::YesWhenStable,
-                }) as Box<dyn Monitor>
+                    counters.clone(),
+                    n,
+                    CounterMode::YesWhenStable,
+                )) as Box<dyn Monitor>
             })
             .collect()
     }

@@ -1,0 +1,241 @@
+//! Interned, `Copy`-able representations of invocations, responses and
+//! operations.
+//!
+//! The consistency checkers spend their inner loop comparing and hashing
+//! operations.  With the plain [`Invocation`] / [`Response`] enums that means
+//! cloning and hashing heap data (ledger sequences, `Custom` strings) once
+//! per DFS node.  An [`Interner`] assigns each distinct payload a dense `u32`
+//! arena id exactly once; afterwards operations are [`OpRecord`]s — small,
+//! `Copy`, compared and hashed as integers — and the payloads are resolved
+//! back only at the edges (calling into a sequential specification,
+//! materializing a witness).
+//!
+//! Ids are only meaningful relative to the interner that produced them;
+//! nothing enforces this at the type level, so keep one interner per engine
+//! (the incremental checker owns its own).
+
+use crate::operation::OpId;
+use crate::symbol::{Invocation, ProcId, Response};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense arena id of an interned [`Invocation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InvocationId(pub u32);
+
+/// Dense arena id of an interned [`Response`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResponseId(pub u32);
+
+impl fmt::Display for InvocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inv#{}", self.0)
+    }
+}
+
+impl fmt::Display for ResponseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "resp#{}", self.0)
+    }
+}
+
+/// Two-sided arena mapping invocations and responses to dense `u32` ids.
+///
+/// Each distinct payload (including the strings inside
+/// [`Invocation::Custom`] / [`Response::Custom`] and the record sequences
+/// inside [`Response::Sequence`]) is cloned and hashed exactly once, on first
+/// sight; every later occurrence costs one hash-map probe and yields a `Copy`
+/// id.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    invocations: Vec<Invocation>,
+    responses: Vec<Response>,
+    invocation_ids: HashMap<Invocation, InvocationId>,
+    response_ids: HashMap<Response, ResponseId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns an invocation, returning its id (stable across repeats).
+    pub fn invocation(&mut self, invocation: &Invocation) -> InvocationId {
+        if let Some(id) = self.invocation_ids.get(invocation) {
+            return *id;
+        }
+        let id = InvocationId(u32::try_from(self.invocations.len()).expect("< 2^32 invocations"));
+        self.invocations.push(invocation.clone());
+        self.invocation_ids.insert(invocation.clone(), id);
+        id
+    }
+
+    /// Interns a response, returning its id (stable across repeats).
+    pub fn response(&mut self, response: &Response) -> ResponseId {
+        if let Some(id) = self.response_ids.get(response) {
+            return *id;
+        }
+        let id = ResponseId(u32::try_from(self.responses.len()).expect("< 2^32 responses"));
+        self.responses.push(response.clone());
+        self.response_ids.insert(response.clone(), id);
+        id
+    }
+
+    /// The invocation behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different interner.
+    #[must_use]
+    pub fn resolve_invocation(&self, id: InvocationId) -> &Invocation {
+        &self.invocations[id.0 as usize]
+    }
+
+    /// The response behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different interner.
+    #[must_use]
+    pub fn resolve_response(&self, id: ResponseId) -> &Response {
+        &self.responses[id.0 as usize]
+    }
+
+    /// Number of distinct invocations interned so far.
+    #[must_use]
+    pub fn invocation_count(&self) -> usize {
+        self.invocations.len()
+    }
+
+    /// Number of distinct responses interned so far.
+    #[must_use]
+    pub fn response_count(&self) -> usize {
+        self.responses.len()
+    }
+}
+
+/// A matched invocation/response pair in interned form: 32 bytes, `Copy`,
+/// integer-compared — the operation representation of the incremental
+/// checking engine (the heavyweight sibling is [`crate::Operation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpRecord {
+    /// Identifier of this operation (its index in the history).
+    pub id: OpId,
+    /// The invoking process.
+    pub proc: ProcId,
+    /// Interned invocation payload.
+    pub invocation: InvocationId,
+    /// Interned response payload, if the operation is complete.
+    pub response: Option<ResponseId>,
+    /// Position of the invocation symbol in the word.
+    pub inv_pos: u32,
+    /// Position of the response symbol in the word, if complete.
+    pub resp_pos: Option<u32>,
+    /// 0-based sequence number among the operations of the same process.
+    pub local_index: u32,
+}
+
+impl OpRecord {
+    /// Returns `true` when the operation has a response.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.resp_pos.is_some()
+    }
+
+    /// Returns `true` when the operation is pending.
+    #[must_use]
+    pub fn is_pending(&self) -> bool {
+        self.resp_pos.is_none()
+    }
+
+    /// Returns `true` when `self` precedes `other` in real time.
+    #[must_use]
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        match self.resp_pos {
+            Some(r) => r < other.inv_pos,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolvable() {
+        let mut interner = Interner::new();
+        let w1 = interner.invocation(&Invocation::Write(1));
+        let w1_again = interner.invocation(&Invocation::Write(1));
+        let w2 = interner.invocation(&Invocation::Write(2));
+        assert_eq!(w1, w1_again);
+        assert_ne!(w1, w2);
+        assert_eq!(interner.resolve_invocation(w1), &Invocation::Write(1));
+        assert_eq!(interner.invocation_count(), 2);
+
+        let ack = interner.response(&Response::Ack);
+        let seq = interner.response(&Response::Sequence(vec![1, 2]));
+        assert_eq!(interner.response(&Response::Ack), ack);
+        assert_eq!(
+            interner.resolve_response(seq),
+            &Response::Sequence(vec![1, 2])
+        );
+        assert_eq!(interner.response_count(), 2);
+    }
+
+    #[test]
+    fn custom_strings_are_interned_once() {
+        let mut interner = Interner::new();
+        let a = interner.invocation(&Invocation::Custom("cas".into(), 1));
+        let b = interner.invocation(&Invocation::Custom("cas".into(), 1));
+        let c = interner.invocation(&Invocation::Custom("cas".into(), 2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(interner.invocation_count(), 2);
+    }
+
+    #[test]
+    fn op_record_is_small_and_copy() {
+        // The whole point of the record: pass-by-value in the inner loop.
+        assert!(std::mem::size_of::<OpRecord>() <= 48);
+        let record = OpRecord {
+            id: OpId(0),
+            proc: ProcId(1),
+            invocation: InvocationId(0),
+            response: Some(ResponseId(0)),
+            inv_pos: 0,
+            resp_pos: Some(3),
+            local_index: 0,
+        };
+        let copy = record;
+        assert_eq!(copy, record);
+        assert!(record.is_complete());
+        assert!(!record.is_pending());
+    }
+
+    #[test]
+    fn op_record_precedence_matches_operation_semantics() {
+        let a = OpRecord {
+            id: OpId(0),
+            proc: ProcId(0),
+            invocation: InvocationId(0),
+            response: Some(ResponseId(0)),
+            inv_pos: 0,
+            resp_pos: Some(1),
+            local_index: 0,
+        };
+        let b = OpRecord {
+            id: OpId(1),
+            proc: ProcId(1),
+            invocation: InvocationId(1),
+            response: None,
+            inv_pos: 2,
+            resp_pos: None,
+            local_index: 0,
+        };
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+pub mod intern;
 pub mod language;
 pub mod oblivious;
 pub mod operation;
@@ -54,6 +55,7 @@ pub mod symbol;
 pub mod word;
 
 pub use alphabet::{ObjectKind, SymbolSampler};
+pub use intern::{Interner, InvocationId, OpRecord, ResponseId};
 pub use language::{Complement, Intersection, Language, RunVerdict, Union};
 pub use oblivious::{oblivious_counterexample, ObliviousReport, ObliviousnessTester};
 pub use operation::{operations, OpId, Operation, OperationSet, Ordering as OpOrdering};

@@ -440,7 +440,6 @@ impl<T: Clone + Send + Sync + 'static> AfekSnapshot<T> {
 mod tests {
     use super::*;
     use crate::stepper::{CrashPlan, SchedulePolicy, StepSim};
-    use proptest::prelude::*;
 
     #[test]
     fn sequential_scan_reflects_updates() {
@@ -598,13 +597,18 @@ mod tests {
             .any(|v| matches!(v, SnapshotViolation::SawFutureUpdate { updater: 1, .. })));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
-
-        #[test]
-        fn random_schedules_never_violate_atomicity(seed in 0u64..10_000, iters in 1u64..5) {
+    #[test]
+    fn random_schedules_never_violate_atomicity() {
+        // Deterministic property sweep (replaces the earlier proptest case
+        // generator): parameters derived from a seeded generator.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xAFE4);
+        for case in 0..16 {
+            let seed = rng.gen_range(0..10_000u64);
+            let iters = rng.gen_range(1..5u64);
             let audit = adversarial_run(seed, iters);
-            prop_assert!(audit.check().is_empty());
+            assert!(audit.check().is_empty(), "case {case}: seed={seed} iters={iters}");
         }
     }
 }

@@ -44,7 +44,7 @@ pub mod registers;
 pub mod stepper;
 
 pub use afek::{AfekSnapshot, ScanRecord, SnapshotAudit, SnapshotViolation};
-pub use registers::{AtomicRegister, SharedArray};
+pub use registers::{AppendDelta, AtomicRegister, SharedArray, SnapshotDelta};
 pub use stepper::{
     CrashPlan, ProcCtx, SchedulePolicy, StepLog, StepOutcome, StepSim, StepSimReport,
 };

@@ -60,20 +60,58 @@ impl<T: Clone> AtomicRegister<T> {
     }
 }
 
+/// The changed-entries-only result of [`SharedArray::snapshot_since`].
+///
+/// `changed` holds `(index, entry)` pairs for exactly the entries whose
+/// version advanced past the caller's vector; `versions` is the version
+/// vector at the (atomic) moment of the snapshot, to be passed back on the
+/// next call.  Both views come from one read-lock acquisition, so they
+/// describe a single point in time exactly like [`SharedArray::snapshot`].
+#[derive(Debug, Clone)]
+pub struct SnapshotDelta<T> {
+    /// The entries that changed since the caller's version vector.
+    pub changed: Vec<(usize, T)>,
+    /// The version vector of this snapshot.
+    pub versions: Vec<u64>,
+}
+
+impl<T> SnapshotDelta<T> {
+    /// `true` when nothing changed since the caller's version vector.
+    #[must_use]
+    pub fn is_unchanged(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Slots<T> {
+    entries: Vec<T>,
+    /// `versions[i]` counts the writes to entry `i`; a reader that remembers
+    /// the vector of its last snapshot can tell exactly which entries moved.
+    versions: Vec<u64>,
+}
+
 /// A shared array of `n` single-writer registers supporting atomic
 /// [`SharedArray::snapshot`] and non-atomic [`SharedArray::collect`].
 ///
 /// Entry `i` is meant to be written only by process `pᵢ` (as in all the
 /// paper's algorithms), although this is not enforced.
+///
+/// Every write bumps a per-entry version counter, which enables the O(delta)
+/// read path [`SharedArray::snapshot_since`]: a reader that keeps the version
+/// vector of its previous snapshot receives (and pays the cloning of) only
+/// the entries that changed since, while the full-copy
+/// [`SharedArray::snapshot`] stays available behind the same handle for the
+/// impossibility constructions that replay whole configurations.
 #[derive(Debug)]
 pub struct SharedArray<T> {
-    entries: Arc<RwLock<Vec<T>>>,
+    slots: Arc<RwLock<Slots<T>>>,
 }
 
 impl<T> Clone for SharedArray<T> {
     fn clone(&self) -> Self {
         SharedArray {
-            entries: Arc::clone(&self.entries),
+            slots: Arc::clone(&self.slots),
         }
     }
 }
@@ -81,21 +119,22 @@ impl<T> Clone for SharedArray<T> {
 impl<T: Clone> SharedArray<T> {
     /// Creates an array of `n` entries, each holding `initial`.
     pub fn new(n: usize, initial: T) -> Self {
-        SharedArray {
-            entries: Arc::new(RwLock::new(vec![initial; n])),
-        }
+        SharedArray::from_entries(vec![initial; n])
     }
 
     /// Creates an array from explicit initial entries.
     pub fn from_entries(entries: Vec<T>) -> Self {
+        // Initial values count as version 1, so a first-time reader passing
+        // an empty (all-zero) vector to `snapshot_since` receives everything.
+        let versions = vec![1; entries.len()];
         SharedArray {
-            entries: Arc::new(RwLock::new(entries)),
+            slots: Arc::new(RwLock::new(Slots { entries, versions })),
         }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.slots.read().entries.len()
     }
 
     /// Returns `true` when the array has no entries.
@@ -109,7 +148,24 @@ impl<T: Clone> SharedArray<T> {
     ///
     /// Panics if `i` is out of bounds.
     pub fn write(&self, i: usize, value: T) {
-        self.entries.write()[i] = value;
+        let mut slots = self.slots.write();
+        slots.entries[i] = value;
+        slots.versions[i] += 1;
+    }
+
+    /// Atomically mutates entry `i` in place (one write of the register:
+    /// readers see either the old or the new value).  Saves the caller from
+    /// rebuilding and cloning a whole entry to append to it — the publish
+    /// path of the monitors is `update(i, |ops| ops.push(op))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn update<R>(&self, i: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut slots = self.slots.write();
+        let result = f(&mut slots.entries[i]);
+        slots.versions[i] += 1;
+        result
     }
 
     /// Atomically reads entry `i`.
@@ -118,13 +174,49 @@ impl<T: Clone> SharedArray<T> {
     ///
     /// Panics if `i` is out of bounds.
     pub fn read(&self, i: usize) -> T {
-        self.entries.read()[i].clone()
+        self.slots.read().entries[i].clone()
     }
 
     /// Atomically reads all entries (the `Snapshot(·)` operation of the
     /// paper's algorithms).
     pub fn snapshot(&self) -> Vec<T> {
-        self.entries.read().clone()
+        self.slots.read().entries.clone()
+    }
+
+    /// The current version vector (the initial value of entry `i` counts as
+    /// version 1; every write bumps it).
+    pub fn versions(&self) -> Vec<u64> {
+        self.slots.read().versions.clone()
+    }
+
+    /// Atomically reads all entries together with the version vector; the
+    /// vector seeds a later [`SharedArray::snapshot_since`].
+    pub fn snapshot_versioned(&self) -> (Vec<T>, Vec<u64>) {
+        let slots = self.slots.read();
+        (slots.entries.clone(), slots.versions.clone())
+    }
+
+    /// Atomically reads the entries that changed since `since` (a version
+    /// vector from an earlier [`SharedArray::snapshot_versioned`] /
+    /// [`SharedArray::snapshot_since`]; pass `&[]` for "everything").
+    ///
+    /// Linearizes exactly like [`SharedArray::snapshot`] — one read-lock
+    /// acquisition — but clones only the changed entries, so a reader that
+    /// polls a mostly-quiet array pays O(delta), not O(n · entry size).
+    pub fn snapshot_since(&self, since: &[u64]) -> SnapshotDelta<T> {
+        let slots = self.slots.read();
+        let changed = slots
+            .entries
+            .iter()
+            .zip(&slots.versions)
+            .enumerate()
+            .filter(|(i, (_, &version))| since.get(*i).copied().unwrap_or(0) < version)
+            .map(|(i, (entry, _))| (i, entry.clone()))
+            .collect();
+        SnapshotDelta {
+            changed,
+            versions: slots.versions.clone(),
+        }
     }
 
     /// Reads the entries one by one, releasing the lock between reads (the
@@ -137,6 +229,47 @@ impl<T: Clone> SharedArray<T> {
             out.push(self.read(i));
         }
         out
+    }
+}
+
+/// The suffix-only result of [`SharedArray::snapshot_appended_since`].
+#[derive(Debug, Clone)]
+pub struct AppendDelta<T> {
+    /// `(index, start, elements)` for every entry that grew past the
+    /// caller's cursor: `elements` are that entry's elements from position
+    /// `start` on.
+    pub appended: Vec<(usize, usize, Vec<T>)>,
+    /// The per-entry lengths at the (atomic) moment of the snapshot, to be
+    /// passed back as the cursors of the next call.
+    pub lens: Vec<usize>,
+}
+
+impl<T: Clone> SharedArray<Vec<T>> {
+    /// Atomic suffix snapshot for *append-only* entries (per-process logs):
+    /// clones only the elements appended past the caller's cursor vector
+    /// (pass `&[]` for "everything"), so a reader of logs holding `k` total
+    /// elements pays O(newly appended), not O(k).
+    ///
+    /// The per-entry element counts double as the version information, so
+    /// no separate version vector is needed.  Entries are assumed to only
+    /// ever grow (the monitors publish via
+    /// `update(i, |ops| ops.push(..))`); if an entry was rewritten shorter
+    /// than the caller's cursor, the shrink itself is not observable — the
+    /// cursor is clamped and only elements past the new length are
+    /// delivered.  Use [`SharedArray::snapshot_since`] when entries are
+    /// replaced wholesale.
+    pub fn snapshot_appended_since(&self, cursors: &[usize]) -> AppendDelta<T> {
+        let slots = self.slots.read();
+        let mut appended = Vec::new();
+        let mut lens = Vec::with_capacity(slots.entries.len());
+        for (i, entry) in slots.entries.iter().enumerate() {
+            let cursor = cursors.get(i).copied().unwrap_or(0).min(entry.len());
+            if entry.len() > cursor {
+                appended.push((i, cursor, entry[cursor..].to_vec()));
+            }
+            lens.push(entry.len());
+        }
+        AppendDelta { appended, lens }
     }
 }
 
@@ -188,6 +321,104 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_write_panics() {
         SharedArray::new(1, 0u64).write(5, 1);
+    }
+
+    #[test]
+    fn snapshot_since_delivers_only_changed_entries() {
+        let a = SharedArray::new(3, 0u64);
+        // A first-time reader (empty vector) sees everything.
+        let first = a.snapshot_since(&[]);
+        assert_eq!(first.changed, vec![(0, 0), (1, 0), (2, 0)]);
+        // Quiet array: nothing to deliver.
+        let quiet = a.snapshot_since(&first.versions);
+        assert!(quiet.is_unchanged());
+        assert_eq!(quiet.versions, first.versions);
+        // One write: exactly one entry comes back.
+        a.write(1, 7);
+        let delta = a.snapshot_since(&quiet.versions);
+        assert_eq!(delta.changed, vec![(1, 7)]);
+        // Same-value writes still count: versions track writes, not values.
+        a.write(1, 7);
+        assert_eq!(a.snapshot_since(&delta.versions).changed, vec![(1, 7)]);
+    }
+
+    #[test]
+    fn update_mutates_in_place_and_bumps_version() {
+        let a = SharedArray::new(2, Vec::<u64>::new());
+        let (_, v0) = a.snapshot_versioned();
+        let len = a.update(0, |ops| {
+            ops.push(4);
+            ops.len()
+        });
+        assert_eq!(len, 1);
+        let delta = a.snapshot_since(&v0);
+        assert_eq!(delta.changed, vec![(0, vec![4])]);
+        assert_eq!(a.read(0), vec![4]);
+    }
+
+    #[test]
+    fn snapshot_appended_since_delivers_only_suffixes() {
+        let a: SharedArray<Vec<u64>> = SharedArray::new(2, Vec::new());
+        a.update(0, |ops| ops.extend([1, 2]));
+        a.update(1, |ops| ops.push(9));
+        // First-time reader gets everything, with starts at 0.
+        let first = a.snapshot_appended_since(&[]);
+        assert_eq!(first.appended, vec![(0, 0, vec![1, 2]), (1, 0, vec![9])]);
+        assert_eq!(first.lens, vec![2, 1]);
+        // Quiet array: nothing delivered.
+        assert!(a.snapshot_appended_since(&first.lens).appended.is_empty());
+        // One append: only that suffix comes back.
+        a.update(0, |ops| ops.push(3));
+        let delta = a.snapshot_appended_since(&first.lens);
+        assert_eq!(delta.appended, vec![(0, 2, vec![3])]);
+        assert_eq!(delta.lens, vec![3, 1]);
+    }
+
+    #[test]
+    fn snapshot_versioned_agrees_with_snapshot() {
+        let a = SharedArray::from_entries(vec![1u64, 2]);
+        let (entries, versions) = a.snapshot_versioned();
+        assert_eq!(entries, a.snapshot());
+        assert_eq!(versions, a.versions());
+        assert_eq!(versions, vec![1, 1]);
+    }
+
+    #[test]
+    fn snapshot_since_is_atomic_under_threads() {
+        // Writers keep entries[0] >= entries[1] (entry 0 written first);
+        // delta snapshots must never observe the invariant broken on the
+        // entries they deliver, merged over a reader-maintained mirror.
+        let a = SharedArray::new(2, 0u64);
+        let writer = {
+            let a = a.clone();
+            thread::spawn(move || {
+                for v in 1..=1000u64 {
+                    a.write(0, v);
+                    a.write(1, v);
+                }
+            })
+        };
+        let reader = {
+            let a = a.clone();
+            thread::spawn(move || {
+                let mut mirror = [0u64; 2];
+                let mut versions = Vec::new();
+                let mut violations = 0usize;
+                for _ in 0..1000 {
+                    let delta = a.snapshot_since(&versions);
+                    for (i, value) in delta.changed {
+                        mirror[i] = value;
+                    }
+                    versions = delta.versions;
+                    if mirror[0] < mirror[1] {
+                        violations += 1;
+                    }
+                }
+                violations
+            })
+        };
+        writer.join().unwrap();
+        assert_eq!(reader.join().unwrap(), 0);
     }
 
     #[test]

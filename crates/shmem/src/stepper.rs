@@ -42,9 +42,11 @@ use std::thread;
 
 /// How the scheduler picks the next process to take a step.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
 pub enum SchedulePolicy {
     /// Cycle through the processes in index order, skipping processes that
     /// are not currently requesting a step.
+    #[default]
     RoundRobin,
     /// Pick uniformly at random among the requesting processes, from a seeded
     /// deterministic generator.
@@ -58,11 +60,6 @@ pub enum SchedulePolicy {
     Script(Vec<usize>),
 }
 
-impl Default for SchedulePolicy {
-    fn default() -> Self {
-        SchedulePolicy::RoundRobin
-    }
-}
 
 /// When to crash each process.
 ///

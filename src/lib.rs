@@ -1,0 +1,25 @@
+//! Facade crate for the distributed runtime-verification workspace.
+//!
+//! Re-exports the crates of the workspace under one name so integration
+//! tests, examples and downstream users can depend on a single package:
+//!
+//! * [`lang`] — distributed alphabets, words, histories, languages,
+//! * [`spec`] — sequential object specifications,
+//! * [`consistency`] — linearizability / sequential-consistency checkers
+//!   (including the incremental engine) and the Table 1 languages,
+//! * [`shmem`] — the shared-memory substrate (registers, snapshots, logs),
+//! * [`adversary`] — the adversaries A and Aτ plus behaviours,
+//! * [`core`] — monitors, runtime, decidability notions, impossibilities,
+//! * [`abd`] — the ABD message-passing port,
+//! * [`bench`] — the Table 1 reproduction harness.
+
+#![forbid(unsafe_code)]
+
+pub use drv_abd as abd;
+pub use drv_adversary as adversary;
+pub use drv_bench as bench;
+pub use drv_consistency as consistency;
+pub use drv_core as core;
+pub use drv_lang as lang;
+pub use drv_shmem as shmem;
+pub use drv_spec as spec;
