@@ -1,0 +1,268 @@
+//! Multi-object streaming throughput: the sharded `drv-engine` pool vs the
+//! single-thread direct loop.
+//!
+//! A 64-object mixed LIN/SC register stream (even objects checked for
+//! linearizability, odd for sequential consistency) is ingested four ways:
+//! inline on the calling thread (the pre-engine deployment: one
+//! `IncrementalChecker` per object, fed in arrival order), and through
+//! [`MonitoringEngine`] at 1, 2, 4 and 8 workers.  Every engine run's
+//! verdict streams are asserted bit-identical to the inline reference —
+//! scale must not buy away determinism.
+//!
+//! Besides the per-configuration report lines, the bench writes the
+//! machine-readable baseline `BENCH_engine.json` at the workspace root:
+//!
+//! ```text
+//! cargo bench -p drv-bench --bench engine
+//! ```
+//!
+//! Read `available_parallelism` in the JSON before comparing speedups across
+//! machines: a 1-core container time-slices the workers (any gain is pipelining),
+//! the same binary on a 4-core runner separates them.
+
+use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
+use drv_engine::{EngineConfig, MonitoringEngine};
+use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+use drv_spec::Register;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Monitored objects in the stream.
+const OBJECTS: u64 = 64;
+/// Completed operations per object.
+const OPS_PER_OBJECT: usize = 150;
+/// Client processes per object.
+const PROCESSES: usize = 2;
+/// Per-check node budget.
+const MAX_STATES: usize = 200_000;
+/// Worker counts measured.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Timed repetitions per configuration (minimum is reported).
+const REPS: usize = 3;
+
+/// A fresh incremental checker per object, LIN or SC by object id.
+fn mixed_factory() -> Arc<RoutingMonitorFactory> {
+    let lin = Arc::new(
+        CheckerMonitorFactory::linearizability(Register::new(), PROCESSES)
+            .with_max_states(MAX_STATES),
+    ) as Arc<dyn ObjectMonitorFactory>;
+    let sc = Arc::new(
+        CheckerMonitorFactory::sequential_consistency(Register::new(), PROCESSES)
+            .with_max_states(MAX_STATES),
+    ) as Arc<dyn ObjectMonitorFactory>;
+    Arc::new(RoutingMonitorFactory::new("mixed LIN/SC", move |object: ObjectId| {
+        if object.0.is_multiple_of(2) {
+            Arc::clone(&lin)
+        } else {
+            Arc::clone(&sc)
+        }
+    }))
+}
+
+/// One object's stream: a correct register history with overlapping
+/// operations (concurrency for the checkers to resolve, all members — the
+/// steady-state traffic shape).
+fn object_stream(rng: &mut StdRng, ops: usize) -> Vec<Symbol> {
+    let mut symbols = Vec::new();
+    let mut value = 0u64;
+    let mut next_write = 1u64;
+    let mut emitted = 0;
+    while emitted < ops {
+        let overlap = ops - emitted >= 2 && rng.gen_bool(0.25);
+        let procs: Vec<usize> = if overlap {
+            vec![0, 1]
+        } else {
+            vec![rng.gen_range(0..PROCESSES)]
+        };
+        let mut invocations = Vec::new();
+        for &p in &procs {
+            let invocation = if rng.gen_bool(0.5) {
+                let v = next_write;
+                next_write += 1;
+                Invocation::Write(v)
+            } else {
+                Invocation::Read
+            };
+            symbols.push(Symbol::invoke(ProcId(p), invocation.clone()));
+            invocations.push((p, invocation));
+        }
+        if overlap && rng.gen_bool(0.5) {
+            invocations.reverse();
+        }
+        for (p, invocation) in invocations {
+            let response = match invocation {
+                Invocation::Write(v) => {
+                    value = v;
+                    Response::Ack
+                }
+                _ => Response::Value(value),
+            };
+            symbols.push(Symbol::respond(ProcId(p), response));
+            emitted += 1;
+        }
+    }
+    symbols
+}
+
+/// The 64-object stream, round-robin merged so every engine batch mixes
+/// objects (the adversarial case for routing overhead).
+fn merged_stream() -> Vec<(ObjectId, Symbol)> {
+    let mut per_object: Vec<(ObjectId, std::collections::VecDeque<Symbol>)> = (0..OBJECTS)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0xE16E ^ i);
+            (ObjectId(i), object_stream(&mut rng, OPS_PER_OBJECT).into())
+        })
+        .collect();
+    let mut merged = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (object, queue) in &mut per_object {
+            if let Some(symbol) = queue.pop_front() {
+                merged.push((*object, symbol));
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return merged;
+        }
+    }
+}
+
+fn inline_reference(events: &[(ObjectId, Symbol)]) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>) {
+    let start = Instant::now();
+    let verdicts = drv_engine::sequential_reference(mixed_factory().as_ref(), events);
+    (start.elapsed(), verdicts)
+}
+
+fn engine_run(
+    events: &[(ObjectId, Symbol)],
+    workers: usize,
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>, u64) {
+    let start = Instant::now();
+    let engine = MonitoringEngine::new(EngineConfig::new(workers), mixed_factory());
+    for (object, symbol) in events {
+        engine.submit(*object, symbol);
+    }
+    let report = engine.finish().expect("no engine worker panicked");
+    let elapsed = start.elapsed();
+    let steals = report.stats.steals;
+    let verdicts = report
+        .objects
+        .into_iter()
+        .map(|(object, r)| (object, r.verdicts))
+        .collect();
+    (elapsed, verdicts, steals)
+}
+
+fn best_of<T>(mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let mut best: Option<(Duration, T)> = None;
+    for _ in 0..REPS {
+        let run = f();
+        if best.as_ref().is_none_or(|(d, _)| run.0 < *d) {
+            best = Some(run);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+fn throughput(events: usize, duration: Duration) -> f64 {
+    events as f64 / duration.as_secs_f64().max(1e-12)
+}
+
+fn main() {
+    let events = merged_stream();
+    let total = events.len();
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "engine bench: {OBJECTS} objects x {OPS_PER_OBJECT} ops \
+         ({total} symbols), {parallelism} hardware threads"
+    );
+
+    let (inline_time, reference) = best_of(|| inline_reference(&events));
+    println!(
+        "engine/inline-single-thread: {:>10.2} ms  {:>12.0} events/s",
+        inline_time.as_secs_f64() * 1e3,
+        throughput(total, inline_time),
+    );
+
+    let mut engine_times = Vec::new();
+    for workers in WORKER_COUNTS {
+        let (elapsed, (verdicts, steals)) = best_of(|| {
+            let (elapsed, verdicts, steals) = engine_run(&events, workers);
+            (elapsed, (verdicts, steals))
+        });
+        assert_eq!(
+            verdicts, reference,
+            "{workers} workers: engine verdict streams differ from the inline reference"
+        );
+        println!(
+            "engine/sharded/{workers}-workers:   {:>10.2} ms  {:>12.0} events/s  ({} steals)",
+            elapsed.as_secs_f64() * 1e3,
+            throughput(total, elapsed),
+            steals,
+        );
+        engine_times.push((workers, elapsed));
+    }
+
+    let time_at = |workers: usize| -> Duration {
+        engine_times
+            .iter()
+            .find(|(w, _)| *w == workers)
+            .expect("measured")
+            .1
+    };
+    let speedup_4v1 = time_at(1).as_secs_f64() / time_at(4).as_secs_f64().max(1e-12);
+    println!("engine: {speedup_4v1:.2}x aggregate throughput at 4 workers vs 1 worker");
+
+    let rows: Vec<String> = engine_times
+        .iter()
+        .map(|(workers, elapsed)| {
+            format!(
+                concat!(
+                    "    {{ \"workers\": {}, \"total_ns\": {}, ",
+                    "\"events_per_sec\": {:.0} }}"
+                ),
+                workers,
+                elapsed.as_nanos(),
+                throughput(total, *elapsed),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"sharded streaming engine vs single-thread direct loop\",\n",
+            "  \"regenerate\": \"cargo bench -p drv-bench --bench engine\",\n",
+            "  \"stream\": \"{} register objects, mixed LIN/SC (even/odd), {} ops each\",\n",
+            "  \"events\": {},\n",
+            "  \"processes_per_object\": {},\n",
+            "  \"max_states\": {},\n",
+            "  \"available_parallelism\": {},\n",
+            "  \"unit\": \"total nanoseconds to ingest and fully check the stream\",\n",
+            "  \"single_thread_ns\": {},\n",
+            "  \"single_thread_events_per_sec\": {:.0},\n",
+            "  \"sharded\": [\n{}\n  ],\n",
+            "  \"speedup_4_workers_vs_1\": {:.2},\n",
+            "  \"verdicts_bit_identical_to_single_thread\": true\n",
+            "}}\n"
+        ),
+        OBJECTS,
+        OPS_PER_OBJECT,
+        total,
+        PROCESSES,
+        MAX_STATES,
+        parallelism,
+        inline_time.as_nanos(),
+        throughput(total, inline_time),
+        rows.join(",\n"),
+        speedup_4v1,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("baseline written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}

@@ -1,11 +1,13 @@
 //! Regenerates Table 1 of the paper and prints a per-cell account.
 //!
 //! ```text
-//! cargo run -p drv-bench --bin table1 --release           # full configuration
-//! cargo run -p drv-bench --bin table1 --release -- quick  # reduced configuration
-//! cargo run -p drv-bench --bin table1 --release -- --fast # time the object
-//!                                                         # cells, scratch vs
-//!                                                         # incremental
+//! cargo run -p drv-bench --bin table1 --release              # full configuration
+//! cargo run -p drv-bench --bin table1 --release -- quick     # reduced configuration
+//! cargo run -p drv-bench --bin table1 --release -- --fast    # time the object
+//!                                                            # cells, scratch vs
+//!                                                            # incremental
+//! cargo run -p drv-bench --bin table1 --release -- --engine 4  # …plus a
+//!                                                            # drv-engine column
 //! ```
 //!
 //! `--fast` runs only the four expensive object cells (the rows whose
@@ -13,20 +15,41 @@
 //! historical from-scratch checking path and once through the incremental
 //! engine, and prints the per-cell wall-clock of both so the speedup is
 //! observable directly from the CLI.
+//!
+//! `--engine [N]` (default 4 workers) additionally re-checks every cell's
+//! execution words through the sharded `drv-engine` pool — one object per
+//! run, all runs ingested concurrently — and prints that wall-clock next to
+//! the scratch/incremental columns.  The engine column times checking only
+//! (ingesting raw x(E) streams), not the simulator and adversary machinery
+//! the other two columns include.
 
-use drv_bench::{reproduce_table1, time_object_cells, Table1Config};
+use drv_bench::{reproduce_table1, time_object_cells_with_engine, Table1Config};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|arg| arg == "quick");
     let fast = args.iter().any(|arg| arg == "--fast");
+    // `--engine [N]`: the number directly after the flag is the worker
+    // count (default 4); any *other* free-standing number is the iteration
+    // override shared with `--fast`.
+    let engine_position = args.iter().position(|arg| arg == "--engine");
+    let mut worker_argument = None;
+    let engine_workers: Option<usize> = engine_position.map(|position| {
+        match args.get(position + 1).and_then(|arg| arg.parse().ok()) {
+            Some(workers) => {
+                worker_argument = Some(position + 1);
+                workers
+            }
+            None => 4,
+        }
+    });
     let mut config = if quick {
         Table1Config::quick()
     } else {
         Table1Config::default()
     };
 
-    if fast {
+    if fast || engine_workers.is_some() {
         // The object cells only get expensive as the histories grow (the
         // table's default of 24 iterations keeps the full reproduction
         // fast); `--fast` exists to show the checker speedup, so default to
@@ -34,21 +57,42 @@ fn main() {
         // number overrides it: `table1 -- --fast 200`.
         config.object_iterations = args
             .iter()
-            .find_map(|arg| arg.parse::<usize>().ok())
+            .enumerate()
+            .skip(1)
+            .filter(|(index, _)| Some(*index) != worker_argument)
+            .find_map(|(_, arg)| arg.parse::<usize>().ok())
             .unwrap_or(100);
         eprintln!(
-            "timing the object cells ({} seeds, {} object iterations), scratch vs incremental…",
+            "timing the object cells ({} seeds, {} object iterations), scratch vs incremental{}…",
             config.seeds.len(),
-            config.object_iterations
+            config.object_iterations,
+            match engine_workers {
+                Some(workers) => format!(" vs engine ({workers} workers)"),
+                None => String::new(),
+            },
         );
-        let timings = time_object_cells(&config);
-        println!(
-            "{:<10} {:>14} {:>14} {:>9}  PSD",
-            "cell", "from-scratch", "incremental", "speedup"
-        );
+        let timings = time_object_cells_with_engine(&config, engine_workers);
+        match engine_workers {
+            Some(workers) => println!(
+                "{:<10} {:>14} {:>14} {:>9} {:>17}  PSD",
+                "cell",
+                "from-scratch",
+                "incremental",
+                "speedup",
+                format!("engine({workers}w)"),
+            ),
+            None => println!(
+                "{:<10} {:>14} {:>14} {:>9}  PSD",
+                "cell", "from-scratch", "incremental", "speedup"
+            ),
+        }
         for timing in &timings {
+            let engine_column = match timing.engine {
+                Some(engine) => format!(" {:>14.2} ms", engine.as_secs_f64() * 1e3),
+                None => String::new(),
+            };
             println!(
-                "{:<10} {:>11.2} ms {:>11.2} ms {:>8.1}x  {}",
+                "{:<10} {:>11.2} ms {:>11.2} ms {:>8.1}x{engine_column}  {}",
                 timing.cell,
                 timing.scratch.as_secs_f64() * 1e3,
                 timing.incremental.as_secs_f64() * 1e3,

@@ -27,6 +27,7 @@ pub mod table1;
 pub mod witnesses;
 
 pub use table1::{
-    reproduce_table1, time_object_cells, CellResult, ObjectCellTiming, Table1Config, Table1Report,
+    reproduce_table1, time_object_cells, time_object_cells_with_engine, CellResult,
+    ObjectCellTiming, Table1Config, Table1Report,
 };
 pub use witnesses::{appendix_a_ledger_witness, counter_witness, register_witness};

@@ -595,6 +595,13 @@ pub struct ObjectCellTiming {
     /// Total wall-clock of the same runs under
     /// [`CheckStrategy::Incremental`].
     pub incremental: std::time::Duration,
+    /// Total wall-clock of checking the cell's execution words through
+    /// `drv-engine` (one object per run, all runs ingested concurrently),
+    /// when `table1 --engine [N]` requested it.  This times the *checking
+    /// deployment* the engine replaces — a central service consuming the
+    /// raw x(E) streams — so it excludes the simulator/adversary machinery
+    /// the scratch/incremental columns include.
+    pub engine: Option<std::time::Duration>,
     /// Whether predictive strong decidability held on every run (it must,
     /// under either strategy).
     pub holds: bool,
@@ -608,20 +615,27 @@ impl ObjectCellTiming {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
     cell: &str,
     language: &Arc<dyn Language>,
+    spec: &S,
     family: &PredictiveFamily<S>,
     configs: &[RunConfig],
     behaviors: &dyn Fn() -> Vec<BehaviorFactory>,
     tail_fraction: f64,
+    engine_workers: Option<usize>,
 ) -> ObjectCellTiming {
-    use drv_core::monitors::CheckStrategy;
+    use drv_core::monitors::{CheckStrategy, Criterion};
+    use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory};
+    use drv_engine::{EngineConfig, MonitoringEngine};
+    use drv_lang::ObjectId;
     use std::time::Instant;
 
     let decider = Decider::new(Arc::clone(language)).with_tail_fraction(tail_fraction);
     let mut timings = [std::time::Duration::ZERO; 2];
     let mut holds = true;
+    let mut words: Vec<Word> = Vec::new();
     for (slot, strategy) in [
         (0, CheckStrategy::FromScratch),
         (1, CheckStrategy::Incremental),
@@ -647,12 +661,45 @@ fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
                     .map(|evaluation| evaluation.holds)
                     .unwrap_or(false);
             }
+            if engine_workers.is_some() {
+                words = traces.iter().map(|trace| trace.word().clone()).collect();
+            }
         }
     }
+    // The engine column: every run's execution word becomes one object
+    // stream, all ingested concurrently by a shared engine.
+    let engine = engine_workers.map(|workers| {
+        let processes = words
+            .iter()
+            .flat_map(Word::procs)
+            .map(|proc| proc.0 + 1)
+            .max()
+            .unwrap_or(1);
+        let factory: Arc<dyn ObjectMonitorFactory> = match family.criterion() {
+            Criterion::Linearizable => Arc::new(
+                CheckerMonitorFactory::linearizability(spec.clone(), processes)
+                    .with_max_states(200_000),
+            ),
+            Criterion::SequentiallyConsistent => Arc::new(
+                CheckerMonitorFactory::sequential_consistency(spec.clone(), processes)
+                    .with_max_states(200_000),
+            ),
+        };
+        let start = Instant::now();
+        let engine = MonitoringEngine::new(EngineConfig::new(workers), factory);
+        for (index, word) in words.iter().enumerate() {
+            engine.submit_word(ObjectId(index as u64), word);
+        }
+        let report = engine.finish().expect("no engine worker panicked");
+        let elapsed = start.elapsed();
+        assert_eq!(report.objects.len(), words.len());
+        elapsed
+    });
     ObjectCellTiming {
         cell: cell.to_string(),
         scratch: timings[0],
         incremental: timings[1],
+        engine,
         holds,
     }
 }
@@ -662,6 +709,17 @@ fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
 /// and the incremental checking strategy (`table1 --fast` prints the result).
 #[must_use]
 pub fn time_object_cells(config: &Table1Config) -> Vec<ObjectCellTiming> {
+    time_object_cells_with_engine(config, None)
+}
+
+/// [`time_object_cells`], optionally adding a `drv-engine` column: each
+/// cell's execution words are re-checked through a sharded engine with the
+/// given worker count (`table1 --engine [N]` prints the result).
+#[must_use]
+pub fn time_object_cells_with_engine(
+    config: &Table1Config,
+    engine_workers: Option<usize>,
+) -> Vec<ObjectCellTiming> {
     let n_obj = config.object_processes;
     let reg_configs = object_configs(config, ObjectKind::Register, n_obj);
     let led_configs = object_configs(config, ObjectKind::Ledger, 2);
@@ -685,34 +743,42 @@ pub fn time_object_cells(config: &Table1Config) -> Vec<ObjectCellTiming> {
         time_one_cell(
             "LIN_REG",
             &(Arc::new(lin_reg(n_obj)) as Arc<dyn Language>),
+            &Register::new(),
             &PredictiveFamily::linearizable(Register::new()),
             &reg_configs,
             &register_behaviors,
             tail,
+            engine_workers,
         ),
         time_one_cell(
             "SC_REG",
             &(Arc::new(sc_reg(n_obj)) as Arc<dyn Language>),
+            &Register::new(),
             &PredictiveFamily::sequentially_consistent(Register::new()),
             &reg_configs,
             &register_behaviors,
             tail,
+            engine_workers,
         ),
         time_one_cell(
             "LIN_LED",
             &(Arc::new(lin_led(2)) as Arc<dyn Language>),
+            &Ledger::new(),
             &PredictiveFamily::linearizable(Ledger::new()),
             &led_configs,
             &ledger_behaviors,
             tail,
+            engine_workers,
         ),
         time_one_cell(
             "SC_LED",
             &(Arc::new(sc_led(2)) as Arc<dyn Language>),
+            &Ledger::new(),
             &PredictiveFamily::sequentially_consistent(Ledger::new()),
             &led_configs,
             &ledger_behaviors,
             tail,
+            engine_workers,
         ),
     ]
 }

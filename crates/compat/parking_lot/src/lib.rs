@@ -5,10 +5,16 @@
 //! guards directly (poisoning is swallowed — a panicking holder does not
 //! poison the lock for everyone else, matching parking_lot semantics), and
 //! `Condvar::wait` takes `&mut MutexGuard` instead of consuming it.
+//!
+//! The `drv-engine` worker pool additionally relies on `try_lock`,
+//! `Condvar::wait_while` / `wait_for` (with [`WaitTimeoutResult`]) and the
+//! named [`RwLockReadGuard`] / [`RwLockWriteGuard`] types, all mirrored here
+//! with parking_lot's signatures.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync;
+use std::time::Duration;
 
 /// A mutual-exclusion lock with the parking_lot API.
 #[derive(Default)]
@@ -45,6 +51,25 @@ impl<T: ?Sized> Mutex<T> {
             guard: Some(self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)),
         }
     }
+
+    /// Attempts to acquire the lock without blocking; `None` when another
+    /// holder has it (parking_lot returns `Option`, not `Result`).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(MutexGuard { guard: Some(guard) }),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
+                guard: Some(poisoned.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut self` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
@@ -72,6 +97,16 @@ pub struct RwLock<T: ?Sized> {
     inner: sync::RwLock<T>,
 }
 
+/// RAII shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: sync::RwLockWriteGuard<'a, T>,
+}
+
 impl<T> RwLock<T> {
     /// Creates a lock holding `value`.
     pub const fn new(value: T) -> Self {
@@ -79,23 +114,96 @@ impl<T> RwLock<T> {
             inner: sync::RwLock::new(value),
         }
     }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard (ignores poisoning).
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(sync::PoisonError::into_inner)
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            guard: self.inner.read().unwrap_or_else(sync::PoisonError::into_inner),
+        }
     }
 
     /// Acquires an exclusive write guard (ignores poisoning).
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(sync::PoisonError::into_inner)
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            guard: self.inner.write().unwrap_or_else(sync::PoisonError::into_inner),
+        }
+    }
+
+    /// Attempts to acquire a read guard without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(RwLockReadGuard { guard }),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(RwLockReadGuard {
+                guard: poisoned.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire a write guard without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(RwLockWriteGuard { guard }),
+            Err(sync::TryLockError::Poisoned(poisoned)) => Some(RwLockWriteGuard {
+                guard: poisoned.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (the `&mut self` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -121,6 +229,38 @@ impl Condvar {
             .wait(std_guard)
             .unwrap_or_else(sync::PoisonError::into_inner);
         guard.guard = Some(reacquired);
+    }
+
+    /// Blocks until notified *and* `condition` returns `false` (spurious
+    /// wake-ups are re-checked, matching parking_lot's `wait_while`).
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let reacquired = self
+            .inner
+            .wait_while(std_guard, |value| condition(value))
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.guard = Some(reacquired);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wakes one waiter.
@@ -154,11 +294,43 @@ mod tests {
     }
 
     #[test]
+    fn mutex_try_lock_contended_and_free() {
+        let mut m = Mutex::new(5);
+        {
+            let held = m.lock();
+            assert_eq!(*held, 5);
+            assert!(m.try_lock().is_none(), "held elsewhere");
+        }
+        *m.try_lock().expect("free now") = 6;
+        assert_eq!(*m.get_mut(), 6);
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
     fn rwlock_roundtrip() {
         let l = RwLock::new(vec![1, 2]);
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn rwlock_guard_types_and_try_variants() {
+        let mut l = RwLock::new(String::from("a"));
+        {
+            let r1: RwLockReadGuard<'_, String> = l.read();
+            let r2 = l.try_read().expect("readers share");
+            assert_eq!(&*r1, "a");
+            assert_eq!(&*r2, "a");
+            assert!(l.try_write().is_none(), "readers block writers");
+        }
+        {
+            let mut w: RwLockWriteGuard<'_, String> = l.try_write().expect("free");
+            w.push('b');
+            assert!(l.try_read().is_none(), "writer blocks readers");
+        }
+        l.get_mut().push('c');
+        assert_eq!(l.into_inner(), "abc");
     }
 
     #[test]
@@ -178,5 +350,37 @@ mod tests {
         *lock.lock() = true;
         cv.notify_all();
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_while_sees_final_state() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut count = lock.lock();
+                cv.wait_while(&mut count, |c| *c < 3);
+                *count
+            })
+        };
+        let (lock, cv) = &*pair;
+        for _ in 0..3 {
+            *lock.lock() += 1;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(10));
+        assert!(result.timed_out());
+        // The guard is usable (and re-waitable) after the timeout.
+        let again = cv.wait_for(&mut guard, Duration::from_millis(1));
+        assert!(again.timed_out());
     }
 }

@@ -60,10 +60,12 @@
 
 use crate::checker::{CheckerConfig, ConsistencyResult, Witness};
 use crate::history::{HistoryDelta, InternedHistory};
+use crate::parallel::{parallel_dfs, ParallelOutcome, SharedMemo};
 use drv_lang::{OpId, ProcId, ResponseId, Symbol, Word};
 use drv_spec::SequentialSpec;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// 128-bit FNV-1a, fed through the standard `Hash` machinery so any
 /// `Hash`-implementing sequential state can be fingerprinted without cloning.
@@ -99,7 +101,7 @@ impl Hasher for Fnv128 {
     }
 }
 
-fn hash_state<T: Hash>(value: &T) -> u128 {
+pub(crate) fn hash_state<T: Hash>(value: &T) -> u128 {
     let mut hasher = Fnv128::new();
     value.hash(&mut hasher);
     hasher.finish128()
@@ -112,7 +114,7 @@ fn hash_state<T: Hash>(value: &T) -> u128 {
 /// with no disambiguation — a cross-kind collision is as unlikely as any
 /// other 128-bit collision, and the memo already tolerates that probability
 /// for the state fingerprint.
-fn pack_counts(counts: &[u32]) -> u128 {
+pub(crate) fn pack_counts(counts: &[u32]) -> u128 {
     let n = counts.len().max(1);
     // Cap at 32: counts are u32, so 32 bits are always lossless, and the cap
     // keeps every shift amount < 128 (with n = 1 the uncapped width would be
@@ -148,6 +150,10 @@ pub struct CheckerStats {
     pub repairs: u64,
     /// Fallback DFS runs.
     pub dfs_runs: u64,
+    /// Fallback runs that were fanned out across threads (a subset of
+    /// [`CheckerStats::dfs_runs`]; only ever non-zero after
+    /// [`IncrementalChecker::with_parallel_fallback`]).
+    pub parallel_dfs_runs: u64,
     /// Total DFS nodes explored across all fallback runs.
     pub dfs_nodes: u64,
     /// Full resets because the fed word was not an extension of the
@@ -235,8 +241,18 @@ pub struct IncrementalChecker<S: SequentialSpec> {
     /// Cached verdict for the current history, cleared on every new symbol.
     cached: Option<CheckOutcome>,
     memo: HashMap<(u128, u128), u32>,
+    /// The concurrent fallback, when enabled: the thread fan-out plus the
+    /// sharded-lock memo the branches share (epochs are this checker's, so
+    /// the memo must not be shared *between* checkers).
+    parallel: Option<ParallelFallback>,
     epoch: u32,
     stats: CheckerStats,
+}
+
+#[derive(Clone)]
+struct ParallelFallback {
+    threads: usize,
+    memo: Arc<SharedMemo>,
 }
 
 impl<S: SequentialSpec> std::fmt::Debug for IncrementalChecker<S> {
@@ -268,9 +284,30 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
             latched_inconsistent: false,
             cached: None,
             memo: HashMap::new(),
+            parallel: None,
             epoch: 0,
             stats: CheckerStats::default(),
         }
+    }
+
+    /// Enables the parallel fallback: hard re-checks (the Wing–Gong DFS)
+    /// fan their root branches out over up to `threads` scoped threads with
+    /// a [`SharedMemo`] behind sharded locks.  `threads <= 1` keeps the
+    /// sequential fallback.
+    ///
+    /// Definite verdicts are unchanged; only `Unknown` can resolve
+    /// differently (the node budget applies per branch instead of globally).
+    /// Because branches race to claim memo entries, which side of the budget
+    /// a *budget-bound* search lands on can also vary run to run — give the
+    /// engine a budget its histories comfortably fit in (the default
+    /// 1 000 000 nodes, say) when bit-stable verdict streams are required.
+    #[must_use]
+    pub fn with_parallel_fallback(mut self, threads: usize) -> Self {
+        self.parallel = (threads > 1).then(|| ParallelFallback {
+            threads,
+            memo: Arc::new(SharedMemo::new(threads * 4)),
+        });
+        self
     }
 
     /// The engine's configuration.
@@ -306,9 +343,12 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
     fn bump_epoch(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            // One-in-4-billion wrap: drop the table rather than risk stale
+            // One-in-4-billion wrap: drop the tables rather than risk stale
             // epoch-0 entries being trusted.
             self.memo.clear();
+            if let Some(parallel) = &self.parallel {
+                parallel.memo.clear();
+            }
             self.epoch = 1;
         }
     }
@@ -670,6 +710,11 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
     }
 
     fn run_dfs(&mut self) -> CheckOutcome {
+        if let Some(parallel) = self.parallel.clone() {
+            if self.history.process_count() >= 2 && !self.history.is_empty() {
+                return self.run_dfs_parallel(&parallel);
+            }
+        }
         self.stats.dfs_runs += 1;
         self.bump_epoch();
         let n = self.history.process_count();
@@ -689,22 +734,7 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
         self.stats.dfs_nodes += explored as u64;
         match outcome {
             DfsOutcome::Found => {
-                // Rebuild the state path once, outside the search.
-                let mut states = Vec::with_capacity(order.len() + 1);
-                let mut state = self.spec.initial();
-                states.push(state.clone());
-                for (id, resp) in &order {
-                    let q = self.history.record(*id);
-                    let invocation = self.history.invocation_of(q.invocation);
-                    let response = self.history.response_of(*resp);
-                    state = self
-                        .spec
-                        .step_if_legal(&state, invocation, response)
-                        .expect("witness found by the search replays legally");
-                    states.push(state.clone());
-                }
-                self.frontier = order.iter().map(|(id, _)| *id).collect();
-                self.witness = Some(WitnessPath { order, states });
+                self.install_witness(order);
                 CheckOutcome::Consistent
             }
             DfsOutcome::NotFound => {
@@ -716,6 +746,66 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
                 CheckOutcome::Inconsistent
             }
             DfsOutcome::Budget => CheckOutcome::Unknown,
+        }
+    }
+
+    /// Installs a search-produced linearization as the maintained witness:
+    /// rebuilds the state path once (outside the search) and makes the order
+    /// the new frontier.
+    fn install_witness(&mut self, order: Vec<(OpId, ResponseId)>) {
+        let mut states = Vec::with_capacity(order.len() + 1);
+        let mut state = self.spec.initial();
+        states.push(state.clone());
+        for (id, resp) in &order {
+            let q = self.history.record(*id);
+            let invocation = self.history.invocation_of(q.invocation);
+            let response = self.history.response_of(*resp);
+            state = self
+                .spec
+                .step_if_legal(&state, invocation, response)
+                .expect("witness found by the search replays legally");
+            states.push(state.clone());
+        }
+        self.frontier = order.iter().map(|(id, _)| *id).collect();
+        self.witness = Some(WitnessPath { order, states });
+    }
+
+    /// The fallback search, fanned out across the root's first-branch
+    /// processes (see [`crate::parallel`]).
+    fn run_dfs_parallel(&mut self, parallel: &ParallelFallback) -> CheckOutcome {
+        self.stats.dfs_runs += 1;
+        self.stats.parallel_dfs_runs += 1;
+        self.bump_epoch();
+        let hint = std::mem::take(&mut self.frontier);
+        let (outcome, nodes) = parallel_dfs(
+            &self.spec,
+            &self.history,
+            &self.config,
+            &parallel.memo,
+            self.epoch,
+            &hint,
+            parallel.threads,
+        );
+        self.frontier = hint;
+        self.stats.dfs_nodes += nodes;
+        match outcome {
+            ParallelOutcome::Found(resolved) => {
+                // Re-intern the branch-local response payloads, then install
+                // exactly as the sequential Found arm does.
+                let order: Vec<(OpId, ResponseId)> = resolved
+                    .iter()
+                    .map(|(id, resp)| (*id, self.history.intern_response(resp)))
+                    .collect();
+                self.install_witness(order);
+                CheckOutcome::Consistent
+            }
+            ParallelOutcome::NotFound => {
+                if self.config.respect_real_time {
+                    self.latched_inconsistent = true;
+                }
+                CheckOutcome::Inconsistent
+            }
+            ParallelOutcome::Budget => CheckOutcome::Unknown,
         }
     }
 
@@ -1076,5 +1166,134 @@ mod tests {
     fn fnv128_distinguishes_small_perturbations() {
         assert_ne!(hash_state(&vec![1u64, 2]), hash_state(&vec![2u64, 1]));
         assert_ne!(hash_state(&0u64), hash_state(&1u64));
+    }
+
+    #[test]
+    fn checker_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<IncrementalChecker<Register>>();
+        assert_send::<IncrementalChecker<Queue>>();
+    }
+
+    #[test]
+    fn parallel_fallback_agrees_with_sequential_on_definite_verdicts() {
+        // Concurrency-heavy words (invocations first, responses later) force
+        // the DFS fallback; both engines must agree on every prefix.
+        let make_word = |shuffled: bool| {
+            let mut builder = WordBuilder::new();
+            for i in 0..4u64 {
+                builder = builder.invoke(ProcId(i as usize), Invocation::Write(i + 1));
+            }
+            for i in 0..4u64 {
+                builder = builder.respond(ProcId(i as usize), Response::Ack);
+            }
+            // A read that observes one of the concurrent writes; in the
+            // shuffled variant it observes a value nobody wrote.
+            builder = builder.invoke(ProcId(0), Invocation::Read);
+            builder = builder.respond(
+                ProcId(0),
+                Response::Value(if shuffled { 99 } else { 3 }),
+            );
+            builder.build()
+        };
+        for (label, word) in [("member", make_word(false)), ("violation", make_word(true))] {
+            for config in [
+                CheckerConfig::linearizability(),
+                CheckerConfig::sequential_consistency(),
+            ] {
+                // Fresh engines per prefix: every check starts witness-less,
+                // so the fallback search actually runs each time.
+                for len in 1..=word.len() {
+                    let prefix = word.prefix(len);
+                    let mut sequential = IncrementalChecker::new(Register::new(), config, 4);
+                    let mut parallel = IncrementalChecker::new(Register::new(), config, 4)
+                        .with_parallel_fallback(3);
+                    let expected = sequential.check_word_outcome(&prefix);
+                    let actual = parallel.check_word_outcome(&prefix);
+                    assert_eq!(expected, actual, "{label}, prefix {len}, {config:?}");
+                    if prefix.operations().iter().any(drv_lang::Operation::is_complete) {
+                        assert!(
+                            parallel.stats().parallel_dfs_runs >= 1,
+                            "{label}, prefix {len}: fan-out must run: {:?}",
+                            parallel.stats()
+                        );
+                    }
+                }
+                // The long-lived engine path agrees too (witness maintenance
+                // plus the occasional parallel fallback).
+                let mut sequential = IncrementalChecker::new(Register::new(), config, 4);
+                let mut parallel = IncrementalChecker::new(Register::new(), config, 4)
+                    .with_parallel_fallback(3);
+                for len in 0..=word.len() {
+                    let prefix = word.prefix(len);
+                    let expected = sequential.check_word_outcome(&prefix);
+                    let actual = parallel.check_word_outcome(&prefix);
+                    assert_eq!(expected, actual, "{label}, grown prefix {len}, {config:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fallback_witnesses_validate() {
+        let word = WordBuilder::new()
+            .invoke(p(0), Invocation::Write(1))
+            .invoke(p(1), Invocation::Read)
+            .respond(p(1), Response::Value(1))
+            .respond(p(0), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .build();
+        let mut checker = IncrementalChecker::new(
+            Register::new(),
+            CheckerConfig::linearizability(),
+            2,
+        )
+        .with_parallel_fallback(2);
+        let result = checker.check_word(&word);
+        let witness = result.witness().expect("linearizable").clone();
+        let history = ConcurrentHistory::from_word(&word, 2);
+        assert!(validate_witness(&Register::new(), &history, &witness, true));
+    }
+
+    #[test]
+    fn parallel_fallback_handles_pending_and_queue_objects() {
+        // Pending operations exercise the drop/complete root branches.
+        let word = WordBuilder::new()
+            .invoke(p(0), Invocation::Enqueue(1))
+            .invoke(p(1), Invocation::Enqueue(2))
+            .respond(p(0), Response::Ack)
+            .respond(p(1), Response::Ack)
+            .invoke(p(0), Invocation::Dequeue)
+            .op(p(1), Invocation::Dequeue, Response::MaybeValue(Some(2)))
+            .build();
+        for len in 0..=word.len() {
+            let prefix = word.prefix(len);
+            let mut sequential =
+                IncrementalChecker::new(Queue::new(), CheckerConfig::linearizability(), 2);
+            let mut parallel =
+                IncrementalChecker::new(Queue::new(), CheckerConfig::linearizability(), 2)
+                    .with_parallel_fallback(4);
+            assert_eq!(
+                sequential.check_word_outcome(&prefix),
+                parallel.check_word_outcome(&prefix),
+                "prefix {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_threads_of_one_keeps_the_sequential_path() {
+        let mut checker = IncrementalChecker::new(
+            Register::new(),
+            CheckerConfig::linearizability(),
+            2,
+        )
+        .with_parallel_fallback(1);
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .build();
+        assert!(checker.check_word(&word).is_consistent());
+        assert_eq!(checker.stats().parallel_dfs_runs, 0);
     }
 }

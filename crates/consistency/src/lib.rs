@@ -36,6 +36,7 @@ pub mod eventual;
 pub mod history;
 pub mod incremental;
 pub mod languages;
+pub mod parallel;
 
 pub use checker::{
     check_history, check_linearizable, check_sequentially_consistent, is_linearizable,
@@ -47,6 +48,7 @@ pub use eventual::{
 };
 pub use history::{ConcurrentHistory, HistoryDelta, InternedHistory};
 pub use incremental::{CheckOutcome, CheckerStats, IncrementalChecker};
+pub use parallel::SharedMemo;
 pub use languages::{
     ec_led, lin_led, lin_queue, lin_reg, lin_stack, sc_led, sc_reg, sec_count, table1_languages,
     wec_count, EcLedger, Linearizable, SecCounter, SequentiallyConsistent, WecCounter,

@@ -61,6 +61,7 @@ pub mod impossibility;
 pub mod monitor;
 pub mod monitors;
 pub mod runtime;
+pub mod stream;
 pub mod threaded;
 pub mod trace;
 pub mod transform;
@@ -69,5 +70,10 @@ pub mod verdict;
 pub use decidability::{Decider, Evaluation, Notion};
 pub use monitor::{ConstantFamily, Monitor, MonitorFamily};
 pub use runtime::{run, RunConfig, Schedule};
+pub use stream::{
+    CheckerMonitorFactory, CheckerObjectMonitor, FamilyMonitorFactory, FamilyObjectMonitor,
+    ObjectMonitor, ObjectMonitorFactory, RoutingMonitorFactory,
+};
+pub use threaded::{run_threaded, try_run_threaded, ThreadedConfig, WorkerPanic};
 pub use trace::{AdversaryMode, ExecutionTrace};
 pub use verdict::{Report, Verdict, VerdictStream};

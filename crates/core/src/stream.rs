@@ -1,0 +1,446 @@
+//! The streaming per-object monitor surface consumed by `drv-engine`.
+//!
+//! A monitoring engine ingests one interleaved stream of invocation/response
+//! symbols per [`ObjectId`] and needs, for every object, a self-contained
+//! state machine that consumes the object's symbols in order and yields a
+//! verdict after each one.  This module defines that surface
+//! ([`ObjectMonitor`] / [`ObjectMonitorFactory`]) and provides the two
+//! canonical implementations:
+//!
+//! * [`CheckerMonitorFactory`] — a per-object [`IncrementalChecker`]: the
+//!   object's language is `LIN_O` or `SC_O` for a sequential spec, checked
+//!   directly (optionally with the parallel Wing–Gong fallback).  This is the
+//!   reference the engine's differential suite compares against.
+//! * [`FamilyMonitorFactory`] — the adapter that lets any of the paper's
+//!   [`MonitorFamily`] algorithms (Figure 5 `WEC_COUNT`, Figure 8 `V_O`,
+//!   Figure 9 `SEC_COUNT`, …) run over an engine stream *unchanged*: for each
+//!   object it spawns the family's `n` local monitors and replays the
+//!   object's symbols as Figure 1 iterations, synthesizing the timed
+//!   adversary Aτ's views (announce on invocation, snapshot on response) for
+//!   view-requiring families.
+//!
+//! Verdict convention: an [`ObjectMonitor`] reports after *every* symbol;
+//! before the first completed operation the verdict is whatever the
+//! underlying algorithm reports on an empty history ([`Verdict::Maybe`]`(0)`
+//! for family adapters that have not reported yet).
+
+use crate::monitor::MonitorFamily;
+use crate::verdict::Verdict;
+use drv_adversary::{InvocationKey, View};
+use drv_consistency::{CheckerConfig, CheckerStats, IncrementalChecker};
+use drv_lang::{Action, Invocation, ObjectId, ProcId, Symbol};
+use drv_spec::SequentialSpec;
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// A self-contained state machine monitoring one object's symbol stream.
+///
+/// Implementations are `Send` (engine shards migrate between worker
+/// threads) and must be deterministic: the verdict sequence is a pure
+/// function of the symbol sequence.
+pub trait ObjectMonitor: Send {
+    /// Human-readable name (for reports; allocation-free like
+    /// [`crate::Monitor::name`]).
+    fn name(&self) -> Cow<'_, str>;
+
+    /// Consumes the next symbol of the object's stream, returning the
+    /// verdict for the stream consumed so far.
+    fn on_symbol(&mut self, symbol: &Symbol) -> Verdict;
+
+    /// The underlying consistency-checker counters, when the monitor is
+    /// backed by an [`IncrementalChecker`] (`None` for family adapters).
+    fn checker_stats(&self) -> Option<CheckerStats> {
+        None
+    }
+}
+
+/// Creates the per-object monitors of an engine, one per [`ObjectId`] on
+/// first sight of the object's traffic.
+pub trait ObjectMonitorFactory: Send + Sync {
+    /// Name of the monitor kind this factory produces.
+    fn name(&self) -> Cow<'_, str>;
+
+    /// Creates the monitor for `object`.
+    fn create(&self, object: ObjectId) -> Box<dyn ObjectMonitor>;
+}
+
+/// An [`ObjectMonitor`] that feeds the object's stream straight into an
+/// [`IncrementalChecker`] — the engine-side equivalent of checking `LIN_O` /
+/// `SC_O` per object.
+pub struct CheckerObjectMonitor<S: SequentialSpec> {
+    checker: IncrementalChecker<S>,
+    name: String,
+}
+
+impl<S: SequentialSpec> CheckerObjectMonitor<S> {
+    /// Wraps a fresh checker for one object.
+    #[must_use]
+    pub fn new(object: ObjectId, checker: IncrementalChecker<S>, criterion: &str) -> Self {
+        CheckerObjectMonitor {
+            name: format!("{criterion} checker for {object}"),
+            checker,
+        }
+    }
+
+    /// The wrapped checker's fast-path/fallback counters.
+    #[must_use]
+    pub fn stats(&self) -> CheckerStats {
+        self.checker.stats()
+    }
+}
+
+impl<S: SequentialSpec> ObjectMonitor for CheckerObjectMonitor<S> {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+
+    fn on_symbol(&mut self, symbol: &Symbol) -> Verdict {
+        self.checker.push_symbol(symbol);
+        Verdict::from(self.checker.check_outcome())
+    }
+
+    fn checker_stats(&self) -> Option<CheckerStats> {
+        Some(self.checker.stats())
+    }
+}
+
+/// Factory for [`CheckerObjectMonitor`]s: every object gets its own
+/// long-lived incremental checker of the configured criterion.
+#[derive(Debug, Clone)]
+pub struct CheckerMonitorFactory<S> {
+    spec: S,
+    config: CheckerConfig,
+    processes: usize,
+    parallel_threads: usize,
+    label: &'static str,
+}
+
+impl<S: SequentialSpec + Clone> CheckerMonitorFactory<S> {
+    /// A linearizability factory for objects speaking `spec`'s alphabet,
+    /// with `processes` client processes per object.
+    #[must_use]
+    pub fn linearizability(spec: S, processes: usize) -> Self {
+        CheckerMonitorFactory {
+            spec,
+            config: CheckerConfig::linearizability(),
+            processes,
+            parallel_threads: 1,
+            label: "LIN",
+        }
+    }
+
+    /// A sequential-consistency factory.
+    #[must_use]
+    pub fn sequential_consistency(spec: S, processes: usize) -> Self {
+        CheckerMonitorFactory {
+            spec,
+            config: CheckerConfig::sequential_consistency(),
+            processes,
+            parallel_threads: 1,
+            label: "SC",
+        }
+    }
+
+    /// Overrides the per-check node budget.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.config = self.config.with_max_states(max_states);
+        self
+    }
+
+    /// Enables the parallel Wing–Gong fallback inside every spawned checker
+    /// (see [`IncrementalChecker::with_parallel_fallback`]).
+    #[must_use]
+    pub fn with_parallel_fallback(mut self, threads: usize) -> Self {
+        self.parallel_threads = threads.max(1);
+        self
+    }
+}
+
+impl<S: SequentialSpec + Clone + 'static> ObjectMonitorFactory for CheckerMonitorFactory<S> {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(self.label)
+    }
+
+    fn create(&self, object: ObjectId) -> Box<dyn ObjectMonitor> {
+        let checker = IncrementalChecker::new(self.spec.clone(), self.config, self.processes)
+            .with_parallel_fallback(self.parallel_threads);
+        Box::new(CheckerObjectMonitor::new(object, checker, self.label))
+    }
+}
+
+/// An [`ObjectMonitorFactory`] that picks a delegate factory per object —
+/// the way mixed fleets are assembled (e.g. even object ids checked for
+/// linearizability, odd for sequential consistency, as the engine bench and
+/// differential suite do).
+pub struct RoutingMonitorFactory {
+    route: Box<dyn Fn(ObjectId) -> Arc<dyn ObjectMonitorFactory> + Send + Sync>,
+    name: String,
+}
+
+impl RoutingMonitorFactory {
+    /// A factory that delegates each object's monitor creation to whatever
+    /// factory `route` returns for it.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        route: impl Fn(ObjectId) -> Arc<dyn ObjectMonitorFactory> + Send + Sync + 'static,
+    ) -> Self {
+        RoutingMonitorFactory {
+            route: Box::new(route),
+            name: name.into(),
+        }
+    }
+}
+
+impl ObjectMonitorFactory for RoutingMonitorFactory {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+
+    fn create(&self, object: ObjectId) -> Box<dyn ObjectMonitor> {
+        (self.route)(object).create(object)
+    }
+}
+
+/// The `MonitorFamily`-to-engine adapter: runs one instance of a distributed
+/// monitor family per object, replaying the object's stream as Figure 1
+/// iterations.
+///
+/// For view-requiring families the adapter plays the timed adversary Aτ for
+/// the object's stream: every invocation is announced into a growing
+/// [`View`] and every response snapshots it, which is exactly what
+/// `TimedAdversary` does one object at a time.  The reported verdict after a
+/// response is the report of the local monitor at the completing process —
+/// each process speaks for its own Figure 1 loop.
+pub struct FamilyObjectMonitor {
+    monitors: Vec<Box<dyn crate::Monitor>>,
+    requires_views: bool,
+    view: View,
+    /// Per-process pending invocation (Figure 1 allows one open operation
+    /// per process).
+    pending: Vec<Option<Invocation>>,
+    /// Per-process iteration counters for announce keys.
+    seqs: Vec<u64>,
+    last: Option<Verdict>,
+    name: String,
+}
+
+impl FamilyObjectMonitor {
+    /// Spawns `family`'s local monitors for one object with `n` processes.
+    #[must_use]
+    pub fn new(object: ObjectId, family: &dyn MonitorFamily, n: usize) -> Self {
+        FamilyObjectMonitor {
+            monitors: family.spawn(n),
+            requires_views: family.requires_views(),
+            view: View::new(),
+            pending: vec![None; n],
+            seqs: vec![0; n],
+            last: None,
+            name: format!("{} on {object}", family.name()),
+        }
+    }
+}
+
+impl ObjectMonitor for FamilyObjectMonitor {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+
+    fn on_symbol(&mut self, symbol: &Symbol) -> Verdict {
+        let p = symbol.proc.0;
+        assert!(
+            p < self.monitors.len(),
+            "symbol for {} but the family was spawned for {} processes",
+            symbol.proc,
+            self.monitors.len()
+        );
+        match &symbol.action {
+            Action::Invoke(invocation) => {
+                if self.pending[p].is_some() {
+                    // Ill-formed at this point; skip, as history builders do.
+                    return self.last.unwrap_or(Verdict::Maybe(0));
+                }
+                if self.requires_views {
+                    // Figure 6, line 01: announce before forwarding.
+                    let key = InvocationKey {
+                        proc: ProcId(p),
+                        seq: self.seqs[p],
+                    };
+                    self.view.insert(key, invocation.clone());
+                }
+                self.monitors[p].before_send(invocation);
+                self.pending[p] = Some(invocation.clone());
+            }
+            Action::Respond(response) => {
+                let Some(invocation) = self.pending[p].take() else {
+                    return self.last.unwrap_or(Verdict::Maybe(0));
+                };
+                self.seqs[p] += 1;
+                // Figure 6, lines 04–07: the response snapshots the announce
+                // array.
+                let view = self.requires_views.then(|| self.view.clone());
+                self.monitors[p].after_receive(&invocation, response, view.as_ref());
+                self.last = Some(self.monitors[p].report());
+            }
+        }
+        self.last.unwrap_or(Verdict::Maybe(0))
+    }
+}
+
+/// Factory for [`FamilyObjectMonitor`]s: one family instance (with fresh
+/// shared memory) per object.
+#[derive(Clone)]
+pub struct FamilyMonitorFactory {
+    family: Arc<dyn MonitorFamily + Send + Sync>,
+    processes: usize,
+}
+
+impl FamilyMonitorFactory {
+    /// Adapts `family` for engine streams whose objects each serve
+    /// `processes` client processes.
+    #[must_use]
+    pub fn new(family: Arc<dyn MonitorFamily + Send + Sync>, processes: usize) -> Self {
+        FamilyMonitorFactory { family, processes }
+    }
+}
+
+impl ObjectMonitorFactory for FamilyMonitorFactory {
+    fn name(&self) -> Cow<'_, str> {
+        self.family.name()
+    }
+
+    fn create(&self, object: ObjectId) -> Box<dyn ObjectMonitor> {
+        Box::new(FamilyObjectMonitor::new(
+            object,
+            self.family.as_ref(),
+            self.processes,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitors::{PredictiveFamily, SecCountFamily, WecCountFamily};
+    use drv_lang::{Response, Word, WordBuilder};
+    use drv_spec::Register;
+
+    fn obj(i: u64) -> ObjectId {
+        ObjectId(i)
+    }
+
+    fn register_word() -> Word {
+        WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(1))
+            .op(ProcId(0), Invocation::Write(2), Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(2))
+            .build()
+    }
+
+    #[test]
+    fn checker_monitor_tracks_the_incremental_checker() {
+        let factory = CheckerMonitorFactory::linearizability(Register::new(), 2);
+        let mut monitor = factory.create(obj(7));
+        assert!(monitor.name().contains("obj#7"));
+        let mut reference =
+            IncrementalChecker::new(Register::new(), CheckerConfig::linearizability(), 2);
+        for symbol in register_word().symbols() {
+            let verdict = monitor.on_symbol(symbol);
+            reference.push_symbol(symbol);
+            assert_eq!(verdict, Verdict::from(reference.check_outcome()));
+        }
+        assert_eq!(
+            monitor.checker_stats().unwrap().checks,
+            reference.stats().checks
+        );
+    }
+
+    #[test]
+    fn checker_monitor_flags_stale_reads() {
+        let factory = CheckerMonitorFactory::linearizability(Register::new(), 2)
+            .with_max_states(10_000)
+            .with_parallel_fallback(2);
+        let mut monitor = factory.create(obj(0));
+        let word = WordBuilder::new()
+            .op(ProcId(0), Invocation::Write(1), Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(0))
+            .build();
+        let mut verdicts = Vec::new();
+        for symbol in word.symbols() {
+            verdicts.push(monitor.on_symbol(symbol));
+        }
+        assert_eq!(verdicts.last(), Some(&Verdict::No));
+    }
+
+    #[test]
+    fn routing_factory_dispatches_by_object() {
+        let lin = Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2))
+            as Arc<dyn ObjectMonitorFactory>;
+        let sc = Arc::new(CheckerMonitorFactory::sequential_consistency(Register::new(), 2))
+            as Arc<dyn ObjectMonitorFactory>;
+        let routed = RoutingMonitorFactory::new("mixed LIN/SC", move |object: ObjectId| {
+            if object.0.is_multiple_of(2) {
+                Arc::clone(&lin)
+            } else {
+                Arc::clone(&sc)
+            }
+        });
+        assert_eq!(routed.name(), "mixed LIN/SC");
+        assert!(routed.create(obj(0)).name().contains("LIN"));
+        assert!(routed.create(obj(1)).name().contains("SC"));
+    }
+
+    #[test]
+    fn family_adapter_runs_figure8_unchanged() {
+        // The Figure 8 family (view-requiring) over a clean register stream:
+        // every completed operation reports YES.
+        let factory = FamilyMonitorFactory::new(
+            Arc::new(PredictiveFamily::linearizable(Register::new())),
+            2,
+        );
+        assert!(factory.name().contains("Figure 8"));
+        let mut monitor = factory.create(obj(3));
+        let mut last = Verdict::Maybe(0);
+        for symbol in register_word().symbols() {
+            last = monitor.on_symbol(symbol);
+        }
+        assert_eq!(last, Verdict::Yes);
+        assert!(monitor.checker_stats().is_none());
+    }
+
+    #[test]
+    fn family_adapter_reports_maybe_before_any_operation_completes() {
+        let factory = FamilyMonitorFactory::new(Arc::new(WecCountFamily::new()), 2);
+        let mut monitor = factory.create(obj(1));
+        let verdict = monitor.on_symbol(&Symbol {
+            proc: ProcId(0),
+            action: Action::Invoke(Invocation::Inc),
+        });
+        assert_eq!(verdict, Verdict::Maybe(0));
+    }
+
+    #[test]
+    fn family_adapter_feeds_counter_families() {
+        // WEC_COUNT and SEC_COUNT over a correct counter stream stay YES on
+        // the tail (the families plug in unchanged).
+        let word = WordBuilder::new()
+            .op(ProcId(0), Invocation::Inc, Response::Ack)
+            .op(ProcId(1), Invocation::Read, Response::Value(1))
+            .op(ProcId(0), Invocation::Read, Response::Value(1))
+            .op(ProcId(1), Invocation::Read, Response::Value(1))
+            .build();
+        for factory in [
+            FamilyMonitorFactory::new(Arc::new(WecCountFamily::new()), 2),
+            FamilyMonitorFactory::new(Arc::new(SecCountFamily::new()), 2),
+        ] {
+            let mut monitor = factory.create(obj(0));
+            let mut last = Verdict::Maybe(0);
+            for symbol in word.symbols() {
+                last = monitor.on_symbol(symbol);
+            }
+            assert_eq!(last, Verdict::Yes, "{}", factory.name());
+        }
+    }
+}

@@ -85,6 +85,59 @@ impl ThreadedConfig {
     }
 }
 
+/// A worker thread of a parallel run panicked.
+///
+/// Joining a panicked `std::thread` hands back only an opaque payload; this
+/// type pins down *which* worker died and what it said, so a crash in a
+/// 64-worker engine or an `n`-process threaded run is attributable.  Shared
+/// by [`run_threaded`] (where `worker` is the monitor process index) and the
+/// `drv-engine` checker pool (where it is the pool worker index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the worker that panicked (process index here, pool worker
+    /// index in `drv-engine`).
+    pub worker: usize,
+    /// What kind of worker it was, e.g. `"monitor process"`.
+    pub role: &'static str,
+    /// The panic payload, downcast to a string when possible.
+    pub message: String,
+}
+
+impl WorkerPanic {
+    /// Builds the error from a `JoinHandle::join` error payload.
+    #[must_use]
+    pub fn from_payload(
+        role: &'static str,
+        worker: usize,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> Self {
+        let message = if let Some(text) = payload.downcast_ref::<&'static str>() {
+            (*text).to_string()
+        } else if let Some(text) = payload.downcast_ref::<String>() {
+            text.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        WorkerPanic {
+            worker,
+            role,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} panicked: {}",
+            self.role, self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
 enum SharedAdversary {
     Plain(Box<dyn Behavior>),
     Timed(TimedAdversary<Box<dyn Behavior>>),
@@ -101,13 +154,33 @@ struct EventLog {
 /// # Panics
 ///
 /// Panics when the family requires views but the configuration selects the
-/// plain adversary, or when a worker thread panics.
+/// plain adversary, or when a worker thread panics — the panic message is a
+/// [`WorkerPanic`] rendering naming the panicking process index.  Use
+/// [`try_run_threaded`] to handle worker panics as values instead.
 #[must_use]
 pub fn run_threaded(
     config: &ThreadedConfig,
     family: &dyn MonitorFamily,
     behavior: Box<dyn Behavior>,
 ) -> ExecutionTrace {
+    match try_run_threaded(config, family, behavior) {
+        Ok(trace) => trace,
+        Err(panic) => panic!("{panic}"),
+    }
+}
+
+/// [`run_threaded`], with worker panics surfaced as a [`WorkerPanic`] naming
+/// the panicking process instead of an opaque join failure.
+///
+/// # Panics
+///
+/// Panics when the family requires views but the configuration selects the
+/// plain adversary (a configuration error, not a worker failure).
+pub fn try_run_threaded(
+    config: &ThreadedConfig,
+    family: &dyn MonitorFamily,
+    behavior: Box<dyn Behavior>,
+) -> Result<ExecutionTrace, WorkerPanic> {
     assert!(
         !(family.requires_views() && config.mode == AdversaryMode::Plain),
         "monitor family {} requires the timed adversary Aτ; call ThreadedConfig::timed()",
@@ -236,8 +309,20 @@ pub fn run_threaded(
     }
 
     let mut all_verdicts = Vec::with_capacity(n);
-    for handle in handles {
-        all_verdicts.push(handle.join().expect("worker thread panicked"));
+    let mut first_panic: Option<WorkerPanic> = None;
+    for (pid, handle) in handles.into_iter().enumerate() {
+        match handle.join() {
+            Ok(verdicts) => all_verdicts.push(verdicts),
+            Err(payload) => {
+                // Join the remaining workers before reporting, so no thread
+                // outlives the call; the lowest process index wins.
+                let panic = WorkerPanic::from_payload("monitor process", pid, payload);
+                first_panic.get_or_insert(panic);
+            }
+        }
+    }
+    if let Some(panic) = first_panic {
+        return Err(panic);
     }
     let log = Arc::try_unwrap(log)
         .map(Mutex::into_inner)
@@ -249,7 +334,7 @@ pub fn run_threaded(
                 ops: guard.ops.clone(),
             }
         });
-    ExecutionTrace::new(
+    Ok(ExecutionTrace::new(
         n,
         config.mode,
         family.name().into_owned(),
@@ -258,7 +343,7 @@ pub fn run_threaded(
         all_verdicts,
         log.ops,
         log.events,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -329,6 +414,72 @@ mod tests {
             &SecCountFamily::new(),
             Box::new(AtomicObject::new(Counter::new())),
         );
+    }
+
+    #[test]
+    fn worker_panics_surface_the_process_index() {
+        use crate::monitor::Monitor;
+        use crate::verdict::Verdict;
+        use drv_lang::{Invocation, Response};
+        use std::borrow::Cow;
+
+        // A family whose process 1 panics on its third report.
+        struct FaultyMonitor {
+            proc: ProcId,
+            reports: usize,
+        }
+        impl Monitor for FaultyMonitor {
+            fn name(&self) -> Cow<'_, str> {
+                Cow::Borrowed("faulty")
+            }
+            fn proc(&self) -> ProcId {
+                self.proc
+            }
+            fn before_send(&mut self, _invocation: &Invocation) {}
+            fn after_receive(
+                &mut self,
+                _invocation: &Invocation,
+                _response: &Response,
+                _view: Option<&drv_adversary::View>,
+            ) {
+            }
+            fn report(&mut self) -> Verdict {
+                self.reports += 1;
+                assert!(
+                    !(self.proc == ProcId(1) && self.reports >= 3),
+                    "injected fault"
+                );
+                Verdict::Yes
+            }
+        }
+        struct FaultyFamily;
+        impl MonitorFamily for FaultyFamily {
+            fn name(&self) -> Cow<'_, str> {
+                Cow::Borrowed("faulty family")
+            }
+            fn spawn(&self, n: usize) -> Vec<Box<dyn Monitor>> {
+                ProcId::all(n)
+                    .map(|proc| Box::new(FaultyMonitor { proc, reports: 0 }) as Box<dyn Monitor>)
+                    .collect()
+            }
+        }
+
+        let config = ThreadedConfig::new(3, 5)
+            .with_sampler(SymbolSampler::new(ObjectKind::Counter).with_mutator_ratio(0.4));
+        // Silence the worker's default panic-hook backtrace for this test.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = try_run_threaded(
+            &config,
+            &FaultyFamily,
+            Box::new(AtomicObject::new(Counter::new())),
+        );
+        std::panic::set_hook(hook);
+        let panic = result.expect_err("process 1 must panic");
+        assert_eq!(panic.worker, 1, "{panic}");
+        assert_eq!(panic.role, "monitor process");
+        assert!(panic.message.contains("injected fault"), "{panic}");
+        assert!(panic.to_string().contains("monitor process 1"), "{panic}");
     }
 
     #[test]

@@ -55,6 +55,19 @@ impl fmt::Display for Verdict {
     }
 }
 
+impl From<drv_consistency::CheckOutcome> for Verdict {
+    /// The canonical reading of a consistency-checker outcome as a monitor
+    /// verdict: consistent → YES, inconsistent → NO, budget-exhausted →
+    /// MAYBE(0).
+    fn from(outcome: drv_consistency::CheckOutcome) -> Self {
+        match outcome {
+            drv_consistency::CheckOutcome::Consistent => Verdict::Yes,
+            drv_consistency::CheckOutcome::Inconsistent => Verdict::No,
+            drv_consistency::CheckOutcome::Unknown => Verdict::Maybe(0),
+        }
+    }
+}
+
 /// One report of one process: the verdict plus the positions at which it was
 /// emitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,0 +1,682 @@
+//! The sharded streaming engine and its work-stealing worker pool.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  submit(object, symbol)                     worker 0   worker 1  …
+//!        │  intern payloads (SharedInterner)     │          │
+//!        ▼                                       ▼          ▼
+//!  shard = fnv(object) ──► shard queues ──► ready deques (per worker,
+//!        (FIFO per shard)                    home = shard % workers,
+//!                                            idle workers steal)
+//!                                                │
+//!                                                ▼
+//!                               per-object ObjectMonitor state machines
+//!                               (created on first sight via the factory)
+//! ```
+//!
+//! * **Routing.**  Every event is tagged with an [`ObjectId`] and hashed to
+//!   one of the engine's shards; a shard's queue is FIFO and a shard is
+//!   processed by at most one worker at a time, so each object's symbols are
+//!   consumed in submission order — which is what makes the per-object
+//!   verdict streams bit-identical to a sequential run, whatever the worker
+//!   count (`tests/differential.rs` proves it on hundreds of seeded
+//!   streams).
+//! * **Work stealing.**  A shard with queued events is *scheduled* onto the
+//!   ready deque of its home worker (`shard mod workers`); a worker pops its
+//!   own deque from the front and, when empty, steals from the back of the
+//!   others', so a worker stuck in a hard Wing–Gong fallback sheds its
+//!   remaining shards to idle peers.  Inside a shard, the checker itself can
+//!   fan a hard fallback out across threads
+//!   ([`drv_consistency::IncrementalChecker::with_parallel_fallback`], see
+//!   [`drv_core::CheckerMonitorFactory::with_parallel_fallback`]) so one
+//!   adversarial object cannot serialize the pool.
+//! * **Payload interning.**  Queued events are `Copy` records
+//!   ([`InternedEvent`]); invocation/response payloads are interned once
+//!   into a [`SharedInterner`] and resolved worker-side through lock-free
+//!   [`InternerMirror`]s grown by version deltas.
+//! * **Failure.**  A panicking monitor does not hang the pool: the worker
+//!   catches it, aborts the run, and [`MonitoringEngine::finish`] returns
+//!   the [`WorkerPanic`] (the same error type `run_threaded` reports),
+//!   naming the worker that died.
+
+use crate::report::{EngineReport, EngineStats, ObjectReport};
+use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict, WorkerPanic};
+use drv_lang::{
+    Action, InternerMirror, InvocationId, ObjectId, ProcId, ResponseId, SharedInterner, Symbol,
+    Word,
+};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`MonitoringEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    workers: usize,
+    shards: usize,
+    batch: usize,
+}
+
+impl EngineConfig {
+    /// A pool of `workers` threads (clamped to ≥ 1) over `4 × workers`
+    /// shards.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        EngineConfig {
+            workers,
+            shards: workers * 4,
+            batch: 64,
+        }
+    }
+
+    /// Overrides the shard count (clamped to ≥ the worker count; more
+    /// shards = finer stealing granularity, more routing state).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(self.workers);
+        self
+    }
+
+    /// Overrides how many events one shard claim drains at most before the
+    /// worker goes back to the deques (smaller = fairer, larger = less
+    /// scheduling overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        assert!(batch > 0, "a batch must cover at least one event");
+        self.batch = batch;
+        self
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// A queued event in interned form: 24 bytes, `Copy`, no heap payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternedEvent {
+    /// The object stream the event belongs to.
+    pub object: ObjectId,
+    /// The process that issued it.
+    pub proc: ProcId,
+    /// The interned invocation or response.
+    pub action: InternedAction,
+}
+
+/// The action half of an [`InternedEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InternedAction {
+    /// An invocation event (payload id from the engine's interner).
+    Invoke(InvocationId),
+    /// A response event.
+    Respond(ResponseId),
+}
+
+/// FNV-1a over the raw object id: the shard router.  Object→shard placement
+/// only affects load distribution, never verdicts, but a fixed hash keeps
+/// scheduling reproducible run to run.
+fn shard_of(object: ObjectId, shards: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    for byte in object.0.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    (hash % shards as u64) as usize
+}
+
+struct ObjectSlot {
+    monitor: Box<dyn ObjectMonitor>,
+    verdicts: Vec<Verdict>,
+}
+
+#[derive(Default)]
+struct ShardQueue {
+    events: VecDeque<InternedEvent>,
+    /// `true` while the shard sits in some worker's deque or is being
+    /// processed; guarantees at-most-one worker per shard (per-object FIFO).
+    scheduled: bool,
+}
+
+#[derive(Default)]
+struct ShardState {
+    objects: HashMap<ObjectId, ObjectSlot>,
+}
+
+#[derive(Default)]
+struct Shard {
+    queue: Mutex<ShardQueue>,
+    state: Mutex<ShardState>,
+}
+
+#[derive(Default)]
+struct ParkState {
+    /// No further submissions: drain and exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    factory: Arc<dyn ObjectMonitorFactory>,
+    interner: SharedInterner,
+    shards: Vec<Shard>,
+    /// Per-worker ready deques of shard indices.
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    park: Mutex<ParkState>,
+    park_signal: Condvar,
+    /// A worker panicked or the engine was dropped unfinished: exit
+    /// immediately, even with events pending.  An atomic (not part of
+    /// [`ParkState`]) so busy workers can poll it between batches without
+    /// taking the park lock.
+    aborted: std::sync::atomic::AtomicBool,
+    /// Events submitted but not yet processed.
+    pending: AtomicUsize,
+    batches: AtomicU64,
+    steals: AtomicU64,
+    events: AtomicU64,
+    panic: Mutex<Option<WorkerPanic>>,
+    batch: usize,
+}
+
+impl Shared {
+    /// Pops a shard to work on: own deque first (front), then steal from
+    /// the back of the other workers' deques.
+    fn find_work(&self, worker: usize) -> Option<usize> {
+        if let Some(shard) = self.deques[worker].lock().pop_front() {
+            return Some(shard);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(shard) = self.deques[victim].lock().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// Drains and processes one batch of the claimed shard.  Returns the
+    /// number of events processed.
+    fn process(&self, shard_index: usize, worker: usize, mirror: &mut InternerMirror) -> usize {
+        let shard = &self.shards[shard_index];
+        let batch: Vec<InternedEvent> = {
+            let mut queue = shard.queue.lock();
+            let take = queue.events.len().min(self.batch);
+            queue.events.drain(..take).collect()
+        };
+        if !batch.is_empty() {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            mirror.sync(&self.interner);
+            let mut state = shard.state.lock();
+            for event in &batch {
+                let symbol = Symbol {
+                    proc: event.proc,
+                    action: match event.action {
+                        InternedAction::Invoke(id) => {
+                            Action::Invoke(mirror.resolve_invocation(id).clone())
+                        }
+                        InternedAction::Respond(id) => {
+                            Action::Respond(mirror.resolve_response(id).clone())
+                        }
+                    },
+                };
+                let slot = state.objects.entry(event.object).or_insert_with(|| ObjectSlot {
+                    monitor: self.factory.create(event.object),
+                    verdicts: Vec::new(),
+                });
+                let verdict = slot.monitor.on_symbol(&symbol);
+                slot.verdicts.push(verdict);
+            }
+            self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
+        // Reschedule or release the claim.
+        let reschedule = {
+            let mut queue = shard.queue.lock();
+            if queue.events.is_empty() {
+                queue.scheduled = false;
+                false
+            } else {
+                true
+            }
+        };
+        if reschedule {
+            // Back of the *own* deque: newly submitted shards (front) keep
+            // priority, and peers can still steal this one.
+            self.deques[worker].lock().push_back(shard_index);
+            self.park_signal.notify_one();
+        }
+        batch.len()
+    }
+
+    fn abort(&self, panic: WorkerPanic) {
+        self.panic.lock().get_or_insert(panic);
+        self.aborted.store(true, Ordering::Release);
+        self.park_signal.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut mirror = InternerMirror::new();
+    loop {
+        // Checked between batches too, not just when idle: an abort (worker
+        // panic, engine dropped unfinished) must not wait for the backlog
+        // to drain.
+        if shared.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(shard) = shared.find_work(worker) {
+            let processed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                shared.process(shard, worker, &mut mirror)
+            }));
+            match processed {
+                Ok(count) => {
+                    if count > 0
+                        && shared.pending.fetch_sub(count, Ordering::AcqRel) == count
+                    {
+                        // Pending hit zero: wake parked workers so a
+                        // shutdown can complete promptly.
+                        shared.park_signal.notify_all();
+                    }
+                }
+                Err(payload) => {
+                    shared.abort(WorkerPanic::from_payload("engine worker", worker, payload));
+                    return;
+                }
+            }
+            continue;
+        }
+        let mut park = shared.park.lock();
+        if shared.aborted.load(Ordering::Acquire)
+            || (park.shutdown && shared.pending.load(Ordering::Acquire) == 0)
+        {
+            return;
+        }
+        // The timeout bounds the cost of a wake-up lost between the deque
+        // scan above and this park (1 ms of latency, not a hang).
+        shared
+            .park_signal
+            .wait_for(&mut park, Duration::from_millis(1));
+    }
+}
+
+/// A long-lived, sharded, multi-object streaming monitoring engine.
+///
+/// Feed it interleaved traffic with [`MonitoringEngine::submit`]; collect
+/// the per-object verdict streams and the aggregate verdict with
+/// [`MonitoringEngine::finish`].
+///
+/// ```
+/// use drv_core::CheckerMonitorFactory;
+/// use drv_engine::{EngineConfig, MonitoringEngine};
+/// use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+/// use drv_spec::Register;
+/// use std::sync::Arc;
+///
+/// let engine = MonitoringEngine::new(
+///     EngineConfig::new(2),
+///     Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2)),
+/// );
+/// for object in 0..10 {
+///     engine.submit(ObjectId(object), &Symbol::invoke(ProcId(0), Invocation::Write(1)));
+///     engine.submit(ObjectId(object), &Symbol::respond(ProcId(0), Response::Ack));
+/// }
+/// let report = engine.finish().expect("no worker panicked");
+/// assert_eq!(report.aggregate().yes, 10);
+/// ```
+pub struct MonitoringEngine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl MonitoringEngine {
+    /// Spawns the worker pool; `factory` creates one [`ObjectMonitor`] per
+    /// object on first sight of its traffic.
+    #[must_use]
+    pub fn new(config: EngineConfig, factory: Arc<dyn ObjectMonitorFactory>) -> Self {
+        let shared = Arc::new(Shared {
+            factory,
+            interner: SharedInterner::new(),
+            shards: (0..config.shards).map(|_| Shard::default()).collect(),
+            deques: (0..config.workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            park: Mutex::new(ParkState::default()),
+            park_signal: Condvar::new(),
+            aborted: std::sync::atomic::AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            batches: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            events: AtomicU64::new(0),
+            panic: Mutex::new(None),
+            batch: config.batch,
+        });
+        let handles = (0..config.workers)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("drv-engine-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawning an engine worker")
+            })
+            .collect();
+        MonitoringEngine {
+            shared,
+            handles,
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Ingests one symbol of `object`'s stream.  Symbols of the same object
+    /// are processed in submission order; distinct objects are independent.
+    pub fn submit(&self, object: ObjectId, symbol: &Symbol) {
+        let action = match &symbol.action {
+            Action::Invoke(invocation) => {
+                InternedAction::Invoke(self.shared.interner.invocation(invocation))
+            }
+            Action::Respond(response) => {
+                InternedAction::Respond(self.shared.interner.response(response))
+            }
+        };
+        let event = InternedEvent {
+            object,
+            proc: symbol.proc,
+            action,
+        };
+        let shard_index = shard_of(object, self.shared.shards.len());
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        let newly_scheduled = {
+            let mut queue = self.shared.shards[shard_index].queue.lock();
+            queue.events.push_back(event);
+            if queue.scheduled {
+                false
+            } else {
+                queue.scheduled = true;
+                true
+            }
+        };
+        if newly_scheduled {
+            let home = shard_index % self.config.workers;
+            self.shared.deques[home].lock().push_back(shard_index);
+            // Only a newly scheduled shard creates work a parked worker
+            // could miss; events on an already-scheduled shard are picked up
+            // by whichever worker owns the claim.
+            self.shared.park_signal.notify_one();
+        }
+    }
+
+    /// Ingests a whole word as `object`'s stream (symbols in word order).
+    pub fn submit_word(&self, object: ObjectId, word: &Word) {
+        for symbol in word.symbols() {
+            self.submit(object, symbol);
+        }
+    }
+
+    /// Events submitted but not yet processed (racy by nature; exact only
+    /// when quiescent).
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Signals end-of-stream, drains every queue, joins the pool, and
+    /// returns the report — or the [`WorkerPanic`] of the first worker that
+    /// died (remaining workers are joined either way).
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic of the lowest-indexed worker that panicked while
+    /// processing a batch.
+    pub fn finish(mut self) -> Result<EngineReport, WorkerPanic> {
+        {
+            let mut park = self.shared.park.lock();
+            park.shutdown = true;
+        }
+        self.shared.park_signal.notify_all();
+        let mut first_panic: Option<WorkerPanic> = None;
+        for (worker, handle) in self.handles.drain(..).enumerate() {
+            if let Err(payload) = handle.join() {
+                // A panic that escaped the catch_unwind in the worker loop
+                // (i.e. an engine bug, not a monitor panic).
+                let panic = WorkerPanic::from_payload("engine worker", worker, payload);
+                first_panic.get_or_insert(panic);
+            }
+        }
+        if let Some(panic) = self.shared.panic.lock().take() {
+            return Err(panic);
+        }
+        if let Some(panic) = first_panic {
+            return Err(panic);
+        }
+        let mut objects = BTreeMap::new();
+        for shard in &self.shared.shards {
+            let mut state = shard.state.lock();
+            for (object, slot) in state.objects.drain() {
+                objects.insert(
+                    object,
+                    ObjectReport {
+                        monitor: slot.monitor.name().into_owned(),
+                        verdicts: slot.verdicts,
+                    },
+                );
+            }
+        }
+        Ok(EngineReport {
+            objects,
+            stats: EngineStats {
+                workers: self.config.workers,
+                shards: self.config.shards,
+                events: self.shared.events.load(Ordering::Relaxed),
+                batches: self.shared.batches.load(Ordering::Relaxed),
+                steals: self.shared.steals.load(Ordering::Relaxed),
+            },
+        })
+    }
+}
+
+impl Drop for MonitoringEngine {
+    fn drop(&mut self) {
+        if self.handles.is_empty() {
+            return;
+        }
+        // Dropped without finish(): abort instead of draining, so the pool
+        // never outlives the handle.
+        {
+            let mut park = self.shared.park.lock();
+            park.shutdown = true;
+        }
+        self.shared.aborted.store(true, Ordering::Release);
+        self.shared.park_signal.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The single-threaded reference the engine is measured (and differentially
+/// tested) against: every object's stream fed, in the same submission order,
+/// to a monitor from the same factory, inline on the calling thread.
+#[must_use]
+pub fn sequential_reference(
+    factory: &dyn ObjectMonitorFactory,
+    events: &[(ObjectId, Symbol)],
+) -> BTreeMap<ObjectId, Vec<Verdict>> {
+    let mut monitors: HashMap<ObjectId, Box<dyn ObjectMonitor>> = HashMap::new();
+    let mut verdicts: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+    for (object, symbol) in events {
+        let monitor = monitors
+            .entry(*object)
+            .or_insert_with(|| factory.create(*object));
+        verdicts
+            .entry(*object)
+            .or_default()
+            .push(monitor.on_symbol(symbol));
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drv_core::CheckerMonitorFactory;
+    use drv_lang::{Invocation, Response};
+    use drv_spec::Register;
+    use std::borrow::Cow;
+
+    fn factory() -> Arc<CheckerMonitorFactory<Register>> {
+        Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2))
+    }
+
+    fn clean_stream(object: u64) -> Vec<(ObjectId, Symbol)> {
+        let object = ObjectId(object);
+        vec![
+            (object, Symbol::invoke(ProcId(0), Invocation::Write(7))),
+            (object, Symbol::respond(ProcId(0), Response::Ack)),
+            (object, Symbol::invoke(ProcId(1), Invocation::Read)),
+            (object, Symbol::respond(ProcId(1), Response::Value(7))),
+        ]
+    }
+
+    #[test]
+    fn config_clamps_and_overrides() {
+        let config = EngineConfig::new(0);
+        assert_eq!(config.workers(), 1);
+        assert_eq!(config.shards, 4);
+        let config = EngineConfig::new(4).with_shards(2).with_batch(8);
+        assert_eq!(config.shards, 4, "shards clamp to the worker count");
+        assert_eq!(config.batch, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_batch_is_rejected() {
+        let _ = EngineConfig::new(1).with_batch(0);
+    }
+
+    #[test]
+    fn shard_router_is_stable_and_in_range() {
+        for shards in [1, 3, 8] {
+            for object in 0..64 {
+                let shard = shard_of(ObjectId(object), shards);
+                assert!(shard < shards);
+                assert_eq!(shard, shard_of(ObjectId(object), shards));
+            }
+        }
+        // The router actually spreads objects around.
+        let hit: std::collections::HashSet<usize> =
+            (0..64).map(|o| shard_of(ObjectId(o), 8)).collect();
+        assert!(hit.len() >= 4, "{hit:?}");
+    }
+
+    #[test]
+    fn engine_monitors_many_objects_and_aggregates() {
+        let engine = MonitoringEngine::new(EngineConfig::new(2), factory());
+        for object in 0..32 {
+            for (id, symbol) in clean_stream(object) {
+                engine.submit(id, &symbol);
+            }
+        }
+        // One bad object: a stale read.
+        let bad = ObjectId(99);
+        engine.submit(bad, &Symbol::invoke(ProcId(0), Invocation::Write(1)));
+        engine.submit(bad, &Symbol::respond(ProcId(0), Response::Ack));
+        engine.submit(bad, &Symbol::invoke(ProcId(1), Invocation::Read));
+        engine.submit(bad, &Symbol::respond(ProcId(1), Response::Value(0)));
+        let report = engine.finish().expect("no panics");
+        assert_eq!(report.objects.len(), 33);
+        assert_eq!(report.stats.events, 33 * 4);
+        let aggregate = report.aggregate();
+        assert_eq!(aggregate.overall, Verdict::No);
+        assert_eq!((aggregate.yes, aggregate.no), (32, 1));
+        assert_eq!(
+            report.verdicts(bad).unwrap().last(),
+            Some(&Verdict::No)
+        );
+        // Per-object streams have one verdict per submitted symbol.
+        assert!(report.objects.values().all(|r| r.verdicts.len() == 4));
+    }
+
+    #[test]
+    fn engine_report_matches_sequential_reference() {
+        // Round-robin interleave the 8 object streams step by step.
+        let mut events = Vec::new();
+        for step in 0..4 {
+            for object in 0..8 {
+                events.push(clean_stream(object)[step].clone());
+            }
+        }
+        let expected = sequential_reference(factory().as_ref(), &events);
+        for workers in [1, 3] {
+            let engine = MonitoringEngine::new(EngineConfig::new(workers), factory());
+            for (object, symbol) in &events {
+                engine.submit(*object, symbol);
+            }
+            let report = engine.finish().expect("no panics");
+            for (object, verdicts) in &expected {
+                assert_eq!(
+                    report.verdicts(*object),
+                    Some(&verdicts[..]),
+                    "{workers} workers, {object}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_monitor_surfaces_worker_panic() {
+        struct Bomb;
+        impl ObjectMonitor for Bomb {
+            fn name(&self) -> Cow<'_, str> {
+                Cow::Borrowed("bomb")
+            }
+            fn on_symbol(&mut self, _symbol: &Symbol) -> Verdict {
+                panic!("boom on purpose");
+            }
+        }
+        struct BombFactory;
+        impl ObjectMonitorFactory for BombFactory {
+            fn name(&self) -> Cow<'_, str> {
+                Cow::Borrowed("bomb")
+            }
+            fn create(&self, _object: ObjectId) -> Box<dyn ObjectMonitor> {
+                Box::new(Bomb)
+            }
+        }
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let engine = MonitoringEngine::new(EngineConfig::new(2), Arc::new(BombFactory));
+        engine.submit(ObjectId(1), &Symbol::invoke(ProcId(0), Invocation::Read));
+        let result = engine.finish();
+        std::panic::set_hook(hook);
+        let panic = result.expect_err("the monitor panicked");
+        assert_eq!(panic.role, "engine worker");
+        assert!(panic.worker < 2);
+        assert!(panic.message.contains("boom on purpose"), "{panic}");
+    }
+
+    #[test]
+    fn dropping_an_unfinished_engine_does_not_hang() {
+        let engine = MonitoringEngine::new(EngineConfig::new(2), factory());
+        for (object, symbol) in clean_stream(0) {
+            engine.submit(object, &symbol);
+        }
+        drop(engine);
+    }
+}

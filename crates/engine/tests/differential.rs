@@ -1,0 +1,236 @@
+//! The engine's acceptance bar: on hundreds of seeded multi-object event
+//! streams, the verdict streams produced by [`MonitoringEngine`] — at *any*
+//! worker count — are bit-identical to feeding each object's stream to a
+//! sequential per-object [`IncrementalChecker`], at every prefix, for both
+//! linearizability and sequential consistency.
+//!
+//! The engine emits one verdict per ingested symbol, so the per-object
+//! verdict stream *is* the every-prefix comparison: element `i` is the
+//! verdict of the object's first `i + 1` symbols.
+//!
+//! The worker counts exercised default to 1, 2 and 4; CI pins them with
+//! `DRV_ENGINE_TEST_WORKERS` to split the matrix across jobs.
+
+use drv_consistency::{CheckerConfig, IncrementalChecker};
+use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
+use drv_engine::{EngineConfig, MonitoringEngine};
+use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+use drv_spec::Register;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Client processes per object.
+const PROCESSES: usize = 2;
+/// Seeded streams per run (the issue's floor is 500).
+const STREAMS: u64 = 500;
+
+fn criterion_of(object: ObjectId) -> CheckerConfig {
+    // Mixed traffic: even objects are checked for linearizability, odd ones
+    // for sequential consistency.
+    if object.0.is_multiple_of(2) {
+        CheckerConfig::linearizability()
+    } else {
+        CheckerConfig::sequential_consistency()
+    }
+}
+
+/// The engine-side factory: a fresh incremental checker per object, LIN or
+/// SC by object id, optionally with the parallel fallback enabled so the
+/// fan-out path is exercised under the pool too.
+fn mixed_factory(parallel_threads: usize) -> Arc<RoutingMonitorFactory> {
+    let lin = Arc::new(
+        CheckerMonitorFactory::linearizability(Register::new(), PROCESSES)
+            .with_parallel_fallback(parallel_threads),
+    ) as Arc<dyn ObjectMonitorFactory>;
+    let sc = Arc::new(
+        CheckerMonitorFactory::sequential_consistency(Register::new(), PROCESSES)
+            .with_parallel_fallback(parallel_threads),
+    ) as Arc<dyn ObjectMonitorFactory>;
+    Arc::new(RoutingMonitorFactory::new("mixed LIN/SC", move |object: ObjectId| {
+        if object.0.is_multiple_of(2) {
+            Arc::clone(&lin)
+        } else {
+            Arc::clone(&sc)
+        }
+    }))
+}
+
+/// One object's symbol stream: a register history from `PROCESSES` clients,
+/// with overlapping operations and (sometimes) injected stale reads so both
+/// YES and NO verdicts occur.
+fn object_stream(rng: &mut StdRng, ops: usize) -> Vec<Symbol> {
+    let mut symbols = Vec::new();
+    let mut value = 0u64;
+    let mut next_write = 1u64;
+    let mut emitted = 0;
+    while emitted < ops {
+        let overlap = ops - emitted >= 2 && rng.gen_bool(0.3);
+        let procs: Vec<usize> = if overlap { vec![0, 1] } else { vec![rng.gen_range(0..PROCESSES)] };
+        let mut invocations = Vec::new();
+        for &p in &procs {
+            let invocation = if rng.gen_bool(0.5) {
+                let v = next_write;
+                next_write += 1;
+                Invocation::Write(v)
+            } else {
+                Invocation::Read
+            };
+            symbols.push(Symbol::invoke(ProcId(p), invocation.clone()));
+            invocations.push((p, invocation));
+        }
+        if overlap && rng.gen_bool(0.5) {
+            invocations.reverse();
+        }
+        for (p, invocation) in invocations {
+            let response = match invocation {
+                Invocation::Write(v) => {
+                    value = v;
+                    Response::Ack
+                }
+                _ => {
+                    // 10% of reads are stale/garbage: non-members to flag.
+                    if rng.gen_bool(0.1) {
+                        Response::Value(value + 1000)
+                    } else {
+                        Response::Value(value)
+                    }
+                }
+            };
+            symbols.push(Symbol::respond(ProcId(p), response));
+            emitted += 1;
+        }
+    }
+    symbols
+}
+
+/// A multi-object stream: per-object streams, randomly merged with
+/// per-object order preserved — the engine's ingest order.
+fn merged_stream(seed: u64) -> Vec<(ObjectId, Symbol)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = rng.gen_range(2..=4);
+    let mut per_object: Vec<(ObjectId, std::collections::VecDeque<Symbol>)> = (0..objects)
+        .map(|i| {
+            let ops = rng.gen_range(4..=8);
+            // Spread the ids so both criteria and several shards are hit.
+            let id = ObjectId(seed * 16 + i);
+            (id, object_stream(&mut rng, ops).into())
+        })
+        .collect();
+    let mut merged = Vec::new();
+    while per_object.iter().any(|(_, q)| !q.is_empty()) {
+        let pick = rng.gen_range(0..per_object.len());
+        if let Some(symbol) = per_object[pick].1.pop_front() {
+            merged.push((per_object[pick].0, symbol));
+        }
+    }
+    merged
+}
+
+/// The independent reference: one sequential `IncrementalChecker` per
+/// object, fed in merged order on the calling thread.
+fn sequential_verdicts(events: &[(ObjectId, Symbol)]) -> BTreeMap<ObjectId, Vec<Verdict>> {
+    let mut checkers: BTreeMap<ObjectId, IncrementalChecker<Register>> = BTreeMap::new();
+    let mut verdicts: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+    for (object, symbol) in events {
+        let checker = checkers.entry(*object).or_insert_with(|| {
+            IncrementalChecker::new(Register::new(), criterion_of(*object), PROCESSES)
+        });
+        checker.push_symbol(symbol);
+        verdicts
+            .entry(*object)
+            .or_default()
+            .push(Verdict::from(checker.check_outcome()));
+    }
+    verdicts
+}
+
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("DRV_ENGINE_TEST_WORKERS") {
+        Ok(value) => vec![value.parse().expect("DRV_ENGINE_TEST_WORKERS is a number")],
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+#[test]
+fn engine_verdicts_equal_sequential_checkers_on_seeded_streams() {
+    let worker_counts = worker_counts();
+    let mut yes_streams = 0u64;
+    let mut no_streams = 0u64;
+    for seed in 0..STREAMS {
+        let events = merged_stream(seed);
+        let expected = sequential_verdicts(&events);
+        if expected
+            .values()
+            .any(|v| v.last().is_some_and(|verdict| verdict.is_no()))
+        {
+            no_streams += 1;
+        } else {
+            yes_streams += 1;
+        }
+        for &workers in &worker_counts {
+            // Exercise the parallel fallback on a slice of the matrix (it is
+            // the expensive path; every stream × every count would dominate
+            // the suite's runtime without adding coverage).
+            let parallel_threads = if seed.is_multiple_of(7) { 2 } else { 1 };
+            let engine =
+                MonitoringEngine::new(EngineConfig::new(workers), mixed_factory(parallel_threads));
+            for (object, symbol) in &events {
+                engine.submit(*object, symbol);
+            }
+            let report = engine.finish().expect("no worker panicked");
+            assert_eq!(
+                report.objects.len(),
+                expected.len(),
+                "seed {seed}, {workers} workers: object sets differ"
+            );
+            for (object, verdicts) in &expected {
+                assert_eq!(
+                    report.verdicts(*object),
+                    Some(&verdicts[..]),
+                    "seed {seed}, {workers} workers, {object}: verdict streams differ"
+                );
+            }
+        }
+    }
+    // The generator must produce both members and violations, or the suite
+    // proves nothing.
+    assert!(yes_streams >= 50, "only {yes_streams} clean streams");
+    assert!(no_streams >= 50, "only {no_streams} flagged streams");
+}
+
+#[test]
+fn family_monitors_are_deterministic_across_worker_counts() {
+    // The MonitorFamily adapter (Figure 8 V_O) through the engine: the
+    // verdict streams must agree between 1 and 4 workers run to run.
+    use drv_core::monitors::PredictiveFamily;
+    use drv_core::FamilyMonitorFactory;
+
+    let factory = || {
+        Arc::new(FamilyMonitorFactory::new(
+            Arc::new(PredictiveFamily::linearizable(Register::new())),
+            PROCESSES,
+        ))
+    };
+    for seed in [3, 11, 42] {
+        let events = merged_stream(seed);
+        let mut baseline: Option<BTreeMap<ObjectId, Vec<Verdict>>> = None;
+        for workers in [1, 4] {
+            let engine = MonitoringEngine::new(EngineConfig::new(workers), factory());
+            for (object, symbol) in &events {
+                engine.submit(*object, symbol);
+            }
+            let report = engine.finish().expect("no worker panicked");
+            let streams: BTreeMap<ObjectId, Vec<Verdict>> = report
+                .objects
+                .iter()
+                .map(|(object, r)| (*object, r.verdicts.clone()))
+                .collect();
+            match &baseline {
+                None => baseline = Some(streams),
+                Some(expected) => assert_eq!(expected, &streams, "seed {seed}"),
+            }
+        }
+    }
+}

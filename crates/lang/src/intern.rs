@@ -114,6 +114,166 @@ impl Interner {
     pub fn response_count(&self) -> usize {
         self.responses.len()
     }
+
+    /// The id of an already-interned invocation, without interning.
+    #[must_use]
+    pub fn lookup_invocation(&self, invocation: &Invocation) -> Option<InvocationId> {
+        self.invocation_ids.get(invocation).copied()
+    }
+
+    /// The id of an already-interned response, without interning.
+    #[must_use]
+    pub fn lookup_response(&self, response: &Response) -> Option<ResponseId> {
+        self.response_ids.get(response).copied()
+    }
+
+    /// The invocation arena entries appended since `from` (ids `from..`).
+    #[must_use]
+    pub fn invocations_since(&self, from: usize) -> &[Invocation] {
+        &self.invocations[from.min(self.invocations.len())..]
+    }
+
+    /// The response arena entries appended since `from` (ids `from..`).
+    #[must_use]
+    pub fn responses_since(&self, from: usize) -> &[Response] {
+        &self.responses[from.min(self.responses.len())..]
+    }
+}
+
+/// A thread-safe interner shared by many engine shards.
+///
+/// The same versioned pattern as `drv_shmem::SharedArray`: the arenas only
+/// ever *grow*, so a reader that remembers the arena lengths it has already
+/// seen (its *version vector*) can refresh a lock-free local
+/// [`InternerMirror`] by copying just the tail entries appended since —
+/// resolving an id then never takes the lock on the hot path.
+///
+/// Interning takes a read lock for the (overwhelmingly common) already-known
+/// probe and upgrades to a write lock only on first sight of a payload, so
+/// concurrent shards interleave freely.
+///
+/// ```
+/// use drv_lang::{Invocation, InternerMirror, SharedInterner};
+///
+/// let shared = SharedInterner::new();
+/// let id = shared.invocation(&Invocation::Write(7));
+/// let mut mirror = InternerMirror::new();
+/// mirror.sync(&shared);
+/// assert_eq!(mirror.resolve_invocation(id), &Invocation::Write(7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedInterner {
+    inner: std::sync::Arc<parking_lot::RwLock<Interner>>,
+}
+
+impl SharedInterner {
+    /// Creates an empty shared interner.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedInterner::default()
+    }
+
+    /// Interns an invocation (read-probe fast path, write lock on first
+    /// sight), returning its id.
+    pub fn invocation(&self, invocation: &Invocation) -> InvocationId {
+        if let Some(id) = self.inner.read().lookup_invocation(invocation) {
+            return id;
+        }
+        self.inner.write().invocation(invocation)
+    }
+
+    /// Interns a response, returning its id.
+    pub fn response(&self, response: &Response) -> ResponseId {
+        if let Some(id) = self.inner.read().lookup_response(response) {
+            return id;
+        }
+        self.inner.write().response(response)
+    }
+
+    /// The arena lengths `(invocations, responses)` — the version vector of
+    /// the mirror pattern.
+    #[must_use]
+    pub fn versions(&self) -> (usize, usize) {
+        let guard = self.inner.read();
+        (guard.invocation_count(), guard.response_count())
+    }
+
+    /// Clones the invocation behind an id out of the arena (mirror-free
+    /// slow path; use an [`InternerMirror`] in loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different interner.
+    #[must_use]
+    pub fn resolve_invocation(&self, id: InvocationId) -> Invocation {
+        self.inner.read().resolve_invocation(id).clone()
+    }
+
+    /// Clones the response behind an id out of the arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a different interner.
+    #[must_use]
+    pub fn resolve_response(&self, id: ResponseId) -> Response {
+        self.inner.read().resolve_response(id).clone()
+    }
+}
+
+/// A reader's lock-free local copy of a [`SharedInterner`]'s arenas, grown
+/// by version deltas: [`InternerMirror::sync`] copies only the entries
+/// appended since the previous sync.
+#[derive(Debug, Clone, Default)]
+pub struct InternerMirror {
+    invocations: Vec<Invocation>,
+    responses: Vec<Response>,
+}
+
+impl InternerMirror {
+    /// Creates an empty mirror (version vector `(0, 0)`).
+    #[must_use]
+    pub fn new() -> Self {
+        InternerMirror::default()
+    }
+
+    /// Refreshes the mirror: copies the arena entries appended since the
+    /// last sync and returns how many `(invocations, responses)` arrived.
+    pub fn sync(&mut self, shared: &SharedInterner) -> (usize, usize) {
+        let guard = shared.inner.read();
+        let new_invocations = guard.invocations_since(self.invocations.len());
+        let new_responses = guard.responses_since(self.responses.len());
+        let delta = (new_invocations.len(), new_responses.len());
+        self.invocations.extend_from_slice(new_invocations);
+        self.responses.extend_from_slice(new_responses);
+        delta
+    }
+
+    /// The invocation behind an id, without locking.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is newer than the last [`InternerMirror::sync`]
+    /// (or came from a different interner).
+    #[must_use]
+    pub fn resolve_invocation(&self, id: InvocationId) -> &Invocation {
+        &self.invocations[id.0 as usize]
+    }
+
+    /// The response behind an id, without locking.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is newer than the last sync.
+    #[must_use]
+    pub fn resolve_response(&self, id: ResponseId) -> &Response {
+        &self.responses[id.0 as usize]
+    }
+
+    /// The mirror's version vector (how much of the arenas it has copied).
+    #[must_use]
+    pub fn versions(&self) -> (usize, usize) {
+        (self.invocations.len(), self.responses.len())
+    }
 }
 
 /// A matched invocation/response pair in interned form: 32 bytes, `Copy`,
@@ -163,6 +323,40 @@ impl OpRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shared_interner_is_idempotent_across_threads() {
+        let shared = SharedInterner::new();
+        let ids: Vec<InvocationId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shared = shared.clone();
+                    scope.spawn(move || shared.invocation(&Invocation::Write(42)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(shared.versions().0, 1);
+        assert_eq!(shared.resolve_invocation(ids[0]), Invocation::Write(42));
+    }
+
+    #[test]
+    fn mirror_syncs_only_deltas() {
+        let shared = SharedInterner::new();
+        let w = shared.invocation(&Invocation::Write(1));
+        let ack = shared.response(&Response::Ack);
+        let mut mirror = InternerMirror::new();
+        assert_eq!(mirror.sync(&shared), (1, 1));
+        assert_eq!(mirror.resolve_invocation(w), &Invocation::Write(1));
+        assert_eq!(mirror.resolve_response(ack), &Response::Ack);
+        // No growth → empty delta.
+        assert_eq!(mirror.sync(&shared), (0, 0));
+        let r = shared.invocation(&Invocation::Read);
+        assert_eq!(mirror.sync(&shared), (1, 0));
+        assert_eq!(mirror.resolve_invocation(r), &Invocation::Read);
+        assert_eq!(mirror.versions(), shared.versions());
+    }
 
     #[test]
     fn interning_is_idempotent_and_resolvable() {

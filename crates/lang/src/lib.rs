@@ -55,10 +55,10 @@ pub mod symbol;
 pub mod word;
 
 pub use alphabet::{ObjectKind, SymbolSampler};
-pub use intern::{Interner, InvocationId, OpRecord, ResponseId};
+pub use intern::{Interner, InternerMirror, InvocationId, OpRecord, ResponseId, SharedInterner};
 pub use language::{Complement, Intersection, Language, RunVerdict, Union};
 pub use oblivious::{oblivious_counterexample, ObliviousReport, ObliviousnessTester};
 pub use operation::{operations, OpId, Operation, OperationSet, Ordering as OpOrdering};
 pub use shuffle::{enumerate_shuffles, is_interleaving_of, random_shuffle, Shuffle};
-pub use symbol::{Action, Invocation, ProcId, Record, Response, Symbol};
+pub use symbol::{Action, Invocation, ObjectId, ProcId, Record, Response, Symbol};
 pub use word::{LocalWord, WellFormedError, Word, WordBuilder};

@@ -44,6 +44,38 @@ impl From<usize> for ProcId {
     }
 }
 
+/// Identifier of one monitored *object stream*.
+///
+/// The paper's monitors decide a language per object; a multi-object service
+/// produces one independent stream of symbols per object, and an engine
+/// ingesting the merged traffic tags every symbol with the object it belongs
+/// to.  Object ids carry no locality meaning — engines route them to shards
+/// by hash.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// Returns the underlying raw id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl From<u64> for ObjectId {
+    fn from(value: u64) -> Self {
+        ObjectId(value)
+    }
+}
+
 /// A record appended to a ledger (the universe `U` of the paper, Example 2).
 pub type Record = u64;
 

@@ -6,12 +6,39 @@
 //! * [`lang`] — distributed alphabets, words, histories, languages,
 //! * [`spec`] — sequential object specifications,
 //! * [`consistency`] — linearizability / sequential-consistency checkers
-//!   (including the incremental engine) and the Table 1 languages,
+//!   (including the incremental engine and its parallel Wing–Gong
+//!   fallback) and the Table 1 languages,
 //! * [`shmem`] — the shared-memory substrate (registers, snapshots, logs),
 //! * [`adversary`] — the adversaries A and Aτ plus behaviours,
 //! * [`core`] — monitors, runtime, decidability notions, impossibilities,
+//!   and the streaming [`ObjectMonitor`](crate::core::ObjectMonitor)
+//!   surface,
+//! * [`engine`] — the sharded multi-object streaming monitoring engine
+//!   with its work-stealing checker pool,
 //! * [`abd`] — the ABD message-passing port,
 //! * [`bench`] — the Table 1 reproduction harness.
+//!
+//! ## Quick start: monitoring many objects at once
+//!
+//! ```
+//! use drv::core::CheckerMonitorFactory;
+//! use drv::engine::{EngineConfig, MonitoringEngine};
+//! use drv::lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+//! use drv::spec::Register;
+//! use std::sync::Arc;
+//!
+//! // Four workers, one incremental LIN checker per object.
+//! let engine = MonitoringEngine::new(
+//!     EngineConfig::new(4),
+//!     Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2)),
+//! );
+//! for object in 0..100 {
+//!     engine.submit(ObjectId(object), &Symbol::invoke(ProcId(0), Invocation::Write(1)));
+//!     engine.submit(ObjectId(object), &Symbol::respond(ProcId(0), Response::Ack));
+//! }
+//! let report = engine.finish().expect("no worker panicked");
+//! assert_eq!(report.aggregate().yes, 100);
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -20,6 +47,7 @@ pub use drv_adversary as adversary;
 pub use drv_bench as bench;
 pub use drv_consistency as consistency;
 pub use drv_core as core;
+pub use drv_engine as engine;
 pub use drv_lang as lang;
 pub use drv_shmem as shmem;
 pub use drv_spec as spec;
