@@ -26,9 +26,16 @@ use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
 use drv_spec::Register;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Workers in the service-mode row.
+const SERVICE_WORKERS: usize = 2;
+/// Ingestion bound of the service-mode row.
+const SERVICE_MAX_PENDING: usize = 4_096;
+/// Subscription capacity of the service-mode row.
+const SERVICE_SUBSCRIPTION: usize = 1_024;
 
 /// Monitored objects in the stream.
 const OBJECTS: u64 = 64;
@@ -157,6 +164,59 @@ fn engine_run(
     (elapsed, verdicts, steals)
 }
 
+/// The always-on deployment shape: bounded ingestion (blocking `submit`),
+/// a consumer thread draining a bounded verdict subscription, and eviction
+/// of every object the moment its stream completes.  Returns the verdict
+/// streams *as subscribed live*, which the caller asserts against the
+/// inline reference — service mode must not buy throughput with
+/// correctness either.
+fn service_run(
+    events: &[(ObjectId, Symbol)],
+    workers: usize,
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>, u64) {
+    let start = Instant::now();
+    let engine = Arc::new(MonitoringEngine::new(
+        EngineConfig::new(workers).with_max_pending(SERVICE_MAX_PENDING),
+        mixed_factory(),
+    ));
+    let subscription = engine.subscribe(SERVICE_SUBSCRIPTION);
+    let consumer = std::thread::spawn(move || {
+        let mut streams: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+        loop {
+            let batch = subscription.wait_verdicts(Duration::from_millis(10));
+            if batch.is_empty() && subscription.is_closed() {
+                break;
+            }
+            for event in batch {
+                streams.entry(event.object).or_default().push(event.verdict);
+            }
+        }
+        (streams, subscription.missed())
+    });
+    let mut remaining: HashMap<ObjectId, usize> = HashMap::new();
+    for (object, _) in events {
+        *remaining.entry(*object).or_default() += 1;
+    }
+    for (object, symbol) in events {
+        engine.submit(*object, symbol);
+        let left = remaining.get_mut(object).expect("counted");
+        *left -= 1;
+        if *left == 0 {
+            engine.evict(*object);
+        }
+    }
+    // Quiesce so no verdict spills to `missed` at shutdown.
+    while engine.backlog() > 0 {
+        std::thread::yield_now();
+    }
+    let engine = Arc::into_inner(engine).expect("consumer holds no engine handle");
+    let report = engine.finish().expect("no engine worker panicked");
+    let elapsed = start.elapsed();
+    let (streams, missed) = consumer.join().expect("consumer finished");
+    assert_eq!(missed, 0, "service run missed verdicts despite quiescing");
+    (elapsed, streams, report.stats.evicted)
+}
+
 fn best_of<T>(mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
     let mut best: Option<(Duration, T)> = None;
     for _ in 0..REPS {
@@ -207,6 +267,22 @@ fn main() {
         engine_times.push((workers, elapsed));
     }
 
+    let (service_time, (service_streams, service_evicted)) = best_of(|| {
+        let (elapsed, streams, evicted) = service_run(&events, SERVICE_WORKERS);
+        (elapsed, (streams, evicted))
+    });
+    assert_eq!(
+        service_streams, reference,
+        "service mode: subscribed verdict streams differ from the inline reference"
+    );
+    assert_eq!(service_evicted, OBJECTS, "every quiesced object retired");
+    println!(
+        "engine/service/{SERVICE_WORKERS}-workers:   {:>10.2} ms  {:>12.0} events/s  \
+         (bounded queue {SERVICE_MAX_PENDING}, live subscription, {service_evicted} evicted)",
+        service_time.as_secs_f64() * 1e3,
+        throughput(total, service_time),
+    );
+
     let time_at = |workers: usize| -> Duration {
         engine_times
             .iter()
@@ -245,6 +321,9 @@ fn main() {
             "  \"single_thread_ns\": {},\n",
             "  \"single_thread_events_per_sec\": {:.0},\n",
             "  \"sharded\": [\n{}\n  ],\n",
+            "  \"service_mode\": {{ \"workers\": {}, \"max_pending\": {}, ",
+            "\"subscription_capacity\": {}, \"total_ns\": {}, ",
+            "\"events_per_sec\": {:.0}, \"evicted\": {} }},\n",
             "  \"speedup_4_workers_vs_1\": {:.2},\n",
             "  \"verdicts_bit_identical_to_single_thread\": true\n",
             "}}\n"
@@ -258,6 +337,12 @@ fn main() {
         inline_time.as_nanos(),
         throughput(total, inline_time),
         rows.join(",\n"),
+        SERVICE_WORKERS,
+        SERVICE_MAX_PENDING,
+        SERVICE_SUBSCRIPTION,
+        service_time.as_nanos(),
+        throughput(total, service_time),
+        service_evicted,
         speedup_4v1,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

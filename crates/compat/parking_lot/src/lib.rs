@@ -246,6 +246,26 @@ impl Condvar {
         guard.guard = Some(reacquired);
     }
 
+    /// Blocks until `condition` returns `false` or `timeout` elapses,
+    /// re-checking on every (possibly spurious) wake-up — parking_lot's
+    /// `wait_while_for`.
+    pub fn wait_while_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout_while(std_guard, timeout, |value| condition(value))
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Blocks until notified or `timeout` elapses.
     pub fn wait_for<T>(
         &self,
@@ -370,6 +390,20 @@ mod tests {
             cv.notify_all();
         }
         assert_eq!(waiter.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn condvar_wait_while_for_times_out_and_returns_early() {
+        let lock = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        // Condition never satisfied: times out.
+        let result = cv.wait_while_for(&mut guard, |c| *c < 1, Duration::from_millis(10));
+        assert!(result.timed_out());
+        // Condition already satisfied: returns immediately, no timeout.
+        *guard = 5;
+        let result = cv.wait_while_for(&mut guard, |c| *c < 1, Duration::from_secs(5));
+        assert!(!result.timed_out());
     }
 
     #[test]

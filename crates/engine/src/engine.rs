@@ -3,7 +3,8 @@
 //! ## Architecture
 //!
 //! ```text
-//!  submit(object, symbol)                     worker 0   worker 1  …
+//!  submit / try_submit(object, symbol)        worker 0   worker 1  …
+//!        │  bounded by max_pending               │          │
 //!        │  intern payloads (SharedInterner)     │          │
 //!        ▼                                       ▼          ▼
 //!  shard = fnv(object) ──► shard queues ──► ready deques (per worker,
@@ -13,6 +14,10 @@
 //!                                                ▼
 //!                               per-object ObjectMonitor state machines
 //!                               (created on first sight via the factory)
+//!                                                │
+//!                                                ▼
+//!                               verdict subscriptions (bounded channels)
+//!                               + retired-object reports (evict / TTL)
 //! ```
 //!
 //! * **Routing.**  Every event is tagged with an [`ObjectId`] and hashed to
@@ -31,28 +36,55 @@
 //!   ([`drv_consistency::IncrementalChecker::with_parallel_fallback`], see
 //!   [`drv_core::CheckerMonitorFactory::with_parallel_fallback`]) so one
 //!   adversarial object cannot serialize the pool.
+//! * **Untimed parking.**  An idle worker parks on the pool condvar with an
+//!   *untimed* `wait_while` guarded by a work-epoch ticket: it reads
+//!   [`Shared::work_epoch`] *before* scanning the deques, and every
+//!   work-publishing action (submit, reschedule, shutdown, abort,
+//!   backlog-drained) bumps the epoch and then notifies under the park
+//!   lock.  Work published after the read changes the epoch the predicate
+//!   re-checks, so no wake-up can be lost — a parked pool performs **zero**
+//!   wake-ups while idle (`stats.park_wakeups` counts every return from the
+//!   park, and `tests/service.rs` asserts the counter stays flat over a
+//!   parked window).
+//! * **Backpressure.**  [`EngineConfig::with_max_pending`] bounds the
+//!   submitted-but-unprocessed work: [`MonitoringEngine::submit`] blocks
+//!   until workers drain below the bound,
+//!   [`MonitoringEngine::try_submit`] instead reports
+//!   [`SubmitError::Full`].  Waiting producers are woken as batches retire.
+//! * **Streaming verdicts.**  [`MonitoringEngine::subscribe`] opens a
+//!   bounded [`VerdictSubscription`] channel delivering
+//!   `(object, seq, verdict)` as soon as each symbol is checked — consumers
+//!   no longer wait for the end-of-run [`crate::EngineReport`], which
+//!   [`MonitoringEngine::finish`] still returns unchanged.
+//! * **Eviction.**  [`MonitoringEngine::evict`] retires a quiesced object's
+//!   monitor through an in-queue marker (so it cannot overtake the object's
+//!   own events), flushing its verdicts into the final report and freeing
+//!   its slot; [`EngineConfig::with_idle_ttl`] does the same automatically
+//!   for objects idle longer than a processed-event TTL.  Per-object state
+//!   therefore stops growing with history length.
 //! * **Payload interning.**  Queued events are `Copy` records
 //!   ([`InternedEvent`]); invocation/response payloads are interned once
 //!   into a [`SharedInterner`] and resolved worker-side through lock-free
 //!   [`InternerMirror`]s grown by version deltas.
 //! * **Failure.**  A panicking monitor does not hang the pool: the worker
-//!   catches it, aborts the run, and [`MonitoringEngine::finish`] returns
-//!   the [`WorkerPanic`] (the same error type `run_threaded` reports),
-//!   naming the worker that died.
+//!   catches it, aborts the run (reconciling the backlog so
+//!   [`MonitoringEngine::backlog`] does not over-report forever), and the
+//!   [`WorkerPanic`] surfaces from [`MonitoringEngine::finish`] — or early,
+//!   through [`MonitoringEngine::take_panic`].
 
 use crate::report::{EngineReport, EngineStats, ObjectReport};
+use crate::service::{SubmitError, SubscriptionShared, VerdictEvent, VerdictSubscription};
 use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict, WorkerPanic};
 use drv_lang::{
     Action, InternerMirror, InvocationId, ObjectId, ProcId, ResponseId, SharedInterner, Symbol,
     Word,
 };
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Configuration of a [`MonitoringEngine`].
 #[derive(Debug, Clone, Copy)]
@@ -60,11 +92,13 @@ pub struct EngineConfig {
     workers: usize,
     shards: usize,
     batch: usize,
+    max_pending: usize,
+    idle_ttl: Option<u64>,
 }
 
 impl EngineConfig {
     /// A pool of `workers` threads (clamped to ≥ 1) over `4 × workers`
-    /// shards.
+    /// shards, with unbounded ingestion and no idle-TTL eviction.
     #[must_use]
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
@@ -72,6 +106,8 @@ impl EngineConfig {
             workers,
             shards: workers * 4,
             batch: 64,
+            max_pending: usize::MAX,
+            idle_ttl: None,
         }
     }
 
@@ -97,10 +133,46 @@ impl EngineConfig {
         self
     }
 
+    /// Bounds the submitted-but-unprocessed work (clamped to ≥ 1):
+    /// [`MonitoringEngine::submit`] blocks at the bound until workers drain,
+    /// [`MonitoringEngine::try_submit`] reports [`SubmitError::Full`].
+    /// Without this, ingestion is unbounded (the batch-mode default).
+    #[must_use]
+    pub fn with_max_pending(mut self, max_pending: usize) -> Self {
+        self.max_pending = max_pending.max(1);
+        self
+    }
+
+    /// Enables idle-TTL eviction (clamped to ≥ 1): an object whose last
+    /// symbol is more than `idle_events` *engine-wide processed events* in
+    /// the past is automatically retired — its monitor finalized, its
+    /// verdicts flushed into the final report, its slot freed — the next
+    /// time its shard is processed or [`MonitoringEngine::sweep_idle`]
+    /// runs.  An object that receives traffic again after retirement gets a
+    /// fresh monitor (its report then concatenates the epochs), so choose a
+    /// TTL past which streams are genuinely quiesced.
+    #[must_use]
+    pub fn with_idle_ttl(mut self, idle_events: u64) -> Self {
+        self.idle_ttl = Some(idle_events.max(1));
+        self
+    }
+
     /// The worker count.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The pending-work bound (`usize::MAX` when unbounded).
+    #[must_use]
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// The idle-TTL in processed events, when eviction is enabled.
+    #[must_use]
+    pub fn idle_ttl(&self) -> Option<u64> {
+        self.idle_ttl
     }
 }
 
@@ -124,6 +196,24 @@ pub enum InternedAction {
     Respond(ResponseId),
 }
 
+/// One unit of shard-queue work: an object event, or an eviction marker
+/// that retires the object's monitor *after* everything submitted before it
+/// (FIFO through the same queue, so eviction can never overtake traffic).
+#[derive(Debug, Clone, Copy)]
+enum QueueItem {
+    Event(InternedEvent),
+    Evict(ObjectId),
+}
+
+impl QueueItem {
+    fn object(&self) -> ObjectId {
+        match self {
+            QueueItem::Event(event) => event.object,
+            QueueItem::Evict(object) => *object,
+        }
+    }
+}
+
 /// FNV-1a over the raw object id: the shard router.  Object→shard placement
 /// only affects load distribution, never verdicts, but a fixed hash keeps
 /// scheduling reproducible run to run.
@@ -141,11 +231,17 @@ fn shard_of(object: ObjectId, shards: usize) -> usize {
 struct ObjectSlot {
     monitor: Box<dyn ObjectMonitor>,
     verdicts: Vec<Verdict>,
+    /// Verdicts already flushed for this object by earlier retirements:
+    /// subscription `seq` numbers continue across evictions.
+    base: u64,
+    /// Engine-wide processed-event clock at the object's last symbol (the
+    /// idle-TTL reference point).
+    last_seen: u64,
 }
 
 #[derive(Default)]
 struct ShardQueue {
-    events: VecDeque<InternedEvent>,
+    items: VecDeque<QueueItem>,
     /// `true` while the shard sits in some worker's deque or is being
     /// processed; guarantees at-most-one worker per shard (per-object FIFO).
     scheduled: bool,
@@ -162,35 +258,135 @@ struct Shard {
     state: Mutex<ShardState>,
 }
 
-#[derive(Default)]
-struct ParkState {
-    /// No further submissions: drain and exit.
-    shutdown: bool,
-}
-
 struct Shared {
     factory: Arc<dyn ObjectMonitorFactory>,
     interner: SharedInterner,
     shards: Vec<Shard>,
     /// Per-worker ready deques of shard indices.
     deques: Vec<Mutex<VecDeque<usize>>>,
-    park: Mutex<ParkState>,
+    /// The park lock pairs epoch bumps with notifications; it protects no
+    /// data of its own (the engine state lives in the atomics below).
+    park: Mutex<()>,
     park_signal: Condvar,
+    /// The lost-wakeup ticket: bumped by every work-publishing action
+    /// *before* notifying under the park lock.  A worker reads it before
+    /// scanning the deques and parks untimed while it is unchanged.
+    work_epoch: AtomicU64,
+    /// No further submissions: drain and exit.
+    shutdown: AtomicBool,
     /// A worker panicked or the engine was dropped unfinished: exit
-    /// immediately, even with events pending.  An atomic (not part of
-    /// [`ParkState`]) so busy workers can poll it between batches without
-    /// taking the park lock.
-    aborted: std::sync::atomic::AtomicBool,
-    /// Events submitted but not yet processed.
+    /// immediately, even with events pending.
+    aborted: AtomicBool,
+    /// Work items submitted but not yet processed (events + eviction
+    /// markers).
     pending: AtomicUsize,
+    /// Producers blocked on the `max_pending` bound wait here.
+    gate: Mutex<()>,
+    space_signal: Condvar,
+    /// Open verdict subscription channels.
+    subs: Mutex<Vec<Arc<SubscriptionShared>>>,
+    /// Reports of retired (evicted / TTL-expired) objects, merged into the
+    /// final [`EngineReport`] by `finish`.
+    retired: Mutex<BTreeMap<ObjectId, ObjectReport>>,
     batches: AtomicU64,
     steals: AtomicU64,
     events: AtomicU64,
+    evicted: AtomicU64,
+    /// Times a worker came back out of the park wait.  Zero while the pool
+    /// sits idle — the proof that parking is untimed, not polled.
+    park_wakeups: AtomicU64,
     panic: Mutex<Option<WorkerPanic>>,
     batch: usize,
+    max_pending: usize,
+    idle_ttl: Option<u64>,
+}
+
+/// Decrements `pending` by the drained batch size when dropped — on the
+/// normal path *and* during unwinding, so a monitor that panics mid-batch
+/// cannot leak backlog counts (the regression `finish` used to over-report
+/// forever after a `WorkerPanic`).
+struct PendingGuard<'a> {
+    shared: &'a Shared,
+    count: usize,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if self.count == 0 {
+            return;
+        }
+        let drained_to_zero =
+            self.shared.pending.fetch_sub(self.count, Ordering::AcqRel) == self.count;
+        if drained_to_zero && self.shared.shutdown.load(Ordering::Acquire) {
+            // The backlog just emptied under a shutdown: wake parked
+            // workers so they observe the exit condition.
+            self.shared.publish_work(true);
+        }
+        if self.shared.max_pending != usize::MAX {
+            let _gate = self.shared.gate.lock();
+            self.shared.space_signal.notify_all();
+        }
+    }
 }
 
 impl Shared {
+    /// Publishes work: bumps the epoch ticket, then notifies under the park
+    /// lock.  The bump-then-notify order against the workers'
+    /// read-then-scan order is what rules lost wake-ups out (see the module
+    /// docs).
+    fn publish_work(&self, all: bool) {
+        self.work_epoch.fetch_add(1, Ordering::SeqCst);
+        let _park = self.park.lock();
+        if all {
+            self.park_signal.notify_all();
+        } else {
+            self.park_signal.notify_one();
+        }
+    }
+
+    /// Whether workers may still block on full subscriptions: only while
+    /// live (blocking during shutdown/abort could deadlock `finish`).
+    fn streaming(&self) -> bool {
+        !self.shutdown.load(Ordering::Acquire) && !self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the open subscription channels.
+    fn subscribers(&self) -> Vec<Arc<SubscriptionShared>> {
+        let subs = self.subs.lock();
+        subs.iter().filter(|sub| sub.is_open()).cloned().collect()
+    }
+
+    fn intern_event(&self, object: ObjectId, symbol: &Symbol) -> InternedEvent {
+        let action = match &symbol.action {
+            Action::Invoke(invocation) => InternedAction::Invoke(self.interner.invocation(invocation)),
+            Action::Respond(response) => InternedAction::Respond(self.interner.response(response)),
+        };
+        InternedEvent {
+            object,
+            proc: symbol.proc,
+            action,
+        }
+    }
+
+    /// Reserves one pending-work slot under the backpressure bound.
+    fn try_reserve(&self) -> Result<(), ()> {
+        let mut current = self.pending.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max_pending {
+                return Err(());
+            }
+            match self.pending.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
     /// Pops a shard to work on: own deque first (front), then steal from
     /// the back of the other workers' deques.
     fn find_work(&self, worker: usize) -> Option<usize> {
@@ -208,44 +404,180 @@ impl Shared {
         None
     }
 
-    /// Drains and processes one batch of the claimed shard.  Returns the
-    /// number of events processed.
-    fn process(&self, shard_index: usize, worker: usize, mirror: &mut InternerMirror) -> usize {
-        let shard = &self.shards[shard_index];
-        let batch: Vec<InternedEvent> = {
-            let mut queue = shard.queue.lock();
-            let take = queue.events.len().min(self.batch);
-            queue.events.drain(..take).collect()
+    /// Moves `slot`'s verdict stream (plus its finalize verdict, if any)
+    /// into `target`, appending when the object already has a retired
+    /// entry.
+    ///
+    /// `blocking` must only be true where a regular verdict push would be
+    /// allowed to block too (holding at most the shard *state* lock): the
+    /// explicit-evict marker path.  Sweeps hold the shard *queue* lock — a
+    /// blocked push there would dead-lock a producer that is also the
+    /// consumer — and `finish` runs after shutdown, so both deliver
+    /// finalize verdicts best-effort (counted in `missed` when full).
+    fn flush_slot(
+        &self,
+        object: ObjectId,
+        mut slot: ObjectSlot,
+        target: &mut BTreeMap<ObjectId, ObjectReport>,
+        subs: &[Arc<SubscriptionShared>],
+        blocking: bool,
+    ) {
+        if let Some(verdict) = slot.monitor.finalize() {
+            let seq = slot.base + slot.verdicts.len() as u64;
+            slot.verdicts.push(verdict);
+            for sub in subs {
+                let delivery = VerdictEvent {
+                    object,
+                    seq,
+                    verdict,
+                };
+                if blocking {
+                    sub.push(delivery, &|| self.streaming());
+                } else {
+                    sub.push_nonblocking(delivery);
+                }
+            }
+        }
+        let entry = target.entry(object).or_insert_with(|| ObjectReport {
+            monitor: slot.monitor.name().into_owned(),
+            verdicts: Vec::new(),
+        });
+        entry.verdicts.append(&mut slot.verdicts);
+    }
+
+    /// Retires `object`'s monitor: finalize, flush the verdicts into the
+    /// retired map, free the slot.  Returns whether the object had one.
+    fn retire(
+        &self,
+        state: &mut ShardState,
+        object: ObjectId,
+        subs: &[Arc<SubscriptionShared>],
+        blocking: bool,
+    ) -> bool {
+        let Some(slot) = state.objects.remove(&object) else {
+            return false;
         };
+        let mut retired = self.retired.lock();
+        self.flush_slot(object, slot, &mut retired, subs, blocking);
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Retires every object of the (queue- and state-locked) shard that has
+    /// no queued work and has been idle ≥ `ttl` processed events.  Requiring
+    /// the queue lock is what makes it safe: no event for a swept object can
+    /// be drained-but-unprocessed, so a retired monitor has truly seen its
+    /// whole stream so far.
+    fn sweep_locked(
+        &self,
+        queue: &ShardQueue,
+        state: &mut ShardState,
+        ttl: u64,
+        subs: &[Arc<SubscriptionShared>],
+    ) -> usize {
+        if state.objects.is_empty() {
+            return 0;
+        }
+        let queued: HashSet<ObjectId> = queue.items.iter().map(QueueItem::object).collect();
+        let clock = self.events.load(Ordering::Relaxed);
+        let stale: Vec<ObjectId> = state
+            .objects
+            .iter()
+            .filter(|(object, slot)| {
+                !queued.contains(object) && clock.saturating_sub(slot.last_seen) >= ttl
+            })
+            .map(|(object, _)| *object)
+            .collect();
+        for object in &stale {
+            // Non-blocking delivery: sweeps run under the shard queue lock.
+            self.retire(state, *object, subs, false);
+        }
+        stale.len()
+    }
+
+    /// Drains and processes one batch of the claimed shard.
+    fn process(&self, shard_index: usize, worker: usize, mirror: &mut InternerMirror) {
+        let shard = &self.shards[shard_index];
+        let batch: Vec<QueueItem> = {
+            let mut queue = shard.queue.lock();
+            let take = queue.items.len().min(self.batch);
+            queue.items.drain(..take).collect()
+        };
+        // From here the drained items leave `pending` when the guard drops,
+        // unwinding included.
+        let _pending = PendingGuard {
+            shared: self,
+            count: batch.len(),
+        };
+        let subs = self.subscribers();
         if !batch.is_empty() {
             self.batches.fetch_add(1, Ordering::Relaxed);
             mirror.sync(&self.interner);
+            let clock = self.events.load(Ordering::Relaxed);
+            let mut processed = 0u64;
             let mut state = shard.state.lock();
-            for event in &batch {
-                let symbol = Symbol {
-                    proc: event.proc,
-                    action: match event.action {
-                        InternedAction::Invoke(id) => {
-                            Action::Invoke(mirror.resolve_invocation(id).clone())
+            for item in &batch {
+                match item {
+                    QueueItem::Event(event) => {
+                        let symbol = Symbol {
+                            proc: event.proc,
+                            action: match event.action {
+                                InternedAction::Invoke(id) => {
+                                    Action::Invoke(mirror.resolve_invocation(id).clone())
+                                }
+                                InternedAction::Respond(id) => {
+                                    Action::Respond(mirror.resolve_response(id).clone())
+                                }
+                            },
+                        };
+                        let slot = state.objects.entry(event.object).or_insert_with(|| {
+                            // Seq numbers continue where a prior retirement
+                            // of the same object left off.
+                            let base = self
+                                .retired
+                                .lock()
+                                .get(&event.object)
+                                .map_or(0, |report| report.verdicts.len() as u64);
+                            ObjectSlot {
+                                monitor: self.factory.create(event.object),
+                                verdicts: Vec::new(),
+                                base,
+                                last_seen: clock,
+                            }
+                        });
+                        let verdict = slot.monitor.on_symbol(&symbol);
+                        slot.verdicts.push(verdict);
+                        slot.last_seen = clock + processed;
+                        processed += 1;
+                        if !subs.is_empty() {
+                            let delivery = VerdictEvent {
+                                object: event.object,
+                                seq: slot.base + slot.verdicts.len() as u64 - 1,
+                                verdict,
+                            };
+                            for sub in &subs {
+                                sub.push(delivery, &|| self.streaming());
+                            }
                         }
-                        InternedAction::Respond(id) => {
-                            Action::Respond(mirror.resolve_response(id).clone())
-                        }
-                    },
-                };
-                let slot = state.objects.entry(event.object).or_insert_with(|| ObjectSlot {
-                    monitor: self.factory.create(event.object),
-                    verdicts: Vec::new(),
-                });
-                let verdict = slot.monitor.on_symbol(&symbol);
-                slot.verdicts.push(verdict);
+                    }
+                    QueueItem::Evict(object) => {
+                        // Marker path holds only the state lock, like event
+                        // pushes: finalize verdicts stay lossless while
+                        // live.
+                        self.retire(&mut state, *object, &subs, true);
+                    }
+                }
             }
-            self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.events.fetch_add(processed, Ordering::Relaxed);
         }
-        // Reschedule or release the claim.
+        // Sweep (under queue→state, the one nesting order used anywhere),
+        // then reschedule or release the claim.
         let reschedule = {
             let mut queue = shard.queue.lock();
-            if queue.events.is_empty() {
+            if let Some(ttl) = self.idle_ttl {
+                self.sweep_locked(&queue, &mut shard.state.lock(), ttl, &subs);
+            }
+            if queue.items.is_empty() {
                 queue.scheduled = false;
                 false
             } else {
@@ -256,15 +588,79 @@ impl Shared {
             // Back of the *own* deque: newly submitted shards (front) keep
             // priority, and peers can still steal this one.
             self.deques[worker].lock().push_back(shard_index);
-            self.park_signal.notify_one();
+            self.publish_work(false);
         }
-        batch.len()
+    }
+
+    /// Kills the pool without draining: queued work is dropped *and
+    /// reconciled out of `pending`* (so `backlog` converges to the truth
+    /// instead of over-reporting forever), and everyone who could be
+    /// blocked — parked workers, bounded producers, subscription writers —
+    /// is woken to observe the abort.
+    fn request_abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        let mut cleared = 0usize;
+        for shard in &self.shards {
+            let mut queue = shard.queue.lock();
+            cleared += queue.items.len();
+            queue.items.clear();
+        }
+        if cleared > 0 {
+            self.pending.fetch_sub(cleared, Ordering::AcqRel);
+        }
+        self.publish_work(true);
+        if self.max_pending != usize::MAX {
+            let _gate = self.gate.lock();
+            self.space_signal.notify_all();
+        }
+        // No verdict will ever be pushed again: close the channels (queued
+        // events stay drainable), freeing blocked writers *and* consumers
+        // looping until is_closed().
+        for sub in self.subscribers() {
+            sub.close();
+        }
     }
 
     fn abort(&self, panic: WorkerPanic) {
         self.panic.lock().get_or_insert(panic);
-        self.aborted.store(true, Ordering::Release);
-        self.park_signal.notify_all();
+        self.request_abort();
+    }
+
+    /// Closes the check-then-act window between a producer's `aborted`
+    /// check and its enqueue: an item slipped in *after* `request_abort`
+    /// drained the queues would sit there uncounted forever, freezing
+    /// `backlog()` above zero.  Re-clearing the shard after the enqueue is
+    /// idempotent (the queue lock serializes both clears; every item is
+    /// removed — and decremented — exactly once).
+    fn reconcile_if_aborted(&self, shard_index: usize) {
+        if !self.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        let cleared = {
+            let mut queue = self.shards[shard_index].queue.lock();
+            let cleared = queue.items.len();
+            queue.items.clear();
+            cleared
+        };
+        if cleared > 0 {
+            self.pending.fetch_sub(cleared, Ordering::AcqRel);
+            if self.max_pending != usize::MAX {
+                let _gate = self.gate.lock();
+                self.space_signal.notify_all();
+            }
+        }
+    }
+
+    fn stats_snapshot(&self, config: EngineConfig) -> EngineStats {
+        EngineStats {
+            workers: config.workers,
+            shards: config.shards,
+            events: self.events.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            park_wakeups: self.park_wakeups.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -273,50 +669,46 @@ fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         // Checked between batches too, not just when idle: an abort (worker
         // panic, engine dropped unfinished) must not wait for the backlog
-        // to drain.
-        if shared.aborted.load(Ordering::Acquire) {
+        // to drain, and a shutdown with an empty backlog is done.
+        if shared.aborted.load(Ordering::Acquire)
+            || (shared.shutdown.load(Ordering::Acquire)
+                && shared.pending.load(Ordering::Acquire) == 0)
+        {
             return;
         }
+        // The ticket read comes BEFORE the deque scan: work published after
+        // this point bumps the epoch, which the park predicate re-checks —
+        // so the untimed wait below cannot sleep through a submission that
+        // raced the scan.
+        let seen = shared.work_epoch.load(Ordering::SeqCst);
         if let Some(shard) = shared.find_work(worker) {
-            let processed = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                shared.process(shard, worker, &mut mirror)
-            }));
-            match processed {
-                Ok(count) => {
-                    if count > 0
-                        && shared.pending.fetch_sub(count, Ordering::AcqRel) == count
-                    {
-                        // Pending hit zero: wake parked workers so a
-                        // shutdown can complete promptly.
-                        shared.park_signal.notify_all();
-                    }
-                }
-                Err(payload) => {
-                    shared.abort(WorkerPanic::from_payload("engine worker", worker, payload));
-                    return;
-                }
+            if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                shared.process(shard, worker, &mut mirror);
+            })) {
+                shared.abort(WorkerPanic::from_payload("engine worker", worker, payload));
+                return;
             }
             continue;
         }
         let mut park = shared.park.lock();
-        if shared.aborted.load(Ordering::Acquire)
-            || (park.shutdown && shared.pending.load(Ordering::Acquire) == 0)
-        {
-            return;
-        }
-        // The timeout bounds the cost of a wake-up lost between the deque
-        // scan above and this park (1 ms of latency, not a hang).
-        shared
-            .park_signal
-            .wait_for(&mut park, Duration::from_millis(1));
+        shared.park_signal.wait_while(&mut park, |()| {
+            shared.work_epoch.load(Ordering::SeqCst) == seen
+                && !shared.aborted.load(Ordering::Acquire)
+                && !(shared.shutdown.load(Ordering::Acquire)
+                    && shared.pending.load(Ordering::Acquire) == 0)
+        });
+        drop(park);
+        shared.park_wakeups.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// A long-lived, sharded, multi-object streaming monitoring engine.
 ///
-/// Feed it interleaved traffic with [`MonitoringEngine::submit`]; collect
-/// the per-object verdict streams and the aggregate verdict with
-/// [`MonitoringEngine::finish`].
+/// Feed it interleaved traffic with [`MonitoringEngine::submit`] (blocking
+/// under backpressure) or [`MonitoringEngine::try_submit`]; consume
+/// verdicts live through [`MonitoringEngine::subscribe`]; retire quiesced
+/// objects with [`MonitoringEngine::evict`] or an idle TTL; and collect the
+/// aggregate report with [`MonitoringEngine::finish`].
 ///
 /// ```
 /// use drv_core::CheckerMonitorFactory;
@@ -352,15 +744,25 @@ impl MonitoringEngine {
             interner: SharedInterner::new(),
             shards: (0..config.shards).map(|_| Shard::default()).collect(),
             deques: (0..config.workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            park: Mutex::new(ParkState::default()),
+            park: Mutex::new(()),
             park_signal: Condvar::new(),
-            aborted: std::sync::atomic::AtomicBool::new(false),
+            work_epoch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            space_signal: Condvar::new(),
+            subs: Mutex::new(Vec::new()),
+            retired: Mutex::new(BTreeMap::new()),
             batches: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             events: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            park_wakeups: AtomicU64::new(0),
             panic: Mutex::new(None),
             batch: config.batch,
+            max_pending: config.max_pending,
+            idle_ttl: config.idle_ttl,
         });
         let handles = (0..config.workers)
             .map(|worker| {
@@ -384,27 +786,11 @@ impl MonitoringEngine {
         &self.config
     }
 
-    /// Ingests one symbol of `object`'s stream.  Symbols of the same object
-    /// are processed in submission order; distinct objects are independent.
-    pub fn submit(&self, object: ObjectId, symbol: &Symbol) {
-        let action = match &symbol.action {
-            Action::Invoke(invocation) => {
-                InternedAction::Invoke(self.shared.interner.invocation(invocation))
-            }
-            Action::Respond(response) => {
-                InternedAction::Respond(self.shared.interner.response(response))
-            }
-        };
-        let event = InternedEvent {
-            object,
-            proc: symbol.proc,
-            action,
-        };
+    fn enqueue(&self, object: ObjectId, item: QueueItem) {
         let shard_index = shard_of(object, self.shared.shards.len());
-        self.shared.pending.fetch_add(1, Ordering::AcqRel);
         let newly_scheduled = {
             let mut queue = self.shared.shards[shard_index].queue.lock();
-            queue.events.push_back(event);
+            queue.items.push_back(item);
             if queue.scheduled {
                 false
             } else {
@@ -418,8 +804,57 @@ impl MonitoringEngine {
             // Only a newly scheduled shard creates work a parked worker
             // could miss; events on an already-scheduled shard are picked up
             // by whichever worker owns the claim.
-            self.shared.park_signal.notify_one();
+            self.shared.publish_work(false);
         }
+        self.shared.reconcile_if_aborted(shard_index);
+    }
+
+    /// Ingests one symbol of `object`'s stream.  Symbols of the same object
+    /// are processed in submission order; distinct objects are independent.
+    ///
+    /// With a [`EngineConfig::with_max_pending`] bound, blocks until the
+    /// backlog drains below the bound.  After a worker panic the event is
+    /// discarded (the pool is dead — see [`MonitoringEngine::take_panic`]).
+    pub fn submit(&self, object: ObjectId, symbol: &Symbol) {
+        if self.shared.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        if self.shared.max_pending == usize::MAX {
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        } else {
+            while self.shared.try_reserve().is_err() {
+                let mut gate = self.shared.gate.lock();
+                self.shared.space_signal.wait_while(&mut gate, |()| {
+                    self.shared.pending.load(Ordering::Acquire) >= self.shared.max_pending
+                        && !self.shared.aborted.load(Ordering::Acquire)
+                });
+                drop(gate);
+                if self.shared.aborted.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+        }
+        self.enqueue(object, QueueItem::Event(self.shared.intern_event(object, symbol)));
+    }
+
+    /// Non-blocking [`MonitoringEngine::submit`]: rejects instead of
+    /// waiting when the [`EngineConfig::with_max_pending`] bound is reached.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at the bound; [`SubmitError::Aborted`] once a
+    /// worker has panicked (or the engine was dropped elsewhere).
+    pub fn try_submit(&self, object: ObjectId, symbol: &Symbol) -> Result<(), SubmitError> {
+        if self.shared.aborted.load(Ordering::Acquire) {
+            return Err(SubmitError::Aborted);
+        }
+        if self.shared.max_pending == usize::MAX {
+            self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        } else if self.shared.try_reserve().is_err() {
+            return Err(SubmitError::Full);
+        }
+        self.enqueue(object, QueueItem::Event(self.shared.intern_event(object, symbol)));
+        Ok(())
     }
 
     /// Ingests a whole word as `object`'s stream (symbols in word order).
@@ -429,27 +864,117 @@ impl MonitoringEngine {
         }
     }
 
-    /// Events submitted but not yet processed (racy by nature; exact only
-    /// when quiescent).
+    /// Retires `object`'s monitor *after* everything submitted for it so
+    /// far (the marker queues FIFO behind the object's events): the monitor
+    /// is finalized, its verdicts are flushed into the final report, and
+    /// its slot is freed.  A no-op for unknown (or already retired)
+    /// objects; later traffic for the object starts a fresh monitor.
+    ///
+    /// Eviction markers bypass the `max_pending` bound — evicting *frees*
+    /// state, so it must not be throttled by a full queue.
+    pub fn evict(&self, object: ObjectId) {
+        if self.shared.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.enqueue(object, QueueItem::Evict(object));
+    }
+
+    /// Sweeps every unclaimed shard for idle objects (per the
+    /// [`EngineConfig::with_idle_ttl`] policy), retiring them now instead
+    /// of waiting for their shard to see traffic.  Returns the number of
+    /// objects retired; `0` when no TTL is configured.  Uses try-locks, so
+    /// it is safe to call from a thread that also drains subscriptions
+    /// (contended shards are skipped, not waited on).
+    pub fn sweep_idle(&self) -> usize {
+        let Some(ttl) = self.shared.idle_ttl else {
+            return 0;
+        };
+        let subs = self.shared.subscribers();
+        let mut retired = 0;
+        for shard in &self.shared.shards {
+            let Some(queue) = shard.queue.try_lock() else {
+                continue;
+            };
+            if queue.scheduled {
+                // A worker owns this shard; it sweeps on its own claim.
+                continue;
+            }
+            let Some(mut state) = shard.state.try_lock() else {
+                continue;
+            };
+            retired += self.shared.sweep_locked(&queue, &mut state, ttl, &subs);
+        }
+        retired
+    }
+
+    /// Opens a bounded verdict channel (capacity clamped to ≥ 1): every
+    /// verdict decided from now on is delivered as a
+    /// [`VerdictEvent`] — per-object in `seq` order.  See
+    /// [`crate::service`] for the backpressure semantics.
+    #[must_use]
+    pub fn subscribe(&self, capacity: usize) -> VerdictSubscription {
+        let shared = SubscriptionShared::new(capacity.max(1));
+        let mut subs = self.shared.subs.lock();
+        subs.retain(|sub| sub.is_open());
+        subs.push(Arc::clone(&shared));
+        VerdictSubscription::new(shared)
+    }
+
+    /// Work items submitted but not yet processed (racy by nature; exact
+    /// only when quiescent).  Reconciled on abort: after a worker panic it
+    /// converges to zero instead of freezing at the pre-panic backlog.
     #[must_use]
     pub fn backlog(&self) -> usize {
         self.shared.pending.load(Ordering::Acquire)
     }
 
+    /// Whether the pool is dead (a worker panicked).  Submissions are
+    /// discarded from then on; [`MonitoringEngine::take_panic`] or
+    /// [`MonitoringEngine::finish`] report the cause.
+    #[must_use]
+    pub fn is_aborted(&self) -> bool {
+        self.shared.aborted.load(Ordering::Acquire)
+    }
+
+    /// Claims the panic of the first worker that died, if any — the
+    /// service-mode way to observe failure *without* consuming the engine.
+    /// Claiming transfers ownership: a subsequent
+    /// [`MonitoringEngine::finish`] returns the partial report instead of
+    /// the error, and drop no longer logs it.
+    #[must_use]
+    pub fn take_panic(&self) -> Option<WorkerPanic> {
+        self.shared.panic.lock().take()
+    }
+
+    /// A live snapshot of the pool's operational counters (exact only when
+    /// quiescent).
+    #[must_use]
+    pub fn live_stats(&self) -> EngineStats {
+        self.shared.stats_snapshot(self.config)
+    }
+
     /// Signals end-of-stream, drains every queue, joins the pool, and
     /// returns the report — or the [`WorkerPanic`] of the first worker that
-    /// died (remaining workers are joined either way).
+    /// died (remaining workers are joined either way).  Open subscriptions
+    /// are closed after the last verdict is delivered, so consumers
+    /// observe [`VerdictSubscription::is_closed`] and terminate.
     ///
     /// # Errors
     ///
     /// Returns the panic of the lowest-indexed worker that panicked while
-    /// processing a batch.
+    /// processing a batch — unless it was already claimed via
+    /// [`MonitoringEngine::take_panic`], in which case the (partial) report
+    /// is returned.
     pub fn finish(mut self) -> Result<EngineReport, WorkerPanic> {
-        {
-            let mut park = self.shared.park.lock();
-            park.shutdown = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.publish_work(true);
+        // Writers blocked on a full subscription must stop blocking now:
+        // nobody is obliged to drain a channel after requesting shutdown,
+        // and the join below would deadlock on them.
+        for sub in self.shared.subscribers() {
+            sub.wake_all();
         }
-        self.shared.park_signal.notify_all();
         let mut first_panic: Option<WorkerPanic> = None;
         for (worker, handle) in self.handles.drain(..).enumerate() {
             if let Err(payload) = handle.join() {
@@ -459,34 +984,29 @@ impl MonitoringEngine {
                 first_panic.get_or_insert(panic);
             }
         }
-        if let Some(panic) = self.shared.panic.lock().take() {
+        let claimed = self.shared.panic.lock().take();
+        if let Some(panic) = claimed.or(first_panic) {
+            // The error path must close the channels too, or a consumer
+            // looping on is_closed() waits forever on a dead engine.
+            for sub in self.shared.subscribers() {
+                sub.close();
+            }
             return Err(panic);
         }
-        if let Some(panic) = first_panic {
-            return Err(panic);
-        }
-        let mut objects = BTreeMap::new();
+        let subs = self.shared.subscribers();
+        let mut objects = std::mem::take(&mut *self.shared.retired.lock());
         for shard in &self.shared.shards {
             let mut state = shard.state.lock();
             for (object, slot) in state.objects.drain() {
-                objects.insert(
-                    object,
-                    ObjectReport {
-                        monitor: slot.monitor.name().into_owned(),
-                        verdicts: slot.verdicts,
-                    },
-                );
+                self.shared.flush_slot(object, slot, &mut objects, &subs, false);
             }
+        }
+        for sub in subs {
+            sub.close();
         }
         Ok(EngineReport {
             objects,
-            stats: EngineStats {
-                workers: self.config.workers,
-                shards: self.config.shards,
-                events: self.shared.events.load(Ordering::Relaxed),
-                batches: self.shared.batches.load(Ordering::Relaxed),
-                steals: self.shared.steals.load(Ordering::Relaxed),
-            },
+            stats: self.shared.stats_snapshot(self.config),
         })
     }
 }
@@ -498,14 +1018,28 @@ impl Drop for MonitoringEngine {
         }
         // Dropped without finish(): abort instead of draining, so the pool
         // never outlives the handle.
-        {
-            let mut park = self.shared.park.lock();
-            park.shutdown = true;
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.request_abort();
+        for (worker, handle) in self.handles.drain(..).enumerate() {
+            if let Err(payload) = handle.join() {
+                // Escaped the worker's catch_unwind (an engine bug): keep
+                // it, like finish() does, instead of discarding it.
+                self.shared
+                    .panic
+                    .lock()
+                    .get_or_insert(WorkerPanic::from_payload("engine worker", worker, payload));
+            }
         }
-        self.shared.aborted.store(true, Ordering::Release);
-        self.shared.park_signal.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        if let Some(panic) = self.shared.panic.lock().take() {
+            // Unclaimed at drop: the last chance to make the failure
+            // visible at all.
+            eprintln!(
+                "drv-engine: worker panic unclaimed at drop \
+                 (observe it with finish() or take_panic()): {panic}"
+            );
+        }
+        for sub in self.shared.subscribers() {
+            sub.close();
         }
     }
 }
@@ -559,9 +1093,17 @@ mod tests {
         let config = EngineConfig::new(0);
         assert_eq!(config.workers(), 1);
         assert_eq!(config.shards, 4);
-        let config = EngineConfig::new(4).with_shards(2).with_batch(8);
+        assert_eq!(config.max_pending(), usize::MAX);
+        assert_eq!(config.idle_ttl(), None);
+        let config = EngineConfig::new(4)
+            .with_shards(2)
+            .with_batch(8)
+            .with_max_pending(0)
+            .with_idle_ttl(0);
         assert_eq!(config.shards, 4, "shards clamp to the worker count");
         assert_eq!(config.batch, 8);
+        assert_eq!(config.max_pending(), 1, "max_pending clamps to ≥ 1");
+        assert_eq!(config.idle_ttl(), Some(1), "idle_ttl clamps to ≥ 1");
     }
 
     #[test]
@@ -637,6 +1179,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn bounded_try_submit_rejects_then_recovers() {
+        // One worker, tiny bound: the producer must see Full at least once,
+        // and everything accepted must still be checked.
+        let engine =
+            MonitoringEngine::new(EngineConfig::new(1).with_max_pending(2), factory());
+        let mut rejected = 0u64;
+        let mut accepted = 0u64;
+        for _ in 0..200 {
+            for (object, symbol) in clean_stream(5) {
+                loop {
+                    match engine.try_submit(object, &symbol) {
+                        Ok(()) => {
+                            accepted += 1;
+                            break;
+                        }
+                        Err(SubmitError::Full) => {
+                            rejected += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(SubmitError::Aborted) => panic!("no abort expected"),
+                    }
+                }
+            }
+        }
+        let report = engine.finish().expect("no panics");
+        assert_eq!(accepted, 800);
+        assert_eq!(report.stats.events, 800);
+        assert!(rejected > 0, "a bound of 2 must reject at least once");
+        assert_eq!(
+            report.verdicts(ObjectId(5)).unwrap().last(),
+            Some(&Verdict::Yes)
+        );
+    }
+
+    #[test]
+    fn blocking_submit_respects_the_bound() {
+        let engine =
+            MonitoringEngine::new(EngineConfig::new(1).with_max_pending(1), factory());
+        // Each submit may have to wait for the worker; the run completing
+        // at all (without lost wakeups on the producer gate) is the test.
+        for _ in 0..50 {
+            for (object, symbol) in clean_stream(9) {
+                engine.submit(object, &symbol);
+            }
+        }
+        let report = engine.finish().expect("no panics");
+        assert_eq!(report.stats.events, 200);
+    }
+
+    #[test]
+    fn evicted_object_report_equals_unevicted_run() {
+        let events: Vec<(ObjectId, Symbol)> = clean_stream(3);
+        let expected = sequential_reference(factory().as_ref(), &events);
+        let engine = MonitoringEngine::new(EngineConfig::new(2), factory());
+        for (object, symbol) in &events {
+            engine.submit(*object, symbol);
+        }
+        // Quiesced: no further traffic for the object → evicting must not
+        // change its reported stream.
+        engine.evict(ObjectId(3));
+        engine.evict(ObjectId(3)); // double-evict is a no-op
+        engine.evict(ObjectId(777)); // unknown object is a no-op
+        let report = engine.finish().expect("no panics");
+        assert_eq!(report.verdicts(ObjectId(3)), Some(&expected[&ObjectId(3)][..]));
+        assert_eq!(report.stats.evicted, 1);
     }
 
     #[test]

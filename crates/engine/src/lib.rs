@@ -31,6 +31,18 @@
 //! [`sequential_reference`] on hundreds of seeded multi-object streams, at
 //! every prefix, for both criteria.
 //!
+//! The engine is built to run **always-on**, not just batch-style: idle
+//! workers park *untimed* on an epoch-ticketed condvar (zero wakeups while
+//! idle — no timed polling), ingestion is bounded
+//! ([`EngineConfig::with_max_pending`]: blocking
+//! [`MonitoringEngine::submit`] or non-blocking
+//! [`MonitoringEngine::try_submit`]), verdicts stream live through bounded
+//! [`VerdictSubscription`] channels ([`MonitoringEngine::subscribe`]), and
+//! quiesced objects are retired ([`MonitoringEngine::evict`],
+//! [`EngineConfig::with_idle_ttl`]) so per-object state does not grow with
+//! history length.  See [`service`] for the channel semantics and
+//! `tests/service.rs` for the acceptance gates.
+//!
 //! ```
 //! use drv_core::CheckerMonitorFactory;
 //! use drv_engine::{EngineConfig, MonitoringEngine};
@@ -55,8 +67,10 @@
 
 pub mod engine;
 pub mod report;
+pub mod service;
 
 pub use engine::{
     sequential_reference, EngineConfig, InternedAction, InternedEvent, MonitoringEngine,
 };
 pub use report::{AggregateVerdict, EngineReport, EngineStats, ObjectReport};
+pub use service::{SubmitError, VerdictEvent, VerdictSubscription};

@@ -61,6 +61,12 @@ pub struct EngineStats {
     pub batches: u64,
     /// Shard claims that were stolen from another worker's deque.
     pub steals: u64,
+    /// Objects retired before end-of-stream (explicit `evict` markers and
+    /// idle-TTL sweeps); their verdicts are merged into the report.
+    pub evicted: u64,
+    /// Times a worker came back out of the park wait.  Stays flat while
+    /// the pool is idle: parking is untimed (epoch-ticketed), not polled.
+    pub park_wakeups: u64,
 }
 
 /// Everything a finished [`crate::MonitoringEngine`] run produced.

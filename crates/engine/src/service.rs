@@ -1,0 +1,314 @@
+//! The always-on service surface of the engine: submission errors for the
+//! backpressure path and the streaming verdict subscription channel.
+//!
+//! A batch-style deployment submits a stream and reads the end-of-run
+//! [`EngineReport`](crate::EngineReport); a *service* never reaches
+//! end-of-run.  This module provides what the long-running mode needs
+//! instead:
+//!
+//! * [`SubmitError`] — what [`MonitoringEngine::try_submit`] reports when
+//!   the bounded ingestion queue is full ([`SubmitError::Full`]) or the
+//!   pool is dead ([`SubmitError::Aborted`]).
+//! * [`VerdictSubscription`] — a bounded channel of [`VerdictEvent`]s
+//!   (`(object, seq, verdict)` triples) delivering verdicts *as they are
+//!   decided*, created by [`MonitoringEngine::subscribe`].
+//!
+//! ## Channel semantics
+//!
+//! Events of one object arrive in `seq` order (the engine's per-object FIFO
+//! guarantee extends to the subscription); events of distinct objects
+//! interleave arbitrarily.  While the engine is live, a worker that finds a
+//! subscription full **blocks** until the consumer drains it — the channel
+//! is a real bounded queue, lossless under backpressure.  Once the engine is
+//! shutting down (`finish`, drop, or a worker panic) workers stop blocking
+//! and count undeliverable events in [`VerdictSubscription::missed`]
+//! instead, so `finish()` can never deadlock on an abandoned subscription;
+//! every verdict is still in the final report regardless.  One narrow
+//! exception to lossless-while-live: *finalize* verdicts (the optional
+//! closing verdict of `ObjectMonitor::finalize`) are delivered best-effort
+//! when the retirement happens inside a TTL sweep or `finish` — those run
+//! under locks a blocked push could deadlock against — and losslessly on
+//! the explicit `evict` path.
+//!
+//! The channel closes ([`VerdictSubscription::is_closed`]) when `finish`
+//! has delivered the last verdict, when the engine is dropped, **or as soon
+//! as the pool aborts on a worker panic** — a consumer looping until
+//! closure never out-waits a dead engine.  Queued events stay drainable
+//! after closing.
+//!
+//! [`MonitoringEngine::try_submit`]: crate::MonitoringEngine::try_submit
+//! [`MonitoringEngine::subscribe`]: crate::MonitoringEngine::subscribe
+
+use drv_core::Verdict;
+use drv_lang::ObjectId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Why a non-blocking submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The engine's pending-work bound (`EngineConfig::with_max_pending`)
+    /// is reached; retry after draining (or use the blocking `submit`).
+    Full,
+    /// A worker panicked (or the engine was dropped): the pool will never
+    /// process the event.  `take_panic` / `finish` report the cause.
+    Aborted,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Full => f.write_str("engine ingestion queue is full"),
+            SubmitError::Aborted => f.write_str("engine aborted; the pool is no longer draining"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One delivered verdict: the monitor's verdict for `object` after its
+/// `seq`-th stream element (0-based, counted across evictions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictEvent {
+    /// The object the verdict belongs to.
+    pub object: ObjectId,
+    /// Position in the object's verdict stream (0-based).
+    pub seq: u64,
+    /// The verdict itself.
+    pub verdict: Verdict,
+}
+
+struct SubState {
+    queue: VecDeque<VerdictEvent>,
+    capacity: usize,
+    closed: bool,
+    missed: u64,
+}
+
+/// The channel half shared between the engine's workers and one
+/// [`VerdictSubscription`] handle.
+pub(crate) struct SubscriptionShared {
+    state: Mutex<SubState>,
+    /// Signalled when events become available (or the channel closes).
+    readable: Condvar,
+    /// Signalled when space frees up (or blocking becomes pointless).
+    writable: Condvar,
+}
+
+impl SubscriptionShared {
+    pub(crate) fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(SubscriptionShared {
+            state: Mutex::new(SubState {
+                queue: VecDeque::with_capacity(capacity),
+                capacity,
+                closed: false,
+                missed: 0,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        })
+    }
+
+    /// Worker-side delivery.  Blocks while the queue is full as long as
+    /// `may_block()` holds (it reads the engine's live/shutdown state);
+    /// otherwise the event is counted as missed.  Returns whether the event
+    /// was enqueued.
+    pub(crate) fn push(&self, event: VerdictEvent, may_block: &dyn Fn() -> bool) -> bool {
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(event);
+                self.readable.notify_all();
+                return true;
+            }
+            if !may_block() {
+                state.missed += 1;
+                return false;
+            }
+            self.writable.wait(&mut state);
+        }
+    }
+
+    /// Delivery that never blocks (used under shard locks, e.g. for
+    /// finalize verdicts): full ⇒ missed.
+    pub(crate) fn push_nonblocking(&self, event: VerdictEvent) -> bool {
+        self.push(event, &|| false)
+    }
+
+    /// Wakes every blocked writer *and* reader so they re-check the engine
+    /// state (called on shutdown and abort).
+    pub(crate) fn wake_all(&self) {
+        let _state = self.state.lock();
+        self.writable.notify_all();
+        self.readable.notify_all();
+    }
+
+    /// Closes the channel: already-queued events stay drainable, new pushes
+    /// are discarded, blocked parties wake.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        self.writable.notify_all();
+        self.readable.notify_all();
+    }
+
+    pub(crate) fn is_open(&self) -> bool {
+        !self.state.lock().closed
+    }
+}
+
+/// The consumer handle of a bounded verdict channel (see the module docs
+/// for ordering and backpressure semantics).  Dropping it closes the
+/// channel; the engine's workers skip closed subscriptions.
+pub struct VerdictSubscription {
+    shared: Arc<SubscriptionShared>,
+}
+
+impl VerdictSubscription {
+    pub(crate) fn new(shared: Arc<SubscriptionShared>) -> Self {
+        VerdictSubscription { shared }
+    }
+
+    /// Drains every currently queued event without blocking (empty vector
+    /// when nothing is pending).
+    #[must_use]
+    pub fn poll_verdicts(&self) -> Vec<VerdictEvent> {
+        let mut state = self.shared.state.lock();
+        let drained: Vec<VerdictEvent> = state.queue.drain(..).collect();
+        if !drained.is_empty() {
+            self.shared.writable.notify_all();
+        }
+        drained
+    }
+
+    /// Blocks until at least one event is queued (then drains everything
+    /// queued), the channel closes, or `timeout` elapses — whichever comes
+    /// first.
+    #[must_use]
+    pub fn wait_verdicts(&self, timeout: Duration) -> Vec<VerdictEvent> {
+        let mut state = self.shared.state.lock();
+        self.shared.readable.wait_while_for(
+            &mut state,
+            |state| state.queue.is_empty() && !state.closed,
+            timeout,
+        );
+        let drained: Vec<VerdictEvent> = state.queue.drain(..).collect();
+        if !drained.is_empty() {
+            self.shared.writable.notify_all();
+        }
+        drained
+    }
+
+    /// Events the engine could not deliver because the queue was full while
+    /// blocking was no longer allowed (shutdown/abort) — they are *not*
+    /// lost from the final report, only from this stream.
+    #[must_use]
+    pub fn missed(&self) -> u64 {
+        self.shared.state.lock().missed
+    }
+
+    /// Whether the channel is closed (engine finished/dropped, or
+    /// [`VerdictSubscription::close`] was called).  Queued events remain
+    /// drainable after closing.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        !self.shared.is_open()
+    }
+
+    /// Closes the channel early: workers stop delivering to it immediately
+    /// (without blocking or counting misses).
+    pub fn close(&self) {
+        self.shared.close();
+    }
+}
+
+impl Drop for VerdictSubscription {
+    fn drop(&mut self) {
+        self.shared.close();
+    }
+}
+
+impl fmt::Debug for VerdictSubscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.shared.state.lock();
+        f.debug_struct("VerdictSubscription")
+            .field("queued", &state.queue.len())
+            .field("capacity", &state.capacity)
+            .field("closed", &state.closed)
+            .field("missed", &state.missed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(seq: u64) -> VerdictEvent {
+        VerdictEvent {
+            object: ObjectId(1),
+            seq,
+            verdict: Verdict::Yes,
+        }
+    }
+
+    #[test]
+    fn bounded_push_poll_roundtrip() {
+        let shared = SubscriptionShared::new(2);
+        let sub = VerdictSubscription::new(Arc::clone(&shared));
+        assert!(shared.push_nonblocking(event(0)));
+        assert!(shared.push_nonblocking(event(1)));
+        // Full and not allowed to block: counted as missed.
+        assert!(!shared.push_nonblocking(event(2)));
+        assert_eq!(sub.missed(), 1);
+        let drained = sub.poll_verdicts();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].seq, 0);
+        assert!(sub.poll_verdicts().is_empty());
+    }
+
+    #[test]
+    fn blocked_writer_is_freed_by_a_draining_reader() {
+        let shared = SubscriptionShared::new(1);
+        let sub = VerdictSubscription::new(Arc::clone(&shared));
+        assert!(shared.push_nonblocking(event(0)));
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || shared.push(event(1), &|| true))
+        };
+        // The writer blocks on the full queue until we drain it.
+        let mut drained = Vec::new();
+        while drained.len() < 2 {
+            drained.extend(sub.wait_verdicts(Duration::from_millis(50)));
+        }
+        assert!(writer.join().unwrap());
+        assert_eq!(drained.len(), 2);
+        assert_eq!(sub.missed(), 0);
+    }
+
+    #[test]
+    fn close_keeps_queued_events_drainable_and_rejects_new_ones() {
+        let shared = SubscriptionShared::new(4);
+        let sub = VerdictSubscription::new(Arc::clone(&shared));
+        assert!(shared.push_nonblocking(event(0)));
+        sub.close();
+        assert!(sub.is_closed());
+        assert!(!shared.push_nonblocking(event(1)), "closed channels drop pushes");
+        assert_eq!(sub.missed(), 0, "drops after close are not misses");
+        assert_eq!(sub.poll_verdicts().len(), 1);
+        // wait_verdicts on a closed, empty channel returns immediately.
+        assert!(sub.wait_verdicts(Duration::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn submit_error_displays() {
+        assert!(SubmitError::Full.to_string().contains("full"));
+        assert!(SubmitError::Aborted.to_string().contains("aborted"));
+    }
+}

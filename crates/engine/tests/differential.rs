@@ -13,7 +13,7 @@
 
 use drv_consistency::{CheckerConfig, IncrementalChecker};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
-use drv_engine::{EngineConfig, MonitoringEngine};
+use drv_engine::{EngineConfig, MonitoringEngine, SubmitError};
 use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
 use drv_spec::Register;
 use rand::rngs::StdRng;
@@ -198,6 +198,100 @@ fn engine_verdicts_equal_sequential_checkers_on_seeded_streams() {
     // proves nothing.
     assert!(yes_streams >= 50, "only {yes_streams} clean streams");
     assert!(no_streams >= 50, "only {no_streams} flagged streams");
+}
+
+/// The service-mode soak: the full long-running surface at once — a tiny
+/// `max_pending` bound (so `try_submit` rejections are exercised on nearly
+/// every stream), a bounded verdict subscription drained opportunistically,
+/// and eviction of every object the moment its stream completes — and the
+/// verdict streams, both as subscribed live and as reported by `finish`,
+/// still bit-identical to the sequential per-object reference at every
+/// worker count.
+#[test]
+fn service_mode_soak_matches_sequential_reference() {
+    /// Seeded streams for the soak (cheaper per stream than the main suite
+    /// because each run also drains a subscription).
+    const SOAK_STREAMS: u64 = 150;
+
+    let worker_counts = worker_counts();
+    let mut rejections = 0u64;
+    let mut evictions = 0u64;
+    for seed in 0..SOAK_STREAMS {
+        let events = merged_stream(seed);
+        let expected = sequential_verdicts(&events);
+        // How many events each object still has in flight (to evict it the
+        // moment it quiesces).
+        let mut remaining: BTreeMap<ObjectId, usize> = BTreeMap::new();
+        for (object, _) in &events {
+            *remaining.entry(*object).or_default() += 1;
+        }
+        let mut evict_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        for &workers in &worker_counts {
+            let engine = MonitoringEngine::new(
+                EngineConfig::new(workers).with_max_pending(8),
+                mixed_factory(1),
+            );
+            let subscription = engine.subscribe(16);
+            let mut received = Vec::new();
+            let mut in_flight = remaining.clone();
+            for (object, symbol) in &events {
+                // try_submit only: a blocking submit here could deadlock
+                // against a worker blocked on the full subscription, since
+                // this thread is also the consumer.
+                loop {
+                    match engine.try_submit(*object, symbol) {
+                        Ok(()) => break,
+                        Err(SubmitError::Full) => {
+                            rejections += 1;
+                            received.extend(subscription.poll_verdicts());
+                            std::thread::yield_now();
+                        }
+                        Err(SubmitError::Aborted) => panic!("seed {seed}: worker died"),
+                    }
+                }
+                let left = in_flight.get_mut(object).expect("counted");
+                *left -= 1;
+                if *left == 0 && evict_rng.gen_bool(0.5) {
+                    // Quiesced: evicting must not change any stream.
+                    engine.evict(*object);
+                    evictions += 1;
+                }
+            }
+            while engine.backlog() > 0 {
+                received.extend(subscription.poll_verdicts());
+                std::thread::yield_now();
+            }
+            let report = engine.finish().expect("no worker panicked");
+            received.extend(subscription.poll_verdicts());
+            assert_eq!(subscription.missed(), 0, "seed {seed}, {workers} workers");
+            // Rebuild the per-object streams from the live deliveries.
+            let mut streamed: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+            for event in &received {
+                let stream = streamed.entry(event.object).or_default();
+                assert_eq!(
+                    event.seq,
+                    stream.len() as u64,
+                    "seed {seed}, {workers} workers, {}: subscription out of order",
+                    event.object
+                );
+                stream.push(event.verdict);
+            }
+            assert_eq!(
+                streamed, expected,
+                "seed {seed}, {workers} workers: subscribed streams differ"
+            );
+            for (object, verdicts) in &expected {
+                assert_eq!(
+                    report.verdicts(*object),
+                    Some(&verdicts[..]),
+                    "seed {seed}, {workers} workers, {object}: reported streams differ"
+                );
+            }
+        }
+    }
+    // The soak proves nothing unless the service paths actually fired.
+    assert!(rejections > 0, "max_pending=8 never rejected a try_submit");
+    assert!(evictions > 0, "no object was ever evicted");
 }
 
 #[test]

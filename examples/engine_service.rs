@@ -1,25 +1,40 @@
-//! A monitoring *service*: thousands of objects, one engine.
+//! A monitoring *service*: thousands of objects, one always-on engine.
 //!
 //! The paper's monitors decide one distributed language for one object; a
-//! production service multiplexes heavy traffic over many objects at once.
-//! This example plays such a service: 2 000 register objects (even ids
-//! checked for linearizability, odd for sequential consistency) emit
-//! interleaved invocation/response traffic, a handful of them misbehave
-//! (stale reads), and a sharded [`MonitoringEngine`] with a work-stealing
-//! worker pool checks everything concurrently — emitting an ordered verdict
-//! stream per object and one aggregated engine-level verdict.
+//! production service multiplexes heavy traffic over many objects at once —
+//! and it never reaches "end of run".  This example plays such a service
+//! with the engine's long-running surface:
+//!
+//! * **Bounded ingestion** — `EngineConfig::with_max_pending` caps the
+//!   submitted-but-unprocessed backlog; the producer's blocking `submit`
+//!   rides the backpressure instead of ballooning memory.
+//! * **Live verdict consumption** — a consumer thread drains a bounded
+//!   [`VerdictSubscription`] and raises "pages" the moment an object's
+//!   monitor says NO, long before the final report exists.
+//! * **Eviction of quiesced objects** — every object is `evict`ed as soon
+//!   as its stream completes, so per-object monitor state never grows with
+//!   history length; the final report still carries every verdict.
+//!
+//! 2 000 register objects (even ids checked for linearizability, odd for
+//! sequential consistency) emit interleaved invocation/response traffic, a
+//! handful of them misbehave (stale reads), and a sharded
+//! [`MonitoringEngine`] with a work-stealing worker pool checks everything
+//! concurrently.
 //!
 //! ```text
 //! cargo run --example engine_service --release
 //! ```
 //!
 //! [`MonitoringEngine`]: drv::engine::MonitoringEngine
+//! [`VerdictSubscription`]: drv::engine::VerdictSubscription
 
 use drv::core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
 use drv::engine::{EngineConfig, MonitoringEngine};
 use drv::lang::{Invocation, ObjectId, ProcId, Response, Symbol};
 use drv::spec::Register;
+use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Monitored objects.
 const OBJECTS: u64 = 2_000;
@@ -30,6 +45,10 @@ const PROCESSES: usize = 2;
 /// Every 97th object serves a stale read (a `LIN_REG` violation; the odd
 /// ones among them are still `SC_REG` members, which the aggregate shows).
 const FAULT_STRIDE: u64 = 97;
+/// Ingestion bound: at most this many submitted-but-unprocessed events.
+const MAX_PENDING: usize = 4_096;
+/// Verdict channel capacity.
+const SUBSCRIPTION_CAPACITY: usize = 1_024;
 
 /// Per-object monitor: LIN for even ids, SC for odd ids — one long-lived
 /// incremental checker each, with the parallel Wing–Gong fallback armed.
@@ -69,35 +88,80 @@ fn main() {
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
     println!("engine service: {OBJECTS} objects on {workers} workers");
     let start = std::time::Instant::now();
-    let engine = MonitoringEngine::new(EngineConfig::new(workers), mixed_factory());
+    let engine = Arc::new(MonitoringEngine::new(
+        EngineConfig::new(workers).with_max_pending(MAX_PENDING),
+        mixed_factory(),
+    ));
+
+    // The live consumer: pages on the first NO per object, counts the rest.
+    // It sees verdicts while the producer is still submitting — no waiting
+    // for the end-of-run report.
+    let subscription = engine.subscribe(SUBSCRIPTION_CAPACITY);
+    let consumer = std::thread::spawn(move || {
+        let mut delivered = 0u64;
+        let mut paged: BTreeSet<ObjectId> = BTreeSet::new();
+        loop {
+            let batch = subscription.wait_verdicts(Duration::from_millis(50));
+            if batch.is_empty() && subscription.is_closed() {
+                break;
+            }
+            for event in batch {
+                delivered += 1;
+                if event.verdict == Verdict::No && paged.insert(event.object) {
+                    println!(
+                        "  page: {} flagged NO at stream position {}",
+                        event.object, event.seq
+                    );
+                }
+            }
+        }
+        (delivered, paged.len(), subscription.missed())
+    });
 
     // The service's firehose: round-robin over all objects, so consecutive
     // events almost never belong to the same object (the adversarial case
-    // for the router).
+    // for the router).  `submit` blocks at the MAX_PENDING bound — bounded
+    // memory, not an unbounded queue.
     for r in 0..OPS_PER_OBJECT / 2 {
         for object in 0..OBJECTS {
             let object = ObjectId(object);
             for symbol in round(object, r) {
                 engine.submit(object, &symbol);
             }
+            if r == OPS_PER_OBJECT / 2 - 1 {
+                // This object's stream is complete: retire its monitor now.
+                // Its verdicts stay in the final report, its slot is freed —
+                // per-object state does not grow with history length.
+                engine.evict(object);
+            }
         }
     }
 
+    let engine = Arc::into_inner(engine).expect("consumer holds no engine handle");
+    // Quiesce before shutdown: once the backlog is drained every verdict
+    // has been handed to the subscription, so none spill to `missed` when
+    // finish() stops the workers.
+    while engine.backlog() > 0 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
     let report = engine.finish().expect("no engine worker panicked");
+    let (delivered, paged, missed) = consumer.join().expect("consumer finished");
     let elapsed = start.elapsed();
     let aggregate = report.aggregate();
     let stats = report.stats;
 
     println!(
-        "ingested {} events in {:.1} ms ({:.0} events/s)",
+        "ingested {} events in {:.1} ms ({:.0} events/s), backlog bounded at {MAX_PENDING}",
         stats.events,
         elapsed.as_secs_f64() * 1e3,
         stats.events as f64 / elapsed.as_secs_f64().max(1e-12),
     );
     println!(
-        "pool: {} workers, {} shards, {} batches, {} steals",
-        stats.workers, stats.shards, stats.batches, stats.steals,
+        "pool: {} workers, {} shards, {} batches, {} steals, {} evicted, {} park wakeups",
+        stats.workers, stats.shards, stats.batches, stats.steals, stats.evicted,
+        stats.park_wakeups,
     );
+    println!("subscription: {delivered} verdicts delivered live, {paged} objects paged, {missed} missed");
     println!("aggregate verdict: {aggregate}");
 
     // The stale read flips even (LIN-checked) fault objects to NO forever
@@ -120,5 +184,8 @@ fn main() {
     assert_eq!(sc_stream.last(), Some(&Verdict::Yes));
     assert_eq!(aggregate.overall, Verdict::No);
     assert_eq!(aggregate.yes + aggregate.no + aggregate.maybe, OBJECTS as usize);
+    assert_eq!(missed, 0, "the service quiesced before shutdown");
+    assert_eq!(delivered, stats.events, "every verdict was delivered live");
+    assert_eq!(stats.evicted, OBJECTS, "every quiesced object was retired");
     println!("verdict streams: one per object, bit-identical to a sequential re-check");
 }
