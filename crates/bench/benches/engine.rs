@@ -21,7 +21,7 @@
 //! the same binary on a 4-core runner separates them.
 
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
-use drv_engine::{EngineConfig, MonitoringEngine};
+use drv_engine::{EngineConfig, EventBatch, MonitoringEngine};
 use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
 use drv_spec::Register;
 use rand::rngs::StdRng;
@@ -47,6 +47,10 @@ const PROCESSES: usize = 2;
 const MAX_STATES: usize = 200_000;
 /// Worker counts measured.
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Batch sizes of the submit-side rows (`submit_batch` amortization).
+const BATCH_SIZES: [usize; 3] = [1, 16, 256];
+/// Workers behind the batch-size rows.
+const BATCH_WORKERS: usize = 2;
 /// Timed repetitions per configuration (minimum is reported).
 const REPS: usize = 3;
 
@@ -164,6 +168,43 @@ fn engine_run(
     (elapsed, verdicts, steals)
 }
 
+/// One batched-ingestion run: the stream is pre-cut into `EventBatch`es of
+/// `batch_size` (interning paid outside the clock, so the row isolates what
+/// batching amortizes — per-event queue locks, routing decisions and
+/// epoch-bump/notify publications), then the submit loop alone is timed.
+/// Returns `(submit-side, end-to-end, verdicts)`; the caller asserts the
+/// verdicts against the inline reference — batching must not move a bit.
+fn batched_run(
+    events: &[(ObjectId, Symbol)],
+    batch_size: usize,
+) -> (Duration, (Duration, BTreeMap<ObjectId, Vec<Verdict>>)) {
+    let engine = MonitoringEngine::new(EngineConfig::new(BATCH_WORKERS), mixed_factory());
+    let mut batches = Vec::with_capacity(events.len() / batch_size + 1);
+    let mut batch = EventBatch::with_capacity(batch_size);
+    for (object, symbol) in events {
+        batch.push_symbol(*object, symbol, engine.interner());
+        if batch.len() == batch_size {
+            batches.push(std::mem::replace(&mut batch, EventBatch::with_capacity(batch_size)));
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    let start = Instant::now();
+    for batch in &batches {
+        engine.submit_batch(batch);
+    }
+    let submit = start.elapsed();
+    let report = engine.finish().expect("no engine worker panicked");
+    let total = start.elapsed();
+    let verdicts = report
+        .objects
+        .into_iter()
+        .map(|(object, r)| (object, r.verdicts))
+        .collect();
+    (submit, (total, verdicts))
+}
+
 /// The always-on deployment shape: bounded ingestion (blocking `submit`),
 /// a consumer thread draining a bounded verdict subscription, and eviction
 /// of every object the moment its stream completes.  Returns the verdict
@@ -240,6 +281,20 @@ fn main() {
         "engine bench: {OBJECTS} objects x {OPS_PER_OBJECT} ops \
          ({total} symbols), {parallelism} hardware threads"
     );
+    if parallelism == 1 {
+        // The ROADMAP "multi-core re-baseline" item, self-documenting: the
+        // recorded hardware-thread count travels with the JSON, and nobody
+        // should mistake a time-sliced run for a scaling measurement.
+        eprintln!(
+            "\n\
+             ==========================================================================\n\
+             WARNING: only 1 hardware thread detected. Every multi-worker speedup in\n\
+             this run (and in the BENCH_engine.json it writes) measures pipelining,\n\
+             not parallelism. Re-run on a >= 4-core machine before tuning batch size\n\
+             or shard count (see ROADMAP: multi-core perf validation).\n\
+             ==========================================================================\n"
+        );
+    }
 
     let (inline_time, reference) = best_of(|| inline_reference(&events));
     println!(
@@ -265,6 +320,32 @@ fn main() {
             steals,
         );
         engine_times.push((workers, elapsed));
+    }
+
+    let mut batch_rows = Vec::new();
+    for batch_size in BATCH_SIZES {
+        let (submit_time, (total_time, verdicts)) = best_of(|| batched_run(&events, batch_size));
+        assert_eq!(
+            verdicts, reference,
+            "batch {batch_size}: engine verdict streams differ from the inline reference"
+        );
+        println!(
+            "engine/submit-batch/{batch_size:>3}:    {:>10.2} ms submit-side  \
+             {:>12.0} events/s  (end-to-end {:.2} ms)",
+            submit_time.as_secs_f64() * 1e3,
+            throughput(total, submit_time),
+            total_time.as_secs_f64() * 1e3,
+        );
+        batch_rows.push((batch_size, submit_time, total_time));
+    }
+    for pair in batch_rows.windows(2) {
+        if pair[1].1 > pair[0].1 {
+            eprintln!(
+                "WARNING: submit-side throughput did not improve from batch {} to {} \
+                 ({:?} -> {:?}); expect noise on a loaded machine, re-run the bench",
+                pair[0].0, pair[1].0, pair[0].1, pair[1].1,
+            );
+        }
     }
 
     let (service_time, (service_streams, service_evicted)) = best_of(|| {
@@ -307,6 +388,22 @@ fn main() {
             )
         })
         .collect();
+    let batch_json_rows: Vec<String> = batch_rows
+        .iter()
+        .map(|(batch_size, submit, total_time)| {
+            format!(
+                concat!(
+                    "    {{ \"batch\": {}, \"workers\": {}, \"submit_ns\": {}, ",
+                    "\"submit_events_per_sec\": {:.0}, \"total_ns\": {} }}"
+                ),
+                batch_size,
+                BATCH_WORKERS,
+                submit.as_nanos(),
+                throughput(total, *submit),
+                total_time.as_nanos(),
+            )
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -317,10 +414,12 @@ fn main() {
             "  \"processes_per_object\": {},\n",
             "  \"max_states\": {},\n",
             "  \"available_parallelism\": {},\n",
+            "  \"single_core_caveat\": {},\n",
             "  \"unit\": \"total nanoseconds to ingest and fully check the stream\",\n",
             "  \"single_thread_ns\": {},\n",
             "  \"single_thread_events_per_sec\": {:.0},\n",
             "  \"sharded\": [\n{}\n  ],\n",
+            "  \"submit_batch\": [\n{}\n  ],\n",
             "  \"service_mode\": {{ \"workers\": {}, \"max_pending\": {}, ",
             "\"subscription_capacity\": {}, \"total_ns\": {}, ",
             "\"events_per_sec\": {:.0}, \"evicted\": {} }},\n",
@@ -334,9 +433,11 @@ fn main() {
         PROCESSES,
         MAX_STATES,
         parallelism,
+        parallelism == 1,
         inline_time.as_nanos(),
         throughput(total, inline_time),
         rows.join(",\n"),
+        batch_json_rows.join(",\n"),
         SERVICE_WORKERS,
         SERVICE_MAX_PENDING,
         SERVICE_SUBSCRIPTION,

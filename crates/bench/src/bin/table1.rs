@@ -19,9 +19,11 @@
 //! `--engine [N]` (default 4 workers) additionally re-checks every cell's
 //! execution words through the sharded `drv-engine` pool — one object per
 //! run, all runs ingested concurrently — and prints that wall-clock next to
-//! the scratch/incremental columns.  The engine column times checking only
-//! (ingesting raw x(E) streams), not the simulator and adversary machinery
-//! the other two columns include.
+//! the scratch/incremental columns, twice: once through the per-event
+//! `submit` path and once through the batched production path
+//! (`submit_batch` over 256-event `EventBatch`es).  The engine columns time
+//! checking only (ingesting raw x(E) streams), not the simulator and
+//! adversary machinery the other two columns include.
 
 use drv_bench::{reproduce_table1, time_object_cells_with_engine, Table1Config};
 
@@ -74,12 +76,13 @@ fn main() {
         let timings = time_object_cells_with_engine(&config, engine_workers);
         match engine_workers {
             Some(workers) => println!(
-                "{:<10} {:>14} {:>14} {:>9} {:>17}  PSD",
+                "{:<10} {:>14} {:>14} {:>9} {:>17} {:>17}  PSD",
                 "cell",
                 "from-scratch",
                 "incremental",
                 "speedup",
                 format!("engine({workers}w)"),
+                format!("batched({workers}w)"),
             ),
             None => println!(
                 "{:<10} {:>14} {:>14} {:>9}  PSD",
@@ -87,9 +90,14 @@ fn main() {
             ),
         }
         for timing in &timings {
-            let engine_column = match timing.engine {
-                Some(engine) => format!(" {:>14.2} ms", engine.as_secs_f64() * 1e3),
-                None => String::new(),
+            let engine_column = match (timing.engine, timing.engine_batched) {
+                (Some(engine), Some(batched)) => format!(
+                    " {:>14.2} ms {:>14.2} ms",
+                    engine.as_secs_f64() * 1e3,
+                    batched.as_secs_f64() * 1e3,
+                ),
+                (Some(engine), None) => format!(" {:>14.2} ms", engine.as_secs_f64() * 1e3),
+                _ => String::new(),
             };
             println!(
                 "{:<10} {:>11.2} ms {:>11.2} ms {:>8.1}x{engine_column}  {}",

@@ -602,6 +602,11 @@ pub struct ObjectCellTiming {
     /// raw x(E) streams — so it excludes the simulator/adversary machinery
     /// the scratch/incremental columns include.
     pub engine: Option<std::time::Duration>,
+    /// Like [`ObjectCellTiming::engine`], but ingesting through the
+    /// production path — `submit_batch` over 256-event `EventBatch`es — so
+    /// the paper-facing table shows the batched deployment next to the
+    /// per-event one.
+    pub engine_batched: Option<std::time::Duration>,
     /// Whether predictive strong decidability held on every run (it must,
     /// under either strategy).
     pub holds: bool,
@@ -666,16 +671,18 @@ fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
             }
         }
     }
-    // The engine column: every run's execution word becomes one object
-    // stream, all ingested concurrently by a shared engine.
-    let engine = engine_workers.map(|workers| {
+    // The engine columns: every run's execution word becomes one object
+    // stream, all ingested concurrently by a shared engine — once through
+    // the per-event `submit` path and once through the batched production
+    // path (`submit_batch` over 256-event batches).
+    let make_factory = || -> Arc<dyn ObjectMonitorFactory> {
         let processes = words
             .iter()
             .flat_map(Word::procs)
             .map(|proc| proc.0 + 1)
             .max()
             .unwrap_or(1);
-        let factory: Arc<dyn ObjectMonitorFactory> = match family.criterion() {
+        match family.criterion() {
             Criterion::Linearizable => Arc::new(
                 CheckerMonitorFactory::linearizability(spec.clone(), processes)
                     .with_max_states(200_000),
@@ -684,12 +691,33 @@ fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
                 CheckerMonitorFactory::sequential_consistency(spec.clone(), processes)
                     .with_max_states(200_000),
             ),
-        };
+        }
+    };
+    let engine = engine_workers.map(|workers| {
         let start = Instant::now();
-        let engine = MonitoringEngine::new(EngineConfig::new(workers), factory);
+        let engine = MonitoringEngine::new(EngineConfig::new(workers), make_factory());
         for (index, word) in words.iter().enumerate() {
             engine.submit_word(ObjectId(index as u64), word);
         }
+        let report = engine.finish().expect("no engine worker panicked");
+        let elapsed = start.elapsed();
+        assert_eq!(report.objects.len(), words.len());
+        elapsed
+    });
+    let engine_batched = engine_workers.map(|workers| {
+        const BATCH: usize = 256;
+        let events: Vec<(ObjectId, drv_lang::Symbol)> = words
+            .iter()
+            .enumerate()
+            .flat_map(|(index, word)| {
+                word.symbols()
+                    .iter()
+                    .map(move |symbol| (ObjectId(index as u64), symbol.clone()))
+            })
+            .collect();
+        let start = Instant::now();
+        let engine = MonitoringEngine::new(EngineConfig::new(workers), make_factory());
+        engine.submit_stream(&events, BATCH);
         let report = engine.finish().expect("no engine worker panicked");
         let elapsed = start.elapsed();
         assert_eq!(report.objects.len(), words.len());
@@ -700,6 +728,7 @@ fn time_one_cell<S: drv_spec::SequentialSpec + Clone + 'static>(
         scratch: timings[0],
         incremental: timings[1],
         engine,
+        engine_batched,
         holds,
     }
 }

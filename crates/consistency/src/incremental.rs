@@ -377,6 +377,27 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
         }
     }
 
+    /// Feeds a run of symbols of the (extending) history and records the
+    /// verdict after each one — the batched entry point of the engine's
+    /// event path (`drv-engine`'s `ObjectMonitor::on_batch` lands here).
+    ///
+    /// The appended outcomes are bit-identical to calling
+    /// [`IncrementalChecker::push_symbol`] +
+    /// [`IncrementalChecker::check_outcome`] once per symbol: witness
+    /// maintenance (splice / repair / pending rescue) still runs per
+    /// completed operation, because the intermediate verdicts are part of
+    /// the contract.  What the batch amortizes is everything *around* the
+    /// maintenance — one call, one reservation of the output buffer, and
+    /// (in the engine) one monitor lookup and one queue drain per run
+    /// instead of per event.
+    pub fn feed_batch(&mut self, symbols: &[Symbol], outcomes: &mut Vec<CheckOutcome>) {
+        outcomes.reserve(symbols.len());
+        for symbol in symbols {
+            self.push_symbol(symbol);
+            outcomes.push(self.check_outcome());
+        }
+    }
+
     /// Checks the history consisting of all symbols fed so far.
     pub fn check(&mut self) -> ConsistencyResult {
         match self.check_outcome() {
@@ -1278,6 +1299,46 @@ mod tests {
                 parallel.check_word_outcome(&prefix),
                 "prefix {len}"
             );
+        }
+    }
+
+    #[test]
+    fn feed_batch_outcomes_match_per_symbol_feeding() {
+        // Mixed traffic with a concurrency window and a stale read so the
+        // batch crosses fast-path, splice and DFS territory; the recorded
+        // outcome stream (and the stats) must be bit-identical to the
+        // symbol-by-symbol loop, for both criteria and any batch split.
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .invoke(p(0), Invocation::Write(2))
+            .invoke(p(1), Invocation::Read)
+            .respond(p(1), Response::Value(2))
+            .respond(p(0), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(0))
+            .build();
+        for config in [
+            CheckerConfig::linearizability(),
+            CheckerConfig::sequential_consistency(),
+        ] {
+            let mut reference = IncrementalChecker::new(Register::new(), config, 2);
+            let expected: Vec<CheckOutcome> = word
+                .symbols()
+                .iter()
+                .map(|symbol| {
+                    reference.push_symbol(symbol);
+                    reference.check_outcome()
+                })
+                .collect();
+            for split in 0..=word.len() {
+                let mut batched = IncrementalChecker::new(Register::new(), config, 2);
+                let mut outcomes = Vec::new();
+                batched.feed_batch(&word.symbols()[..split], &mut outcomes);
+                batched.feed_batch(&word.symbols()[split..], &mut outcomes);
+                assert_eq!(outcomes, expected, "split {split}, {config:?}");
+                if split == 0 {
+                    assert_eq!(batched.stats(), reference.stats(), "{config:?}");
+                }
+            }
         }
     }
 

@@ -496,8 +496,8 @@ mod tests {
         ExecutionTrace::new(
             verdicts.len(),
             AdversaryMode::Plain,
-            "synthetic".into(),
-            "synthetic".into(),
+            "synthetic",
+            "synthetic",
             word,
             verdicts
                 .into_iter()

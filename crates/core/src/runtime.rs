@@ -380,7 +380,7 @@ pub fn run(
     ExecutionTrace::new(
         n,
         config.mode,
-        family.name().into_owned(),
+        &*family.name(),
         behavior_name,
         word,
         verdicts,

@@ -27,7 +27,7 @@
 use crate::monitor::MonitorFamily;
 use crate::verdict::Verdict;
 use drv_adversary::{InvocationKey, View};
-use drv_consistency::{CheckerConfig, CheckerStats, IncrementalChecker};
+use drv_consistency::{CheckOutcome, CheckerConfig, CheckerStats, IncrementalChecker};
 use drv_lang::{Action, Invocation, ObjectId, ProcId, Symbol};
 use drv_spec::SequentialSpec;
 use std::borrow::Cow;
@@ -46,6 +46,23 @@ pub trait ObjectMonitor: Send {
     /// Consumes the next symbol of the object's stream, returning the
     /// verdict for the stream consumed so far.
     fn on_symbol(&mut self, symbol: &Symbol) -> Verdict;
+
+    /// Consumes a run of consecutive symbols of the object's stream,
+    /// appending exactly one verdict per symbol to `verdicts` — the batched
+    /// event path ([`EventBatch`](drv_lang::EventBatch) runs land here).
+    ///
+    /// The appended verdicts MUST be bit-identical to calling
+    /// [`ObjectMonitor::on_symbol`] once per symbol (the engine's
+    /// differential suite holds implementations to it); the default does
+    /// exactly that.  Override to amortize per-call work —
+    /// [`CheckerObjectMonitor`] forwards the whole run to
+    /// [`IncrementalChecker::feed_batch`].
+    fn on_batch(&mut self, symbols: &[Symbol], verdicts: &mut Vec<Verdict>) {
+        verdicts.reserve(symbols.len());
+        for symbol in symbols {
+            verdicts.push(self.on_symbol(symbol));
+        }
+    }
 
     /// Called exactly once when the engine retires the monitor — on
     /// explicit eviction, idle-TTL expiry, or `finish()` — after the last
@@ -84,6 +101,8 @@ pub trait ObjectMonitorFactory: Send + Sync {
 pub struct CheckerObjectMonitor<S: SequentialSpec> {
     checker: IncrementalChecker<S>,
     name: String,
+    /// Reusable scratch for [`ObjectMonitor::on_batch`] outcomes.
+    outcomes: Vec<CheckOutcome>,
 }
 
 impl<S: SequentialSpec> CheckerObjectMonitor<S> {
@@ -93,6 +112,7 @@ impl<S: SequentialSpec> CheckerObjectMonitor<S> {
         CheckerObjectMonitor {
             name: format!("{criterion} checker for {object}"),
             checker,
+            outcomes: Vec::new(),
         }
     }
 
@@ -111,6 +131,12 @@ impl<S: SequentialSpec> ObjectMonitor for CheckerObjectMonitor<S> {
     fn on_symbol(&mut self, symbol: &Symbol) -> Verdict {
         self.checker.push_symbol(symbol);
         Verdict::from(self.checker.check_outcome())
+    }
+
+    fn on_batch(&mut self, symbols: &[Symbol], verdicts: &mut Vec<Verdict>) {
+        self.outcomes.clear();
+        self.checker.feed_batch(symbols, &mut self.outcomes);
+        verdicts.extend(self.outcomes.iter().map(|&outcome| Verdict::from(outcome)));
     }
 
     fn checker_stats(&self) -> Option<CheckerStats> {
@@ -369,6 +395,34 @@ mod tests {
             monitor.checker_stats().unwrap().checks,
             reference.stats().checks
         );
+    }
+
+    #[test]
+    fn on_batch_matches_per_symbol_feeding() {
+        let word = register_word();
+        let factories: Vec<Box<dyn ObjectMonitorFactory>> = vec![
+            Box::new(CheckerMonitorFactory::linearizability(Register::new(), 2)),
+            Box::new(CheckerMonitorFactory::sequential_consistency(Register::new(), 2)),
+            Box::new(FamilyMonitorFactory::new(
+                Arc::new(PredictiveFamily::linearizable(Register::new())),
+                2,
+            )),
+        ];
+        for factory in factories {
+            let mut by_symbol = factory.create(obj(5));
+            let expected: Vec<Verdict> = word
+                .symbols()
+                .iter()
+                .map(|symbol| by_symbol.on_symbol(symbol))
+                .collect();
+            for split in 0..=word.symbols().len() {
+                let mut by_batch = factory.create(obj(5));
+                let mut verdicts = Vec::new();
+                by_batch.on_batch(&word.symbols()[..split], &mut verdicts);
+                by_batch.on_batch(&word.symbols()[split..], &mut verdicts);
+                assert_eq!(verdicts, expected, "{} split {split}", factory.name());
+            }
+        }
     }
 
     #[test]

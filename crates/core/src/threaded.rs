@@ -337,7 +337,7 @@ pub fn try_run_threaded(
     Ok(ExecutionTrace::new(
         n,
         config.mode,
-        family.name().into_owned(),
+        &*family.name(),
         behavior_name,
         log.word,
         all_verdicts,

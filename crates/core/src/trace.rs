@@ -9,6 +9,7 @@
 use crate::verdict::VerdictStream;
 use drv_adversary::{sketch_word, InvocationKey, SketchError, TimedOp};
 use drv_lang::{Language, RunVerdict, Word};
+use std::sync::Arc;
 
 /// Whether a run interacted with the plain adversary A or the timed
 /// adversary Aτ.
@@ -27,8 +28,13 @@ pub enum AdversaryMode {
 pub struct ExecutionTrace {
     n: usize,
     mode: AdversaryMode,
-    monitor_name: String,
-    behavior_name: String,
+    /// Shared, immutable names: `ExecutionTrace::clone` (the decidability
+    /// evaluators clone traces freely) bumps a refcount instead of
+    /// reallocating two `String`s, and a sweep that produces hundreds of
+    /// traces from one monitor/behaviour pair can pass a pre-shared
+    /// `Arc<str>` to skip even the one copy `new` takes to build it.
+    monitor_name: Arc<str>,
+    behavior_name: Arc<str>,
     word: Word,
     verdicts: Vec<VerdictStream>,
     ops: Vec<TimedOp>,
@@ -39,13 +45,17 @@ pub struct ExecutionTrace {
 impl ExecutionTrace {
     /// Assembles a trace.  Used by the runtimes; tests may build traces
     /// directly to exercise the decidability evaluators in isolation.
+    ///
+    /// The names accept anything `Into<Arc<str>>` — `&str`, `String`, or a
+    /// pre-shared `Arc<str>` (pass the latter when building traces in a
+    /// loop to skip the per-trace allocation entirely).
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: usize,
         mode: AdversaryMode,
-        monitor_name: String,
-        behavior_name: String,
+        monitor_name: impl Into<Arc<str>>,
+        behavior_name: impl Into<Arc<str>>,
         word: Word,
         verdicts: Vec<VerdictStream>,
         ops: Vec<TimedOp>,
@@ -55,8 +65,8 @@ impl ExecutionTrace {
         ExecutionTrace {
             n,
             mode,
-            monitor_name,
-            behavior_name,
+            monitor_name: monitor_name.into(),
+            behavior_name: behavior_name.into(),
             word,
             verdicts,
             ops,
@@ -217,8 +227,8 @@ mod tests {
         ExecutionTrace::new(
             verdicts.len(),
             AdversaryMode::Plain,
-            "test monitor".to_string(),
-            "test behaviour".to_string(),
+            "test monitor",
+            "test behaviour",
             word,
             verdicts
                 .into_iter()

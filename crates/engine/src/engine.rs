@@ -63,9 +63,15 @@
 //!   for objects idle longer than a processed-event TTL.  Per-object state
 //!   therefore stops growing with history length.
 //! * **Payload interning.**  Queued events are `Copy` records
-//!   ([`InternedEvent`]); invocation/response payloads are interned once
-//!   into a [`SharedInterner`] and resolved worker-side through lock-free
-//!   [`InternerMirror`]s grown by version deltas.
+//!   ([`EventRecord`] — the workspace-wide interchange type); payloads are
+//!   interned once into a [`SharedInterner`] and resolved worker-side
+//!   through lock-free [`InternerMirror`]s grown by version deltas.
+//! * **Batched ingestion.**  [`MonitoringEngine::submit_batch`] /
+//!   [`MonitoringEngine::try_submit_batch`] scatter a whole [`EventBatch`]
+//!   across the shards in one routing pass — one queue lock per touched
+//!   shard, backpressure reserved in events up front, and one epoch bump +
+//!   notify per batch.  Worker-side, consecutive same-object events are fed
+//!   to the monitor as one [`ObjectMonitor::on_batch`] run.
 //! * **Failure.**  A panicking monitor does not hang the pool: the worker
 //!   catches it, aborts the run (reconciling the backlog so
 //!   [`MonitoringEngine::backlog`] does not over-report forever), and the
@@ -76,8 +82,7 @@ use crate::report::{EngineReport, EngineStats, ObjectReport};
 use crate::service::{SubmitError, SubscriptionShared, VerdictEvent, VerdictSubscription};
 use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict, WorkerPanic};
 use drv_lang::{
-    Action, InternerMirror, InvocationId, ObjectId, ProcId, ResponseId, SharedInterner, Symbol,
-    Word,
+    EventBatch, EventRecord, InternerMirror, ObjectId, SharedInterner, Symbol, Word,
 };
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -176,32 +181,14 @@ impl EngineConfig {
     }
 }
 
-/// A queued event in interned form: 24 bytes, `Copy`, no heap payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InternedEvent {
-    /// The object stream the event belongs to.
-    pub object: ObjectId,
-    /// The process that issued it.
-    pub proc: ProcId,
-    /// The interned invocation or response.
-    pub action: InternedAction,
-}
-
-/// The action half of an [`InternedEvent`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InternedAction {
-    /// An invocation event (payload id from the engine's interner).
-    Invoke(InvocationId),
-    /// A response event.
-    Respond(ResponseId),
-}
-
-/// One unit of shard-queue work: an object event, or an eviction marker
-/// that retires the object's monitor *after* everything submitted before it
-/// (FIFO through the same queue, so eviction can never overtake traffic).
+/// One unit of shard-queue work: an object event (a `Copy`, arena-backed
+/// [`EventRecord`] — the workspace-wide interchange type from `drv-lang`),
+/// or an eviction marker that retires the object's monitor *after*
+/// everything submitted before it (FIFO through the same queue, so eviction
+/// can never overtake traffic).
 #[derive(Debug, Clone, Copy)]
 enum QueueItem {
-    Event(InternedEvent),
+    Event(EventRecord),
     Evict(ObjectId),
 }
 
@@ -356,28 +343,22 @@ impl Shared {
         subs.iter().filter(|sub| sub.is_open()).cloned().collect()
     }
 
-    fn intern_event(&self, object: ObjectId, symbol: &Symbol) -> InternedEvent {
-        let action = match &symbol.action {
-            Action::Invoke(invocation) => InternedAction::Invoke(self.interner.invocation(invocation)),
-            Action::Respond(response) => InternedAction::Respond(self.interner.response(response)),
-        };
-        InternedEvent {
-            object,
-            proc: symbol.proc,
-            action,
-        }
+    fn intern_event(&self, object: ObjectId, symbol: &Symbol) -> EventRecord {
+        EventRecord::intern(object, symbol, &self.interner)
     }
 
-    /// Reserves one pending-work slot under the backpressure bound.
-    fn try_reserve(&self) -> Result<(), ()> {
+    /// Reserves `count` pending-work slots under the backpressure bound
+    /// (all or nothing; backpressure is accounted in *events*, so a batch
+    /// reserves its event count in one shot).
+    fn try_reserve(&self, count: usize) -> Result<(), ()> {
         let mut current = self.pending.load(Ordering::Relaxed);
         loop {
-            if current >= self.max_pending {
+            if current.saturating_add(count) > self.max_pending {
                 return Err(());
             }
             match self.pending.compare_exchange_weak(
                 current,
-                current + 1,
+                current + count,
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
@@ -496,7 +477,21 @@ impl Shared {
     }
 
     /// Drains and processes one batch of the claimed shard.
-    fn process(&self, shard_index: usize, worker: usize, mirror: &mut InternerMirror) {
+    ///
+    /// The drained items are walked as maximal *runs* of consecutive
+    /// same-object events: each run is resolved into `scratch.symbols` once
+    /// and handed to the object's monitor through
+    /// [`ObjectMonitor::on_batch`] — one slot lookup, one monitor call and
+    /// one verdict flush per run instead of per event.  Eviction markers
+    /// break runs (they must retire the monitor exactly between the events
+    /// around them).
+    fn process(
+        &self,
+        shard_index: usize,
+        worker: usize,
+        mirror: &mut InternerMirror,
+        scratch: &mut WorkerScratch,
+    ) {
         let shard = &self.shards[shard_index];
         let batch: Vec<QueueItem> = {
             let mut queue = shard.queue.lock();
@@ -516,57 +511,73 @@ impl Shared {
             let clock = self.events.load(Ordering::Relaxed);
             let mut processed = 0u64;
             let mut state = shard.state.lock();
-            for item in &batch {
-                match item {
-                    QueueItem::Event(event) => {
-                        let symbol = Symbol {
-                            proc: event.proc,
-                            action: match event.action {
-                                InternedAction::Invoke(id) => {
-                                    Action::Invoke(mirror.resolve_invocation(id).clone())
-                                }
-                                InternedAction::Respond(id) => {
-                                    Action::Respond(mirror.resolve_response(id).clone())
-                                }
-                            },
-                        };
-                        let slot = state.objects.entry(event.object).or_insert_with(|| {
-                            // Seq numbers continue where a prior retirement
-                            // of the same object left off.
-                            let base = self
-                                .retired
-                                .lock()
-                                .get(&event.object)
-                                .map_or(0, |report| report.verdicts.len() as u64);
-                            ObjectSlot {
-                                monitor: self.factory.create(event.object),
-                                verdicts: Vec::new(),
-                                base,
-                                last_seen: clock,
-                            }
-                        });
-                        let verdict = slot.monitor.on_symbol(&symbol);
-                        slot.verdicts.push(verdict);
-                        slot.last_seen = clock + processed;
-                        processed += 1;
-                        if !subs.is_empty() {
-                            let delivery = VerdictEvent {
-                                object: event.object,
-                                seq: slot.base + slot.verdicts.len() as u64 - 1,
-                                verdict,
-                            };
-                            for sub in &subs {
-                                sub.push(delivery, &|| self.streaming());
-                            }
-                        }
-                    }
+            let mut index = 0;
+            while index < batch.len() {
+                let first = match batch[index] {
                     QueueItem::Evict(object) => {
                         // Marker path holds only the state lock, like event
                         // pushes: finalize verdicts stay lossless while
                         // live.
-                        self.retire(&mut state, *object, &subs, true);
+                        self.retire(&mut state, object, &subs, true);
+                        index += 1;
+                        continue;
+                    }
+                    QueueItem::Event(event) => event,
+                };
+                // The maximal run of consecutive events of `first.object`.
+                let mut end = index + 1;
+                while end < batch.len() {
+                    match batch[end] {
+                        QueueItem::Event(event) if event.object == first.object => end += 1,
+                        _ => break,
                     }
                 }
+                scratch.symbols.clear();
+                for item in &batch[index..end] {
+                    let QueueItem::Event(event) = item else {
+                        unreachable!("runs contain only events");
+                    };
+                    scratch.symbols.push(event.resolve(mirror));
+                }
+                let slot = state.objects.entry(first.object).or_insert_with(|| {
+                    // Seq numbers continue where a prior retirement of the
+                    // same object left off.
+                    let base = self
+                        .retired
+                        .lock()
+                        .get(&first.object)
+                        .map_or(0, |report| report.verdicts.len() as u64);
+                    ObjectSlot {
+                        monitor: self.factory.create(first.object),
+                        verdicts: Vec::new(),
+                        base,
+                        last_seen: clock,
+                    }
+                });
+                scratch.verdicts.clear();
+                slot.monitor.on_batch(&scratch.symbols, &mut scratch.verdicts);
+                assert_eq!(
+                    scratch.verdicts.len(),
+                    scratch.symbols.len(),
+                    "an ObjectMonitor::on_batch must append exactly one verdict per symbol"
+                );
+                for &verdict in &scratch.verdicts {
+                    slot.verdicts.push(verdict);
+                    if !subs.is_empty() {
+                        let delivery = VerdictEvent {
+                            object: first.object,
+                            seq: slot.base + slot.verdicts.len() as u64 - 1,
+                            verdict,
+                        };
+                        for sub in &subs {
+                            sub.push(delivery, &|| self.streaming());
+                        }
+                    }
+                }
+                let run_len = (end - index) as u64;
+                slot.last_seen = clock + processed + run_len - 1;
+                processed += run_len;
+                index = end;
             }
             self.events.fetch_add(processed, Ordering::Relaxed);
         }
@@ -664,8 +675,18 @@ impl Shared {
     }
 }
 
+/// Per-worker reusable buffers of the run-grouped event path: one resolved
+/// symbol run and its verdicts, recycled batch to batch so the hot loop
+/// performs no per-run allocations once warm.
+#[derive(Default)]
+struct WorkerScratch {
+    symbols: Vec<Symbol>,
+    verdicts: Vec<Verdict>,
+}
+
 fn worker_loop(shared: &Shared, worker: usize) {
     let mut mirror = InternerMirror::new();
+    let mut scratch = WorkerScratch::default();
     loop {
         // Checked between batches too, not just when idle: an abort (worker
         // panic, engine dropped unfinished) must not wait for the backlog
@@ -683,7 +704,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
         let seen = shared.work_epoch.load(Ordering::SeqCst);
         if let Some(shard) = shared.find_work(worker) {
             if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                shared.process(shard, worker, &mut mirror);
+                shared.process(shard, worker, &mut mirror, &mut scratch);
             })) {
                 shared.abort(WorkerPanic::from_payload("engine worker", worker, payload));
                 return;
@@ -786,6 +807,13 @@ impl MonitoringEngine {
         &self.config
     }
 
+    /// Hands a newly scheduled shard to its home worker's deque (peers can
+    /// still steal it from the back).
+    fn push_home(&self, shard_index: usize) {
+        let home = shard_index % self.config.workers;
+        self.shared.deques[home].lock().push_back(shard_index);
+    }
+
     fn enqueue(&self, object: ObjectId, item: QueueItem) {
         let shard_index = shard_of(object, self.shared.shards.len());
         let newly_scheduled = {
@@ -799,8 +827,7 @@ impl MonitoringEngine {
             }
         };
         if newly_scheduled {
-            let home = shard_index % self.config.workers;
-            self.shared.deques[home].lock().push_back(shard_index);
+            self.push_home(shard_index);
             // Only a newly scheduled shard creates work a parked worker
             // could miss; events on an already-scheduled shard are picked up
             // by whichever worker owns the claim.
@@ -821,20 +848,31 @@ impl MonitoringEngine {
         }
         if self.shared.max_pending == usize::MAX {
             self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        } else {
-            while self.shared.try_reserve().is_err() {
-                let mut gate = self.shared.gate.lock();
-                self.shared.space_signal.wait_while(&mut gate, |()| {
-                    self.shared.pending.load(Ordering::Acquire) >= self.shared.max_pending
-                        && !self.shared.aborted.load(Ordering::Acquire)
-                });
-                drop(gate);
-                if self.shared.aborted.load(Ordering::Acquire) {
-                    return;
-                }
-            }
+        } else if !self.reserve_blocking(1) {
+            return;
         }
         self.enqueue(object, QueueItem::Event(self.shared.intern_event(object, symbol)));
+    }
+
+    /// Blocks until `count` pending-work slots are reserved (or the engine
+    /// aborts — returns `false` then, and nothing was reserved).
+    fn reserve_blocking(&self, count: usize) -> bool {
+        while self.shared.try_reserve(count).is_err() {
+            let mut gate = self.shared.gate.lock();
+            self.shared.space_signal.wait_while(&mut gate, |()| {
+                self.shared
+                    .pending
+                    .load(Ordering::Acquire)
+                    .saturating_add(count)
+                    > self.shared.max_pending
+                    && !self.shared.aborted.load(Ordering::Acquire)
+            });
+            drop(gate);
+            if self.shared.aborted.load(Ordering::Acquire) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Non-blocking [`MonitoringEngine::submit`]: rejects instead of
@@ -850,11 +888,160 @@ impl MonitoringEngine {
         }
         if self.shared.max_pending == usize::MAX {
             self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        } else if self.shared.try_reserve().is_err() {
+        } else if self.shared.try_reserve(1).is_err() {
             return Err(SubmitError::Full);
         }
         self.enqueue(object, QueueItem::Event(self.shared.intern_event(object, symbol)));
         Ok(())
+    }
+
+    /// The engine's payload arena: batches submitted through
+    /// [`MonitoringEngine::submit_batch`] /
+    /// [`MonitoringEngine::try_submit_batch`] must intern their payloads
+    /// here (e.g. via [`EventBatch::push_symbol`]).
+    #[must_use]
+    pub fn interner(&self) -> &SharedInterner {
+        &self.shared.interner
+    }
+
+    /// Ingests a whole [`EventBatch`] in one routing pass: the batch is
+    /// scattered across the shards as per-shard runs (one queue lock per
+    /// touched shard), backpressure is reserved in *events* up front, and
+    /// the worker pool is published to once per batch — one `work_epoch`
+    /// bump and one notify instead of one per event.  Per-object order is
+    /// the batch order, exactly as if each event had been
+    /// [`MonitoringEngine::submit`]ted individually.
+    ///
+    /// With a [`EngineConfig::with_max_pending`] bound, blocks until the
+    /// backlog has room; a batch larger than the bound is ingested in
+    /// bound-sized chunks (each chunk its own routing pass).  After a worker
+    /// panic the batch is discarded, like `submit`.
+    pub fn submit_batch(&self, batch: &EventBatch) {
+        if batch.is_empty() || self.shared.aborted.load(Ordering::Acquire) {
+            return;
+        }
+        if self.shared.max_pending == usize::MAX {
+            self.shared.pending.fetch_add(batch.len(), Ordering::AcqRel);
+            self.enqueue_batch_range(batch, 0, batch.len());
+            return;
+        }
+        let mut start = 0;
+        while start < batch.len() {
+            let chunk = (batch.len() - start).min(self.shared.max_pending);
+            if !self.reserve_blocking(chunk) {
+                return;
+            }
+            self.enqueue_batch_range(batch, start, start + chunk);
+            start += chunk;
+        }
+    }
+
+    /// Non-blocking [`MonitoringEngine::submit_batch`]: all or nothing — on
+    /// success the whole batch is enqueued (one routing pass, one publish);
+    /// on [`SubmitError::Full`] nothing was.  A batch larger than the
+    /// [`EngineConfig::with_max_pending`] bound can therefore never be
+    /// accepted — keep producer batches at or below the bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the backlog cannot absorb the whole batch
+    /// right now; [`SubmitError::Aborted`] once a worker has panicked.
+    pub fn try_submit_batch(&self, batch: &EventBatch) -> Result<(), SubmitError> {
+        if self.shared.aborted.load(Ordering::Acquire) {
+            return Err(SubmitError::Aborted);
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if self.shared.max_pending == usize::MAX {
+            self.shared.pending.fetch_add(batch.len(), Ordering::AcqRel);
+        } else if self.shared.try_reserve(batch.len()).is_err() {
+            return Err(SubmitError::Full);
+        }
+        self.enqueue_batch_range(batch, 0, batch.len());
+        Ok(())
+    }
+
+    /// One routing pass over `batch[start..end]`: one shard decision per
+    /// *run* of consecutive same-object events ([`EventBatch::runs_between`]
+    /// — a run never straddles shards), a stable counting sort of the runs
+    /// into per-shard segments (flat index buffers, no per-shard buckets),
+    /// then one queue lock per touched shard and a single epoch-bump/notify
+    /// for the whole batch.  Runs of one object keep their batch order
+    /// within their shard segment, so per-object FIFO holds.
+    fn enqueue_batch_range(&self, batch: &EventBatch, start: usize, end: usize) {
+        let shard_count = self.shared.shards.len();
+        let runs: Vec<(usize, std::ops::Range<usize>)> = batch
+            .runs_between(start, end)
+            .map(|(object, range)| (shard_of(object, shard_count), range))
+            .collect();
+        if let [(shard_index, range)] = &runs[..] {
+            // Single-run batch (a one-event or single-object submission):
+            // no scatter plan needed, enqueue like the per-event path.
+            let newly_scheduled = {
+                let mut queue = self.shared.shards[*shard_index].queue.lock();
+                for index in range.clone() {
+                    queue.items.push_back(QueueItem::Event(batch.get(index)));
+                }
+                !std::mem::replace(&mut queue.scheduled, true)
+            };
+            if newly_scheduled {
+                self.push_home(*shard_index);
+                self.shared.publish_work(false);
+            }
+            self.shared.reconcile_if_aborted(*shard_index);
+            return;
+        }
+        // Stable counting sort: `ordered[segment of shard s]` holds the
+        // indices of s's runs, in batch order.
+        let mut counts = vec![0u32; shard_count];
+        for (shard_index, _) in &runs {
+            counts[*shard_index] += 1;
+        }
+        let mut cursors = Vec::with_capacity(shard_count);
+        let mut total = 0u32;
+        for &count in &counts {
+            cursors.push(total);
+            total += count;
+        }
+        let mut ordered = vec![0u32; runs.len()];
+        for (run_index, (shard_index, _)) in runs.iter().enumerate() {
+            ordered[cursors[*shard_index] as usize] =
+                u32::try_from(run_index).expect("< 2^32 runs");
+            cursors[*shard_index] += 1;
+        }
+        let mut newly_scheduled = Vec::new();
+        let mut offset = 0usize;
+        for (shard_index, &count) in counts.iter().enumerate() {
+            let segment = &ordered[offset..offset + count as usize];
+            offset += count as usize;
+            if segment.is_empty() {
+                continue;
+            }
+            let mut queue = self.shared.shards[shard_index].queue.lock();
+            for &run_index in segment {
+                for index in runs[run_index as usize].1.clone() {
+                    queue.items.push_back(QueueItem::Event(batch.get(index)));
+                }
+            }
+            if !queue.scheduled {
+                queue.scheduled = true;
+                newly_scheduled.push(shard_index);
+            }
+        }
+        for &shard_index in &newly_scheduled {
+            self.push_home(shard_index);
+        }
+        if !newly_scheduled.is_empty() {
+            // One bump-then-notify for the whole batch; notify_all only when
+            // several shards went live at once (one worker per new shard).
+            self.shared.publish_work(newly_scheduled.len() > 1);
+        }
+        for (shard_index, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                self.shared.reconcile_if_aborted(shard_index);
+            }
+        }
     }
 
     /// Ingests a whole word as `object`'s stream (symbols in word order).
@@ -862,6 +1049,32 @@ impl MonitoringEngine {
         for symbol in word.symbols() {
             self.submit(object, symbol);
         }
+    }
+
+    /// The rolling-batch producer loop, packaged: interns `events` into
+    /// [`EventBatch`]es of `batch_size` against this engine's arena and
+    /// [`MonitoringEngine::submit_batch`]s each — the idiom every batched
+    /// producer would otherwise hand-roll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn submit_stream(&self, events: &[(ObjectId, Symbol)], batch_size: usize) {
+        assert!(batch_size > 0, "a batch must cover at least one event");
+        let mut batch = EventBatch::with_capacity(batch_size.min(events.len()));
+        for (object, symbol) in events {
+            if self.shared.aborted.load(Ordering::Acquire) {
+                // Like the other submit entry points: stop interning into
+                // the (append-only) arena once the pool is dead.
+                return;
+            }
+            batch.push_symbol(*object, symbol, self.interner());
+            if batch.len() == batch_size {
+                self.submit_batch(&batch);
+                batch.clear();
+            }
+        }
+        self.submit_batch(&batch);
     }
 
     /// Retires `object`'s monitor *after* everything submitted for it so
@@ -1070,7 +1283,7 @@ pub fn sequential_reference(
 mod tests {
     use super::*;
     use drv_core::CheckerMonitorFactory;
-    use drv_lang::{Invocation, Response};
+    use drv_lang::{Invocation, ProcId, Response};
     use drv_spec::Register;
     use std::borrow::Cow;
 
@@ -1179,6 +1392,98 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_submission_matches_per_event_submission() {
+        // The same round-robin interleaved stream as the reference test,
+        // ingested through EventBatches of several sizes (including sizes
+        // that split object runs mid-way): verdict streams must be
+        // bit-identical to the per-event path at every batch size.
+        let mut events = Vec::new();
+        for step in 0..4 {
+            for object in 0..8 {
+                events.push(clean_stream(object)[step].clone());
+            }
+        }
+        let expected = sequential_reference(factory().as_ref(), &events);
+        for batch_size in [1, 3, 16, 256] {
+            let engine = MonitoringEngine::new(EngineConfig::new(2), factory());
+            let mut batch = EventBatch::with_capacity(batch_size);
+            for (object, symbol) in &events {
+                batch.push_symbol(*object, symbol, engine.interner());
+                if batch.len() == batch_size {
+                    engine.submit_batch(&batch);
+                    batch.clear();
+                }
+            }
+            engine.submit_batch(&batch);
+            let report = engine.finish().expect("no panics");
+            for (object, verdicts) in &expected {
+                assert_eq!(
+                    report.verdicts(*object),
+                    Some(&verdicts[..]),
+                    "batch size {batch_size}, {object}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn submit_batch_chunks_through_a_small_bound() {
+        // A batch bigger than max_pending must still go through (in
+        // bound-sized chunks), and everything must be checked.
+        let engine =
+            MonitoringEngine::new(EngineConfig::new(1).with_max_pending(3), factory());
+        let mut batch = EventBatch::new();
+        for _ in 0..50 {
+            for (object, symbol) in clean_stream(4) {
+                batch.push_symbol(object, &symbol, engine.interner());
+            }
+        }
+        engine.submit_batch(&batch);
+        let report = engine.finish().expect("no panics");
+        assert_eq!(report.stats.events, 200);
+        assert_eq!(
+            report.verdicts(ObjectId(4)).unwrap().last(),
+            Some(&Verdict::Yes)
+        );
+    }
+
+    #[test]
+    fn try_submit_batch_is_all_or_nothing() {
+        let engine =
+            MonitoringEngine::new(EngineConfig::new(1).with_max_pending(4), factory());
+        let mut oversized = EventBatch::new();
+        for _ in 0..2 {
+            for (object, symbol) in clean_stream(7) {
+                oversized.push_symbol(object, &symbol, engine.interner());
+            }
+        }
+        // 8 events can never fit a bound of 4: rejected atomically, nothing
+        // enqueued.
+        assert_eq!(engine.try_submit_batch(&oversized), Err(SubmitError::Full));
+        assert_eq!(engine.backlog(), 0);
+        // A bound-sized batch is eventually accepted whole.
+        let mut fitting = EventBatch::new();
+        for (object, symbol) in clean_stream(7) {
+            fitting.push_symbol(object, &symbol, engine.interner());
+        }
+        let mut rejections = 0u64;
+        for _ in 0..50 {
+            while let Err(error) = engine.try_submit_batch(&fitting) {
+                assert_eq!(error, SubmitError::Full);
+                rejections += 1;
+                std::thread::yield_now();
+            }
+        }
+        let report = engine.finish().expect("no panics");
+        assert_eq!(report.stats.events, 200);
+        assert!(rejections > 0, "a bound of 4 must reject at least once");
+        assert_eq!(
+            report.verdicts(ObjectId(7)).unwrap().last(),
+            Some(&Verdict::Yes)
+        );
     }
 
     #[test]

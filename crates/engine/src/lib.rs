@@ -43,6 +43,39 @@
 //! history length.  See [`service`] for the channel semantics and
 //! `tests/service.rs` for the acceptance gates.
 //!
+//! ## The batched event path
+//!
+//! One event model runs end-to-end: producers intern traffic into an
+//! [`EventBatch`](drv_lang::EventBatch) — an arena-backed, struct-of-arrays
+//! batch of `Copy` [`EventRecord`](drv_lang::EventRecord)s whose payloads
+//! live in the engine's [`SharedInterner`](drv_lang::SharedInterner) arena
+//! ([`MonitoringEngine::interner`]) — and hand whole batches to
+//! [`MonitoringEngine::submit_batch`] /
+//! [`MonitoringEngine::try_submit_batch`].  A batch is scattered across the
+//! shards in **one routing pass** (one queue lock per touched shard, order
+//! preserved, so per-object FIFO — and therefore verdict bit-identity —
+//! holds at any batch size), its backpressure is reserved in *events* up
+//! front, and the pool is published to with **one** `work_epoch` bump and
+//! one notify per batch instead of one per event.  Worker-side, drained
+//! queue items are walked as maximal runs of consecutive same-object events
+//! and fed to the object's monitor through
+//! [`drv_core::ObjectMonitor::on_batch`] (the incremental checkers forward
+//! the run to `IncrementalChecker::feed_batch`), so one slot lookup and one
+//! verdict flush cover the whole run.
+//!
+//! **Arena lifetime rules.**  Payload ids are only meaningful relative to
+//! the arena that produced them: build batches against the target engine's
+//! [`MonitoringEngine::interner`].  The arena is append-only and lives as
+//! long as the engine, so a batch never dangles; workers resolve ids
+//! through lock-free mirrors grown by version deltas, which `submit_batch`
+//! never blocks on.
+//!
+//! Each event still maps 1:1 to one iteration of the paper's Figure 1 loop
+//! — a batch is a *window* of iterations delivered together, not a
+//! coarser-grained check: verdict streams carry one verdict per event at
+//! every batch size (`tests/differential.rs` re-runs the differential and
+//! service soaks over `DRV_ENGINE_TEST_BATCH`-sized batches to prove it).
+//!
 //! ```
 //! use drv_core::CheckerMonitorFactory;
 //! use drv_engine::{EngineConfig, MonitoringEngine};
@@ -69,8 +102,10 @@ pub mod engine;
 pub mod report;
 pub mod service;
 
-pub use engine::{
-    sequential_reference, EngineConfig, InternedAction, InternedEvent, MonitoringEngine,
-};
+pub use engine::{sequential_reference, EngineConfig, MonitoringEngine};
 pub use report::{AggregateVerdict, EngineReport, EngineStats, ObjectReport};
 pub use service::{SubmitError, VerdictEvent, VerdictSubscription};
+
+// The event interchange types live in `drv-lang` (one model from ingestion
+// to checker); re-exported here for producer convenience.
+pub use drv_lang::{EventAction, EventBatch, EventRecord};

@@ -9,11 +9,15 @@
 //! verdict of the object's first `i + 1` symbols.
 //!
 //! The worker counts exercised default to 1, 2 and 4; CI pins them with
-//! `DRV_ENGINE_TEST_WORKERS` to split the matrix across jobs.
+//! `DRV_ENGINE_TEST_WORKERS` to split the matrix across jobs.  Setting
+//! `DRV_ENGINE_TEST_BATCH=N` reroutes every suite through the batched
+//! ingestion path (`submit_batch` / `try_submit_batch` over `EventBatch`es
+//! of up to `N` events) — the verdict contracts are identical, so the same
+//! assertions prove the batched path bit-exact.
 
 use drv_consistency::{CheckerConfig, IncrementalChecker};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
-use drv_engine::{EngineConfig, MonitoringEngine, SubmitError};
+use drv_engine::{EngineConfig, EventBatch, MonitoringEngine, SubmitError};
 use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
 use drv_spec::Register;
 use rand::rngs::StdRng;
@@ -153,6 +157,28 @@ fn worker_counts() -> Vec<usize> {
     }
 }
 
+/// The batched-ingestion override: `DRV_ENGINE_TEST_BATCH=N` makes every
+/// suite submit through `EventBatch`es of up to `N` events.
+fn batch_size() -> Option<usize> {
+    std::env::var("DRV_ENGINE_TEST_BATCH")
+        .ok()
+        .map(|value| value.parse().expect("DRV_ENGINE_TEST_BATCH is a number"))
+        .filter(|&n| n > 0)
+}
+
+/// Ingests the whole stream: per-event `submit` by default, rolling
+/// `submit_batch`es of the configured size under `DRV_ENGINE_TEST_BATCH`.
+fn ingest(engine: &MonitoringEngine, events: &[(ObjectId, Symbol)]) {
+    match batch_size() {
+        None => {
+            for (object, symbol) in events {
+                engine.submit(*object, symbol);
+            }
+        }
+        Some(size) => engine.submit_stream(events, size),
+    }
+}
+
 #[test]
 fn engine_verdicts_equal_sequential_checkers_on_seeded_streams() {
     let worker_counts = worker_counts();
@@ -176,9 +202,7 @@ fn engine_verdicts_equal_sequential_checkers_on_seeded_streams() {
             let parallel_threads = if seed.is_multiple_of(7) { 2 } else { 1 };
             let engine =
                 MonitoringEngine::new(EngineConfig::new(workers), mixed_factory(parallel_threads));
-            for (object, symbol) in &events {
-                engine.submit(*object, symbol);
-            }
+            ingest(&engine, &events);
             let report = engine.finish().expect("no worker panicked");
             assert_eq!(
                 report.objects.len(),
@@ -200,13 +224,45 @@ fn engine_verdicts_equal_sequential_checkers_on_seeded_streams() {
     assert!(no_streams >= 50, "only {no_streams} flagged streams");
 }
 
+/// Flushes the soak's producer-side buffer through `try_submit_batch`,
+/// draining the subscription while the bounded queue is full (this thread
+/// is both producer and consumer, so it must never block).
+fn flush_buffer(
+    engine: &MonitoringEngine,
+    buffer: &mut EventBatch,
+    subscription: &drv_engine::VerdictSubscription,
+    received: &mut Vec<drv_engine::VerdictEvent>,
+    rejections: &mut u64,
+    seed: u64,
+) {
+    if buffer.is_empty() {
+        return;
+    }
+    loop {
+        match engine.try_submit_batch(buffer) {
+            Ok(()) => break,
+            Err(SubmitError::Full) => {
+                *rejections += 1;
+                received.extend(subscription.poll_verdicts());
+                std::thread::yield_now();
+            }
+            Err(SubmitError::Aborted) => panic!("seed {seed}: worker died"),
+        }
+    }
+    buffer.clear();
+}
+
 /// The service-mode soak: the full long-running surface at once — a tiny
 /// `max_pending` bound (so `try_submit` rejections are exercised on nearly
 /// every stream), a bounded verdict subscription drained opportunistically,
 /// and eviction of every object the moment its stream completes — and the
 /// verdict streams, both as subscribed live and as reported by `finish`,
 /// still bit-identical to the sequential per-object reference at every
-/// worker count.
+/// worker count.  Under `DRV_ENGINE_TEST_BATCH` the producer side runs
+/// through `try_submit_batch` instead (batches clamped to the bound, since
+/// a batch larger than `max_pending` is never acceptable atomically),
+/// flushing before every eviction so markers keep queueing FIFO behind the
+/// object's own events.
 #[test]
 fn service_mode_soak_matches_sequential_reference() {
     /// Seeded streams for the soak (cheaper per stream than the main suite
@@ -227,36 +283,59 @@ fn service_mode_soak_matches_sequential_reference() {
         }
         let mut evict_rng = StdRng::seed_from_u64(seed ^ 0x5EED);
         for &workers in &worker_counts {
+            const MAX_PENDING: usize = 8;
             let engine = MonitoringEngine::new(
-                EngineConfig::new(workers).with_max_pending(8),
+                EngineConfig::new(workers).with_max_pending(MAX_PENDING),
                 mixed_factory(1),
             );
             let subscription = engine.subscribe(16);
             let mut received = Vec::new();
             let mut in_flight = remaining.clone();
+            let chunk = batch_size().map(|size| size.min(MAX_PENDING));
+            let mut buffer = EventBatch::new();
             for (object, symbol) in &events {
-                // try_submit only: a blocking submit here could deadlock
-                // against a worker blocked on the full subscription, since
-                // this thread is also the consumer.
-                loop {
-                    match engine.try_submit(*object, symbol) {
-                        Ok(()) => break,
-                        Err(SubmitError::Full) => {
-                            rejections += 1;
-                            received.extend(subscription.poll_verdicts());
-                            std::thread::yield_now();
+                // try_submit(_batch) only: a blocking submit here could
+                // deadlock against a worker blocked on the full
+                // subscription, since this thread is also the consumer.
+                match chunk {
+                    Some(size) => {
+                        buffer.push_symbol(*object, symbol, engine.interner());
+                        if buffer.len() == size {
+                            flush_buffer(
+                                &engine, &mut buffer, &subscription, &mut received,
+                                &mut rejections, seed,
+                            );
                         }
-                        Err(SubmitError::Aborted) => panic!("seed {seed}: worker died"),
                     }
+                    None => loop {
+                        match engine.try_submit(*object, symbol) {
+                            Ok(()) => break,
+                            Err(SubmitError::Full) => {
+                                rejections += 1;
+                                received.extend(subscription.poll_verdicts());
+                                std::thread::yield_now();
+                            }
+                            Err(SubmitError::Aborted) => panic!("seed {seed}: worker died"),
+                        }
+                    },
                 }
                 let left = in_flight.get_mut(object).expect("counted");
                 *left -= 1;
                 if *left == 0 && evict_rng.gen_bool(0.5) {
-                    // Quiesced: evicting must not change any stream.
+                    // Quiesced: evicting must not change any stream.  The
+                    // buffer is flushed first so the marker queues behind
+                    // the object's buffered events.
+                    flush_buffer(
+                        &engine, &mut buffer, &subscription, &mut received,
+                        &mut rejections, seed,
+                    );
                     engine.evict(*object);
                     evictions += 1;
                 }
             }
+            flush_buffer(
+                &engine, &mut buffer, &subscription, &mut received, &mut rejections, seed,
+            );
             while engine.backlog() > 0 {
                 received.extend(subscription.poll_verdicts());
                 std::thread::yield_now();
@@ -312,9 +391,7 @@ fn family_monitors_are_deterministic_across_worker_counts() {
         let mut baseline: Option<BTreeMap<ObjectId, Vec<Verdict>>> = None;
         for workers in [1, 4] {
             let engine = MonitoringEngine::new(EngineConfig::new(workers), factory());
-            for (object, symbol) in &events {
-                engine.submit(*object, symbol);
-            }
+            ingest(&engine, &events);
             let report = engine.finish().expect("no worker panicked");
             let streams: BTreeMap<ObjectId, Vec<Verdict>> = report
                 .objects

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod alphabet;
+pub mod batch;
 pub mod intern;
 pub mod language;
 pub mod oblivious;
@@ -55,6 +56,7 @@ pub mod symbol;
 pub mod word;
 
 pub use alphabet::{ObjectKind, SymbolSampler};
+pub use batch::{EventAction, EventBatch, EventRecord};
 pub use intern::{Interner, InternerMirror, InvocationId, OpRecord, ResponseId, SharedInterner};
 pub use language::{Complement, Intersection, Language, RunVerdict, Union};
 pub use oblivious::{oblivious_counterexample, ObliviousReport, ObliviousnessTester};

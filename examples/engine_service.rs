@@ -23,14 +23,21 @@
 //!
 //! ```text
 //! cargo run --example engine_service --release
+//! cargo run --example engine_service --release -- --batch 256
 //! ```
+//!
+//! With `--batch N` the producer runs the batched production path: traffic
+//! is interned into `EventBatch`es of `N` events and handed to
+//! `submit_batch`, which scatters each batch across the shards in one
+//! routing pass and wakes the pool once per batch.  Verdicts are identical
+//! either way — batching only amortizes the submission overhead.
 //!
 //! [`MonitoringEngine`]: drv::engine::MonitoringEngine
 //! [`VerdictSubscription`]: drv::engine::VerdictSubscription
 
 use drv::core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
 use drv::engine::{EngineConfig, MonitoringEngine};
-use drv::lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+use drv::lang::{EventBatch, Invocation, ObjectId, ProcId, Response, Symbol};
 use drv::spec::Register;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -85,8 +92,24 @@ fn round(object: ObjectId, round: u64) -> Vec<Symbol> {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `--batch N`: ingest through `submit_batch` over N-event batches.
+    let batch_size: Option<usize> = args
+        .iter()
+        .position(|arg| arg == "--batch")
+        .map(|position| {
+            args.get(position + 1)
+                .and_then(|arg| arg.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256)
+        });
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get().max(2));
-    println!("engine service: {OBJECTS} objects on {workers} workers");
+    match batch_size {
+        Some(size) => println!(
+            "engine service: {OBJECTS} objects on {workers} workers, batched ingestion ({size} events/batch)"
+        ),
+        None => println!("engine service: {OBJECTS} objects on {workers} workers"),
+    }
     let start = std::time::Instant::now();
     let engine = Arc::new(MonitoringEngine::new(
         EngineConfig::new(workers).with_max_pending(MAX_PENDING),
@@ -120,22 +143,41 @@ fn main() {
 
     // The service's firehose: round-robin over all objects, so consecutive
     // events almost never belong to the same object (the adversarial case
-    // for the router).  `submit` blocks at the MAX_PENDING bound — bounded
-    // memory, not an unbounded queue.
+    // for the router).  Ingestion blocks at the MAX_PENDING bound — bounded
+    // memory, not an unbounded queue.  In batch mode the symbols are
+    // interned into reusable EventBatches and scattered shard-wise in one
+    // routing pass per batch.
+    let mut batch = EventBatch::with_capacity(batch_size.unwrap_or(0));
     for r in 0..OPS_PER_OBJECT / 2 {
         for object in 0..OBJECTS {
             let object = ObjectId(object);
             for symbol in round(object, r) {
-                engine.submit(object, &symbol);
+                match batch_size {
+                    Some(size) => {
+                        batch.push_symbol(object, &symbol, engine.interner());
+                        if batch.len() >= size {
+                            engine.submit_batch(&batch);
+                            batch.clear();
+                        }
+                    }
+                    None => engine.submit(object, &symbol),
+                }
             }
             if r == OPS_PER_OBJECT / 2 - 1 {
                 // This object's stream is complete: retire its monitor now.
                 // Its verdicts stay in the final report, its slot is freed —
-                // per-object state does not grow with history length.
+                // per-object state does not grow with history length.  The
+                // batch is flushed first so the eviction marker queues FIFO
+                // behind the object's own buffered events.
+                if !batch.is_empty() {
+                    engine.submit_batch(&batch);
+                    batch.clear();
+                }
                 engine.evict(object);
             }
         }
     }
+    engine.submit_batch(&batch);
 
     let engine = Arc::into_inner(engine).expect("consumer holds no engine handle");
     // Quiesce before shutdown: once the backlog is drained every verdict
