@@ -334,6 +334,14 @@ impl Workload {
         self.per_node.iter().map(Vec::len).sum()
     }
 
+    /// Node `node`'s invocation script (empty for nodes beyond the
+    /// workload) — what external drivers (e.g. the `drv-net` ABD bridge)
+    /// replay through [`AbdNode::issue`].
+    #[must_use]
+    pub fn script(&self, node: usize) -> &[Invocation] {
+        self.per_node.get(node).map_or(&[], Vec::as_slice)
+    }
+
     /// Whether the workload is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {

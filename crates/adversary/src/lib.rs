@@ -38,6 +38,7 @@ pub mod eventual;
 pub mod faulty;
 pub mod scripted;
 pub mod sketch;
+pub mod streams;
 pub mod timed;
 
 pub use behavior::{AtomicObject, Behavior, LinearizationPoint};
@@ -47,6 +48,9 @@ pub use faulty::{
     StaleReadRegister,
 };
 pub use scripted::{event_script, ScriptedBehavior};
+pub use streams::{
+    merge_random, merge_round_robin, register_object_stream, RegisterStreamShape,
+};
 pub use sketch::{
     input_word, locals_preserved, precedence_preserved, sketch_word, sketch_word_from,
     IncrementalSketch, SketchError, TimedOp,

@@ -20,12 +20,13 @@
 //! machines: a 1-core container time-slices the workers (any gain is pipelining),
 //! the same binary on a 4-core runner separates them.
 
+use drv_adversary::{merge_round_robin, register_object_stream, RegisterStreamShape};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
 use drv_engine::{EngineConfig, EventBatch, MonitoringEngine};
-use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+use drv_lang::{ObjectId, Symbol};
 use drv_spec::Register;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,73 +74,19 @@ fn mixed_factory() -> Arc<RoutingMonitorFactory> {
     }))
 }
 
-/// One object's stream: a correct register history with overlapping
-/// operations (concurrency for the checkers to resolve, all members — the
-/// steady-state traffic shape).
-fn object_stream(rng: &mut StdRng, ops: usize) -> Vec<Symbol> {
-    let mut symbols = Vec::new();
-    let mut value = 0u64;
-    let mut next_write = 1u64;
-    let mut emitted = 0;
-    while emitted < ops {
-        let overlap = ops - emitted >= 2 && rng.gen_bool(0.25);
-        let procs: Vec<usize> = if overlap {
-            vec![0, 1]
-        } else {
-            vec![rng.gen_range(0..PROCESSES)]
-        };
-        let mut invocations = Vec::new();
-        for &p in &procs {
-            let invocation = if rng.gen_bool(0.5) {
-                let v = next_write;
-                next_write += 1;
-                Invocation::Write(v)
-            } else {
-                Invocation::Read
-            };
-            symbols.push(Symbol::invoke(ProcId(p), invocation.clone()));
-            invocations.push((p, invocation));
-        }
-        if overlap && rng.gen_bool(0.5) {
-            invocations.reverse();
-        }
-        for (p, invocation) in invocations {
-            let response = match invocation {
-                Invocation::Write(v) => {
-                    value = v;
-                    Response::Ack
-                }
-                _ => Response::Value(value),
-            };
-            symbols.push(Symbol::respond(ProcId(p), response));
-            emitted += 1;
-        }
-    }
-    symbols
-}
-
-/// The 64-object stream, round-robin merged so every engine batch mixes
-/// objects (the adversarial case for routing overhead).
+/// The 64-object stream — correct register histories with overlapping
+/// operations (the workspace's shared generator, load shape: all members,
+/// the steady-state traffic) — round-robin merged so every engine batch
+/// mixes objects (the adversarial case for routing overhead).
 fn merged_stream() -> Vec<(ObjectId, Symbol)> {
-    let mut per_object: Vec<(ObjectId, std::collections::VecDeque<Symbol>)> = (0..OBJECTS)
+    let shape = RegisterStreamShape::load();
+    let per_object: Vec<(ObjectId, Vec<Symbol>)> = (0..OBJECTS)
         .map(|i| {
             let mut rng = StdRng::seed_from_u64(0xE16E ^ i);
-            (ObjectId(i), object_stream(&mut rng, OPS_PER_OBJECT).into())
+            (ObjectId(i), register_object_stream(&mut rng, OPS_PER_OBJECT, &shape))
         })
         .collect();
-    let mut merged = Vec::new();
-    loop {
-        let mut progressed = false;
-        for (object, queue) in &mut per_object {
-            if let Some(symbol) = queue.pop_front() {
-                merged.push((*object, symbol));
-                progressed = true;
-            }
-        }
-        if !progressed {
-            return merged;
-        }
-    }
+    merge_round_robin(per_object)
 }
 
 fn inline_reference(events: &[(ObjectId, Symbol)]) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>) {

@@ -1,0 +1,388 @@
+//! `netload` — the loopback network load generator: N client connections ×
+//! M objects each, streamed through a `MonitorServer` on 127.0.0.1, end to
+//! end (every verdict received back over the wire), against an in-process
+//! `submit_batch` baseline on the same stream.
+//!
+//! ```text
+//! cargo run -p drv-bench --bin netload --release            # full run
+//! cargo run -p drv-bench --bin netload --release -- quick   # CI smoke
+//! cargo run -p drv-bench --bin netload --release -- C M OPS # custom size
+//! ```
+//!
+//! Every run asserts the wire verdict streams bit-identical to
+//! `sequential_reference` before reporting a number, re-checks the
+//! acceptance ratio (loopback at batch 256 within 2× of the in-process
+//! batched path), and splices a `"netload"` section into
+//! `BENCH_engine.json`.
+
+use drv_adversary::{merge_round_robin, register_object_stream, RegisterStreamShape};
+use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
+use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
+use drv_lang::{ObjectId, Symbol};
+use drv_net::{MonitorClient, MonitorServer, ServerConfig};
+use drv_spec::Register;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client processes per object.
+const PROCESSES: usize = 2;
+/// Per-check node budget.
+const MAX_STATES: usize = 200_000;
+/// Engine workers (server side and in-process baseline).
+const WORKERS: usize = 2;
+/// Per-connection credit window, in events.
+const WINDOW: u64 = 4_096;
+
+/// The engine ingestion bound, provisioned to the total credit the server
+/// can have outstanding: the per-connection windows are the real
+/// backpressure, so a correctly provisioned engine never reports `Full` to
+/// a compliant client (the bound stays as the global backstop).
+fn max_pending(connections: usize) -> usize {
+    (WINDOW as usize) * connections.max(1)
+}
+/// Loopback batch sizes measured.
+const BATCH_SIZES: [usize; 2] = [1, 256];
+/// Timed repetitions per configuration (minimum is reported).
+const REPS: usize = 3;
+
+struct Load {
+    connections: usize,
+    objects_per_conn: u64,
+    ops_per_object: usize,
+}
+
+fn mixed_factory() -> Arc<RoutingMonitorFactory> {
+    let lin = Arc::new(
+        CheckerMonitorFactory::linearizability(Register::new(), PROCESSES)
+            .with_max_states(MAX_STATES),
+    ) as Arc<dyn ObjectMonitorFactory>;
+    let sc = Arc::new(
+        CheckerMonitorFactory::sequential_consistency(Register::new(), PROCESSES)
+            .with_max_states(MAX_STATES),
+    ) as Arc<dyn ObjectMonitorFactory>;
+    Arc::new(RoutingMonitorFactory::new("mixed LIN/SC", move |object: ObjectId| {
+        if object.0.is_multiple_of(2) {
+            Arc::clone(&lin)
+        } else {
+            Arc::clone(&sc)
+        }
+    }))
+}
+
+/// One connection's round-robin merged multi-object stream — the
+/// workspace's shared generator, load shape (correct steady-state
+/// traffic).  Object ids are globally unique per connection (ownership
+/// routing requires it).
+fn connection_stream(conn: u64, load: &Load) -> Vec<(ObjectId, Symbol)> {
+    let shape = RegisterStreamShape::load();
+    let per_object: Vec<(ObjectId, Vec<Symbol>)> = (0..load.objects_per_conn)
+        .map(|i| {
+            let id = ObjectId(conn * 10_000 + i);
+            let mut rng = StdRng::seed_from_u64(0x6E74 ^ (conn << 32) ^ i);
+            (id, register_object_stream(&mut rng, load.ops_per_object, &shape))
+        })
+        .collect();
+    merge_round_robin(per_object)
+}
+
+/// The report-only in-process baseline: the combined stream through
+/// `submit_batch` at batch 256, end to end (`finish` joined), verdicts
+/// read from the report — no subscription.  Recorded for reference; not
+/// the wire comparator, because the loopback path *also* pays for
+/// delivering every verdict through a subscription.
+fn in_process_report_only(
+    streams: &[Vec<(ObjectId, Symbol)>],
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>) {
+    let start = Instant::now();
+    let engine = MonitoringEngine::new(
+        EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+        mixed_factory(),
+    );
+    for stream in streams {
+        engine.submit_stream(stream, 256);
+    }
+    let report = engine.finish().expect("no engine worker panicked");
+    let elapsed = start.elapsed();
+    let verdicts = report
+        .objects
+        .into_iter()
+        .map(|(object, r)| (object, r.verdicts))
+        .collect();
+    (elapsed, verdicts)
+}
+
+/// The wire comparator: `submit_batch` at batch 256 **plus** a consumer
+/// thread receiving every verdict through a subscription — the same
+/// checking and delivery work the loopback deployment performs, minus the
+/// TCP/codec layer.  The 2x acceptance ratio is measured against this, so
+/// it isolates what the *wire* costs.
+fn in_process_subscribed(
+    streams: &[Vec<(ObjectId, Symbol)>],
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>) {
+    let start = Instant::now();
+    let engine = MonitoringEngine::new(
+        EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+        mixed_factory(),
+    );
+    let subscription = engine.subscribe(4096);
+    let consumer = std::thread::spawn(move || {
+        let mut streams: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+        loop {
+            let batch = subscription.wait_verdicts(Duration::from_millis(10));
+            if batch.is_empty() && subscription.is_closed() {
+                break;
+            }
+            for event in batch {
+                streams.entry(event.object).or_default().push(event.verdict);
+            }
+        }
+        streams
+    });
+    for stream in streams {
+        engine.submit_stream(stream, 256);
+    }
+    while engine.backlog() > 0 {
+        std::thread::yield_now();
+    }
+    engine.finish().expect("no engine worker panicked");
+    let verdicts = consumer.join().expect("consumer finished");
+    (start.elapsed(), verdicts)
+}
+
+/// One loopback run: a fresh server, one thread per connection, everything
+/// verdict-confirmed over the wire before the clock stops.
+fn loopback_run(
+    streams: &[Vec<(ObjectId, Symbol)>],
+    batch_size: usize,
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>, drv_net::ServerStats) {
+    let server = MonitorServer::bind(
+        ("127.0.0.1", 0),
+        EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+        mixed_factory(),
+        ServerConfig::new().with_window(WINDOW),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    // Clone the streams before the clock starts: the comparator runs only
+    // borrow theirs, so a timed deep-copy would be charged to the wire.
+    let cloned: Vec<Vec<(ObjectId, Symbol)>> = streams.to_vec();
+    let start = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<BTreeMap<ObjectId, Vec<Verdict>>>> = cloned
+        .into_iter()
+        .map(|events| {
+            std::thread::spawn(move || {
+                let mut client = MonitorClient::connect(addr).expect("connect");
+                client.send_stream(&events, batch_size).expect("stream");
+                let mut received = 0usize;
+                let mut streams: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+                while received < events.len() {
+                    let batch = client.wait_verdicts(Duration::from_millis(100));
+                    assert!(
+                        !batch.is_empty() || !client.is_closed(),
+                        "connection died before all verdicts arrived"
+                    );
+                    received += batch.len();
+                    for event in batch {
+                        streams.entry(event.object).or_default().push(event.verdict);
+                    }
+                }
+                client.shutdown().expect("clean goodbye");
+                streams
+            })
+        })
+        .collect();
+    let mut merged: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+    for handle in handles {
+        merged.extend(handle.join().expect("connection thread"));
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    drop(server);
+    (elapsed, merged, stats)
+}
+
+fn best_of<T>(mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
+    let mut best: Option<(Duration, T)> = None;
+    for _ in 0..REPS {
+        let run = f();
+        if best.as_ref().is_none_or(|(d, _)| run.0 < *d) {
+            best = Some(run);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+fn throughput(events: usize, duration: Duration) -> f64 {
+    events as f64 / duration.as_secs_f64().max(1e-12)
+}
+
+/// Splices `section` in as the `"netload"` field of `BENCH_engine.json`
+/// (replacing a previous one; the field is always kept last).
+fn splice_netload_section(section: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let mut content = match std::fs::read_to_string(path) {
+        Ok(content) => content,
+        Err(err) => {
+            eprintln!("could not read {path} ({err}); writing a fresh file");
+            "{\n}\n".to_string()
+        }
+    };
+    if let Some(pos) = content.find(",\n  \"netload\"") {
+        content.truncate(pos);
+        content.push_str("\n}\n");
+    }
+    let Some(pos) = content.rfind('}') else {
+        eprintln!("{path} has no closing brace; leaving it untouched");
+        return;
+    };
+    content.truncate(pos);
+    let body = content.trim_end().trim_end_matches(',').to_string();
+    let updated = format!("{body},\n  \"netload\": {section}\n}}\n");
+    match std::fs::write(path, updated) {
+        Ok(()) => println!("netload section written to {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let load = match args.first().map(String::as_str) {
+        Some("quick") => Load { connections: 2, objects_per_conn: 4, ops_per_object: 40 },
+        Some(_) if args.len() >= 3 => Load {
+            connections: args[0].parse().expect("connections is a number"),
+            objects_per_conn: args[1].parse().expect("objects is a number"),
+            ops_per_object: args[2].parse().expect("ops is a number"),
+        },
+        _ => Load { connections: 4, objects_per_conn: 16, ops_per_object: 150 },
+    };
+    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let streams: Vec<Vec<(ObjectId, Symbol)>> = (0..load.connections as u64)
+        .map(|conn| connection_stream(conn, &load))
+        .collect();
+    let total: usize = streams.iter().map(Vec::len).sum();
+    println!(
+        "netload: {} connections x {} objects x {} ops ({total} symbols), \
+         {parallelism} hardware threads, window {WINDOW}, {WORKERS} workers",
+        load.connections, load.objects_per_conn, load.ops_per_object
+    );
+
+    // The independent reference every run is checked against.
+    let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
+    let reference = sequential_reference(mixed_factory().as_ref(), &combined);
+
+    let (report_time, report_verdicts) = best_of(|| in_process_report_only(&streams));
+    assert_eq!(report_verdicts, reference, "in-process verdicts differ from the reference");
+    let report_rate = throughput(total, report_time);
+    println!(
+        "netload/in-process/report-only:   {:>10.2} ms  {:>12.0} events/s  (no subscription)",
+        report_time.as_secs_f64() * 1e3,
+        report_rate,
+    );
+    let (inproc_time, inproc_verdicts) = best_of(|| in_process_subscribed(&streams));
+    assert_eq!(
+        inproc_verdicts, reference,
+        "in-process subscribed verdicts differ from the reference"
+    );
+    let inproc_rate = throughput(total, inproc_time);
+    println!(
+        "netload/in-process/subscribed:    {:>10.2} ms  {:>12.0} events/s  (the wire comparator)",
+        inproc_time.as_secs_f64() * 1e3,
+        inproc_rate,
+    );
+
+    let mut rows = Vec::new();
+    for batch_size in BATCH_SIZES {
+        let (elapsed, (verdicts, stats)) = best_of(|| {
+            let (elapsed, verdicts, stats) = loopback_run(&streams, batch_size);
+            (elapsed, (verdicts, stats))
+        });
+        assert_eq!(
+            verdicts, reference,
+            "batch {batch_size}: wire verdict streams differ from the reference"
+        );
+        let rate = throughput(total, elapsed);
+        println!(
+            "netload/loopback/batch-{batch_size:<3}:   {:>10.2} ms  {:>12.0} events/s  \
+             ({} engine-full stalls, {} nacks)",
+            elapsed.as_secs_f64() * 1e3,
+            rate,
+            stats.engine_full_stalls,
+            stats.nacks,
+        );
+        assert_eq!(stats.nacks, 0, "compliant clients must never be NACKed");
+        rows.push((batch_size, elapsed, rate));
+    }
+
+    let batch256_rate = rows
+        .iter()
+        .find(|(batch, _, _)| *batch == 256)
+        .expect("measured")
+        .2;
+    let ratio = batch256_rate / inproc_rate.max(1e-12);
+    println!("netload: loopback/in-process throughput ratio at batch 256 = {ratio:.2}x");
+    // The acceptance bar: the wire layer (TCP + codec) must cost at most 2x
+    // against the in-process run doing the same checking + verdict-delivery
+    // work.  Tiny runs (the CI `quick` smoke) are latency-dominated, so the
+    // bar is only meaningful at load.
+    if total >= 10_000 {
+        assert!(
+            ratio >= 0.5,
+            "loopback at batch 256 ({batch256_rate:.0} events/s) is more than 2x slower \
+             than in-process submit_batch + subscription ({inproc_rate:.0} events/s)"
+        );
+    } else {
+        println!("netload: run too small for the 2x acceptance gate (needs >= 10000 events)");
+    }
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(batch, elapsed, rate)| {
+            format!(
+                concat!(
+                    "      {{ \"batch\": {}, \"total_ns\": {}, ",
+                    "\"events_per_sec\": {:.0} }}"
+                ),
+                batch,
+                elapsed.as_nanos(),
+                rate,
+            )
+        })
+        .collect();
+    let section = format!(
+        concat!(
+            "{{\n",
+            "    \"regenerate\": \"cargo run -p drv-bench --bin netload --release\",\n",
+            "    \"shape\": \"{} connections x {} objects x {} ops, loopback TCP, ",
+            "end-to-end (all verdicts received over the wire)\",\n",
+            "    \"events\": {},\n",
+            "    \"available_parallelism\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"window\": {},\n",
+            "    \"in_process_report_only_ns\": {},\n",
+            "    \"in_process_report_only_events_per_sec\": {:.0},\n",
+            "    \"in_process_subscribed_ns\": {},\n",
+            "    \"in_process_subscribed_events_per_sec\": {:.0},\n",
+            "    \"loopback\": [\n{}\n    ],\n",
+            "    \"loopback_vs_in_process_subscribed_ratio_batch256\": {:.2},\n",
+            "    \"verdicts_bit_identical_to_sequential_reference\": true\n",
+            "  }}"
+        ),
+        load.connections,
+        load.objects_per_conn,
+        load.ops_per_object,
+        total,
+        parallelism,
+        WORKERS,
+        WINDOW,
+        report_time.as_nanos(),
+        report_rate,
+        inproc_time.as_nanos(),
+        inproc_rate,
+        row_json.join(",\n"),
+        ratio,
+    );
+    splice_netload_section(&section);
+}

@@ -1093,6 +1093,17 @@ impl MonitoringEngine {
         self.enqueue(object, QueueItem::Evict(object));
     }
 
+    /// [`MonitoringEngine::evict`] for a whole set of objects — the
+    /// connection-teardown hook of service fronts (e.g. `drv-net` retiring
+    /// everything a disconnected client owned).  Currently one eviction
+    /// marker (and publish) per object; batch the markers per shard if
+    /// teardown of huge connections ever shows up in profiles.
+    pub fn evict_many(&self, objects: impl IntoIterator<Item = ObjectId>) {
+        for object in objects {
+            self.evict(object);
+        }
+    }
+
     /// Sweeps every unclaimed shard for idle objects (per the
     /// [`EngineConfig::with_idle_ttl`] policy), retiring them now instead
     /// of waiting for their shard to see traffic.  Returns the number of

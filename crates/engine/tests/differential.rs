@@ -15,10 +15,11 @@
 //! of up to `N` events) — the verdict contracts are identical, so the same
 //! assertions prove the batched path bit-exact.
 
+use drv_adversary::{merge_random, register_object_stream, RegisterStreamShape};
 use drv_consistency::{CheckerConfig, IncrementalChecker};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
 use drv_engine::{EngineConfig, EventBatch, MonitoringEngine, SubmitError};
-use drv_lang::{Invocation, ObjectId, ProcId, Response, Symbol};
+use drv_lang::{ObjectId, Symbol};
 use drv_spec::Register;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,75 +62,23 @@ fn mixed_factory(parallel_threads: usize) -> Arc<RoutingMonitorFactory> {
     }))
 }
 
-/// One object's symbol stream: a register history from `PROCESSES` clients,
-/// with overlapping operations and (sometimes) injected stale reads so both
-/// YES and NO verdicts occur.
-fn object_stream(rng: &mut StdRng, ops: usize) -> Vec<Symbol> {
-    let mut symbols = Vec::new();
-    let mut value = 0u64;
-    let mut next_write = 1u64;
-    let mut emitted = 0;
-    while emitted < ops {
-        let overlap = ops - emitted >= 2 && rng.gen_bool(0.3);
-        let procs: Vec<usize> = if overlap { vec![0, 1] } else { vec![rng.gen_range(0..PROCESSES)] };
-        let mut invocations = Vec::new();
-        for &p in &procs {
-            let invocation = if rng.gen_bool(0.5) {
-                let v = next_write;
-                next_write += 1;
-                Invocation::Write(v)
-            } else {
-                Invocation::Read
-            };
-            symbols.push(Symbol::invoke(ProcId(p), invocation.clone()));
-            invocations.push((p, invocation));
-        }
-        if overlap && rng.gen_bool(0.5) {
-            invocations.reverse();
-        }
-        for (p, invocation) in invocations {
-            let response = match invocation {
-                Invocation::Write(v) => {
-                    value = v;
-                    Response::Ack
-                }
-                _ => {
-                    // 10% of reads are stale/garbage: non-members to flag.
-                    if rng.gen_bool(0.1) {
-                        Response::Value(value + 1000)
-                    } else {
-                        Response::Value(value)
-                    }
-                }
-            };
-            symbols.push(Symbol::respond(ProcId(p), response));
-            emitted += 1;
-        }
-    }
-    symbols
-}
-
-/// A multi-object stream: per-object streams, randomly merged with
-/// per-object order preserved — the engine's ingest order.
+/// A multi-object stream: per-object register streams (the workspace's
+/// shared seeded generator, differential shape: overlap + stale reads so
+/// both YES and NO verdicts occur), randomly merged with per-object order
+/// preserved — the engine's ingest order.
 fn merged_stream(seed: u64) -> Vec<(ObjectId, Symbol)> {
+    let shape = RegisterStreamShape::differential();
     let mut rng = StdRng::seed_from_u64(seed);
     let objects = rng.gen_range(2..=4);
-    let mut per_object: Vec<(ObjectId, std::collections::VecDeque<Symbol>)> = (0..objects)
+    let per_object: Vec<(ObjectId, Vec<Symbol>)> = (0..objects)
         .map(|i| {
             let ops = rng.gen_range(4..=8);
             // Spread the ids so both criteria and several shards are hit.
             let id = ObjectId(seed * 16 + i);
-            (id, object_stream(&mut rng, ops).into())
+            (id, register_object_stream(&mut rng, ops, &shape))
         })
         .collect();
-    let mut merged = Vec::new();
-    while per_object.iter().any(|(_, q)| !q.is_empty()) {
-        let pick = rng.gen_range(0..per_object.len());
-        if let Some(symbol) = per_object[pick].1.pop_front() {
-            merged.push((per_object[pick].0, symbol));
-        }
-    }
-    merged
+    merge_random(&mut rng, per_object)
 }
 
 /// The independent reference: one sequential `IncrementalChecker` per

@@ -25,7 +25,10 @@
 //! * [`Language`] — the distributed-language abstraction (Definition 2.2) with
 //!   a finitary, cut-based reading of eventual ("Büchi-style") properties,
 //! * [`oblivious`] — real-time obliviousness testing (Definition 5.3), the key
-//!   notion of the paper's characterization (Theorem 5.2).
+//!   notion of the paper's characterization (Theorem 5.2),
+//! * [`wire`] — the bounds-checked binary codec for [`Invocation`] /
+//!   [`Response`] payloads (the dictionary entries of `drv-net`'s
+//!   `EventBatch` frames).
 //!
 //! ## Example
 //!
@@ -53,6 +56,7 @@ pub mod oblivious;
 pub mod operation;
 pub mod shuffle;
 pub mod symbol;
+pub mod wire;
 pub mod word;
 
 pub use alphabet::{ObjectKind, SymbolSampler};
@@ -63,4 +67,5 @@ pub use oblivious::{oblivious_counterexample, ObliviousReport, ObliviousnessTest
 pub use operation::{operations, OpId, Operation, OperationSet, Ordering as OpOrdering};
 pub use shuffle::{enumerate_shuffles, is_interleaving_of, random_shuffle, Shuffle};
 pub use symbol::{Action, Invocation, ObjectId, ProcId, Record, Response, Symbol};
+pub use wire::CodecError;
 pub use word::{LocalWord, WellFormedError, Word, WordBuilder};

@@ -1,0 +1,456 @@
+//! [`MonitorClient`]: the connection half a monitored system embeds.
+//!
+//! The client owns a local payload arena ([`MonitorClient::interner`]) —
+//! batches are built against it, encoded with a frame-local dictionary, and
+//! re-interned into the *server's* arena on decode, so the two sides never
+//! share id spaces.  Flow control is credit-based: the server grants a
+//! window of events at connect time and re-grants as the engine accepts
+//! batches; [`MonitorClient::send_batch`] blocks while the window is
+//! exhausted (the remote engine is full), [`MonitorClient::try_send_batch`]
+//! reports [`TrySendError::NoCredit`] instead.  A background reader thread
+//! processes everything the server pushes: credits update the window,
+//! verdicts buffer for [`MonitorClient::poll_verdicts`] /
+//! [`MonitorClient::wait_verdicts`], stats replies fill the
+//! [`MonitorClient::stats`] slot.
+
+use crate::wire::{
+    encode_shutdown, encode_stats_request, read_frame, write_frame, Frame, FrameEncoder,
+    NackReason, WireStats,
+};
+use drv_engine::VerdictEvent;
+use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Why a send failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (or the connection was already torn down).
+    Io(io::Error),
+    /// The server closed the connection (shutdown frame, EOF, or a decode
+    /// failure on our side).
+    Closed,
+    /// The batch is larger than the server's whole credit window and can
+    /// never be sent — split it.
+    BatchTooLarge {
+        /// Events in the refused batch.
+        len: u64,
+        /// The server's announced window.
+        window: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "i/o: {err}"),
+            ClientError::Closed => f.write_str("connection closed"),
+            ClientError::BatchTooLarge { len, window } => {
+                write!(f, "batch of {len} events exceeds the {window}-event window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+/// Why a non-blocking send was refused.
+#[derive(Debug)]
+pub enum TrySendError {
+    /// Not enough credit right now (the remote engine is applying
+    /// backpressure) — retry after draining verdicts / waiting.
+    NoCredit {
+        /// Events the batch needs.
+        needed: u64,
+        /// Credit currently available.
+        available: u64,
+    },
+    /// A hard failure (see [`ClientError`]).
+    Fatal(ClientError),
+}
+
+impl fmt::Display for TrySendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::NoCredit { needed, available } => {
+                write!(f, "insufficient credit: need {needed}, have {available}")
+            }
+            TrySendError::Fatal(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for TrySendError {}
+
+/// A NACK the server sent (credit overrun or oversized batch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nack {
+    /// The refused batch.
+    pub batch_id: u64,
+    /// Why it was refused.
+    pub reason: NackReason,
+    /// The violated bound, in events.
+    pub detail: u64,
+}
+
+struct CreditState {
+    available: u64,
+    /// The server's announced total window; 0 until the first grant.
+    window: u64,
+}
+
+struct ClientShared {
+    credit: Mutex<CreditState>,
+    credit_signal: Condvar,
+    verdicts: Mutex<VecDeque<VerdictEvent>>,
+    verdict_signal: Condvar,
+    stats: Mutex<Option<WireStats>>,
+    stats_signal: Condvar,
+    nacks: Mutex<Vec<Nack>>,
+    closed: AtomicBool,
+    /// Set when the server completed the clean shutdown handshake.
+    server_shutdown: AtomicBool,
+    arena: SharedInterner,
+}
+
+impl ClientShared {
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        {
+            let _credit = self.credit.lock();
+            self.credit_signal.notify_all();
+        }
+        {
+            let _verdicts = self.verdicts.lock();
+            self.verdict_signal.notify_all();
+        }
+        let _stats = self.stats.lock();
+        self.stats_signal.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+fn reader_loop(shared: &ClientShared, mut stream: TcpStream) {
+    loop {
+        match read_frame(&mut stream, &shared.arena) {
+            Ok(Frame::Credit { grant, window }) => {
+                let mut credit = shared.credit.lock();
+                credit.available += grant;
+                credit.window = window;
+                shared.credit_signal.notify_all();
+            }
+            Ok(Frame::Verdicts(events)) => {
+                shared.verdicts.lock().extend(events);
+                shared.verdict_signal.notify_all();
+            }
+            Ok(Frame::Stats(snapshot)) => {
+                *shared.stats.lock() = Some(snapshot);
+                shared.stats_signal.notify_all();
+            }
+            Ok(Frame::Nack { batch_id, reason, detail }) => {
+                shared.nacks.lock().push(Nack { batch_id, reason, detail });
+            }
+            Ok(Frame::Shutdown) => {
+                shared.server_shutdown.store(true, Ordering::Release);
+                shared.close();
+                return;
+            }
+            Ok(Frame::Batch(_) | Frame::StatsRequest) | Err(_) => {
+                // Client-bound streams never carry these; treat like a
+                // broken connection.
+                shared.close();
+                return;
+            }
+        }
+    }
+}
+
+/// A connection to a [`MonitorServer`](crate::MonitorServer).  See the
+/// module docs for the credit and verdict flows.
+pub struct MonitorClient {
+    stream: TcpStream,
+    shared: Arc<ClientShared>,
+    reader: Option<JoinHandle<()>>,
+    encoder: FrameEncoder,
+    next_batch_id: u64,
+    peer: SocketAddr,
+}
+
+impl MonitorClient {
+    /// Connects to a monitoring server.
+    ///
+    /// # Errors
+    ///
+    /// The connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let peer = stream.peer_addr()?;
+        let reader_stream = stream.try_clone()?;
+        let shared = Arc::new(ClientShared {
+            credit: Mutex::new(CreditState { available: 0, window: 0 }),
+            credit_signal: Condvar::new(),
+            verdicts: Mutex::new(VecDeque::new()),
+            verdict_signal: Condvar::new(),
+            stats: Mutex::new(None),
+            stats_signal: Condvar::new(),
+            nacks: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            server_shutdown: AtomicBool::new(false),
+            arena: SharedInterner::new(),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("drv-net-client-reader".to_string())
+                .spawn(move || reader_loop(&shared, reader_stream))
+                .expect("spawning the client reader")
+        };
+        Ok(MonitorClient {
+            stream,
+            shared,
+            reader: Some(reader),
+            encoder: FrameEncoder::new(),
+            next_batch_id: 0,
+            peer,
+        })
+    }
+
+    /// The server's address.
+    #[must_use]
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// The client-side payload arena: build [`EventBatch`]es against this
+    /// (e.g. via [`EventBatch::push_symbol`]) before sending them.  The
+    /// handle is a cheap clone sharing the same arena.
+    #[must_use]
+    pub fn interner(&self) -> SharedInterner {
+        self.shared.arena.clone()
+    }
+
+    /// `(available, window)` credit in events; `window` is 0 until the
+    /// server's first grant arrives.
+    #[must_use]
+    pub fn credit(&self) -> (u64, u64) {
+        let credit = self.shared.credit.lock();
+        (credit.available, credit.window)
+    }
+
+    /// Whether the connection is down (server shutdown, EOF, or transport
+    /// failure).  Buffered verdicts remain pollable.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.shared.is_closed()
+    }
+
+    /// NACKs received so far (drained).  A client that only sends within
+    /// its credit never receives any.
+    #[must_use]
+    pub fn take_nacks(&self) -> Vec<Nack> {
+        std::mem::take(&mut *self.shared.nacks.lock())
+    }
+
+    /// Sends one batch, blocking while credit is insufficient (the remote
+    /// engine's backpressure).  Returns the batch id.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::BatchTooLarge`] when the batch exceeds the server's
+    /// whole window; [`ClientError::Closed`] when the connection died while
+    /// waiting; [`ClientError::Io`] on transport failure.
+    pub fn send_batch(&mut self, batch: &EventBatch) -> Result<u64, ClientError> {
+        let needed = batch.len() as u64;
+        if needed > 0 {
+            let mut credit = self.shared.credit.lock();
+            loop {
+                if self.shared.is_closed() {
+                    return Err(ClientError::Closed);
+                }
+                if credit.window > 0 && needed > credit.window {
+                    return Err(ClientError::BatchTooLarge { len: needed, window: credit.window });
+                }
+                if credit.window > 0 && credit.available >= needed {
+                    credit.available -= needed;
+                    break;
+                }
+                self.shared
+                    .credit_signal
+                    .wait_for(&mut credit, Duration::from_millis(20));
+            }
+        }
+        let frame = self
+            .encoder
+            .encode_batch(self.next_batch_id, batch, &self.shared.arena);
+        self.next_batch_id += 1;
+        write_frame(&mut self.stream, &frame)?;
+        Ok(self.next_batch_id - 1)
+    }
+
+    /// Non-blocking [`MonitorClient::send_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::NoCredit`] while the window cannot absorb the batch
+    /// (including before the first grant); [`TrySendError::Fatal`] on the
+    /// hard failures of `send_batch`.
+    pub fn try_send_batch(&mut self, batch: &EventBatch) -> Result<u64, TrySendError> {
+        let needed = batch.len() as u64;
+        if needed > 0 {
+            let mut credit = self.shared.credit.lock();
+            if self.shared.is_closed() {
+                return Err(TrySendError::Fatal(ClientError::Closed));
+            }
+            if credit.window > 0 && needed > credit.window {
+                return Err(TrySendError::Fatal(ClientError::BatchTooLarge {
+                    len: needed,
+                    window: credit.window,
+                }));
+            }
+            if credit.window == 0 || credit.available < needed {
+                return Err(TrySendError::NoCredit { needed, available: credit.available });
+            }
+            credit.available -= needed;
+        }
+        let frame = self
+            .encoder
+            .encode_batch(self.next_batch_id, batch, &self.shared.arena);
+        self.next_batch_id += 1;
+        write_frame(&mut self.stream, &frame)
+            .map_err(|err| TrySendError::Fatal(ClientError::Io(err)))?;
+        Ok(self.next_batch_id - 1)
+    }
+
+    /// The rolling-batch producer loop, packaged: interns `events` into
+    /// batches of `batch_size` against this client's arena and sends each.
+    /// Returns the number of batches sent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`MonitorClient::send_batch`] failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn send_stream(
+        &mut self,
+        events: &[(ObjectId, Symbol)],
+        batch_size: usize,
+    ) -> Result<u64, ClientError> {
+        assert!(batch_size > 0, "a batch must cover at least one event");
+        let arena = self.interner();
+        let mut batch = EventBatch::with_capacity(batch_size.min(events.len()));
+        let mut sent = 0;
+        for (object, symbol) in events {
+            batch.push_symbol(*object, symbol, &arena);
+            if batch.len() == batch_size {
+                self.send_batch(&batch)?;
+                sent += 1;
+                batch.clear();
+            }
+        }
+        if !batch.is_empty() {
+            self.send_batch(&batch)?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    /// Drains every buffered verdict without blocking.
+    #[must_use]
+    pub fn poll_verdicts(&self) -> Vec<VerdictEvent> {
+        self.shared.verdicts.lock().drain(..).collect()
+    }
+
+    /// Blocks until at least one verdict is buffered (then drains all), the
+    /// connection closes, or `timeout` elapses.
+    #[must_use]
+    pub fn wait_verdicts(&self, timeout: Duration) -> Vec<VerdictEvent> {
+        let mut verdicts = self.shared.verdicts.lock();
+        if verdicts.is_empty() && !self.shared.is_closed() {
+            self.shared.verdict_signal.wait_while_for(
+                &mut verdicts,
+                |verdicts| verdicts.is_empty() && !self.shared.is_closed(),
+                timeout,
+            );
+        }
+        verdicts.drain(..).collect()
+    }
+
+    /// Requests a stats snapshot and waits up to `timeout` for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] when the reply never arrived (timeout or a
+    /// dead connection); [`ClientError::Io`] when the request could not be
+    /// written.
+    pub fn stats(&mut self, timeout: Duration) -> Result<WireStats, ClientError> {
+        *self.shared.stats.lock() = None;
+        write_frame(&mut self.stream, &encode_stats_request())?;
+        let mut slot = self.shared.stats.lock();
+        self.shared.stats_signal.wait_while_for(
+            &mut slot,
+            |slot| slot.is_none() && !self.shared.is_closed(),
+            timeout,
+        );
+        slot.take().ok_or(ClientError::Closed)
+    }
+
+    /// The clean goodbye: sends a Shutdown frame (the server evicts this
+    /// connection's objects and answers with its own Shutdown) and waits
+    /// for the handshake to complete.  Verdicts still buffered locally can
+    /// be polled off the returned flag's shared state beforehand — drain
+    /// with [`MonitorClient::poll_verdicts`] *before* calling this if the
+    /// tail matters.
+    ///
+    /// # Errors
+    ///
+    /// The write error, when even the goodbye could not be sent.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &encode_shutdown())?;
+        self.stream.flush()?;
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MonitorClient {
+    fn drop(&mut self) {
+        if let Some(reader) = self.reader.take() {
+            // Unblock the reader (it may be mid-read) and reap it.
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            let _ = reader.join();
+        }
+    }
+}
+
+impl fmt::Debug for MonitorClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (available, window) = self.credit();
+        f.debug_struct("MonitorClient")
+            .field("peer", &self.peer)
+            .field("credit", &available)
+            .field("window", &window)
+            .field("closed", &self.shared.is_closed())
+            .finish()
+    }
+}

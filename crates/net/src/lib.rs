@@ -1,0 +1,104 @@
+//! # drv-net
+//!
+//! The network subsystem: events over sockets, verdicts back.  Everything
+//! the repo monitored before this crate originated in-process; `drv-net`
+//! adds the missing distributed edge — a binary wire format for
+//! [`EventBatch`](drv_lang::EventBatch)es, a TCP [`MonitorServer`] over the
+//! service-mode [`MonitoringEngine`](drv_engine::MonitoringEngine), and the
+//! [`MonitorClient`] a monitored system embeds.  Std-only: `std::net`
+//! blocking sockets and threads, no external dependencies.
+//!
+//! ## The wire format ([`wire`])
+//!
+//! Length-prefixed, CRC-checked frames:
+//!
+//! ```text
+//!  ┌──────────── header, 16 bytes ────────────┐┌── payload ──┐
+//!  │ magic  version kind  reserved  len   crc ││ kind-specific│
+//!  │ u32    u8      u8    u16       u32   u32 ││ bytes        │
+//!  └──────────────────────────────────────────┘└──────────────┘
+//!  kinds: Batch · Credit · Nack · Verdict · Stats · Shutdown
+//! ```
+//!
+//! A `Batch` payload carries the struct-of-arrays rows of an `EventBatch`
+//! plus a dictionary of the *distinct* invocation/response payloads the
+//! rows reference.  **The arena-interning rule:** decoding interns each
+//! dictionary entry exactly once into the interner it is handed — the
+//! server passes the engine's own arena, so a decoded batch is directly
+//! submittable and a payload repeated across a million events is interned
+//! once, not a million times.  Malformed, truncated, corrupted or
+//! oversized input decodes to a typed [`WireError`] — never a panic, never
+//! an allocation sized by unvalidated input (`tests/wire_fuzz.rs`).
+//!
+//! ## The backpressure protocol
+//!
+//! Flow control is *credit-based*, in events: the server opens each
+//! connection with a window `W` ([`ServerConfig::with_window`]), a batch
+//! consumes its event count, and credit returns **with the verdicts** (one
+//! event per verdict delivered to the owning connection) — the window
+//! bounds a connection's submitted-but-unchecked events end to end.  The
+//! engine's [`SubmitError::Full`](drv_engine::SubmitError::Full) therefore
+//! never turns into unbounded server-side buffering: a full engine stops
+//! producing verdicts, grants dry up, and the client stalls while the
+//! server holds exactly one in-flight batch per connection.  A client that
+//! overruns its window gets a `Nack` and the batch is dropped *before*
+//! touching the engine, so per-object order survives refusals.
+//!
+//! ## End-to-end order
+//!
+//! Per-object verdict streams over the wire are bit-identical to an
+//! in-process [`sequential_reference`](drv_engine::sequential_reference)
+//! run: TCP preserves the client's batch order, the reader submits in
+//! arrival order, the engine's shards are per-object FIFO, the router
+//! forwards the subscription in delivery order to the owning connection,
+//! and the writer drains FIFO.  `tests/differential.rs` proves it at 1/2/4
+//! workers × batch 1/16/256, under forced credit stalls and mid-stream
+//! disconnects.
+//!
+//! ## Quick start (loopback)
+//!
+//! ```
+//! use drv_core::CheckerMonitorFactory;
+//! use drv_engine::EngineConfig;
+//! use drv_lang::{EventBatch, Invocation, ObjectId, ProcId, Response, Symbol};
+//! use drv_net::{MonitorClient, MonitorServer, ServerConfig};
+//! use drv_spec::Register;
+//! use std::sync::Arc;
+//!
+//! let server = MonitorServer::bind(
+//!     ("127.0.0.1", 0),
+//!     EngineConfig::new(2).with_max_pending(1024),
+//!     Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2)),
+//!     ServerConfig::new(),
+//! )
+//! .expect("bind loopback");
+//!
+//! let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
+//! let arena = client.interner();
+//! let mut batch = EventBatch::new();
+//! batch.push_symbol(ObjectId(1), &Symbol::invoke(ProcId(0), Invocation::Write(7)), &arena);
+//! batch.push_symbol(ObjectId(1), &Symbol::respond(ProcId(0), Response::Ack), &arena);
+//! client.send_batch(&batch).expect("send");
+//!
+//! let mut verdicts = Vec::new();
+//! while verdicts.len() < 2 {
+//!     verdicts.extend(client.wait_verdicts(std::time::Duration::from_secs(5)));
+//! }
+//! assert!(verdicts.iter().all(|event| event.verdict.is_yes()));
+//! client.shutdown().expect("clean goodbye");
+//! let report = server.shutdown().expect("no worker panicked");
+//! assert_eq!(report.aggregate().yes, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use bridge::{stream_abd, BridgeReport};
+pub use client::{ClientError, MonitorClient, Nack, TrySendError};
+pub use server::{MonitorServer, ServerConfig, ServerStats};
+pub use wire::{Frame, FrameKind, NackReason, ReadError, WireBatch, WireError, WireStats};

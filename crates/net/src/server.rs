@@ -1,0 +1,844 @@
+//! [`MonitorServer`]: the TCP front of a service-mode
+//! [`MonitoringEngine`].
+//!
+//! ## Threads and data flow
+//!
+//! ```text
+//!   client A ──TCP──► reader A ──try_submit_batch──► MonitoringEngine
+//!            ◄─TCP─── writer A ◄─┐                        │ subscribe()
+//!   client B ──TCP──► reader B ──┼─try_submit_batch──►    │
+//!            ◄─TCP─── writer B ◄─┤                        ▼
+//!                                └──────────────────── router
+//!                                  (verdicts → owning connection)
+//! ```
+//!
+//! * One **reader** thread per connection decodes frames straight into the
+//!   engine's arena and submits whole [`EventBatch`]es.
+//! * One **writer** thread per connection drains a bounded outbound queue of
+//!   pre-sealed frames (credits, verdicts, stats, shutdown).
+//! * One **router** thread drains the engine's verdict subscription and
+//!   forwards each verdict to the connection that *owns* the object (the
+//!   connection that first submitted traffic for it), preserving the
+//!   subscription's per-object order.
+//!
+//! ## Backpressure: credits, not buffers
+//!
+//! The server never queues unbounded client data.  Each connection starts
+//! with a credit window of `W` events ([`ServerConfig::with_window`],
+//! announced in the initial [`Credit`](crate::wire::Frame::Credit) frame);
+//! a batch consumes its event count, and credit returns **as verdicts are
+//! delivered** — the router grants one event per verdict it pushed to the
+//! owning connection.  The window therefore bounds a connection's events in
+//! flight *end to end* (sent but not yet checked), and
+//! [`SubmitError::Full`] surfaces to the client as *absent credit*: a full
+//! engine stops producing verdicts, grants dry up, and a compliant client
+//! stalls while the reader retries its single in-flight batch (bounded
+//! memory: one decoded batch per connection).  A peer that overruns the
+//! window is refused with a [`Nack`](crate::wire::Frame::Nack) and the
+//! batch is dropped — before anything of it reaches the engine, so
+//! per-object order survives the refusal.  Corollary: verdicts (and hence
+//! credit) return to the connection that *owns* the object, so each
+//! connection should submit only objects it introduced.
+//!
+//! ## Disconnect and shutdown
+//!
+//! A connection that sends [`Shutdown`](crate::wire::Frame::Shutdown) — or
+//! disappears — has its objects evicted from the engine
+//! ([`MonitoringEngine::evict_many`]): monitors finalized, slots freed,
+//! verdicts flushed into the end-of-run report.  [`MonitorServer::shutdown`]
+//! stops accepting, disconnects every client, quiesces the engine and
+//! returns the full [`EngineReport`] — the same report an in-process run
+//! would have produced.
+
+use crate::wire::{
+    decode_frame_capped, encode_credit, encode_nack, encode_shutdown, encode_stats,
+    encode_verdicts, read_raw_frame, write_frame, Frame, NackReason, ReadError, WireError,
+    WireStats,
+};
+use drv_core::{ObjectMonitorFactory, WorkerPanic};
+use drv_engine::{
+    EngineConfig, EngineReport, MonitoringEngine, SubmitError, VerdictEvent,
+};
+use drv_lang::ObjectId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a [`MonitorServer`] (the engine itself is configured by
+/// the [`EngineConfig`] passed alongside).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    window: u64,
+    subscription: usize,
+    outbound: usize,
+    verdict_chunk: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            window: 4096,
+            subscription: 4096,
+            outbound: 256,
+            verdict_chunk: 512,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The defaults: a 4096-event credit window, 4096-event verdict
+    /// subscription, 256-frame outbound queues, 512 verdicts per frame.
+    #[must_use]
+    pub fn new() -> Self {
+        ServerConfig::default()
+    }
+
+    /// Per-connection credit window in events (clamped to ≥ 1).  Batches
+    /// larger than the window are never acceptable — clients must split.
+    #[must_use]
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Capacity of the engine verdict subscription the router drains
+    /// (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_subscription(mut self, capacity: usize) -> Self {
+        self.subscription = capacity.max(1);
+        self
+    }
+
+    /// Frames a connection's outbound queue buffers before the router
+    /// blocks on it (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_outbound(mut self, frames: usize) -> Self {
+        self.outbound = frames.max(1);
+        self
+    }
+
+    /// Maximum verdicts packed into one [`FrameKind::Verdict`] frame
+    /// (clamped to ≥ 1).
+    ///
+    /// [`FrameKind::Verdict`]: crate::wire::FrameKind::Verdict
+    #[must_use]
+    pub fn with_verdict_chunk(mut self, verdicts: usize) -> Self {
+        self.verdict_chunk = verdicts.max(1);
+        self
+    }
+
+    /// The per-connection credit window, in events.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+/// Operational counters of a running server (monotone; read with
+/// [`MonitorServer::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Connections currently live.
+    pub active: u64,
+    /// Batch frames successfully submitted to the engine.
+    pub batches: u64,
+    /// Events those batches carried.
+    pub events: u64,
+    /// Times a batch had to wait out [`SubmitError::Full`] before the
+    /// engine accepted it (each wait is one backoff nap, not one batch).
+    pub engine_full_stalls: u64,
+    /// Batches refused with a NACK (credit overrun / oversized).
+    pub nacks: u64,
+    /// Verdicts that could not be delivered because their owning connection
+    /// was gone or closed.
+    pub dropped_verdicts: u64,
+    /// Connections torn down on malformed frames or protocol violations.
+    pub protocol_errors: u64,
+    /// Connections force-closed because their consumer stalled (outbound
+    /// queue full past the router's grace period) — the head-of-line
+    /// protection for every other connection.
+    pub stalled_disconnects: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    batches: AtomicU64,
+    events: AtomicU64,
+    engine_full_stalls: AtomicU64,
+    nacks: AtomicU64,
+    dropped_verdicts: AtomicU64,
+    protocol_errors: AtomicU64,
+    stalled_disconnects: AtomicU64,
+}
+
+struct Outbound {
+    queue: VecDeque<Vec<u8>>,
+    /// Flush the queue, send a final Shutdown frame, then exit (the clean
+    /// end-of-connection handshake).
+    draining: bool,
+}
+
+/// The state one connection's reader, writer and the router share.
+struct ConnShared {
+    id: u64,
+    /// For forced teardown: shutting the socket down unblocks the reader.
+    stream: TcpStream,
+    outbound: Mutex<Outbound>,
+    readable: Condvar,
+    writable: Condvar,
+    /// Cleared when either side of the connection is gone; pushes turn into
+    /// drops (counted by the caller) instead of blocks.
+    open: AtomicBool,
+    capacity: usize,
+    /// Events admitted into the engine on this connection (reader-side).
+    consumed: AtomicU64,
+    /// Events granted back by the router as their verdicts were delivered.
+    granted: AtomicU64,
+}
+
+impl ConnShared {
+    /// Queues a frame for the writer.  Blocks while the queue is full and
+    /// the connection is open; returns whether the frame was queued.
+    /// Bounded in practice: the writer stream carries a write timeout, so
+    /// a stalled consumer errors the writer out and closes the connection,
+    /// which unblocks this wait.
+    fn push(&self, frame: Vec<u8>) -> bool {
+        self.push_deadline(frame, Duration::MAX)
+    }
+
+    /// [`ConnShared::push`] that gives up after `deadline`: the *router*
+    /// delivers through this, so one stalled consumer cannot head-of-line
+    /// block verdict delivery (and credit regeneration) for every other
+    /// connection — the caller closes the offender instead.
+    fn push_deadline(&self, frame: Vec<u8>, deadline: Duration) -> bool {
+        let start = std::time::Instant::now();
+        let mut outbound = self.outbound.lock();
+        while outbound.queue.len() >= self.capacity {
+            if !self.open.load(Ordering::Acquire) || start.elapsed() >= deadline {
+                return false;
+            }
+            self.writable.wait_for(&mut outbound, Duration::from_millis(20));
+        }
+        if !self.open.load(Ordering::Acquire) {
+            return false;
+        }
+        outbound.queue.push_back(frame);
+        self.readable.notify_one();
+        true
+    }
+
+    /// Starts the clean drain: the writer flushes what is queued, appends a
+    /// Shutdown frame, and exits.
+    fn drain_and_close(&self) {
+        let mut outbound = self.outbound.lock();
+        outbound.draining = true;
+        self.readable.notify_all();
+    }
+
+    /// Marks the connection dead and wakes everyone blocked on it.
+    fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        let _outbound = self.outbound.lock();
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+}
+
+struct ServerShared {
+    engine: Arc<MonitoringEngine>,
+    config: ServerConfig,
+    stopping: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    /// Which connection owns (first submitted traffic for) each object —
+    /// the router's verdict dispatch table.
+    owners: Mutex<HashMap<ObjectId, u64>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    next_conn: AtomicU64,
+    stats: StatCells,
+}
+
+impl ServerShared {
+    fn snapshot(&self) -> WireStats {
+        let engine = self.engine.live_stats();
+        WireStats {
+            workers: engine.workers as u32,
+            shards: engine.shards as u32,
+            events: engine.events,
+            batches: engine.batches,
+            steals: engine.steals,
+            evicted: engine.evicted,
+            park_wakeups: engine.park_wakeups,
+            backlog: self.engine.backlog() as u64,
+            connections: self.stats.active.load(Ordering::Relaxed) as u32,
+        }
+    }
+
+    /// Evicts every object `conn` owns (monitors finalized, report
+    /// flushed), removing the ownership entries.
+    fn evict_connection(&self, conn: u64) {
+        let owned: Vec<ObjectId> = {
+            let mut owners = self.owners.lock();
+            let owned: Vec<ObjectId> = owners
+                .iter()
+                .filter(|(_, owner)| **owner == conn)
+                .map(|(object, _)| *object)
+                .collect();
+            for object in &owned {
+                owners.remove(object);
+            }
+            owned
+        };
+        self.engine.evict_many(owned);
+    }
+}
+
+/// One reader loop: frames off the socket, batches into the engine,
+/// credits back out.
+fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) {
+    let window = shared.config.window;
+    // Objects this connection has already registered in the global owners
+    // map: steady-state batches over known objects take no lock at all.
+    let mut known: HashSet<ObjectId> = HashSet::new();
+    // The opening grant announces the window.
+    conn.push(encode_credit(window, window));
+    loop {
+        let raw = read_raw_frame(&mut stream);
+        // Credit regenerates on *verdict delivery* (see the router), so the
+        // connection's un-verdicted events are bounded by the window — and
+        // the *remaining* credit is the decoder's row cap, so a batch the
+        // credit cannot admit is refused before anything of it interns into
+        // the engine's append-only arena.  The cap is computed only now,
+        // AFTER the frame arrived: grants issued while the read blocked
+        // must count, or a compliant client gets spuriously refused.
+        // From here `remaining` only grows until the decode (the reader is
+        // the sole writer of `consumed`), so the cap is conservative-safe.
+        let outstanding = conn
+            .consumed
+            .load(Ordering::Acquire)
+            .saturating_sub(conn.granted.load(Ordering::Acquire));
+        let remaining = window.saturating_sub(outstanding);
+        let row_cap = u32::try_from(remaining).unwrap_or(u32::MAX);
+        let decoded = raw.and_then(|frame| {
+            decode_frame_capped(&frame, shared.engine.interner(), row_cap)
+                .map(|(frame, _)| frame)
+                .map_err(ReadError::Wire)
+        });
+        match decoded {
+            Ok(Frame::Batch(batch)) => {
+                let n = batch.events.len() as u64;
+                if n > 0 {
+                    // Register ownership before submitting: the router must
+                    // be able to route the very first verdict.  Deduplicate
+                    // against the reader-local `known` set first — the
+                    // global owners lock is taken only when the batch
+                    // introduces objects, not once per event.
+                    let fresh: Vec<ObjectId> = {
+                        let mut fresh = Vec::new();
+                        for object in batch.events.objects() {
+                            if known.insert(*object) {
+                                fresh.push(*object);
+                            }
+                        }
+                        fresh
+                    };
+                    if !fresh.is_empty() {
+                        let mut owners = shared.owners.lock();
+                        for object in fresh {
+                            owners.entry(object).or_insert(conn.id);
+                        }
+                    }
+                    // Count the batch as consumed *before* submitting: once
+                    // submitted, its verdicts can be delivered (and credit
+                    // re-granted) at any moment, and the router caps grants
+                    // at `consumed - granted` — a late increment would read
+                    // as a zero cap and permanently lose the credit.
+                    conn.consumed.fetch_add(n, Ordering::AcqRel);
+                    // The protocol's backpressure loop: a full engine stops
+                    // the credit re-grant (the client runs dry and waits),
+                    // while the reader holds exactly one in-flight batch.
+                    loop {
+                        match shared.engine.try_submit_batch(&batch.events) {
+                            Ok(()) => break,
+                            Err(SubmitError::Full) => {
+                                shared.stats.engine_full_stalls.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(SubmitError::Aborted) => {
+                                conn.close();
+                                return;
+                            }
+                        }
+                    }
+                    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.events.fetch_add(n, Ordering::Relaxed);
+                }
+            }
+            Ok(Frame::StatsRequest) => {
+                conn.push(encode_stats(&shared.snapshot()));
+            }
+            Ok(Frame::Shutdown) => {
+                // Clean end-of-stream: retire the connection's monitors and
+                // hand the writer the drain-then-Shutdown handshake.
+                shared.evict_connection(conn.id);
+                conn.drain_and_close();
+                return;
+            }
+            Ok(_) => {
+                // Credit/Nack/Verdict/Stats replies are server-to-client
+                // only: a peer sending them is not a MonitorClient.
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.evict_connection(conn.id);
+                conn.close();
+                return;
+            }
+            Err(ReadError::Wire(WireError::TooManyRows { batch_id, rows, .. })) => {
+                // Refused by the decoder before any interning; the
+                // connection survives the NACK.  Over the whole window the
+                // batch could never fit; over the remaining credit it is an
+                // overrun the client must wait out.
+                shared.stats.nacks.fetch_add(1, Ordering::Relaxed);
+                let nack = if u64::from(rows) > window {
+                    encode_nack(batch_id, NackReason::BatchTooLarge, window)
+                } else {
+                    encode_nack(batch_id, NackReason::CreditExceeded, remaining)
+                };
+                conn.push(nack);
+            }
+            Err(ReadError::Closed) => {
+                // Mid-stream disconnect: everything received so far stays
+                // checked; the monitors are retired into the report.
+                shared.evict_connection(conn.id);
+                conn.close();
+                return;
+            }
+            Err(_) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.evict_connection(conn.id);
+                conn.close();
+                return;
+            }
+        }
+    }
+}
+
+/// One writer loop: drains the outbound queue onto the socket — the whole
+/// queue per wake-up, coalesced into a single `write_all` (one syscall
+/// carries every frame queued since the last one).  On drain mode, flushes
+/// and appends the closing Shutdown frame.
+fn writer_loop(conn: &ConnShared, mut stream: TcpStream) {
+    let mut wire_buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+    loop {
+        let drained = {
+            let mut outbound = conn.outbound.lock();
+            loop {
+                if !outbound.queue.is_empty() {
+                    wire_buf.clear();
+                    for frame in outbound.queue.drain(..) {
+                        wire_buf.extend_from_slice(&frame);
+                    }
+                    conn.writable.notify_all();
+                    break true;
+                }
+                if outbound.draining || !conn.open.load(Ordering::Acquire) {
+                    break false;
+                }
+                conn.readable.wait(&mut outbound);
+            }
+        };
+        if drained {
+            if write_frame(&mut stream, &wire_buf).is_err() {
+                conn.close();
+                return;
+            }
+        } else {
+            if conn.open.load(Ordering::Acquire) {
+                let _ = write_frame(&mut stream, &encode_shutdown());
+                let _ = stream.flush();
+            }
+            conn.close();
+            return;
+        }
+    }
+}
+
+/// The router: engine verdicts → owning connection, in subscription order.
+fn router_loop(shared: &ServerShared, subscription: &drv_engine::VerdictSubscription) {
+    let chunk = shared.config.verdict_chunk;
+    let mut per_conn: HashMap<u64, Vec<VerdictEvent>> = HashMap::new();
+    loop {
+        let mut events = subscription.wait_verdicts(Duration::from_millis(20));
+        if !events.is_empty() && events.len() < chunk {
+            // Coalesce: under load the subscription fills continuously —
+            // a sub-millisecond accumulation window turns many tiny
+            // verdict/credit frames into a few big ones (the syscall and
+            // wake-up count is what loopback throughput is made of).
+            let deadline = std::time::Instant::now() + Duration::from_micros(300);
+            while events.len() < chunk && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+                events.extend(subscription.poll_verdicts());
+            }
+        }
+        if events.is_empty() {
+            if subscription.is_closed() {
+                return;
+            }
+            if shared.stopping.load(Ordering::Acquire) && shared.engine.backlog() == 0 {
+                // Quiesced under a stop request: one final opportunistic
+                // drain, then exit (finish() delivers the report).
+                let tail = subscription.poll_verdicts();
+                if tail.is_empty() {
+                    return;
+                }
+                route(shared, &tail, chunk, &mut per_conn);
+            }
+            continue;
+        }
+        route(shared, &events, chunk, &mut per_conn);
+    }
+}
+
+fn route(
+    shared: &ServerShared,
+    events: &[VerdictEvent],
+    chunk: usize,
+    per_conn: &mut HashMap<u64, Vec<VerdictEvent>>,
+) {
+    {
+        let owners = shared.owners.lock();
+        for event in events {
+            match owners.get(&event.object) {
+                Some(conn) => per_conn.entry(*conn).or_default().push(*event),
+                None => {
+                    shared.stats.dropped_verdicts.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    /// How long the router waits on one connection's full outbound queue
+    /// before declaring the consumer stalled and closing it — the
+    /// head-of-line protection for every other connection.
+    const STALL_GRACE: Duration = Duration::from_secs(2);
+
+    let mut dead: Vec<u64> = Vec::new();
+    for (conn_id, batch) in per_conn.iter_mut() {
+        if batch.is_empty() {
+            continue;
+        }
+        let conn = shared.conns.lock().get(conn_id).cloned();
+        match conn {
+            Some(conn) if conn.open.load(Ordering::Acquire) => {
+                let mut delivered = 0u64;
+                for piece in batch.chunks(chunk) {
+                    if conn.push_deadline(encode_verdicts(piece), STALL_GRACE) {
+                        delivered += piece.len() as u64;
+                    } else {
+                        shared
+                            .stats
+                            .dropped_verdicts
+                            .fetch_add(piece.len() as u64, Ordering::Relaxed);
+                        if conn.open.load(Ordering::Acquire) {
+                            // The queue stayed full past the grace period:
+                            // the consumer stalled.  Close it so the rest of
+                            // the fleet keeps its verdict flow.
+                            shared.stats.stalled_disconnects.fetch_add(1, Ordering::Relaxed);
+                            conn.close();
+                            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
+                }
+                if delivered > 0 {
+                    // Credit returns with verdicts: the window bounds a
+                    // connection's events in flight *end to end* (submitted
+                    // but not yet checked), not just its socket buffer.
+                    // Capped at what the connection actually consumed, so
+                    // extra verdicts (a monitor's finalize on an idle-TTL
+                    // sweep) can never inflate credit past the window.
+                    let consumed = conn.consumed.load(Ordering::Acquire);
+                    let granted = conn.granted.load(Ordering::Acquire);
+                    let grant = delivered.min(consumed.saturating_sub(granted));
+                    if grant > 0 {
+                        conn.granted.fetch_add(grant, Ordering::AcqRel);
+                        if !conn.push_deadline(
+                            encode_credit(grant, shared.config.window),
+                            STALL_GRACE,
+                        ) && conn.open.load(Ordering::Acquire)
+                        {
+                            // A lost Credit frame on a surviving connection
+                            // would silently shrink the client's window
+                            // forever: treat it like the stalled-verdict
+                            // case and close the connection.
+                            shared.stats.stalled_disconnects.fetch_add(1, Ordering::Relaxed);
+                            conn.close();
+                            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                        }
+                    }
+                }
+            }
+            _ => {
+                shared
+                    .stats
+                    .dropped_verdicts
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                // The connection is gone: drop its routing entry, or the
+                // map (and this loop) grows with every connection ever
+                // served.
+                dead.push(*conn_id);
+            }
+        }
+        batch.clear();
+    }
+    for conn_id in dead {
+        per_conn.remove(&conn_id);
+    }
+}
+
+fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) => {
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::Acquire) {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        // A consumer that stops reading blocks the writer in write_all once
+        // the socket buffers fill; the timeout turns that into an error
+        // that closes the connection (unblocking its reader and the
+        // router) instead of wedging shutdown.
+        stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .ok();
+        let Ok(reader_stream) = stream.try_clone() else { continue };
+        let Ok(writer_stream) = stream.try_clone() else { continue };
+        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(ConnShared {
+            id,
+            stream,
+            outbound: Mutex::new(Outbound { queue: VecDeque::new(), draining: false }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            open: AtomicBool::new(true),
+            capacity: shared.config.outbound,
+            consumed: AtomicU64::new(0),
+            granted: AtomicU64::new(0),
+        });
+        shared.conns.lock().insert(id, Arc::clone(&conn));
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        shared.stats.active.fetch_add(1, Ordering::Relaxed);
+        let reader = {
+            let shared = Arc::clone(shared);
+            let conn = Arc::clone(&conn);
+            std::thread::Builder::new()
+                .name(format!("drv-net-reader-{id}"))
+                .spawn(move || {
+                    reader_loop(&shared, &conn, reader_stream);
+                    // Reader exit is connection exit: release the registry
+                    // entry and the active count exactly once.
+                    shared.conns.lock().remove(&conn.id);
+                    shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                })
+                .expect("spawning a connection reader")
+        };
+        let writer = {
+            let conn = Arc::clone(&conn);
+            std::thread::Builder::new()
+                .name(format!("drv-net-writer-{id}"))
+                .spawn(move || writer_loop(&conn, writer_stream))
+                .expect("spawning a connection writer")
+        };
+        let mut handles = shared.handles.lock();
+        handles.push(reader);
+        handles.push(writer);
+    }
+}
+
+/// A TCP monitoring server: accepts [`MonitorClient`](crate::MonitorClient)
+/// connections, feeds their batches to a service-mode [`MonitoringEngine`],
+/// and streams verdicts back.  See the module docs for the thread and
+/// backpressure model.
+pub struct MonitorServer {
+    shared: Arc<ServerShared>,
+    accept_handle: Option<JoinHandle<()>>,
+    router_handle: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl MonitorServer {
+    /// Binds `addr` (use port 0 for an ephemeral port —
+    /// [`MonitorServer::local_addr`] reports the choice) and starts serving
+    /// a fresh engine built from `engine_config` and `factory`.
+    ///
+    /// Bind to a *locally connectable* address (loopback, a wildcard, or an
+    /// interface the host can reach itself on): [`MonitorServer::shutdown`]
+    /// wakes the blocking accept loop with a loopback self-connect, which
+    /// `std`'s `TcpListener` offers no other portable way to interrupt — on
+    /// an address the host cannot self-connect (a firewalled external IP),
+    /// shutdown would wait on the accept thread until the next inbound
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// The bind error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine_config: EngineConfig,
+        factory: Arc<dyn ObjectMonitorFactory>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Arc::new(MonitoringEngine::new(engine_config, factory));
+        let subscription = engine.subscribe(config.subscription);
+        let shared = Arc::new(ServerShared {
+            engine,
+            config,
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            owners: Mutex::new(HashMap::new()),
+            handles: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+            stats: StatCells::default(),
+        });
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("drv-net-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawning the accept loop")
+        };
+        let router_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("drv-net-router".to_string())
+                .spawn(move || router_loop(&shared, &subscription))
+                .expect("spawning the verdict router")
+        };
+        Ok(MonitorServer {
+            shared,
+            accept_handle: Some(accept_handle),
+            router_handle: Some(router_handle),
+            local_addr,
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server's operational counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let cells = &self.shared.stats;
+        ServerStats {
+            accepted: cells.accepted.load(Ordering::Relaxed),
+            active: cells.active.load(Ordering::Relaxed),
+            batches: cells.batches.load(Ordering::Relaxed),
+            events: cells.events.load(Ordering::Relaxed),
+            engine_full_stalls: cells.engine_full_stalls.load(Ordering::Relaxed),
+            nacks: cells.nacks.load(Ordering::Relaxed),
+            dropped_verdicts: cells.dropped_verdicts.load(Ordering::Relaxed),
+            protocol_errors: cells.protocol_errors.load(Ordering::Relaxed),
+            stalled_disconnects: cells.stalled_disconnects.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submitted-but-unprocessed events in the engine.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.shared.engine.backlog()
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stopping.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.  A wildcard
+        // bind (0.0.0.0 / ::) is not a connectable destination everywhere,
+        // but its listener is always reachable via loopback on the same
+        // port; the timeout keeps an unreachable interface bind from
+        // wedging shutdown.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // Disconnect every client: shutting the socket down unblocks its
+        // reader (which evicts the connection's objects on the way out).
+        let conns: Vec<Arc<ConnShared>> = self.shared.conns.lock().values().cloned().collect();
+        for conn in conns {
+            conn.drain_and_close();
+            let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Quiesce the engine so the router's final drain sees everything
+        // (an aborted engine reconciles its backlog to zero, so this also
+        // terminates after a worker panic).
+        while self.shared.engine.backlog() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if let Some(handle) = self.router_handle.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops accepting, disconnects every client, quiesces and finishes the
+    /// engine, and returns the end-of-run report (every object ever
+    /// submitted by any connection, evicted epochs included).
+    ///
+    /// # Errors
+    ///
+    /// The [`WorkerPanic`] of the first engine worker that died, like
+    /// [`MonitoringEngine::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server's threads leaked an engine handle (an internal
+    /// invariant).
+    pub fn shutdown(mut self) -> Result<EngineReport, WorkerPanic> {
+        self.stop_threads();
+        // Every thread is joined: the clone below plus `self.shared` are the
+        // last two handles, and dropping `self` (whose Drop sees the joined
+        // state and returns early) releases the latter.
+        let shared = Arc::clone(&self.shared);
+        drop(self);
+        let shared = Arc::into_inner(shared).expect("all server threads joined");
+        let engine = Arc::into_inner(shared.engine).expect("all engine handles released");
+        engine.finish()
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        if self.accept_handle.is_none() && self.router_handle.is_none() {
+            // shutdown() already ran (or bind never finished).
+            return;
+        }
+        self.stop_threads();
+        // The engine inside `shared` is dropped here, which aborts and
+        // joins its pool (MonitoringEngine's own Drop).
+    }
+}

@@ -1,0 +1,1081 @@
+//! The frame layer: length-prefixed, CRC-checked binary frames carrying
+//! [`EventBatch`]es, credits, verdicts, stats and shutdowns over a byte
+//! stream.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//!  ┌──────────── header, 16 bytes ────────────┐┌── payload ──┐
+//!  │ magic  version kind  reserved  len   crc ││ kind-specific│
+//!  │ u32    u8      u8    u16       u32   u32 ││ bytes        │
+//!  └──────────────────────────────────────────┘└──────────────┘
+//! ```
+//!
+//! * `magic` = [`MAGIC`] — rejects non-protocol peers immediately.
+//! * `version` = [`VERSION`] — incompatible peers are told apart from
+//!   corrupted ones.
+//! * `kind` — one [`FrameKind`] discriminant.
+//! * `len` — payload length in bytes, capped at [`MAX_PAYLOAD`]; the cap is
+//!   enforced *before* any buffer is sized from the field, so a corrupted
+//!   length cannot trigger a multi-gigabyte allocation.
+//! * `crc` — CRC-32 (IEEE) over the payload bytes; a frame whose payload was
+//!   damaged in transit decodes to [`WireError::CrcMismatch`], never to a
+//!   wrong batch.
+//!
+//! ## Batch payload and the arena-interning rule
+//!
+//! A [`FrameKind::Batch`] payload is the struct-of-arrays rows of an
+//! [`EventBatch`] plus a *dictionary* of the distinct invocation/response
+//! payloads the rows reference:
+//!
+//! ```text
+//!  batch_id  u64
+//!  row_count u32   (up front, so size caps apply before anything interns)
+//!  inv_dict  u32 count, then count encoded Invocations (drv_lang::wire)
+//!  resp_dict u32 count, then count encoded Responses
+//!  rows      row_count × (object u64, proc u32, tag u8, dict u32)
+//! ```
+//!
+//! Rows reference payloads by dictionary index, so a batch of 10 000 events
+//! over 12 distinct payloads carries 12 encoded payloads.  Decoding interns
+//! each dictionary entry **once** into the supplied [`SharedInterner`] —
+//! when that interner is the engine's arena ([`MonitoringEngine::
+//! interner`](drv_engine::MonitoringEngine::interner)), the decoded batch is
+//! directly submittable: one intern per distinct payload, not per event.
+//!
+//! Because the arena is append-only, decode refuses to intern anything
+//! from a frame that fails the structural caps: `row_count` is validated
+//! against the caller's limit ([`decode_frame_capped`] — servers pass
+//! their credit window) and a dictionary larger than the row count (every
+//! legitimate entry is referenced by at least one row) is rejected as
+//! [`WireError::DictOverflow`] *before* the first intern, so a peer
+//! cannot grow server memory with dictionary-only frames.
+//!
+//! Every decode error is a typed [`WireError`]; malformed, truncated or
+//! oversized input can neither panic nor over-allocate
+//! (`tests/wire_fuzz.rs`).
+
+use drv_core::Verdict;
+use drv_engine::VerdictEvent;
+use drv_lang::wire::{
+    put_invocation, put_response, put_u32, put_u64, take_invocation, take_response, CodecError,
+    Reader,
+};
+use drv_lang::{
+    EventAction, EventBatch, EventRecord, InvocationId, ObjectId, ProcId, ResponseId,
+    SharedInterner,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: `"DRVF"` little-endian.
+pub const MAGIC: u32 = 0x4656_5244;
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Hard cap on a frame's payload length (16 MiB): the over-allocation guard
+/// for the length field itself.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// The discriminant of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: an [`EventBatch`] of monitored traffic.
+    Batch = 1,
+    /// Server → client: a credit grant (flow control, counted in events).
+    Credit = 2,
+    /// Server → client: a batch was rejected (and dropped) — resend after
+    /// the condition clears.
+    Nack = 3,
+    /// Server → client: a run of decided verdicts.
+    Verdict = 4,
+    /// Empty payload: a stats request (client → server).  Non-empty: the
+    /// snapshot reply (server → client).
+    Stats = 5,
+    /// Clean end-of-stream (either direction).
+    Shutdown = 6,
+}
+
+impl FrameKind {
+    fn from_u8(value: u8) -> Option<FrameKind> {
+        Some(match value {
+            1 => FrameKind::Batch,
+            2 => FrameKind::Credit,
+            3 => FrameKind::Nack,
+            4 => FrameKind::Verdict,
+            5 => FrameKind::Stats,
+            6 => FrameKind::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a server refused a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum NackReason {
+    /// The batch exceeded the connection's remaining credit (a protocol
+    /// violation: wait for [`FrameKind::Credit`] before sending).
+    CreditExceeded = 1,
+    /// The batch alone is larger than the connection's whole credit window
+    /// and could never be accepted — split it.
+    BatchTooLarge = 2,
+}
+
+impl NackReason {
+    fn from_u8(value: u8) -> Option<NackReason> {
+        Some(match value {
+            1 => NackReason::CreditExceeded,
+            2 => NackReason::BatchTooLarge,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded batch frame: the id echoes back in acknowledgements/NACKs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireBatch {
+    /// Sender-chosen id (monotone per connection in the provided client).
+    pub batch_id: u64,
+    /// The events, payload ids interned into the decode-time arena.
+    pub events: EventBatch,
+}
+
+/// The engine-level counters a [`FrameKind::Stats`] reply carries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Worker threads of the serving engine.
+    pub workers: u32,
+    /// Shards of the serving engine.
+    pub shards: u32,
+    /// Events processed so far.
+    pub events: u64,
+    /// Shard-claim batches drained so far.
+    pub batches: u64,
+    /// Work-stealing migrations.
+    pub steals: u64,
+    /// Objects retired (evictions + TTL sweeps).
+    pub evicted: u64,
+    /// Returns from the worker park (flat while idle).
+    pub park_wakeups: u64,
+    /// Submitted-but-unprocessed events at snapshot time.
+    pub backlog: u64,
+    /// Live client connections at snapshot time.
+    pub connections: u32,
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A batch of monitored traffic.
+    Batch(WireBatch),
+    /// A credit grant: `grant` fresh events of budget; `window` restates the
+    /// connection's total window so clients can reject oversized batches
+    /// locally.
+    Credit {
+        /// Newly granted events.
+        grant: u64,
+        /// The connection's total credit window.
+        window: u64,
+    },
+    /// A refused batch.
+    Nack {
+        /// The refused batch's id.
+        batch_id: u64,
+        /// Why it was refused.
+        reason: NackReason,
+        /// Reason-specific detail (the violated bound, in events).
+        detail: u64,
+    },
+    /// A run of decided verdicts, per-object in `seq` order.
+    Verdicts(Vec<VerdictEvent>),
+    /// A stats request (empty [`FrameKind::Stats`] payload).
+    StatsRequest,
+    /// A stats snapshot reply.
+    Stats(WireStats),
+    /// Clean end-of-stream.
+    Shutdown,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first 4 bytes are not [`MAGIC`]: not this protocol.
+    BadMagic(u32),
+    /// A protocol version this implementation does not speak.
+    BadVersion(u8),
+    /// An unknown [`FrameKind`] discriminant.
+    UnknownKind(u8),
+    /// The header's payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(u32),
+    /// The input ended inside the header.
+    TruncatedHeader {
+        /// Bytes present (always < [`HEADER_LEN`]).
+        have: usize,
+    },
+    /// The input ended inside the payload.
+    TruncatedPayload {
+        /// The header's claimed payload length.
+        need: u32,
+        /// Payload bytes actually present.
+        have: usize,
+    },
+    /// The payload's CRC-32 does not match the header's.
+    CrcMismatch {
+        /// CRC the header declared.
+        declared: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// A payload field failed to decode.
+    Payload(CodecError),
+    /// A batch row references a dictionary index that does not exist.
+    BadDictIndex {
+        /// The offending index.
+        index: u32,
+        /// Entries the dictionary has.
+        len: u32,
+    },
+    /// A batch declares more rows than the decoder's cap (a server's
+    /// credit window) admits; nothing of the frame was interned.
+    TooManyRows {
+        /// The batch's id (for the NACK reply).
+        batch_id: u64,
+        /// Rows the frame declared.
+        rows: u32,
+        /// The decoder's cap.
+        limit: u32,
+    },
+    /// A batch's dictionaries hold more entries than it has rows — a
+    /// legitimate encoder emits only referenced payloads, so this is a
+    /// memory-growth probe; nothing was interned.
+    DictOverflow {
+        /// Total dictionary entries declared.
+        entries: u64,
+        /// Rows the frame declared.
+        rows: u32,
+    },
+    /// Bytes remained after the payload's last field.
+    TrailingBytes {
+        /// How many.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(magic) => write!(f, "bad frame magic {magic:#010x}"),
+            WireError::BadVersion(version) => write!(f, "unsupported wire version {version}"),
+            WireError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            WireError::Oversized(len) => {
+                write!(f, "payload length {len} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::TruncatedHeader { have } => {
+                write!(f, "truncated header: {have} of {HEADER_LEN} bytes")
+            }
+            WireError::TruncatedPayload { need, have } => {
+                write!(f, "truncated payload: {have} of {need} bytes")
+            }
+            WireError::CrcMismatch { declared, computed } => {
+                write!(f, "payload CRC mismatch: declared {declared:#010x}, computed {computed:#010x}")
+            }
+            WireError::Payload(err) => write!(f, "payload decode: {err}"),
+            WireError::BadDictIndex { index, len } => {
+                write!(f, "row references dictionary entry {index} of {len}")
+            }
+            WireError::TooManyRows { batch_id, rows, limit } => {
+                write!(f, "batch {batch_id} declares {rows} rows over the {limit}-row cap")
+            }
+            WireError::DictOverflow { entries, rows } => {
+                write!(f, "{entries} dictionary entries for {rows} rows")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the payload's last field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<CodecError> for WireError {
+    fn from(err: CodecError) -> Self {
+        WireError::Payload(err)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    }
+    static TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Frames `payload` under `kind`: header (magic, version, kind, length,
+/// CRC) followed by the payload bytes.
+///
+/// # Panics
+///
+/// Panics when `payload` exceeds [`MAX_PAYLOAD`] — encoders size batches
+/// far below the cap.
+#[must_use]
+pub fn seal_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let len = u32::try_from(payload.len()).expect("payload < 4 GiB");
+    assert!(len <= MAX_PAYLOAD, "payload exceeds MAX_PAYLOAD");
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    put_u32(&mut frame, MAGIC);
+    frame.push(VERSION);
+    frame.push(kind as u8);
+    frame.extend_from_slice(&[0, 0]); // reserved
+    put_u32(&mut frame, len);
+    put_u32(&mut frame, crc32(payload));
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// A reusable batch-frame encoder: keeps the dictionary maps and scratch
+/// buffer warm across frames so a steady producer allocates nothing per
+/// batch once warm.  Dictionary lookups are dense `Vec`s indexed by the
+/// arena id (epoch-stamped so `clear` is O(1)), not hash maps — the
+/// per-row cost is an array index.
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    /// `inv_dict[id] = (epoch, dict index)`; valid when epoch matches.
+    inv_dict: Vec<(u64, u32)>,
+    resp_dict: Vec<(u64, u32)>,
+    epoch: u64,
+    payload: Vec<u8>,
+    dict: Vec<u8>,
+    rows: Vec<u8>,
+}
+
+impl FrameEncoder {
+    /// A fresh encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameEncoder::default()
+    }
+
+    /// Encodes `batch` (whose payload ids live in `arena`) as one sealed
+    /// [`FrameKind::Batch`] frame: rows by dictionary index, each distinct
+    /// payload encoded once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a payload id is unknown to `arena` (the batch was built
+    /// against a different interner) or the encoded frame would exceed
+    /// [`MAX_PAYLOAD`].
+    #[must_use]
+    pub fn encode_batch(
+        &mut self,
+        batch_id: u64,
+        batch: &EventBatch,
+        arena: &SharedInterner,
+    ) -> Vec<u8> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.dict.clear();
+        self.rows.clear();
+        let mut inv_payloads: Vec<InvocationId> = Vec::new();
+        let mut resp_payloads: Vec<ResponseId> = Vec::new();
+        self.rows.reserve(batch.len() * 17);
+        let mut row = [0u8; 17];
+        for record in batch.iter() {
+            row[0..8].copy_from_slice(&record.object.0.to_le_bytes());
+            let proc = u32::try_from(record.proc.0).expect("< 2^32 procs");
+            row[8..12].copy_from_slice(&proc.to_le_bytes());
+            let (tag, index) = match record.action {
+                EventAction::Invoke(id) => {
+                    let slot = id.0 as usize;
+                    if self.inv_dict.len() <= slot {
+                        self.inv_dict.resize(slot + 1, (0, 0));
+                    }
+                    let entry = &mut self.inv_dict[slot];
+                    if entry.0 != epoch {
+                        *entry =
+                            (epoch, u32::try_from(inv_payloads.len()).expect("dict fits u32"));
+                        inv_payloads.push(id);
+                    }
+                    (0u8, entry.1)
+                }
+                EventAction::Respond(id) => {
+                    let slot = id.0 as usize;
+                    if self.resp_dict.len() <= slot {
+                        self.resp_dict.resize(slot + 1, (0, 0));
+                    }
+                    let entry = &mut self.resp_dict[slot];
+                    if entry.0 != epoch {
+                        *entry =
+                            (epoch, u32::try_from(resp_payloads.len()).expect("dict fits u32"));
+                        resp_payloads.push(id);
+                    }
+                    (1u8, entry.1)
+                }
+            };
+            row[12] = tag;
+            row[13..17].copy_from_slice(&index.to_le_bytes());
+            self.rows.extend_from_slice(&row);
+        }
+        put_u32(&mut self.dict, u32::try_from(inv_payloads.len()).expect("dict fits u32"));
+        for id in &inv_payloads {
+            put_invocation(&mut self.dict, &arena.resolve_invocation(*id));
+        }
+        put_u32(&mut self.dict, u32::try_from(resp_payloads.len()).expect("dict fits u32"));
+        for id in &resp_payloads {
+            put_response(&mut self.dict, &arena.resolve_response(*id));
+        }
+        self.payload.clear();
+        put_u64(&mut self.payload, batch_id);
+        put_u32(&mut self.payload, u32::try_from(batch.len()).expect("< 2^32 events"));
+        self.payload.extend_from_slice(&self.dict);
+        self.payload.extend_from_slice(&self.rows);
+        seal_frame(FrameKind::Batch, &self.payload)
+    }
+}
+
+/// Encodes a credit grant.
+#[must_use]
+pub fn encode_credit(grant: u64, window: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16);
+    put_u64(&mut payload, grant);
+    put_u64(&mut payload, window);
+    seal_frame(FrameKind::Credit, &payload)
+}
+
+/// Encodes a batch refusal.
+#[must_use]
+pub fn encode_nack(batch_id: u64, reason: NackReason, detail: u64) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(17);
+    put_u64(&mut payload, batch_id);
+    payload.push(reason as u8);
+    put_u64(&mut payload, detail);
+    seal_frame(FrameKind::Nack, &payload)
+}
+
+/// Encodes a run of verdicts.
+///
+/// # Panics
+///
+/// Panics on 2^32 or more events per frame (senders chunk far below).
+#[must_use]
+pub fn encode_verdicts(events: &[VerdictEvent]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + events.len() * 21);
+    put_u32(&mut payload, u32::try_from(events.len()).expect("< 2^32 verdicts"));
+    let mut row = [0u8; 21];
+    for event in events {
+        row[0..8].copy_from_slice(&event.object.0.to_le_bytes());
+        row[8..16].copy_from_slice(&event.seq.to_le_bytes());
+        let (tag, index) = match event.verdict {
+            Verdict::Yes => (0u8, 0u32),
+            Verdict::No => (1, 0),
+            Verdict::Maybe(i) => (2, i),
+        };
+        row[16] = tag;
+        row[17..21].copy_from_slice(&index.to_le_bytes());
+        payload.extend_from_slice(&row);
+    }
+    seal_frame(FrameKind::Verdict, &payload)
+}
+
+/// Encodes a stats request (empty [`FrameKind::Stats`] payload).
+#[must_use]
+pub fn encode_stats_request() -> Vec<u8> {
+    seal_frame(FrameKind::Stats, &[])
+}
+
+/// Encodes a stats snapshot reply.
+#[must_use]
+pub fn encode_stats(stats: &WireStats) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(52);
+    put_u32(&mut payload, stats.workers);
+    put_u32(&mut payload, stats.shards);
+    put_u64(&mut payload, stats.events);
+    put_u64(&mut payload, stats.batches);
+    put_u64(&mut payload, stats.steals);
+    put_u64(&mut payload, stats.evicted);
+    put_u64(&mut payload, stats.park_wakeups);
+    put_u64(&mut payload, stats.backlog);
+    put_u32(&mut payload, stats.connections);
+    seal_frame(FrameKind::Stats, &payload)
+}
+
+/// Encodes a shutdown notice.
+#[must_use]
+pub fn encode_shutdown() -> Vec<u8> {
+    seal_frame(FrameKind::Shutdown, &[])
+}
+
+/// A validated frame header.
+struct Header {
+    kind: FrameKind,
+    len: u32,
+    crc: u32,
+}
+
+/// Validates the fixed-size header — the ONE copy of the header contract,
+/// shared by the buffer and stream decoders.
+fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
+    let mut header = Reader::new(bytes);
+    let magic = header.u32("magic").expect("fixed-size header");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = header.u8("version").expect("fixed-size header");
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind_byte = header.u8("kind").expect("fixed-size header");
+    let kind = FrameKind::from_u8(kind_byte).ok_or(WireError::UnknownKind(kind_byte))?;
+    let _reserved = header.take(2, "reserved").expect("fixed-size header");
+    let len = header.u32("payload length").expect("fixed-size header");
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    let crc = header.u32("crc").expect("fixed-size header");
+    Ok(Header { kind, len, crc })
+}
+
+/// Decodes one frame from the front of `bytes`, interning batch payloads
+/// into `arena`.  Returns the frame and the bytes it consumed.
+///
+/// # Errors
+///
+/// A typed [`WireError`] on any malformed, truncated, corrupted or
+/// oversized input — never a panic, never an allocation sized by
+/// unvalidated input.
+pub fn decode_frame(bytes: &[u8], arena: &SharedInterner) -> Result<(Frame, usize), WireError> {
+    decode_frame_capped(bytes, arena, u32::MAX)
+}
+
+/// [`decode_frame`] with a row cap: a batch declaring more than `max_rows`
+/// rows is rejected as [`WireError::TooManyRows`] **before anything is
+/// interned into `arena`** — servers pass their credit window, so a peer
+/// cannot grow the engine arena beyond what its credit admits.
+///
+/// # Errors
+///
+/// Like [`decode_frame`], plus [`WireError::TooManyRows`].
+pub fn decode_frame_capped(
+    bytes: &[u8],
+    arena: &SharedInterner,
+    max_rows: u32,
+) -> Result<(Frame, usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::TruncatedHeader { have: bytes.len() });
+    }
+    let header = parse_header(bytes[..HEADER_LEN].try_into().expect("length checked"))?;
+    let available = bytes.len() - HEADER_LEN;
+    if available < header.len as usize {
+        return Err(WireError::TruncatedPayload { need: header.len, have: available });
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + header.len as usize];
+    let computed = crc32(payload);
+    if computed != header.crc {
+        return Err(WireError::CrcMismatch { declared: header.crc, computed });
+    }
+    let frame = decode_payload(header.kind, payload, arena, max_rows)?;
+    Ok((frame, HEADER_LEN + header.len as usize))
+}
+
+fn decode_payload(
+    kind: FrameKind,
+    payload: &[u8],
+    arena: &SharedInterner,
+    max_rows: u32,
+) -> Result<Frame, WireError> {
+    let mut reader = Reader::new(payload);
+    let frame = match kind {
+        FrameKind::Batch => Frame::Batch(decode_batch(&mut reader, arena, max_rows)?),
+        FrameKind::Credit => Frame::Credit {
+            grant: reader.u64("credit grant")?,
+            window: reader.u64("credit window")?,
+        },
+        FrameKind::Nack => {
+            let batch_id = reader.u64("nack batch id")?;
+            let reason_byte = reader.u8("nack reason")?;
+            let reason = NackReason::from_u8(reason_byte).ok_or(WireError::Payload(
+                CodecError::BadTag { what: "nack reason", tag: reason_byte },
+            ))?;
+            Frame::Nack { batch_id, reason, detail: reader.u64("nack detail")? }
+        }
+        FrameKind::Verdict => {
+            // Each verdict row is 21 bytes, consumed as one slice.
+            let count = reader.count(21, "verdict rows")?;
+            let mut events = Vec::with_capacity(count);
+            for _ in 0..count {
+                let row = reader.take(21, "verdict row")?;
+                let object =
+                    ObjectId(u64::from_le_bytes(row[0..8].try_into().expect("8 bytes")));
+                let seq = u64::from_le_bytes(row[8..16].try_into().expect("8 bytes"));
+                let index = u32::from_le_bytes(row[17..21].try_into().expect("4 bytes"));
+                let verdict = match row[16] {
+                    0 => Verdict::Yes,
+                    1 => Verdict::No,
+                    2 => Verdict::Maybe(index),
+                    tag => {
+                        return Err(WireError::Payload(CodecError::BadTag {
+                            what: "verdict",
+                            tag,
+                        }))
+                    }
+                };
+                events.push(VerdictEvent { object, seq, verdict });
+            }
+            Frame::Verdicts(events)
+        }
+        FrameKind::Stats if payload.is_empty() => Frame::StatsRequest,
+        FrameKind::Stats => Frame::Stats(WireStats {
+            workers: reader.u32("stats workers")?,
+            shards: reader.u32("stats shards")?,
+            events: reader.u64("stats events")?,
+            batches: reader.u64("stats batches")?,
+            steals: reader.u64("stats steals")?,
+            evicted: reader.u64("stats evicted")?,
+            park_wakeups: reader.u64("stats park wakeups")?,
+            backlog: reader.u64("stats backlog")?,
+            connections: reader.u32("stats connections")?,
+        }),
+        FrameKind::Shutdown => Frame::Shutdown,
+    };
+    if !reader.is_empty() {
+        return Err(WireError::TrailingBytes { extra: reader.remaining() });
+    }
+    Ok(frame)
+}
+
+/// Decodes a batch payload, interning each dictionary entry once into
+/// `arena` (the arena-interning rule of the module docs).  The structural
+/// caps — row count vs `max_rows`, dictionary entries vs rows — are
+/// enforced **before** the first intern, so a refused frame leaves the
+/// (append-only) arena untouched.
+fn decode_batch(
+    reader: &mut Reader<'_>,
+    arena: &SharedInterner,
+    max_rows: u32,
+) -> Result<WireBatch, WireError> {
+    let batch_id = reader.u64("batch id")?;
+    // Each row is 8 + 4 + 1 + 4 = 17 bytes; the declared count can never
+    // exceed remaining/17 in a valid frame (the dictionaries only add).
+    let rows = reader.count(17, "batch rows")?;
+    if rows as u64 > u64::from(max_rows) {
+        return Err(WireError::TooManyRows {
+            batch_id,
+            rows: rows as u32,
+            limit: max_rows,
+        });
+    }
+    // Every encoded invocation/response is ≥ 1 byte.  Both dictionaries
+    // are PARSED (into locals) before anything is interned: the arena is
+    // append-only, so a frame refused by any later check — the combined
+    // DictOverflow below, a truncated entry, a bad row — must leave it
+    // untouched, or refusals would still grow server memory.
+    let inv_count = reader.count(1, "invocation dictionary")?;
+    if inv_count > rows {
+        return Err(WireError::DictOverflow { entries: inv_count as u64, rows: rows as u32 });
+    }
+    let mut invocations = Vec::with_capacity(inv_count);
+    for _ in 0..inv_count {
+        invocations.push(take_invocation(reader)?);
+    }
+    let resp_count = reader.count(1, "response dictionary")?;
+    if inv_count + resp_count > rows {
+        return Err(WireError::DictOverflow {
+            entries: (inv_count + resp_count) as u64,
+            rows: rows as u32,
+        });
+    }
+    let mut responses = Vec::with_capacity(resp_count);
+    for _ in 0..resp_count {
+        responses.push(take_response(reader)?);
+    }
+    // All row bytes in one bounds check (rows*17 cannot overflow: rows was
+    // validated against remaining/17), then two passes: validate every tag
+    // and dictionary index FIRST, intern only once the whole frame is
+    // known-good, then build.
+    let row_bytes = reader.take(rows * 17, "batch rows")?;
+    for chunk in row_bytes.chunks_exact(17) {
+        let index = u32::from_le_bytes(chunk[13..17].try_into().expect("4 bytes"));
+        let len = match chunk[12] {
+            0 => inv_count,
+            1 => resp_count,
+            tag => {
+                return Err(WireError::Payload(CodecError::BadTag { what: "row action", tag }))
+            }
+        };
+        if index as usize >= len {
+            return Err(WireError::BadDictIndex { index, len: len as u32 });
+        }
+    }
+    let inv_ids: Vec<InvocationId> =
+        invocations.iter().map(|invocation| arena.invocation(invocation)).collect();
+    let resp_ids: Vec<ResponseId> =
+        responses.iter().map(|response| arena.response(response)).collect();
+    let mut events = EventBatch::with_capacity(rows);
+    for chunk in row_bytes.chunks_exact(17) {
+        let object = ObjectId(u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")));
+        let proc = ProcId(u32::from_le_bytes(chunk[8..12].try_into().expect("4 bytes")) as usize);
+        let index = u32::from_le_bytes(chunk[13..17].try_into().expect("4 bytes")) as usize;
+        let action = match chunk[12] {
+            0 => EventAction::Invoke(inv_ids[index]),
+            _ => EventAction::Respond(resp_ids[index]),
+        };
+        events.push(EventRecord { object, proc, action });
+    }
+    Ok(WireBatch { batch_id, events })
+}
+
+/// How reading a frame off a byte stream can end.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the stream cleanly at a frame boundary.
+    Closed,
+    /// An I/O error (includes mid-frame EOF).
+    Io(io::Error),
+    /// The bytes arrived but did not decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Closed => f.write_str("peer closed the stream"),
+            ReadError::Io(err) => write!(f, "i/o: {err}"),
+            ReadError::Wire(err) => write!(f, "wire: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Reads exactly `buf.len()` bytes; distinguishes EOF-at-start (clean
+/// close) from EOF-mid-buffer (truncation).
+fn read_full(stream: &mut impl Read, buf: &mut [u8]) -> Result<(), ReadError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Err(ReadError::Closed),
+            Ok(0) => {
+                return Err(ReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream ended {filled} bytes into a frame"),
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(ReadError::Io(err)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `stream`, interning batch payloads into `arena`.
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] on a clean close between frames, [`ReadError::Io`]
+/// on transport errors (including mid-frame EOF), [`ReadError::Wire`] on
+/// malformed bytes.
+pub fn read_frame(stream: &mut impl Read, arena: &SharedInterner) -> Result<Frame, ReadError> {
+    read_frame_capped(stream, arena, u32::MAX)
+}
+
+/// Reads one whole raw frame (validated header + payload bytes) off
+/// `stream` without decoding the payload — for callers whose decode
+/// parameters depend on state that may change while the read blocks (the
+/// server computes its row cap from the *current* credit only once the
+/// frame has actually arrived).  Feed the result to
+/// [`decode_frame_capped`].
+///
+/// # Errors
+///
+/// [`ReadError::Closed`] on a clean close between frames, [`ReadError::Io`]
+/// on transport errors (including mid-frame EOF), [`ReadError::Wire`] on a
+/// malformed header or truncated payload.
+pub fn read_raw_frame(stream: &mut impl Read) -> Result<Vec<u8>, ReadError> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    read_full(stream, &mut header_bytes)?;
+    // Validate the header before trusting its length field.
+    let header = parse_header(&header_bytes).map_err(ReadError::Wire)?;
+    let len = header.len;
+    let mut frame = vec![0u8; HEADER_LEN + len as usize];
+    frame[..HEADER_LEN].copy_from_slice(&header_bytes);
+    match read_full(stream, &mut frame[HEADER_LEN..]) {
+        Ok(()) => Ok(frame),
+        Err(ReadError::Closed) if len > 0 => {
+            Err(ReadError::Wire(WireError::TruncatedPayload { need: len, have: 0 }))
+        }
+        Err(err) => Err(err),
+    }
+}
+
+/// [`read_frame`] with the row cap of [`decode_frame_capped`]: batches
+/// declaring more rows than `max_rows` are consumed off the stream but
+/// rejected as [`WireError::TooManyRows`] before anything interns.
+///
+/// # Errors
+///
+/// Like [`read_frame`].
+pub fn read_frame_capped(
+    stream: &mut impl Read,
+    arena: &SharedInterner,
+    max_rows: u32,
+) -> Result<Frame, ReadError> {
+    let frame = read_raw_frame(stream)?;
+    let (decoded, consumed) = decode_frame_capped(&frame, arena, max_rows).map_err(ReadError::Wire)?;
+    debug_assert_eq!(consumed, frame.len());
+    Ok(decoded)
+}
+
+/// Writes one pre-sealed frame to `stream`.
+///
+/// # Errors
+///
+/// Propagates the transport error.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drv_lang::{Invocation, Response, Symbol};
+
+    fn sample_batch(arena: &SharedInterner) -> EventBatch {
+        let mut batch = EventBatch::new();
+        batch.push_symbol(ObjectId(7), &Symbol::invoke(ProcId(0), Invocation::Write(1)), arena);
+        batch.push_symbol(ObjectId(7), &Symbol::respond(ProcId(0), Response::Ack), arena);
+        batch.push_symbol(ObjectId(9), &Symbol::invoke(ProcId(1), Invocation::Read), arena);
+        batch.push_symbol(ObjectId(9), &Symbol::respond(ProcId(1), Response::Value(1)), arena);
+        batch.push_symbol(ObjectId(7), &Symbol::invoke(ProcId(1), Invocation::Read), arena);
+        batch
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn batch_frames_round_trip_across_arenas() {
+        let sender = SharedInterner::new();
+        let batch = sample_batch(&sender);
+        let frame = FrameEncoder::new().encode_batch(42, &batch, &sender);
+        let receiver = SharedInterner::new();
+        // Pre-populate the receiver arena so ids differ from the sender's.
+        let _ = receiver.invocation(&Invocation::Inc);
+        let (decoded, consumed) = decode_frame(&frame, &receiver).expect("valid frame");
+        assert_eq!(consumed, frame.len());
+        let Frame::Batch(wire_batch) = decoded else { panic!("not a batch") };
+        assert_eq!(wire_batch.batch_id, 42);
+        assert_eq!(wire_batch.events.len(), batch.len());
+        // Same symbols after resolving through each side's own arena.
+        let mut sent = drv_lang::InternerMirror::new();
+        sent.sync(&sender);
+        let mut got = drv_lang::InternerMirror::new();
+        got.sync(&receiver);
+        for index in 0..batch.len() {
+            assert_eq!(
+                wire_batch.events.get(index).resolve(&got),
+                batch.get(index).resolve(&sent),
+                "row {index}"
+            );
+            assert_eq!(wire_batch.events.get(index).object, batch.get(index).object);
+        }
+        // The dictionary interned each distinct payload once: 2 invocations
+        // (write 1, read), 2 responses (ack, value 1) — plus the pre-seeded
+        // Inc.
+        assert_eq!(receiver.versions(), (3, 2));
+    }
+
+    #[test]
+    fn control_frames_round_trip() {
+        let arena = SharedInterner::new();
+        let frames = [
+            (encode_credit(64, 256), Frame::Credit { grant: 64, window: 256 }),
+            (
+                encode_nack(9, NackReason::CreditExceeded, 100),
+                Frame::Nack { batch_id: 9, reason: NackReason::CreditExceeded, detail: 100 },
+            ),
+            (
+                encode_verdicts(&[
+                    VerdictEvent { object: ObjectId(1), seq: 0, verdict: Verdict::Yes },
+                    VerdictEvent { object: ObjectId(1), seq: 1, verdict: Verdict::No },
+                    VerdictEvent { object: ObjectId(2), seq: 0, verdict: Verdict::Maybe(3) },
+                ]),
+                Frame::Verdicts(vec![
+                    VerdictEvent { object: ObjectId(1), seq: 0, verdict: Verdict::Yes },
+                    VerdictEvent { object: ObjectId(1), seq: 1, verdict: Verdict::No },
+                    VerdictEvent { object: ObjectId(2), seq: 0, verdict: Verdict::Maybe(3) },
+                ]),
+            ),
+            (encode_stats_request(), Frame::StatsRequest),
+            (
+                encode_stats(&WireStats { workers: 2, shards: 8, events: 100, ..WireStats::default() }),
+                Frame::Stats(WireStats { workers: 2, shards: 8, events: 100, ..WireStats::default() }),
+            ),
+            (encode_shutdown(), Frame::Shutdown),
+        ];
+        for (bytes, expected) in frames {
+            let (frame, consumed) = decode_frame(&bytes, &arena).expect("valid frame");
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(frame, expected);
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let arena = SharedInterner::new();
+        let mut frame = encode_credit(1, 2);
+        *frame.last_mut().unwrap() ^= 0x40;
+        assert!(matches!(
+            decode_frame(&frame, &arena),
+            Err(WireError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_validation_rejects_garbage() {
+        let arena = SharedInterner::new();
+        let good = encode_shutdown();
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 1;
+        assert!(matches!(decode_frame(&bad_magic, &arena), Err(WireError::BadMagic(_))));
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_eq!(decode_frame(&bad_version, &arena), Err(WireError::BadVersion(99)));
+        let mut bad_kind = good.clone();
+        bad_kind[5] = 200;
+        assert_eq!(decode_frame(&bad_kind, &arena), Err(WireError::UnknownKind(200)));
+        let mut oversized = good.clone();
+        oversized[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(decode_frame(&oversized, &arena), Err(WireError::Oversized(MAX_PAYLOAD + 1)));
+        assert!(matches!(
+            decode_frame(&good[..HEADER_LEN - 1], &arena),
+            Err(WireError::TruncatedHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_dict_index_is_typed_not_a_panic() {
+        let sender = SharedInterner::new();
+        let batch = sample_batch(&sender);
+        let mut frame = FrameEncoder::new().encode_batch(0, &batch, &sender);
+        // The last row's dict index is the final 4 bytes; point it at 200.
+        let len = frame.len();
+        frame[len - 4..].copy_from_slice(&200u32.to_le_bytes());
+        // Re-seal the CRC so only the index is wrong.
+        let crc = crc32(&frame[HEADER_LEN..]);
+        frame[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame, &SharedInterner::new()),
+            Err(WireError::BadDictIndex { index: 200, .. })
+        ));
+    }
+
+    #[test]
+    fn row_cap_rejects_before_interning() {
+        let sender = SharedInterner::new();
+        let batch = sample_batch(&sender);
+        let frame = FrameEncoder::new().encode_batch(9, &batch, &sender);
+        let receiver = SharedInterner::new();
+        assert_eq!(
+            decode_frame_capped(&frame, &receiver, 2),
+            Err(WireError::TooManyRows { batch_id: 9, rows: 5, limit: 2 })
+        );
+        // Nothing of the refused frame reached the arena.
+        assert_eq!(receiver.versions(), (0, 0));
+        // At the cap exactly, the frame decodes.
+        assert!(decode_frame_capped(&frame, &receiver, 5).is_ok());
+    }
+
+    #[test]
+    fn dictionary_only_frames_cannot_grow_the_arena() {
+        // Hand-build a batch payload claiming 0 rows but a 1-entry
+        // invocation dictionary: a memory-growth probe (real encoders only
+        // ship referenced payloads).  It must be refused before interning.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // batch id
+        put_u32(&mut payload, 0); // rows
+        put_u32(&mut payload, 1); // invocation dict count
+        drv_lang::wire::put_invocation(&mut payload, &Invocation::Custom("grow".into(), 0));
+        put_u32(&mut payload, 0); // response dict count
+        let frame = seal_frame(FrameKind::Batch, &payload);
+        let arena = SharedInterner::new();
+        assert_eq!(
+            decode_frame(&frame, &arena),
+            Err(WireError::DictOverflow { entries: 1, rows: 0 })
+        );
+        assert_eq!(arena.versions(), (0, 0), "the probe must not intern");
+    }
+
+    #[test]
+    fn refused_frames_never_intern_regardless_of_where_they_fail() {
+        // The combined-dictionary overflow (rows=1, 1 invocation + 1
+        // response) fails AFTER the invocation entry was parsed — it must
+        // still leave the arena untouched.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 2); // batch id
+        put_u32(&mut payload, 1); // rows
+        put_u32(&mut payload, 1); // invocation dict count
+        drv_lang::wire::put_invocation(&mut payload, &Invocation::Custom("grow".into(), 0));
+        put_u32(&mut payload, 1); // response dict count
+        drv_lang::wire::put_response(&mut payload, &Response::Ack);
+        payload.extend_from_slice(&[0u8; 17]); // one row
+        let frame = seal_frame(FrameKind::Batch, &payload);
+        let arena = SharedInterner::new();
+        assert_eq!(
+            decode_frame(&frame, &arena),
+            Err(WireError::DictOverflow { entries: 2, rows: 1 })
+        );
+        assert_eq!(arena.versions(), (0, 0));
+        // A bad row (dict index out of range) also refuses pre-intern.
+        let sender = SharedInterner::new();
+        let batch = sample_batch(&sender);
+        let mut bad = FrameEncoder::new().encode_batch(0, &batch, &sender);
+        let len = bad.len();
+        bad[len - 4..].copy_from_slice(&200u32.to_le_bytes());
+        let crc = crc32(&bad[HEADER_LEN..]);
+        bad[12..16].copy_from_slice(&crc.to_le_bytes());
+        let arena = SharedInterner::new();
+        assert!(matches!(decode_frame(&bad, &arena), Err(WireError::BadDictIndex { .. })));
+        assert_eq!(arena.versions(), (0, 0), "a bad row must refuse before interning");
+    }
+
+    #[test]
+    fn stream_reader_distinguishes_clean_close_from_truncation() {
+        let arena = SharedInterner::new();
+        let mut empty: &[u8] = &[];
+        assert!(matches!(read_frame(&mut empty, &arena), Err(ReadError::Closed)));
+        let frame = encode_credit(1, 2);
+        let mut truncated = &frame[..frame.len() - 3];
+        match read_frame(&mut truncated, &arena) {
+            Err(ReadError::Io(err)) => assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected mid-frame EOF, got {other:?}"),
+        }
+        let mut whole: &[u8] = &frame;
+        assert!(matches!(read_frame(&mut whole, &arena), Ok(Frame::Credit { grant: 1, window: 2 })));
+    }
+}

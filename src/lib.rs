@@ -1,9 +1,35 @@
 //! Facade crate for the distributed runtime-verification workspace.
 //!
+//! ## Architecture map
+//!
+//! ```text
+//!               the event path (one EventBatch model end-to-end)
+//!
+//!   monitored system ──MonitorClient──TCP──► MonitorServer       [net]
+//!        │  (or in-process)                       │
+//!        ▼                                        ▼
+//!   EventBatch (arena-backed rows)     [lang]  submit_batch
+//!        │                                        │
+//!        ▼                                        ▼
+//!   MonitoringEngine (shards + work-stealing pool)           [engine]
+//!        │ per-object ObjectMonitor state machines             [core]
+//!        ▼
+//!   IncrementalChecker (LIN/SC, parallel Wing–Gong)     [consistency]
+//!        │ against SequentialSpec objects                      [spec]
+//!        ▼
+//!   verdict streams → subscriptions / wire Verdict frames / report
+//!
+//!   scenario sources: adversary scripts [adversary] · shared-memory
+//!   substrate [shmem] · ABD message-passing sim [abd] (bridged onto
+//!   the wire by net::stream_abd) · benches and load generators [bench]
+//! ```
+//!
 //! Re-exports the crates of the workspace under one name so integration
 //! tests, examples and downstream users can depend on a single package:
 //!
-//! * [`lang`] — distributed alphabets, words, histories, languages,
+//! * [`lang`] — distributed alphabets, words, histories, languages, the
+//!   interned [`EventBatch`](crate::lang::EventBatch) interchange type and
+//!   the wire payload codec ([`lang::wire`](crate::lang::wire)),
 //! * [`spec`] — sequential object specifications,
 //! * [`consistency`] — linearizability / sequential-consistency checkers
 //!   (including the incremental engine and its parallel Wing–Gong
@@ -15,8 +41,13 @@
 //!   surface,
 //! * [`engine`] — the sharded multi-object streaming monitoring engine
 //!   with its work-stealing checker pool,
+//! * [`net`] — the network subsystem: wire-format `EventBatch` frames, the
+//!   TCP [`MonitorServer`](crate::net::MonitorServer) over the service-mode
+//!   engine, the [`MonitorClient`](crate::net::MonitorClient), and the live
+//!   ABD bridge,
 //! * [`abd`] — the ABD message-passing port,
-//! * [`bench`] — the Table 1 reproduction harness.
+//! * [`bench`] — the Table 1 reproduction harness and the `netload`
+//!   loopback load generator.
 //!
 //! ## Quick start: monitoring many objects at once
 //!
@@ -49,5 +80,6 @@ pub use drv_consistency as consistency;
 pub use drv_core as core;
 pub use drv_engine as engine;
 pub use drv_lang as lang;
+pub use drv_net as net;
 pub use drv_shmem as shmem;
 pub use drv_spec as spec;
