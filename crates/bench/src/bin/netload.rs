@@ -4,9 +4,10 @@
 //! `submit_batch` baseline on the same stream.
 //!
 //! ```text
-//! cargo run -p drv-bench --bin netload --release            # full run
-//! cargo run -p drv-bench --bin netload --release -- quick   # CI smoke
-//! cargo run -p drv-bench --bin netload --release -- C M OPS # custom size
+//! cargo run -p drv-bench --bin netload --release               # full run
+//! cargo run -p drv-bench --bin netload --release -- quick      # CI smoke
+//! cargo run -p drv-bench --bin netload --release -- C M OPS    # custom size
+//! cargo run -p drv-bench --bin netload --release -- --journal  # journal overhead
 //! ```
 //!
 //! Every run asserts the wire verdict streams bit-identical to
@@ -14,6 +15,12 @@
 //! acceptance ratio (loopback at batch 256 within 2× of the in-process
 //! batched path), and splices a `"netload"` section into
 //! `BENCH_engine.json`.
+//!
+//! `--journal` instead measures what `drv-store` durability costs: the same
+//! in-process batched ingestion with an attached journal under each
+//! [`FsyncPolicy`] against the in-memory path, plus one timed crash
+//! recovery (full journal replay) — spliced as `"netload_journal"`.  It
+//! composes with the sizing arguments (`--journal quick`).
 
 use drv_adversary::{merge_round_robin, register_object_stream, RegisterStreamShape};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
@@ -21,6 +28,7 @@ use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
 use drv_lang::{ObjectId, Symbol};
 use drv_net::{MonitorClient, MonitorServer, ServerConfig};
 use drv_spec::Register;
+use drv_store::{recover, FsyncPolicy, Store, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -219,9 +227,10 @@ fn throughput(events: usize, duration: Duration) -> f64 {
     events as f64 / duration.as_secs_f64().max(1e-12)
 }
 
-/// Splices `section` in as the `"netload"` field of `BENCH_engine.json`
-/// (replacing a previous one; the field is always kept last).
-fn splice_netload_section(section: &str) {
+/// Splices `section` in as the `"{key}"` field of `BENCH_engine.json`
+/// (replacing a previous one; the field — and everything a previous
+/// regenerate appended after it — is always moved last).
+fn splice_section(key: &str, section: &str) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let mut content = match std::fs::read_to_string(path) {
         Ok(content) => content,
@@ -230,7 +239,7 @@ fn splice_netload_section(section: &str) {
             "{\n}\n".to_string()
         }
     };
-    if let Some(pos) = content.find(",\n  \"netload\"") {
+    if let Some(pos) = content.find(&format!(",\n  \"{key}\"")) {
         content.truncate(pos);
         content.push_str("\n}\n");
     }
@@ -240,15 +249,176 @@ fn splice_netload_section(section: &str) {
     };
     content.truncate(pos);
     let body = content.trim_end().trim_end_matches(',').to_string();
-    let updated = format!("{body},\n  \"netload\": {section}\n}}\n");
+    let updated = format!("{body},\n  \"{key}\": {section}\n}}\n");
     match std::fs::write(path, updated) {
-        Ok(()) => println!("netload section written to {path}"),
+        Ok(()) => println!("{key} section written to {path}"),
         Err(err) => eprintln!("could not write {path}: {err}"),
     }
 }
 
+/// A fresh journal path under the OS temp dir.
+fn journal_path(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("drv-netload-{tag}-{}-{unique}.journal", std::process::id()))
+}
+
+/// One in-process batched run, optionally journaled under `policy`;
+/// returns the elapsed time, the verdicts and the journal size in bytes.
+fn journaled_run(
+    streams: &[Vec<(ObjectId, Symbol)>],
+    policy: Option<FsyncPolicy>,
+) -> (Duration, (BTreeMap<ObjectId, Vec<Verdict>>, u64)) {
+    let path = journal_path("bench");
+    let start = Instant::now();
+    let engine = MonitoringEngine::new(
+        EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+        mixed_factory(),
+    );
+    if let Some(policy) = policy {
+        let store = Store::open(&path, StoreConfig::new().with_fsync(policy))
+            .expect("journal opens in the temp dir");
+        engine.attach_journal(Arc::new(store) as Arc<dyn drv_engine::JournalSink>);
+    }
+    for stream in streams {
+        engine.submit_stream(stream, 256);
+    }
+    let report = engine.finish().expect("no engine worker panicked");
+    let elapsed = start.elapsed();
+    let bytes = std::fs::metadata(&path).map_or(0, |meta| meta.len());
+    let _ = std::fs::remove_file(&path);
+    let verdicts = report
+        .objects
+        .into_iter()
+        .map(|(object, r)| (object, r.verdicts))
+        .collect();
+    (elapsed, (verdicts, bytes))
+}
+
+/// The `--journal` mode: fsync-policy overhead vs the in-memory path, plus
+/// one timed crash recovery, spliced as `"netload_journal"`.
+fn journal_mode(load: &Load, streams: &[Vec<(ObjectId, Symbol)>], parallelism: usize) {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
+    let reference = sequential_reference(mixed_factory().as_ref(), &combined);
+
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("in-memory", None),
+        ("fsync-never", Some(FsyncPolicy::Never)),
+        ("fsync-every-64", Some(FsyncPolicy::EveryN(64))),
+        ("fsync-always", Some(FsyncPolicy::Always)),
+    ];
+    let mut rows = Vec::new();
+    let mut in_memory_rate = 0.0f64;
+    for (label, policy) in policies {
+        let (elapsed, (verdicts, bytes)) = best_of(|| journaled_run(streams, policy));
+        assert_eq!(verdicts, reference, "{label}: journaled verdicts differ from the reference");
+        let rate = throughput(total, elapsed);
+        if policy.is_none() {
+            in_memory_rate = rate;
+        }
+        let overhead = in_memory_rate / rate.max(1e-12);
+        println!(
+            "netload/journal/{label:<14}:  {:>10.2} ms  {:>12.0} events/s  \
+             ({bytes} journal bytes, {overhead:.2}x vs in-memory)",
+            elapsed.as_secs_f64() * 1e3,
+            rate,
+        );
+        rows.push((label, elapsed, rate, bytes, overhead));
+    }
+
+    // One timed crash recovery: journal a full run (no syncs — the replay
+    // is what is being measured), drop the engine, recover and prove the
+    // rebuilt report bit-identical.
+    let path = journal_path("recovery");
+    {
+        let engine = MonitoringEngine::new(
+            EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+            mixed_factory(),
+        );
+        let store = Store::open(&path, StoreConfig::new().with_fsync(FsyncPolicy::Never))
+            .expect("journal opens in the temp dir");
+        engine.attach_journal(Arc::new(store) as Arc<dyn drv_engine::JournalSink>);
+        for stream in streams {
+            engine.submit_stream(stream, 256);
+        }
+        engine.finish().expect("no engine worker panicked");
+    }
+    let start = Instant::now();
+    let recovery = recover(
+        &path,
+        StoreConfig::new().with_fsync(FsyncPolicy::Never),
+        EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+        mixed_factory(),
+    )
+    .expect("the journal recovers");
+    let report = recovery.engine.finish().expect("no engine worker panicked");
+    let recovery_time = start.elapsed();
+    let _ = std::fs::remove_file(&path);
+    let recovered: BTreeMap<ObjectId, Vec<Verdict>> = report
+        .objects
+        .into_iter()
+        .map(|(object, r)| (object, r.verdicts))
+        .collect();
+    assert_eq!(recovered, reference, "recovered verdicts differ from the reference");
+    println!(
+        "netload/journal/recovery:        {:>10.2} ms  {:>12.0} events/s  \
+         ({} events replayed)",
+        recovery_time.as_secs_f64() * 1e3,
+        throughput(total, recovery_time),
+        recovery.stats.replayed_events,
+    );
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(label, elapsed, rate, bytes, overhead)| {
+            format!(
+                concat!(
+                    "      {{ \"policy\": \"{}\", \"total_ns\": {}, ",
+                    "\"events_per_sec\": {:.0}, \"journal_bytes\": {}, ",
+                    "\"overhead_vs_in_memory\": {:.2} }}"
+                ),
+                label,
+                elapsed.as_nanos(),
+                rate,
+                bytes,
+                overhead,
+            )
+        })
+        .collect();
+    let section = format!(
+        concat!(
+            "{{\n",
+            "    \"regenerate\": \"cargo run -p drv-bench --bin netload --release -- --journal\",\n",
+            "    \"shape\": \"{} connections x {} objects x {} ops, in-process batch 256, ",
+            "journal attached under each fsync policy\",\n",
+            "    \"events\": {},\n",
+            "    \"available_parallelism\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"rows\": [\n{}\n    ],\n",
+            "    \"recovery_ns\": {},\n",
+            "    \"recovery_replayed_events\": {},\n",
+            "    \"verdicts_bit_identical_to_sequential_reference\": true\n",
+            "  }}"
+        ),
+        load.connections,
+        load.objects_per_conn,
+        load.ops_per_object,
+        total,
+        parallelism,
+        WORKERS,
+        row_json.join(",\n"),
+        recovery_time.as_nanos(),
+        recovery.stats.replayed_events,
+    );
+    splice_section("netload_journal", &section);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let journal = args.iter().any(|arg| arg == "--journal");
+    args.retain(|arg| arg != "--journal");
     let load = match args.first().map(String::as_str) {
         Some("quick") => Load { connections: 2, objects_per_conn: 4, ops_per_object: 40 },
         Some(_) if args.len() >= 3 => Load {
@@ -268,6 +438,10 @@ fn main() {
          {parallelism} hardware threads, window {WINDOW}, {WORKERS} workers",
         load.connections, load.objects_per_conn, load.ops_per_object
     );
+    if journal {
+        journal_mode(&load, &streams, parallelism);
+        return;
+    }
 
     // The independent reference every run is checked against.
     let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
@@ -384,5 +558,5 @@ fn main() {
         row_json.join(",\n"),
         ratio,
     );
-    splice_netload_section(&section);
+    splice_section("netload", &section);
 }

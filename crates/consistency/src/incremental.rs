@@ -61,7 +61,10 @@
 use crate::checker::{CheckerConfig, ConsistencyResult, Witness};
 use crate::history::{HistoryDelta, InternedHistory};
 use crate::parallel::{parallel_dfs, ParallelOutcome, SharedMemo};
-use drv_lang::{OpId, ProcId, ResponseId, Symbol, Word};
+use drv_lang::wire::{
+    put_invocation, put_response, put_u32, put_u64, take_invocation, take_response, Reader,
+};
+use drv_lang::{Action, CodecError, OpId, ProcId, ResponseId, Symbol, Word};
 use drv_spec::SequentialSpec;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -201,6 +204,85 @@ enum DfsOutcome {
     Found,
     NotFound,
     Budget,
+}
+
+/// Format version of [`IncrementalChecker::checkpoint_bytes`].  Bump when
+/// the layout changes; restore rejects versions it does not know.
+const CHECKPOINT_VERSION: u8 = 1;
+
+/// Why a serialized checker checkpoint could not be restored.
+///
+/// Restoration is defensive by design: checkpoints cross a crash boundary,
+/// so every structural claim in the payload is re-validated against the
+/// re-fed history and the sequential specification before it is trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The payload bytes were malformed: truncated, a bad tag, an inflated
+    /// count, or non-UTF-8 text.
+    Codec(CodecError),
+    /// The checkpoint was written by an incompatible format version.
+    BadVersion(u8),
+    /// The flags byte carries bits this version does not define.
+    BadFlags(u8),
+    /// The witness or frontier references an operation the serialized
+    /// history does not contain.
+    UnknownOp {
+        /// Process of the dangling reference.
+        proc: usize,
+        /// Per-process operation index of the dangling reference.
+        local_index: u32,
+    },
+    /// The serialized witness does not replay legally on the specification
+    /// (the checkpoint belongs to a different spec or config).
+    IllegalWitness {
+        /// Linearization position at which the replay became illegal.
+        position: usize,
+    },
+    /// Bytes remained after the checkpoint decoded completely.
+    TrailingBytes {
+        /// How many bytes were left over.
+        remaining: usize,
+    },
+}
+
+impl From<CodecError> for CheckpointError {
+    fn from(err: CodecError) -> Self {
+        CheckpointError::Codec(err)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Codec(err) => write!(f, "malformed checkpoint: {err}"),
+            CheckpointError::BadVersion(version) => {
+                write!(f, "unsupported checkpoint version {version}")
+            }
+            CheckpointError::BadFlags(flags) => {
+                write!(f, "undefined checkpoint flag bits {flags:#04x}")
+            }
+            CheckpointError::UnknownOp { proc, local_index } => write!(
+                f,
+                "checkpoint references unknown operation (proc {proc}, index {local_index})"
+            ),
+            CheckpointError::IllegalWitness { position } => write!(
+                f,
+                "checkpoint witness replays illegally at position {position}"
+            ),
+            CheckpointError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Codec(err) => Some(err),
+            _ => None,
+        }
+    }
 }
 
 /// A resumable Wing–Gong checker: feed the history symbol by symbol (or word
@@ -830,6 +912,201 @@ impl<S: SequentialSpec> IncrementalChecker<S> {
         }
     }
 
+    /// Serializes the engine's resumable state into a self-contained byte
+    /// payload: the consumed symbols, the maintained witness (as
+    /// `(process, local index, response)` triples — the operation identity
+    /// that survives reconstruction), the search frontier, the latch, the
+    /// memo epoch, and the stats counters.
+    ///
+    /// What is *not* serialized: the memo table (entries are epoch-scoped
+    /// to a single DFS run — [`IncrementalChecker::run_dfs`] bumps the
+    /// epoch before searching, so prior contents can never influence a
+    /// verdict) and the witness state path (recomputed by replay on
+    /// restore, which doubles as validation).  A checker restored from this
+    /// payload therefore produces **bit-identical** verdicts to the
+    /// original on any symbol suffix.
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.push(CHECKPOINT_VERSION);
+        let mut flags = 0u8;
+        if self.latched_inconsistent {
+            flags |= 1;
+        }
+        if self.witness.is_some() {
+            flags |= 2;
+        }
+        buf.push(flags);
+        put_u32(&mut buf, self.epoch);
+        for value in [
+            self.stats.checks,
+            self.stats.fast_path,
+            self.stats.splices,
+            self.stats.repairs,
+            self.stats.dfs_runs,
+            self.stats.parallel_dfs_runs,
+            self.stats.dfs_nodes,
+            self.stats.rebuilds,
+            self.stats.latched,
+        ] {
+            put_u64(&mut buf, value);
+        }
+        put_u32(&mut buf, self.history.process_count() as u32);
+        put_u32(&mut buf, self.symbols.len() as u32);
+        for symbol in &self.symbols {
+            put_u32(&mut buf, symbol.proc.0 as u32);
+            match &symbol.action {
+                Action::Invoke(invocation) => {
+                    buf.push(1);
+                    put_invocation(&mut buf, invocation);
+                }
+                Action::Respond(response) => {
+                    buf.push(2);
+                    put_response(&mut buf, response);
+                }
+            }
+        }
+        if let Some(witness) = &self.witness {
+            put_u32(&mut buf, witness.order.len() as u32);
+            for (id, resp) in &witness.order {
+                let record = self.history.record(*id);
+                put_u32(&mut buf, record.proc.0 as u32);
+                put_u32(&mut buf, record.local_index);
+                put_response(&mut buf, self.history.response_of(*resp));
+            }
+        }
+        put_u32(&mut buf, self.frontier.len() as u32);
+        for id in &self.frontier {
+            let record = self.history.record(*id);
+            put_u32(&mut buf, record.proc.0 as u32);
+            put_u32(&mut buf, record.local_index);
+        }
+        buf
+    }
+
+    /// Restores state serialized by [`IncrementalChecker::checkpoint_bytes`]
+    /// into this engine, replacing whatever it held.  The receiving checker
+    /// must have been built with the same spec and config as the serialized
+    /// one (the factory that created the original recreates it); the
+    /// witness replay validates that claim and rejects mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`]: malformed bytes, a version or flag this
+    /// build does not know, dangling operation references, an illegal
+    /// witness replay, or trailing bytes.  On error the checker is left
+    /// safe but unspecified — discard it.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut reader = Reader::new(bytes);
+        let version = reader.u8("checkpoint version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let flags = reader.u8("checkpoint flags")?;
+        if flags & !3 != 0 {
+            return Err(CheckpointError::BadFlags(flags));
+        }
+        let epoch = reader.u32("checkpoint epoch")?;
+        let mut counters = [0u64; 9];
+        for slot in &mut counters {
+            *slot = reader.u64("checkpoint stats")?;
+        }
+        let processes = reader.u32("checkpoint processes")? as usize;
+        // Each symbol costs at least proc (4) + tag (1) + one payload byte.
+        let symbol_count = reader.count(6, "checkpoint symbols")?;
+        // Re-feed the history directly, bypassing witness maintenance: the
+        // serialized witness and frontier already encode its outcome.
+        self.history = InternedHistory::new(processes);
+        self.symbols = Vec::with_capacity(symbol_count);
+        self.witness = None;
+        self.frontier = Vec::new();
+        self.memo.clear();
+        for _ in 0..symbol_count {
+            let proc = ProcId(reader.u32("checkpoint symbol proc")? as usize);
+            let symbol = match reader.u8("checkpoint symbol tag")? {
+                1 => Symbol::invoke(proc, take_invocation(&mut reader)?),
+                2 => Symbol::respond(proc, take_response(&mut reader)?),
+                tag => {
+                    return Err(CheckpointError::Codec(CodecError::BadTag {
+                        what: "checkpoint symbol tag",
+                        tag,
+                    }))
+                }
+            };
+            self.history.push_symbol(&symbol);
+            self.symbols.push(symbol);
+        }
+        if flags & 2 != 0 {
+            // Each witness entry: proc (4) + index (4) + one response byte.
+            let entries = reader.count(9, "checkpoint witness")?;
+            let mut order = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                let proc = ProcId(reader.u32("checkpoint witness proc")? as usize);
+                let local_index = reader.u32("checkpoint witness index")?;
+                let response = take_response(&mut reader)?;
+                let op = self.history.op_at(proc, local_index).ok_or(
+                    CheckpointError::UnknownOp {
+                        proc: proc.0,
+                        local_index,
+                    },
+                )?;
+                order.push((op, self.history.intern_response(&response)));
+            }
+            // Rebuild the state path by replay — `install_witness` would
+            // panic on an illegal order, and a crossed checkpoint (wrong
+            // spec, wrong config) must surface as an error instead.
+            let mut states = Vec::with_capacity(order.len() + 1);
+            let mut state = self.spec.initial();
+            states.push(state.clone());
+            for (position, (id, resp)) in order.iter().enumerate() {
+                let record = self.history.record(*id);
+                let invocation = self.history.invocation_of(record.invocation);
+                let response = self.history.response_of(*resp);
+                state = self
+                    .spec
+                    .step_if_legal(&state, invocation, response)
+                    .ok_or(CheckpointError::IllegalWitness { position })?;
+                states.push(state.clone());
+            }
+            self.witness = Some(WitnessPath { order, states });
+        }
+        let frontier_entries = reader.count(8, "checkpoint frontier")?;
+        let mut frontier = Vec::with_capacity(frontier_entries);
+        for _ in 0..frontier_entries {
+            let proc = ProcId(reader.u32("checkpoint frontier proc")? as usize);
+            let local_index = reader.u32("checkpoint frontier index")?;
+            let op = self
+                .history
+                .op_at(proc, local_index)
+                .ok_or(CheckpointError::UnknownOp {
+                    proc: proc.0,
+                    local_index,
+                })?;
+            frontier.push(op);
+        }
+        if !reader.is_empty() {
+            return Err(CheckpointError::TrailingBytes {
+                remaining: reader.remaining(),
+            });
+        }
+        self.frontier = frontier;
+        self.latched_inconsistent = flags & 1 != 0;
+        self.cached = None;
+        self.epoch = epoch;
+        self.stats = CheckerStats {
+            checks: counters[0],
+            fast_path: counters[1],
+            splices: counters[2],
+            repairs: counters[3],
+            dfs_runs: counters[4],
+            parallel_dfs_runs: counters[5],
+            dfs_nodes: counters[6],
+            rebuilds: counters[7],
+            latched: counters[8],
+        };
+        Ok(())
+    }
+
     #[allow(clippy::too_many_lines)]
     fn dfs(
         &mut self,
@@ -1356,5 +1633,96 @@ mod tests {
             .build();
         assert!(checker.check_word(&word).is_consistent());
         assert_eq!(checker.stats().parallel_dfs_runs, 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        // A checker restored from a checkpoint taken at *every* prefix
+        // length must agree with the uninterrupted one on the entire
+        // suffix — clean streams, SC-recoverable dips and latched
+        // violations alike, under both criteria.
+        let clean = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(0), Invocation::Write(2), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(2))
+            .build();
+        let stale = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(0), Invocation::Write(2), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .op(p(1), Invocation::Read, Response::Value(2))
+            .build();
+        let latched = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(7))
+            .op(p(0), Invocation::Write(2), Response::Ack)
+            .build();
+        for config in [CheckerConfig::linearizability(), CheckerConfig::sequential_consistency()] {
+            for word in [&clean, &stale, &latched] {
+                let symbols = word.symbols();
+                for split in 0..=symbols.len() {
+                    let mut live = IncrementalChecker::new(Register::new(), config, 2);
+                    for symbol in &symbols[..split] {
+                        live.push_symbol(symbol);
+                        live.check();
+                    }
+                    let bytes = live.checkpoint_bytes();
+                    let mut restored = IncrementalChecker::new(Register::new(), config, 2);
+                    restored.restore_bytes(&bytes).expect("a checkpoint we wrote restores");
+                    for symbol in &symbols[split..] {
+                        live.push_symbol(symbol);
+                        restored.push_symbol(symbol);
+                        assert_eq!(
+                            restored.check(),
+                            live.check(),
+                            "split {split}: the restored checker diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_malformed_checkpoints() {
+        let mut checker = lin(Register::new());
+        let word = WordBuilder::new()
+            .op(p(0), Invocation::Write(1), Response::Ack)
+            .op(p(1), Invocation::Read, Response::Value(1))
+            .build();
+        assert!(checker.check_word(&word).is_consistent());
+        let bytes = checker.checkpoint_bytes();
+        // Every strict prefix misses a required field.
+        for cut in 0..bytes.len() {
+            let mut fresh = lin(Register::new());
+            assert!(
+                fresh.restore_bytes(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix restored"
+            );
+        }
+        // An unknown format version is refused before anything decodes.
+        let mut versioned = bytes.clone();
+        versioned[0] = 9;
+        assert!(matches!(
+            lin(Register::new()).restore_bytes(&versioned),
+            Err(CheckpointError::BadVersion(9))
+        ));
+        // Undefined flag bits are refused.
+        let mut flagged = bytes.clone();
+        flagged[1] |= 0x80;
+        assert!(matches!(
+            lin(Register::new()).restore_bytes(&flagged),
+            Err(CheckpointError::BadFlags(_))
+        ));
+        // Trailing bytes are refused (a checkpoint is exactly its payload).
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            lin(Register::new()).restore_bytes(&padded),
+            Err(CheckpointError::TrailingBytes { remaining: 1 })
+        ));
+        // The uncorrupted payload still restores after all that.
+        lin(Register::new()).restore_bytes(&bytes).expect("pristine payload restores");
     }
 }

@@ -47,7 +47,7 @@ pub use eventual::{
     check_sec_realtime, check_wec_count, check_wec_eventual, check_wec_safety,
 };
 pub use history::{ConcurrentHistory, HistoryDelta, InternedHistory};
-pub use incremental::{CheckOutcome, CheckerStats, IncrementalChecker};
+pub use incremental::{CheckOutcome, CheckerStats, CheckpointError, IncrementalChecker};
 pub use parallel::SharedMemo;
 pub use languages::{
     ec_led, lin_led, lin_queue, lin_reg, lin_stack, sc_led, sc_reg, sec_count, table1_languages,

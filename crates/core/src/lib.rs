@@ -72,7 +72,7 @@ pub use monitor::{ConstantFamily, Monitor, MonitorFamily};
 pub use runtime::{run, RunConfig, Schedule};
 pub use stream::{
     CheckerMonitorFactory, CheckerObjectMonitor, FamilyMonitorFactory, FamilyObjectMonitor,
-    ObjectMonitor, ObjectMonitorFactory, RoutingMonitorFactory,
+    ObjectMonitor, ObjectMonitorFactory, RestoreError, RoutingMonitorFactory,
 };
 pub use threaded::{run_threaded, try_run_threaded, ThreadedConfig, WorkerPanic};
 pub use trace::{AdversaryMode, ExecutionTrace};

@@ -83,7 +83,52 @@ pub trait ObjectMonitor: Send {
     fn checker_stats(&self) -> Option<CheckerStats> {
         None
     }
+
+    /// Serializes the monitor's resumable state for a durable checkpoint,
+    /// or `None` when the monitor does not support checkpointing (the
+    /// default — such objects are recovered by full journal replay
+    /// instead).  A supporting implementation must round-trip through
+    /// [`ObjectMonitor::restore`] such that the restored monitor's verdicts
+    /// on any symbol suffix are bit-identical to this monitor's.
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state serialized by [`ObjectMonitor::checkpoint`] into a
+    /// freshly created monitor of the same factory.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::Unsupported`] (the default) when the monitor cannot
+    /// checkpoint; [`RestoreError::Invalid`] when the bytes are rejected.
+    /// On error the monitor must be discarded, not fed.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        let _ = bytes;
+        Err(RestoreError::Unsupported)
+    }
 }
+
+/// Why [`ObjectMonitor::restore`] refused a checkpoint payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The monitor kind does not support checkpointing at all.
+    Unsupported,
+    /// The payload was rejected (corrupt, wrong version, or produced by a
+    /// monitor with a different spec/config); the message carries the
+    /// underlying decoder's diagnosis.
+    Invalid(String),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Unsupported => write!(f, "monitor does not support checkpoints"),
+            RestoreError::Invalid(why) => write!(f, "checkpoint rejected: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// Creates the per-object monitors of an engine, one per [`ObjectId`] on
 /// first sight of the object's traffic.
@@ -141,6 +186,16 @@ impl<S: SequentialSpec> ObjectMonitor for CheckerObjectMonitor<S> {
 
     fn checker_stats(&self) -> Option<CheckerStats> {
         Some(self.checker.stats())
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.checker.checkpoint_bytes())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), RestoreError> {
+        self.checker
+            .restore_bytes(bytes)
+            .map_err(|err| RestoreError::Invalid(err.to_string()))
     }
 }
 
@@ -510,5 +565,55 @@ mod tests {
             }
             assert_eq!(last, Verdict::Yes, "{}", factory.name());
         }
+    }
+
+    #[test]
+    fn monitor_checkpoint_restore_roundtrip() {
+        // The durability contract of CheckerObjectMonitor: restore() into a
+        // fresh monitor of the same factory, then bit-identical verdicts on
+        // any suffix.
+        let word = register_word();
+        let symbols = word.symbols();
+        for factory in [
+            CheckerMonitorFactory::linearizability(Register::new(), 2),
+            CheckerMonitorFactory::sequential_consistency(Register::new(), 2),
+        ] {
+            for split in 0..=symbols.len() {
+                let mut live = factory.create(obj(3));
+                for symbol in &symbols[..split] {
+                    live.on_symbol(symbol);
+                }
+                let bytes = live.checkpoint().expect("checker monitors checkpoint");
+                let mut restored = factory.create(obj(3));
+                restored.restore(&bytes).expect("a checkpoint we wrote restores");
+                for symbol in &symbols[split..] {
+                    assert_eq!(
+                        restored.on_symbol(symbol),
+                        live.on_symbol(symbol),
+                        "{}: split {split} diverged",
+                        factory.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_restore_rejects_garbage_and_family_monitors_opt_out() {
+        let factory = CheckerMonitorFactory::linearizability(Register::new(), 2);
+        let mut fresh = factory.create(obj(1));
+        assert!(
+            matches!(fresh.restore(b"not a checkpoint"), Err(RestoreError::Invalid(_))),
+            "garbage must be refused, never fed"
+        );
+        // Family monitors do not checkpoint: recovery must fall back to
+        // full replay for them.
+        let family = FamilyMonitorFactory::new(
+            Arc::new(PredictiveFamily::linearizable(Register::new())),
+            2,
+        );
+        let mut monitor = family.create(obj(2));
+        assert!(monitor.checkpoint().is_none());
+        assert_eq!(monitor.restore(&[]), Err(RestoreError::Unsupported));
     }
 }

@@ -78,6 +78,7 @@
 //!   [`WorkerPanic`] surfaces from [`MonitoringEngine::finish`] — or early,
 //!   through [`MonitoringEngine::take_panic`].
 
+use crate::journal::{JournalSink, RecoveredObject};
 use crate::report::{EngineReport, EngineStats, ObjectReport};
 use crate::service::{SubmitError, SubscriptionShared, VerdictEvent, VerdictSubscription};
 use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict, WorkerPanic};
@@ -224,6 +225,14 @@ struct ObjectSlot {
     /// Engine-wide processed-event clock at the object's last symbol (the
     /// idle-TTL reference point).
     last_seen: u64,
+    /// Replayed-but-already-checkpointed events still to swallow: a
+    /// recovered slot skips its first `skip` symbols instead of feeding
+    /// them (their verdicts were pre-filled from the checkpoint).  Zero on
+    /// every slot created by live traffic.
+    skip: u64,
+    /// Fed-event count covered by the object's last journal checkpoint
+    /// (the next one is due `JournalSink::checkpoint_interval` later).
+    checkpointed: u64,
 }
 
 #[derive(Default)]
@@ -282,6 +291,12 @@ struct Shared {
     /// Times a worker came back out of the park wait.  Zero while the pool
     /// sits idle — the proof that parking is untimed, not polled.
     park_wakeups: AtomicU64,
+    /// The optional durability tap (see [`crate::journal`]): consulted on
+    /// every accepted submission (write-ahead), after each processed run
+    /// (checkpoint trigger) and on retirement (tombstone).  `None` until
+    /// [`MonitoringEngine::attach_journal`] — in particular during journal
+    /// replay, so recovery does not re-journal what it reads.
+    sink: Mutex<Option<Arc<dyn JournalSink>>>,
     panic: Mutex<Option<WorkerPanic>>,
     batch: usize,
     max_pending: usize,
@@ -345,6 +360,12 @@ impl Shared {
 
     fn intern_event(&self, object: ObjectId, symbol: &Symbol) -> EventRecord {
         EventRecord::intern(object, symbol, &self.interner)
+    }
+
+    /// The attached durability tap, if any (cloned out so the sink mutex is
+    /// never held across an append).
+    fn journal(&self) -> Option<Arc<dyn JournalSink>> {
+        self.sink.lock().clone()
     }
 
     /// Reserves `count` pending-work slots under the backpressure bound
@@ -438,6 +459,14 @@ impl Shared {
         let Some(slot) = state.objects.remove(&object) else {
             return false;
         };
+        if let Some(sink) = self.journal() {
+            // The tombstone marks the retirement's position in the durable
+            // stream: recovery evicts here instead of resurrecting the
+            // object from a stale checkpoint.  (Covers both the explicit
+            // marker and the TTL sweep; the end-of-run `finish` flush goes
+            // through `flush_slot` directly and writes none.)
+            sink.tombstone(object);
+        }
         let mut retired = self.retired.lock();
         self.flush_slot(object, slot, &mut retired, subs, blocking);
         self.evicted.fetch_add(1, Ordering::Relaxed);
@@ -505,6 +534,7 @@ impl Shared {
             count: batch.len(),
         };
         let subs = self.subscribers();
+        let sink = self.journal();
         if !batch.is_empty() {
             self.batches.fetch_add(1, Ordering::Relaxed);
             mirror.sync(&self.interner);
@@ -552,13 +582,21 @@ impl Shared {
                         verdicts: Vec::new(),
                         base,
                         last_seen: clock,
+                        skip: 0,
+                        checkpointed: 0,
                     }
                 });
                 scratch.verdicts.clear();
-                slot.monitor.on_batch(&scratch.symbols, &mut scratch.verdicts);
+                // A recovered slot swallows the replayed events its
+                // checkpoint already covers (their verdicts are pre-filled)
+                // and feeds only the suffix.
+                let swallow = slot.skip.min(scratch.symbols.len() as u64) as usize;
+                slot.skip -= swallow as u64;
+                slot.monitor
+                    .on_batch(&scratch.symbols[swallow..], &mut scratch.verdicts);
                 assert_eq!(
                     scratch.verdicts.len(),
-                    scratch.symbols.len(),
+                    scratch.symbols.len() - swallow,
                     "an ObjectMonitor::on_batch must append exactly one verdict per symbol"
                 );
                 for &verdict in &scratch.verdicts {
@@ -571,6 +609,25 @@ impl Shared {
                         };
                         for sub in &subs {
                             sub.push(delivery, &|| self.streaming());
+                        }
+                    }
+                }
+                if let Some(sink) = &sink {
+                    // Checkpoint only a first-generation, fully caught-up
+                    // slot: after a retirement (`base > 0`) the journal's
+                    // tombstone already ends the object's durable stream,
+                    // and a still-swallowing recovered slot would claim
+                    // coverage its monitor does not have.
+                    if slot.base == 0 && slot.skip == 0 {
+                        let fed = slot.verdicts.len() as u64;
+                        if fed >= slot.checkpointed.saturating_add(sink.checkpoint_interval()) {
+                            if let Some(state) = slot.monitor.checkpoint() {
+                                sink.checkpoint(first.object, &slot.verdicts, &state);
+                            }
+                            // Monitors without checkpoint support advance the
+                            // watermark too — the interval gates the *probe*,
+                            // recovery falls back to full replay for them.
+                            slot.checkpointed = fed;
                         }
                     }
                 }
@@ -760,6 +817,24 @@ impl MonitoringEngine {
     /// object on first sight of its traffic.
     #[must_use]
     pub fn new(config: EngineConfig, factory: Arc<dyn ObjectMonitorFactory>) -> Self {
+        Self::with_recovered(config, factory, Vec::new())
+    }
+
+    /// [`MonitoringEngine::new`], seeded with recovered per-object state —
+    /// the constructor a durable store uses after a crash.  Each seed
+    /// installs its restored monitor with the checkpointed verdict prefix
+    /// pre-filled, so replaying the journal suffix re-emits the
+    /// post-checkpoint verdicts with their original `seq` numbers and the
+    /// final report is identical to an uninterrupted run.  Seeds are
+    /// installed before the workers spawn; no journal sink is attached yet
+    /// (attach one *after* replay with
+    /// [`MonitoringEngine::attach_journal`]).
+    #[must_use]
+    pub fn with_recovered(
+        config: EngineConfig,
+        factory: Arc<dyn ObjectMonitorFactory>,
+        seeds: Vec<RecoveredObject>,
+    ) -> Self {
         let shared = Arc::new(Shared {
             factory,
             interner: SharedInterner::new(),
@@ -780,11 +855,28 @@ impl MonitoringEngine {
             events: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             park_wakeups: AtomicU64::new(0),
+            sink: Mutex::new(None),
             panic: Mutex::new(None),
             batch: config.batch,
             max_pending: config.max_pending,
             idle_ttl: config.idle_ttl,
         });
+        for seed in seeds {
+            let shard_index = shard_of(seed.object, config.shards);
+            let skip = seed.verdicts.len() as u64;
+            let mut state = shared.shards[shard_index].state.lock();
+            state.objects.insert(
+                seed.object,
+                ObjectSlot {
+                    monitor: seed.monitor,
+                    verdicts: seed.verdicts,
+                    base: 0,
+                    last_seen: 0,
+                    skip,
+                    checkpointed: skip,
+                },
+            );
+        }
         let handles = (0..config.workers)
             .map(|worker| {
                 let shared = Arc::clone(&shared);
@@ -851,6 +943,11 @@ impl MonitoringEngine {
         } else if !self.reserve_blocking(1) {
             return;
         }
+        if let Some(sink) = self.shared.journal() {
+            // Write-ahead: accepted (the reservation succeeded), not yet
+            // enqueued.
+            sink.append_event(object, symbol);
+        }
         self.enqueue(object, QueueItem::Event(self.shared.intern_event(object, symbol)));
     }
 
@@ -891,6 +988,11 @@ impl MonitoringEngine {
         } else if self.shared.try_reserve(1).is_err() {
             return Err(SubmitError::Full);
         }
+        if let Some(sink) = self.shared.journal() {
+            // Write-ahead, and only past the bound: a Full rejection is
+            // never journaled.
+            sink.append_event(object, symbol);
+        }
         self.enqueue(object, QueueItem::Event(self.shared.intern_event(object, symbol)));
         Ok(())
     }
@@ -919,6 +1021,13 @@ impl MonitoringEngine {
     pub fn submit_batch(&self, batch: &EventBatch) {
         if batch.is_empty() || self.shared.aborted.load(Ordering::Acquire) {
             return;
+        }
+        if let Some(sink) = self.shared.journal() {
+            // One write-ahead append for the whole batch.  The blocking
+            // path below cannot refuse it (it only stops early on abort, in
+            // which case an over-complete journal merely replays events the
+            // dead pool dropped).
+            sink.append_batch(batch, &self.shared.interner);
         }
         if self.shared.max_pending == usize::MAX {
             self.shared.pending.fetch_add(batch.len(), Ordering::AcqRel);
@@ -957,6 +1066,11 @@ impl MonitoringEngine {
             self.shared.pending.fetch_add(batch.len(), Ordering::AcqRel);
         } else if self.shared.try_reserve(batch.len()).is_err() {
             return Err(SubmitError::Full);
+        }
+        if let Some(sink) = self.shared.journal() {
+            // Write-ahead, after the all-or-nothing reservation: a refused
+            // batch leaves no trace in the journal.
+            sink.append_batch(batch, &self.shared.interner);
         }
         self.enqueue_batch_range(batch, 0, batch.len());
         Ok(())
@@ -1130,6 +1244,23 @@ impl MonitoringEngine {
             retired += self.shared.sweep_locked(&queue, &mut state, ttl, &subs);
         }
         retired
+    }
+
+    /// Attaches a durability tap (see [`crate::journal`] for the contract):
+    /// from now on every accepted submission is journaled write-ahead,
+    /// monitors are checkpointed every
+    /// [`JournalSink::checkpoint_interval`] fed events, and retirements
+    /// write tombstones.  Attach *after* replaying a journal into a
+    /// [`MonitoringEngine::with_recovered`] engine, so recovery does not
+    /// re-append what it reads.  Replaces any previous sink.
+    pub fn attach_journal(&self, sink: Arc<dyn JournalSink>) {
+        *self.shared.sink.lock() = Some(sink);
+    }
+
+    /// Detaches the journal sink, returning it; subsequent traffic is no
+    /// longer journaled.
+    pub fn detach_journal(&self) -> Option<Arc<dyn JournalSink>> {
+        self.shared.sink.lock().take()
     }
 
     /// Opens a bounded verdict channel (capacity clamped to ≥ 1): every

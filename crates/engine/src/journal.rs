@@ -1,0 +1,86 @@
+//! The engine ⇄ durability boundary: a write-ahead [`JournalSink`] tap on
+//! the accepted-event path and the [`RecoveredObject`] seeds a store hands
+//! back to [`MonitoringEngine::with_recovered`](crate::MonitoringEngine::with_recovered).
+//!
+//! The engine knows nothing about files, fsync or frames — `drv-store`
+//! implements the sink against its on-disk journal.  The contract between
+//! the two layers:
+//!
+//! * **Write-ahead.**  `append_batch` / `append_event` are called after a
+//!   submission clears the backpressure bound (so refused work is never
+//!   journaled) and *before* it is enqueued — a crash between the append
+//!   and the enqueue replays the event, which is exactly the at-least-once
+//!   side replay-identical recovery needs (the monitor has not seen it
+//!   yet).
+//! * **Checkpoints trail processing.**  `checkpoint` is called from the
+//!   worker *after* the covered events were fed, so by file order a
+//!   checkpoint claiming `verdicts.len()` events is always preceded by at
+//!   least that many journaled events of the object — a torn journal tail
+//!   can truncate events, never a checkpoint's coverage.
+//! * **Tombstones on retirement.**  `tombstone` is called whenever a
+//!   monitor is retired mid-run (explicit evict marker or idle-TTL sweep),
+//!   marking the spot in the stream so recovery retires the object at the
+//!   same position instead of resurrecting it from a stale checkpoint.
+//!   The end-of-run `finish()` flush writes none — it is not a retirement.
+//! * **Sinks are infallible here.**  I/O failure handling (latching the
+//!   error, degrading to no-op) lives behind the trait; the submit path
+//!   stays non-fallible.
+//!
+//! Per-object replay identity additionally requires what the engine
+//! already requires everywhere else: one producer per object (the net
+//! server's ownership rule), and no same-object traffic racing the
+//! object's own eviction.
+
+use drv_core::{ObjectMonitor, Verdict};
+use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
+
+/// A durability tap for everything the engine accepts; see the module docs
+/// for the exact call-site contract.
+pub trait JournalSink: Send + Sync {
+    /// Appends one accepted [`EventBatch`] (payload ids live in `arena`,
+    /// the engine's own interner) ahead of its enqueue.
+    fn append_batch(&self, batch: &EventBatch, arena: &SharedInterner);
+
+    /// Appends one accepted single-event submission ahead of its enqueue.
+    fn append_event(&self, object: ObjectId, symbol: &Symbol);
+
+    /// How many fed events of one object between two of its checkpoints.
+    /// Returning `u64::MAX` disables checkpointing (journal-only mode).
+    fn checkpoint_interval(&self) -> u64;
+
+    /// Persists a checkpoint of `object`: `verdicts` is its full verdict
+    /// stream so far (one per fed event, from the object's first), `state`
+    /// the monitor's [`ObjectMonitor::checkpoint`] payload after exactly
+    /// those events.
+    fn checkpoint(&self, object: ObjectId, verdicts: &[Verdict], state: &[u8]);
+
+    /// Records that `object`'s monitor was retired at this point of the
+    /// accepted stream (explicit eviction or idle-TTL sweep).
+    fn tombstone(&self, object: ObjectId);
+}
+
+/// One object's state handed back by a store's recovery scan, seeding
+/// [`MonitoringEngine::with_recovered`](crate::MonitoringEngine::with_recovered):
+/// the engine installs the monitor, pre-fills the verdict stream (so `seq`
+/// numbering and the final report continue where the crash cut off), and
+/// swallows the object's first `verdicts.len()` replayed events instead of
+/// feeding them again.
+pub struct RecoveredObject {
+    /// The object the seed belongs to.
+    pub object: ObjectId,
+    /// A factory-created monitor with its checkpoint state restored.
+    pub monitor: Box<dyn ObjectMonitor>,
+    /// The object's verdict stream up to the checkpoint, in `seq` order
+    /// from 0.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl std::fmt::Debug for RecoveredObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveredObject")
+            .field("object", &self.object)
+            .field("monitor", &self.monitor.name())
+            .field("verdicts", &self.verdicts.len())
+            .finish()
+    }
+}

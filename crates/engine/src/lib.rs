@@ -99,10 +99,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
 pub mod report;
 pub mod service;
 
 pub use engine::{sequential_reference, EngineConfig, MonitoringEngine};
+pub use journal::{JournalSink, RecoveredObject};
 pub use report::{AggregateVerdict, EngineReport, EngineStats, ObjectReport};
 pub use service::{SubmitError, VerdictEvent, VerdictSubscription};
 

@@ -251,3 +251,102 @@ fn ttl_sweeps_race_round_aligned_ingestion() {
         }
     }
 }
+
+/// A journal sink that records what the engine tells it, for asserting
+/// *when* tombstones are emitted (checkpointing disabled).
+#[derive(Default)]
+struct RecordingSink {
+    events: std::sync::atomic::AtomicU64,
+    tombstones: std::sync::Mutex<Vec<ObjectId>>,
+}
+
+impl drv_engine::JournalSink for RecordingSink {
+    fn append_batch(&self, batch: &EventBatch, _arena: &drv_lang::SharedInterner) {
+        self.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+
+    fn append_event(&self, _object: ObjectId, _symbol: &Symbol) {
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn checkpoint_interval(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn checkpoint(&self, _object: ObjectId, _verdicts: &[Verdict], _state: &[u8]) {}
+
+    fn tombstone(&self, object: ObjectId) {
+        self.tombstones.lock().unwrap().push(object);
+    }
+}
+
+#[test]
+fn retirement_tombstones_fire_once_and_only_at_retirement() {
+    // Explicit eviction must emit exactly one tombstone for the victim, at
+    // the retirement itself — and finish()'s end-of-run flush must emit
+    // none, or recovery would re-retire every object that merely outlived
+    // the run.
+    let sink = Arc::new(RecordingSink::default());
+    let engine = MonitoringEngine::new(EngineConfig::new(2), mixed_factory());
+    engine.attach_journal(Arc::clone(&sink) as Arc<dyn drv_engine::JournalSink>);
+    let victim = ObjectId(2);
+    let survivor = ObjectId(3);
+    let mut events: Vec<(ObjectId, Symbol)> = Vec::new();
+    for r in 0..3u64 {
+        for &object in &[victim, survivor] {
+            for symbol in round(r + 1, false) {
+                events.push((object, symbol));
+            }
+        }
+    }
+    engine.submit_stream(&events, 4);
+    engine.evict(victim);
+    let report = engine.finish().expect("no worker panicked");
+    assert_eq!(report.stats.events, events.len() as u64);
+    assert_eq!(
+        sink.events.load(Ordering::Relaxed),
+        events.len() as u64,
+        "every accepted event must hit the sink write-ahead"
+    );
+    assert_eq!(
+        *sink.tombstones.lock().unwrap(),
+        vec![victim],
+        "one tombstone for the evicted object, none for the survivor's end-of-run flush"
+    );
+}
+
+#[test]
+fn ttl_sweep_retirement_also_tombstones() {
+    // The idle-TTL sweep retires through the same retire() path as
+    // explicit eviction, so it must tombstone too — otherwise recovery
+    // would resurrect TTL-retired objects from their stale checkpoints.
+    let sink = Arc::new(RecordingSink::default());
+    let engine = MonitoringEngine::new(EngineConfig::new(2).with_idle_ttl(1), mixed_factory());
+    engine.attach_journal(Arc::clone(&sink) as Arc<dyn drv_engine::JournalSink>);
+    let idle = ObjectId(4);
+    let busy = ObjectId(5);
+    let idle_round: Vec<(ObjectId, Symbol)> =
+        round(1, false).into_iter().map(|symbol| (idle, symbol)).collect();
+    engine.submit_stream(&idle_round, 4);
+    // Advance the event clock with other traffic until a sweep catches the
+    // idle object.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut value = 0u64;
+    while !sink.tombstones.lock().unwrap().contains(&idle) {
+        assert!(std::time::Instant::now() < deadline, "the sweep never retired the idle object");
+        value += 1;
+        let busy_round: Vec<(ObjectId, Symbol)> =
+            round(value, false).into_iter().map(|symbol| (busy, symbol)).collect();
+        engine.submit_stream(&busy_round, 4);
+        engine.sweep_idle();
+        std::thread::yield_now();
+    }
+    let report = engine.finish().expect("no worker panicked");
+    assert!(report.stats.evicted > 0);
+    let tombstones = sink.tombstones.lock().unwrap();
+    assert_eq!(
+        tombstones.iter().filter(|&&object| object == idle).count(),
+        1,
+        "the idle object was retired once, so it must tombstone once"
+    );
+}

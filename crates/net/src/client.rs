@@ -171,9 +171,11 @@ fn reader_loop(shared: &ClientShared, mut stream: TcpStream) {
                 shared.close();
                 return;
             }
-            Ok(Frame::Batch(_) | Frame::StatsRequest) | Err(_) => {
-                // Client-bound streams never carry these; treat like a
-                // broken connection.
+            Ok(Frame::Batch(_) | Frame::StatsRequest | Frame::Evict { .. } | Frame::Checkpoint(_))
+            | Err(_) => {
+                // Client-bound streams never carry these (the last two are
+                // journal-file record kinds); treat like a broken
+                // connection.
                 shared.close();
                 return;
             }

@@ -700,9 +700,30 @@ impl MonitorServer {
         factory: Arc<dyn ObjectMonitorFactory>,
         config: ServerConfig,
     ) -> io::Result<Self> {
+        Self::with_engine(
+            addr,
+            Arc::new(MonitoringEngine::new(engine_config, factory)),
+            config,
+        )
+    }
+
+    /// [`MonitorServer::bind`] over an engine the caller built — the hook
+    /// for pre-configured engines, e.g. one recovered from a `drv-store`
+    /// journal (whose post-crash verdict `seq` numbers continue where the
+    /// previous run's left off, so a reconnecting client can resume from
+    /// its cursor).  The engine must not be shared: `shutdown` consumes it,
+    /// and panics if other handles are still alive.
+    ///
+    /// # Errors
+    ///
+    /// The bind error.
+    pub fn with_engine(
+        addr: impl ToSocketAddrs,
+        engine: Arc<MonitoringEngine>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let engine = Arc::new(MonitoringEngine::new(engine_config, factory));
         let subscription = engine.subscribe(config.subscription);
         let shared = Arc::new(ServerShared {
             engine,
@@ -765,7 +786,19 @@ impl MonitorServer {
         self.shared.engine.backlog()
     }
 
-    fn stop_threads(&mut self) {
+    /// Stops and joins every server thread, returning the panic of the
+    /// first one whose `join` surfaced a payload (a bug in the server
+    /// itself, not a monitor panic — those are caught engine-side).  The
+    /// payloads used to be dropped here; now [`MonitorServer::shutdown`]
+    /// surfaces them.
+    fn stop_threads(&mut self) -> Option<WorkerPanic> {
+        let mut escaped: Option<WorkerPanic> = None;
+        let mut joined = 0usize;
+        let join = |handle: JoinHandle<()>, role: &'static str, escaped: &mut Option<WorkerPanic>, index: usize| {
+            if let Err(payload) = handle.join() {
+                escaped.get_or_insert(WorkerPanic::from_payload(role, index, payload));
+            }
+        };
         self.shared.stopping.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.  A wildcard
         // bind (0.0.0.0 / ::) is not a connectable destination everywhere,
@@ -781,7 +814,7 @@ impl MonitorServer {
         }
         let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
         if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
+            join(handle, "net accept loop", &mut escaped, 0);
         }
         // Disconnect every client: shutting the socket down unblocks its
         // reader (which evicts the connection's objects on the way out).
@@ -792,7 +825,8 @@ impl MonitorServer {
         }
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.handles.lock());
         for handle in handles {
-            let _ = handle.join();
+            join(handle, "net connection thread", &mut escaped, joined);
+            joined += 1;
         }
         // Quiesce the engine so the router's final drain sees everything
         // (an aborted engine reconciles its backlog to zero, so this also
@@ -801,8 +835,9 @@ impl MonitorServer {
             std::thread::sleep(Duration::from_millis(1));
         }
         if let Some(handle) = self.router_handle.take() {
-            let _ = handle.join();
+            join(handle, "net verdict router", &mut escaped, 0);
         }
+        escaped
     }
 
     /// Stops accepting, disconnects every client, quiesces and finishes the
@@ -811,15 +846,18 @@ impl MonitorServer {
     ///
     /// # Errors
     ///
-    /// The [`WorkerPanic`] of the first engine worker that died, like
-    /// [`MonitoringEngine::finish`].
+    /// The [`WorkerPanic`] of the first engine worker that died (like
+    /// [`MonitoringEngine::finish`]) — or of the first *server* thread
+    /// whose join surfaced an escaped panic, which used to be logged and
+    /// dropped here.  A dead engine outranks a dead server thread: the
+    /// engine panic usually explains both.
     ///
     /// # Panics
     ///
     /// Panics if the server's threads leaked an engine handle (an internal
     /// invariant).
     pub fn shutdown(mut self) -> Result<EngineReport, WorkerPanic> {
-        self.stop_threads();
+        let escaped = self.stop_threads();
         // Every thread is joined: the clone below plus `self.shared` are the
         // last two handles, and dropping `self` (whose Drop sees the joined
         // state and returns early) releases the latter.
@@ -827,7 +865,10 @@ impl MonitorServer {
         drop(self);
         let shared = Arc::into_inner(shared).expect("all server threads joined");
         let engine = Arc::into_inner(shared.engine).expect("all engine handles released");
-        engine.finish()
+        match (escaped, engine.finish()) {
+            (Some(panic), Ok(_)) => Err(panic),
+            (_, result) => result,
+        }
     }
 }
 
@@ -837,7 +878,11 @@ impl Drop for MonitorServer {
             // shutdown() already ran (or bind never finished).
             return;
         }
-        self.stop_threads();
+        if let Some(panic) = self.stop_threads() {
+            // Dropped without shutdown(): the last chance to make an
+            // escaped server-thread panic visible at all.
+            eprintln!("drv-net: server thread panic unclaimed at drop: {panic}");
+        }
         // The engine inside `shared` is dropped here, which aborts and
         // joins its pool (MonitoringEngine's own Drop).
     }

@@ -96,6 +96,14 @@ pub enum FrameKind {
     Stats = 5,
     /// Clean end-of-stream (either direction).
     Shutdown = 6,
+    /// A journal record: the object was retired (evicted / TTL-swept) at
+    /// this point of the durable stream.  `drv-store` writes these; the TCP
+    /// server treats one arriving over a connection as a protocol error.
+    Evict = 7,
+    /// A journal record: an opaque per-object checker checkpoint
+    /// (`drv-store` owns the inner layout).  Like [`FrameKind::Evict`],
+    /// never valid over a live connection.
+    Checkpoint = 8,
 }
 
 impl FrameKind {
@@ -107,6 +115,8 @@ impl FrameKind {
             4 => FrameKind::Verdict,
             5 => FrameKind::Stats,
             6 => FrameKind::Shutdown,
+            7 => FrameKind::Evict,
+            8 => FrameKind::Checkpoint,
             _ => return None,
         })
     }
@@ -197,6 +207,14 @@ pub enum Frame {
     Stats(WireStats),
     /// Clean end-of-stream.
     Shutdown,
+    /// A journal retirement record (see [`FrameKind::Evict`]).
+    Evict {
+        /// The retired object.
+        object: ObjectId,
+    },
+    /// A journal checkpoint record: the CRC-validated inner payload,
+    /// decoded by `drv-store`.
+    Checkpoint(Vec<u8>),
 }
 
 /// Why a frame failed to decode.
@@ -527,6 +545,25 @@ pub fn encode_shutdown() -> Vec<u8> {
     seal_frame(FrameKind::Shutdown, &[])
 }
 
+/// Encodes a journal retirement record (see [`FrameKind::Evict`]).
+#[must_use]
+pub fn encode_evict(object: ObjectId) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8);
+    put_u64(&mut payload, object.0);
+    seal_frame(FrameKind::Evict, &payload)
+}
+
+/// Encodes a journal checkpoint record around a store-owned inner payload
+/// (see [`FrameKind::Checkpoint`]).
+///
+/// # Panics
+///
+/// Panics when `payload` exceeds [`MAX_PAYLOAD`], like [`seal_frame`].
+#[must_use]
+pub fn encode_checkpoint(payload: &[u8]) -> Vec<u8> {
+    seal_frame(FrameKind::Checkpoint, payload)
+}
+
 /// A validated frame header.
 struct Header {
     kind: FrameKind,
@@ -658,6 +695,13 @@ fn decode_payload(
             connections: reader.u32("stats connections")?,
         }),
         FrameKind::Shutdown => Frame::Shutdown,
+        FrameKind::Evict => Frame::Evict { object: ObjectId(reader.u64("evicted object")?) },
+        FrameKind::Checkpoint => {
+            // Opaque to this layer: hand the whole (length- and
+            // CRC-validated) payload to the store's decoder.
+            let len = reader.remaining();
+            Frame::Checkpoint(reader.take(len, "checkpoint payload")?.to_vec())
+        }
     };
     if !reader.is_empty() {
         return Err(WireError::TrailingBytes { extra: reader.remaining() });

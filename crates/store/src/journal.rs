@@ -1,0 +1,493 @@
+//! The append-only journal file and its scan/decode half.
+//!
+//! ## File format
+//!
+//! A journal is a flat sequence of the `drv-net` wire frames
+//! (`crates/net/src/wire.rs` — magic, version, kind, length, CRC-32 per
+//! frame), restricted to three kinds:
+//!
+//! * [`FrameKind::Batch`] — one accepted [`EventBatch`], exactly as it
+//!   would travel over a connection (self-contained per-frame
+//!   dictionaries), appended **write-ahead** of its enqueue;
+//! * [`FrameKind::Evict`] — the object was retired (explicit eviction or
+//!   idle-TTL sweep) at this point of the accepted stream;
+//! * [`FrameKind::Checkpoint`] — a store-owned record (layout below)
+//!   carrying one object's serialized checker state and verdict prefix,
+//!   appended **after** the covered events were processed.
+//!
+//! Because every record lands in the one file under one append lock, file
+//! order is causal order: a checkpoint claiming `fed` events is preceded
+//! by ≥ `fed` journaled events of its object, and a tombstone sits exactly
+//! where the retirement happened.  Truncating a torn tail therefore can
+//! never orphan a checkpoint from the events it covers.
+//!
+//! ## Torn tails
+//!
+//! [`scan_journal`] walks frames until the first one that fails to decode
+//! — short header, short payload, CRC mismatch, foreign frame kind,
+//! malformed checkpoint interior — and reports that offset as the valid
+//! length.  [`Store::open`] truncates the file there and appends onward:
+//! a crash mid-`write` costs the torn record (which was never
+//! acknowledged durable under [`FsyncPolicy::Always`] anyway), not the
+//! journal.
+//!
+//! ## Checkpoint record layout (inner payload, version-free by frame)
+//!
+//! ```text
+//! object u64 | fed u64 | count u32 | count × (tag u8, index u32) |
+//! state_len u32 | state bytes
+//! ```
+//!
+//! `fed` must equal `count` (one verdict per fed event); `state` is the
+//! opaque [`ObjectMonitor::checkpoint`](drv_core::ObjectMonitor::checkpoint)
+//! payload.  All counts are validated against the remaining payload before
+//! any allocation.
+
+use crate::error::StoreError;
+use drv_core::Verdict;
+use drv_engine::JournalSink;
+use drv_lang::wire::{put_u32, put_u64, Reader};
+use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
+use drv_net::wire::{decode_frame, encode_checkpoint, encode_evict, Frame, FrameEncoder};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// When the journal calls `fsync` (well, `fdatasync`-equivalent) after an
+/// append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// After every appended record: an acknowledged event survives an OS
+    /// crash, at one sync per append.
+    Always,
+    /// After every N appended records (clamped to ≥ 1): bounded loss
+    /// window, amortized sync cost.
+    EveryN(u64),
+    /// Never: durability only against process crashes (the page cache
+    /// holds the tail), full append throughput.
+    Never,
+}
+
+/// Configuration of a [`Store`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    fsync: FsyncPolicy,
+    checkpoint_interval: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { fsync: FsyncPolicy::EveryN(64), checkpoint_interval: 1024 }
+    }
+}
+
+impl StoreConfig {
+    /// The defaults: fsync every 64 records, checkpoint every 1024 fed
+    /// events per object.
+    #[must_use]
+    pub fn new() -> Self {
+        StoreConfig::default()
+    }
+
+    /// Overrides the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = match policy {
+            FsyncPolicy::EveryN(n) => FsyncPolicy::EveryN(n.max(1)),
+            other => other,
+        };
+        self
+    }
+
+    /// Overrides how many fed events of one object sit between two of its
+    /// checkpoints (clamped to ≥ 1; `u64::MAX` disables checkpointing).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, events: u64) -> Self {
+        self.checkpoint_interval = events.max(1);
+        self
+    }
+
+    /// The configured fsync policy.
+    #[must_use]
+    pub fn fsync(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// The configured checkpoint interval.
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+}
+
+/// A decoded checkpoint record (see the module docs for the layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// The checkpointed object.
+    pub object: ObjectId,
+    /// Events fed to the monitor when the checkpoint was taken.
+    pub fed: u64,
+    /// The object's full verdict stream at that point (`fed` entries).
+    pub verdicts: Vec<Verdict>,
+    /// The monitor's opaque serialized state.
+    pub state: Vec<u8>,
+}
+
+/// Encodes a checkpoint record's inner payload.
+#[must_use]
+pub fn encode_checkpoint_record(object: ObjectId, verdicts: &[Verdict], state: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(24 + verdicts.len() * 5 + state.len());
+    put_u64(&mut payload, object.0);
+    put_u64(&mut payload, verdicts.len() as u64);
+    put_u32(&mut payload, u32::try_from(verdicts.len()).expect("< 2^32 verdicts"));
+    for verdict in verdicts {
+        let (tag, index) = match verdict {
+            Verdict::Yes => (0u8, 0u32),
+            Verdict::No => (1, 0),
+            Verdict::Maybe(i) => (2, *i),
+        };
+        payload.push(tag);
+        put_u32(&mut payload, index);
+    }
+    put_u32(&mut payload, u32::try_from(state.len()).expect("state < 4 GiB"));
+    payload.extend_from_slice(state);
+    payload
+}
+
+/// Decodes a checkpoint record's inner payload.
+///
+/// # Errors
+///
+/// A typed [`StoreError`] on any malformed input — counts are validated
+/// against the remaining bytes before allocation, so an inflated length
+/// field cannot drive memory growth.
+pub fn decode_checkpoint_record(payload: &[u8]) -> Result<CheckpointRecord, StoreError> {
+    let mut reader = Reader::new(payload);
+    let object = ObjectId(reader.u64("checkpoint object")?);
+    let fed = reader.u64("checkpoint fed count")?;
+    let count = reader.count(5, "checkpoint verdicts")?;
+    if fed != count as u64 {
+        return Err(StoreError::BadCheckpoint { what: "fed count != verdict count" });
+    }
+    let mut verdicts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let row = reader.take(5, "checkpoint verdict row")?;
+        let index = u32::from_le_bytes(row[1..5].try_into().expect("4 bytes"));
+        verdicts.push(match row[0] {
+            0 => Verdict::Yes,
+            1 => Verdict::No,
+            2 => Verdict::Maybe(index),
+            _ => return Err(StoreError::BadCheckpoint { what: "unknown verdict tag" }),
+        });
+    }
+    let state_len = reader.u32("checkpoint state length")? as usize;
+    let state = reader.take(state_len, "checkpoint state")?.to_vec();
+    if !reader.is_empty() {
+        return Err(StoreError::BadCheckpoint { what: "trailing bytes" });
+    }
+    Ok(CheckpointRecord { object, fed, verdicts, state })
+}
+
+/// One decoded journal record, in file (= causal) order.
+#[derive(Debug)]
+pub enum JournalRecord {
+    /// An accepted event batch (payload ids interned into the scan arena).
+    Batch(EventBatch),
+    /// The object was retired here.
+    Evict(ObjectId),
+    /// A checker checkpoint.
+    Checkpoint(CheckpointRecord),
+}
+
+/// The result of scanning a journal byte buffer.
+#[derive(Debug)]
+pub struct ScanResult {
+    /// The decoded records of the valid prefix.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of the valid prefix; anything past it is a torn/corrupt tail.
+    pub valid_len: u64,
+    /// What stopped the scan at `valid_len`, if anything did.
+    pub torn: Option<StoreError>,
+}
+
+/// Scans `buf` as a journal, decoding batch payloads into `arena`, until
+/// the first frame that fails to decode — the torn-tail rule of the module
+/// docs.  Infallible by design: corruption shortens the valid prefix
+/// instead of failing the open, and the cause is reported in
+/// [`ScanResult::torn`].
+#[must_use]
+pub fn scan_journal(buf: &[u8], arena: &SharedInterner) -> ScanResult {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut torn = None;
+    while offset < buf.len() {
+        match decode_frame(&buf[offset..], arena) {
+            Ok((Frame::Batch(batch), used)) => {
+                records.push(JournalRecord::Batch(batch.events));
+                offset += used;
+            }
+            Ok((Frame::Evict { object }, used)) => {
+                records.push(JournalRecord::Evict(object));
+                offset += used;
+            }
+            Ok((Frame::Checkpoint(payload), used)) => match decode_checkpoint_record(&payload) {
+                Ok(record) => {
+                    records.push(JournalRecord::Checkpoint(record));
+                    offset += used;
+                }
+                Err(err) => {
+                    torn = Some(err);
+                    break;
+                }
+            },
+            Ok(_) => {
+                // Credit/Nack/Verdict/Stats/Shutdown never belong in a
+                // journal: the frame stream is no longer ours.
+                torn = Some(StoreError::BadCheckpoint { what: "foreign frame kind in journal" });
+                break;
+            }
+            Err(err) => {
+                torn = Some(StoreError::Wire(err));
+                break;
+            }
+        }
+    }
+    ScanResult { records, valid_len: offset as u64, torn }
+}
+
+/// Append-side state, serialized under one lock so file order is causal
+/// order.
+struct Appender {
+    file: File,
+    encoder: FrameEncoder,
+    /// Monotone id stamped into journaled batch frames (decode ignores it
+    /// on replay; it keeps frames byte-identical in shape to wire traffic).
+    batch_id: u64,
+    /// Records appended since the last sync (the [`FsyncPolicy::EveryN`]
+    /// counter).
+    since_sync: u64,
+    /// Reused 1-event batch backing `append_event`.
+    single: EventBatch,
+}
+
+/// Counters of a running [`Store`] (monotone, racy reads).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Event-batch records appended.
+    pub batches: u64,
+    /// Events those batches carried.
+    pub events: u64,
+    /// Checkpoint records appended.
+    pub checkpoints: u64,
+    /// Tombstone records appended.
+    pub tombstones: u64,
+    /// Syncs issued.
+    pub syncs: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    batches: AtomicU64,
+    events: AtomicU64,
+    checkpoints: AtomicU64,
+    tombstones: AtomicU64,
+    syncs: AtomicU64,
+}
+
+/// The crash-durable journal store: an open journal file plus the
+/// [`JournalSink`] the engine taps.  Construct with [`Store::open`] (fresh
+/// or existing file; torn tails truncated), or let
+/// [`recover`](crate::recover) open it as part of rebuilding an engine.
+///
+/// Sink appends are **infallible by signature** (the engine's submit path
+/// does not fail): an I/O error latches the store into a degraded no-op
+/// state instead, observable through [`Store::io_error`] — monitoring
+/// continues, durability stops, the operator decides.
+pub struct Store {
+    inner: Mutex<Appender>,
+    /// Private arena backing `append_event`'s single-event encoding (batch
+    /// appends resolve against the arena the engine passes in).
+    arena: SharedInterner,
+    config: StoreConfig,
+    /// Latched on the first append/sync I/O error; all later appends
+    /// no-op.
+    failed: AtomicBool,
+    error: Mutex<Option<std::io::Error>>,
+    /// Bytes the open-time scan cut off the inherited file.
+    truncated: u64,
+    stats: StatCells,
+}
+
+impl Store {
+    /// Opens (creating if absent) the journal at `path`: scans the
+    /// existing contents, truncates the torn tail if one is found, and
+    /// positions appends at the end of the valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// File I/O only — on-disk corruption is salvaged, not fatal.
+    pub fn open(path: impl AsRef<Path>, config: StoreConfig) -> Result<Store, StoreError> {
+        let path = path.as_ref();
+        let buf = match std::fs::read(path) {
+            Ok(buf) => buf,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(err) => return Err(StoreError::Io(err)),
+        };
+        // The scan arena is throwaway: open() only needs the valid length.
+        let scan = scan_journal(&buf, &SharedInterner::new());
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let truncated = buf.len() as u64 - scan.valid_len;
+        if truncated > 0 {
+            file.set_len(scan.valid_len)?;
+        }
+        file.seek(SeekFrom::Start(scan.valid_len))?;
+        Ok(Store {
+            inner: Mutex::new(Appender {
+                file,
+                encoder: FrameEncoder::new(),
+                batch_id: 0,
+                since_sync: 0,
+                single: EventBatch::with_capacity(1),
+            }),
+            arena: SharedInterner::new(),
+            config,
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+            truncated,
+            stats: StatCells::default(),
+        })
+    }
+
+    /// The store's configuration.
+    #[must_use]
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Bytes the open-time scan truncated off a torn tail (0 for a clean
+    /// or fresh journal).
+    #[must_use]
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated
+    }
+
+    /// A snapshot of the append counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            events: self.stats.events.load(Ordering::Relaxed),
+            checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
+            tombstones: self.stats.tombstones.load(Ordering::Relaxed),
+            syncs: self.stats.syncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The first I/O error that latched the store into its degraded no-op
+    /// state, if any (rendered; the store keeps the original).
+    #[must_use]
+    pub fn io_error(&self) -> Option<String> {
+        self.error.lock().as_ref().map(std::string::ToString::to_string)
+    }
+
+    /// Forces an fsync of everything appended so far (regardless of
+    /// policy).
+    ///
+    /// # Errors
+    ///
+    /// The sync error; the store also latches it.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        if self.failed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let inner = self.inner.lock();
+        if let Err(err) = inner.file.sync_data() {
+            let copy = std::io::Error::new(err.kind(), err.to_string());
+            self.latch(err);
+            return Err(StoreError::Io(copy));
+        }
+        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn latch(&self, err: std::io::Error) {
+        self.error.lock().get_or_insert(err);
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Appends one sealed frame under the lock, applying the fsync policy.
+    /// Degrades to a no-op once an I/O error has latched.
+    fn append(&self, inner: &mut Appender, frame: &[u8]) {
+        if self.failed.load(Ordering::Acquire) {
+            return;
+        }
+        if let Err(err) = inner.file.write_all(frame) {
+            self.latch(err);
+            return;
+        }
+        inner.since_sync += 1;
+        let due = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => inner.since_sync >= n,
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            inner.since_sync = 0;
+            if let Err(err) = inner.file.sync_data() {
+                self.latch(err);
+                return;
+            }
+            self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl JournalSink for Store {
+    fn append_batch(&self, batch: &EventBatch, arena: &SharedInterner) {
+        let mut inner = self.inner.lock();
+        inner.batch_id += 1;
+        let id = inner.batch_id;
+        let frame = inner.encoder.encode_batch(id, batch, arena);
+        self.append(&mut inner, &frame);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+
+    fn append_event(&self, object: ObjectId, symbol: &Symbol) {
+        let mut inner = self.inner.lock();
+        inner.batch_id += 1;
+        let id = inner.batch_id;
+        inner.single.clear();
+        inner.single.push_symbol(object, symbol, &self.arena);
+        let Appender { encoder, single, .. } = &mut *inner;
+        let frame = encoder.encode_batch(id, single, &self.arena);
+        self.append(&mut inner, &frame);
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn checkpoint_interval(&self) -> u64 {
+        self.config.checkpoint_interval
+    }
+
+    fn checkpoint(&self, object: ObjectId, verdicts: &[Verdict], state: &[u8]) {
+        let frame = encode_checkpoint(&encode_checkpoint_record(object, verdicts, state));
+        let mut inner = self.inner.lock();
+        self.append(&mut inner, &frame);
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn tombstone(&self, object: ObjectId) {
+        let frame = encode_evict(object);
+        let mut inner = self.inner.lock();
+        self.append(&mut inner, &frame);
+        self.stats.tombstones.fetch_add(1, Ordering::Relaxed);
+    }
+}

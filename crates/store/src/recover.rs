@@ -1,0 +1,200 @@
+//! Crash recovery: latest valid checkpoints + journal-suffix replay.
+//!
+//! ## The scan rules (per object X, walking records in file order)
+//!
+//! * **Batch** — count X's events (`seen[X]`).
+//! * **Checkpoint(X)** — a candidate seed when it is *provable from the
+//!   file alone*: `fed ≤ seen[X]` (its coverage is actually journaled
+//!   ahead of it — always true in a file the store wrote, defensive
+//!   against hand-corrupted ones) and X has no tombstone yet.  Last valid
+//!   candidate wins.
+//! * **Evict(X)** — drop X's seed and blacklist all later checkpoints of
+//!   X: the engine never checkpoints post-retirement generations
+//!   (`base > 0`), so a later checkpoint can only be stale or forged, and
+//!   the eviction itself is replayed as an [`MonitoringEngine::evict`]
+//!   call that retires X at the same position.
+//!
+//! ## Why replay is verdict-identical
+//!
+//! Events are journaled write-ahead in acceptance order and per-object
+//! FIFO (one producer per object — the net server's ownership rule).
+//! A seed restores the checker to its exact post-`fed`-events state
+//! ([`ObjectMonitor::restore`] is bit-identical by contract) with the
+//! verdict prefix pre-filled; the engine then swallows the first `fed`
+//! replayed events of the object and feeds the rest, so the suffix
+//! verdicts are re-decided by the same deterministic checker from the
+//! same state — and carry their original `seq` numbers, letting a
+//! reconnecting client resume from its cursor.  A seed that fails
+//! [`ObjectMonitor::restore`] (corrupt state that survived the CRC, a
+//! factory change) is dropped, not trusted: the object falls back to full
+//! replay, which is slower and equally exact.
+//!
+//! [`ObjectMonitor::restore`]: drv_core::ObjectMonitor::restore
+
+use crate::error::StoreError;
+use crate::journal::{scan_journal, CheckpointRecord, JournalRecord, Store, StoreConfig};
+use drv_core::ObjectMonitorFactory;
+use drv_engine::{EngineConfig, MonitoringEngine, RecoveredObject};
+use drv_lang::{ObjectId, SharedInterner};
+use drv_net::{MonitorServer, ServerConfig};
+use std::collections::{HashMap, HashSet};
+use std::net::ToSocketAddrs;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What recovery did, for logging and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Bytes truncated off a torn tail at open.
+    pub truncated_bytes: u64,
+    /// Batch records replayed.
+    pub batches: u64,
+    /// Events those batches carried (pre-checkpoint events included — the
+    /// engine swallows, rather than re-feeds, the covered prefix).
+    pub replayed_events: u64,
+    /// Events covered by accepted checkpoints (swallowed, not re-fed).
+    pub skipped_events: u64,
+    /// Objects seeded from a checkpoint.
+    pub seeded_objects: usize,
+    /// Checkpoints rejected because [`drv_core::ObjectMonitor::restore`]
+    /// refused their state (those objects fall back to full replay).
+    pub rejected_checkpoints: usize,
+    /// Eviction records replayed.
+    pub tombstones: u64,
+}
+
+/// A recovered monitoring setup: the rebuilt engine (journal sink already
+/// re-attached), the open store, and what recovery did.
+pub struct Recovery {
+    /// The engine, caught up to the journal's last accepted event, with
+    /// verdict `seq` numbers continuing the pre-crash stream.
+    pub engine: MonitoringEngine,
+    /// The open journal, attached to the engine and appending onward.
+    pub store: Arc<Store>,
+    /// Recovery counters.
+    pub stats: RecoveryStats,
+}
+
+/// Opens (or creates) the journal at `path` and rebuilds a
+/// [`MonitoringEngine`] from it: latest valid checkpoint per object, then
+/// replay of the journal suffix through the batched submit path, then the
+/// store re-attached as the engine's [`JournalSink`](drv_engine::JournalSink).
+/// On a fresh path this is just `MonitoringEngine::new` + journaling.
+///
+/// # Errors
+///
+/// File I/O only — journal corruption is salvaged by the torn-tail scan,
+/// and unusable checkpoints degrade to full replay.
+pub fn recover(
+    path: impl AsRef<Path>,
+    config: StoreConfig,
+    engine_config: EngineConfig,
+    factory: Arc<dyn ObjectMonitorFactory>,
+) -> Result<Recovery, StoreError> {
+    let path = path.as_ref();
+    let store = Arc::new(Store::open(path, config)?);
+    // Re-read the (now truncated-to-valid) file once for both passes.
+    let buf = std::fs::read(path)?;
+    let mut stats = RecoveryStats {
+        truncated_bytes: store.truncated_bytes(),
+        ..RecoveryStats::default()
+    };
+
+    // Pass 1 — seed selection, against a throwaway arena.
+    let scan = scan_journal(&buf, &SharedInterner::new());
+    debug_assert!(scan.torn.is_none(), "open() already truncated the torn tail");
+    let mut seen: HashMap<ObjectId, u64> = HashMap::new();
+    let mut seeds: HashMap<ObjectId, CheckpointRecord> = HashMap::new();
+    let mut dead: HashSet<ObjectId> = HashSet::new();
+    for record in &scan.records {
+        match record {
+            JournalRecord::Batch(batch) => {
+                for event in batch.iter() {
+                    *seen.entry(event.object).or_insert(0) += 1;
+                }
+            }
+            JournalRecord::Checkpoint(checkpoint) => {
+                let journaled = seen.get(&checkpoint.object).copied().unwrap_or(0);
+                if !dead.contains(&checkpoint.object) && checkpoint.fed <= journaled {
+                    seeds.insert(checkpoint.object, checkpoint.clone());
+                }
+            }
+            JournalRecord::Evict(object) => {
+                seeds.remove(object);
+                dead.insert(*object);
+            }
+        }
+    }
+
+    // Validate each seed by actually restoring a monitor from it; a
+    // refusal means full replay for that object, never a half-trusted
+    // state.
+    let mut recovered: Vec<RecoveredObject> = Vec::with_capacity(seeds.len());
+    for (object, checkpoint) in seeds {
+        let mut monitor = factory.create(object);
+        match monitor.restore(&checkpoint.state) {
+            Ok(()) => {
+                stats.skipped_events += checkpoint.fed;
+                recovered.push(RecoveredObject {
+                    object,
+                    monitor,
+                    verdicts: checkpoint.verdicts,
+                });
+            }
+            Err(_) => stats.rejected_checkpoints += 1,
+        }
+    }
+    stats.seeded_objects = recovered.len();
+
+    // Pass 2 — replay through the batched submit path, no sink attached:
+    // recovery must not re-journal what it reads.  Eviction records replay
+    // as evict() calls, which queue FIFO behind the events before them —
+    // reproducing the retirement position, so tombstoned objects are
+    // retired again instead of resurrected.
+    let engine = MonitoringEngine::with_recovered(engine_config, factory, recovered);
+    let mut offset = 0usize;
+    while offset < buf.len() {
+        use drv_net::wire::{decode_frame, Frame};
+        let (frame, used) =
+            decode_frame(&buf[offset..], engine.interner()).expect("scan validated this prefix");
+        offset += used;
+        match frame {
+            Frame::Batch(batch) => {
+                stats.batches += 1;
+                stats.replayed_events += batch.events.len() as u64;
+                engine.submit_batch(&batch.events);
+            }
+            Frame::Evict { object } => {
+                stats.tombstones += 1;
+                engine.evict(object);
+            }
+            Frame::Checkpoint(_) => {}
+            _ => unreachable!("scan admits only journal record kinds"),
+        }
+    }
+
+    engine.attach_journal(Arc::clone(&store) as Arc<dyn drv_engine::JournalSink>);
+    Ok(Recovery { engine, store, stats })
+}
+
+/// The durable [`MonitorServer`] constructor: recovers (or freshly opens)
+/// the journal at `path`, binds the TCP front over the rebuilt engine, and
+/// keeps journaling — the post-crash verdict `seq` numbers continue the
+/// pre-crash stream, so reconnecting clients can resume from their cursor.
+///
+/// # Errors
+///
+/// The recovery error or the bind error.
+pub fn serve_durable(
+    addr: impl ToSocketAddrs,
+    path: impl AsRef<Path>,
+    config: StoreConfig,
+    engine_config: EngineConfig,
+    factory: Arc<dyn ObjectMonitorFactory>,
+    server_config: ServerConfig,
+) -> Result<(MonitorServer, Arc<Store>, RecoveryStats), StoreError> {
+    let recovery = recover(path, config, engine_config, factory)?;
+    let server = MonitorServer::with_engine(addr, Arc::new(recovery.engine), server_config)
+        .map_err(StoreError::Io)?;
+    Ok((server, recovery.store, recovery.stats))
+}

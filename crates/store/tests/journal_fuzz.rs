@@ -1,0 +1,306 @@
+//! Journal corruption hardening, in the style of `drv-net`'s
+//! `wire_fuzz.rs`: seeded byte flips, truncation at every boundary class,
+//! header length inflation with a re-sealed CRC, checkpoint-interior
+//! mutation, interleaved torn tails and raw garbage.  The contract under
+//! test: [`scan_journal`] always returns (salvaging the longest valid
+//! prefix and reporting a typed cause), [`Store::open`] truncates rather
+//! than trusts, [`decode_checkpoint_record`] yields typed
+//! [`StoreError`]s — never a panic, never an allocation sized from a
+//! corrupted length field — and a journal stays appendable and
+//! recoverable after salvage.
+
+use drv_core::{CheckerMonitorFactory, Verdict};
+use drv_engine::{EngineConfig, JournalSink};
+use drv_lang::{EventBatch, Invocation, ObjectId, ProcId, Response, SharedInterner, Symbol};
+use drv_net::wire::{
+    crc32, decode_frame, encode_checkpoint, encode_evict, FrameEncoder, HEADER_LEN, MAX_PAYLOAD,
+};
+use drv_spec::Register;
+use drv_store::{
+    decode_checkpoint_record, encode_checkpoint_record, recover, scan_journal, FsyncPolicy,
+    JournalRecord, Store, StoreConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Seeded fuzz rounds.
+const ROUNDS: u64 = 400;
+
+/// A fresh journal path under the OS temp dir.
+fn journal_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "drv-store-fuzz-{tag}-{}-{unique}.journal",
+        std::process::id()
+    ))
+}
+
+/// A valid journal with seed-varied contents: batch records (several
+/// objects, all payload shapes), checkpoints (some with garbage state —
+/// valid *records*, restore-rejected seeds) and tombstones.
+fn valid_journal(rng: &mut StdRng) -> Vec<u8> {
+    let arena = SharedInterner::new();
+    let mut encoder = FrameEncoder::new();
+    let mut buf = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    for record in 0..rng.gen_range(3..=10u32) {
+        match rng.gen_range(0..5u32) {
+            0..=2 => {
+                let mut batch = EventBatch::new();
+                for i in 0..rng.gen_range(1..=12u64) {
+                    let object = ObjectId(rng.gen_range(0..4u64));
+                    let proc = ProcId(rng.gen_range(0..2usize));
+                    let symbol = match rng.gen_range(0..4u32) {
+                        0 => Symbol::invoke(proc, Invocation::Write(i)),
+                        1 => Symbol::invoke(proc, Invocation::Read),
+                        2 => Symbol::respond(proc, Response::Ack),
+                        _ => Symbol::respond(proc, Response::Value(i)),
+                    };
+                    batch.push_symbol(object, &symbol, &arena);
+                    verdicts.push(match rng.gen_range(0..3u32) {
+                        0 => Verdict::Yes,
+                        1 => Verdict::No,
+                        _ => Verdict::Maybe(rng.gen_range(0..5u32)),
+                    });
+                }
+                buf.extend_from_slice(&encoder.encode_batch(u64::from(record), &batch, &arena));
+            }
+            3 => {
+                let state: Vec<u8> = (0..rng.gen_range(0..64usize))
+                    .map(|_| rng.gen_range(0..=255u8))
+                    .collect();
+                let take = rng.gen_range(0..=verdicts.len().min(8));
+                let inner = encode_checkpoint_record(
+                    ObjectId(rng.gen_range(0..4u64)),
+                    &verdicts[..take],
+                    &state,
+                );
+                buf.extend_from_slice(&encode_checkpoint(&inner));
+            }
+            _ => {
+                buf.extend_from_slice(&encode_evict(ObjectId(rng.gen_range(0..4u64))));
+            }
+        }
+    }
+    buf
+}
+
+/// The salvage invariant: whatever `scan_journal` reports as the valid
+/// prefix must itself re-scan clean (no torn cause, same record count).
+fn assert_salvage(buf: &[u8]) {
+    let arena = SharedInterner::new();
+    let scan = scan_journal(buf, &arena);
+    let valid = usize::try_from(scan.valid_len).expect("prefix fits");
+    assert!(valid <= buf.len(), "valid prefix cannot exceed the input");
+    let rescan = scan_journal(&buf[..valid], &SharedInterner::new());
+    assert!(rescan.torn.is_none(), "the salvaged prefix must be clean: {:?}", rescan.torn);
+    assert_eq!(rescan.valid_len, scan.valid_len);
+    assert_eq!(rescan.records.len(), scan.records.len());
+}
+
+#[test]
+fn seeded_byte_flips_salvage_a_clean_prefix() {
+    let mut torn = 0u64;
+    let mut survivals = 0u64;
+    for seed in 0..ROUNDS {
+        let mut rng = StdRng::seed_from_u64(0x10AD ^ seed);
+        let journal = valid_journal(&mut rng);
+        let mut flipped = journal.clone();
+        for _ in 0..rng.gen_range(1..=4u32) {
+            let pos = rng.gen_range(0..flipped.len());
+            flipped[pos] ^= 1u8 << rng.gen_range(0..8u32);
+        }
+        assert_salvage(&flipped);
+        let scan = scan_journal(&flipped, &SharedInterner::new());
+        if scan.torn.is_some() {
+            torn += 1;
+        } else {
+            survivals += 1;
+        }
+    }
+    // Payload flips die at the CRC, header flips at validation; only flips
+    // into ignored bytes (e.g. reserved) may survive.
+    assert!(torn > survivals, "suspiciously many flipped journals scanned clean: {survivals}");
+}
+
+#[test]
+fn truncation_at_every_boundary_class_keeps_the_frame_prefix() {
+    for seed in 0..ROUNDS {
+        let mut rng = StdRng::seed_from_u64(0x7241 ^ seed);
+        let journal = valid_journal(&mut rng);
+        let full = scan_journal(&journal, &SharedInterner::new());
+        assert!(full.torn.is_none());
+        for cut in [
+            rng.gen_range(0..HEADER_LEN.min(journal.len())),
+            rng.gen_range(0..journal.len()),
+            journal.len().saturating_sub(1),
+        ] {
+            assert_salvage(&journal[..cut]);
+            let scan = scan_journal(&journal[..cut], &SharedInterner::new());
+            assert!(scan.records.len() <= full.records.len());
+            assert!(scan.valid_len <= cut as u64);
+        }
+    }
+}
+
+#[test]
+fn inflated_length_fields_cannot_allocate() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let journal = valid_journal(&mut rng);
+    // Find each frame start so the inflation hits a real header.
+    let mut offsets = Vec::new();
+    let mut offset = 0usize;
+    while offset < journal.len() {
+        offsets.push(offset);
+        let (_, used) = decode_frame(&journal[offset..], &SharedInterner::new()).unwrap();
+        offset += used;
+    }
+    for &start in &offsets {
+        for inflated in [MAX_PAYLOAD + 1, u32::MAX, 1 << 30] {
+            let mut bad = journal.clone();
+            bad[start + 8..start + 12].copy_from_slice(&inflated.to_le_bytes());
+            // Re-seal the CRC so only the length guard stands between the
+            // field and an allocation.
+            let crc = crc32(&bad[start + HEADER_LEN..]);
+            bad[start + 12..start + 16].copy_from_slice(&crc.to_le_bytes());
+            let scan = scan_journal(&bad, &SharedInterner::new());
+            assert_eq!(
+                scan.valid_len, start as u64,
+                "an inflated length field must stop the scan at its frame"
+            );
+            assert!(scan.torn.is_some(), "the stop must carry a typed cause");
+            assert_salvage(&bad);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_interior_corruption_yields_typed_errors() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let verdicts = vec![Verdict::Yes, Verdict::No, Verdict::Maybe(3), Verdict::Yes];
+    let inner = encode_checkpoint_record(ObjectId(7), &verdicts, b"opaque checker state");
+    decode_checkpoint_record(&inner).expect("the uncorrupted record decodes");
+    let mut rejected = 0u64;
+    let mut survivals = 0u64;
+    for _ in 0..2000 {
+        let mut bad = inner.clone();
+        match rng.gen_range(0..3u32) {
+            // Byte flips anywhere in the record.
+            0 => {
+                for _ in 0..rng.gen_range(1..=4u32) {
+                    let pos = rng.gen_range(0..bad.len());
+                    bad[pos] ^= 1u8 << rng.gen_range(0..8u32);
+                }
+            }
+            // Count/length inflation: overwrite 4 bytes with a huge value.
+            1 => {
+                let pos = rng.gen_range(0..bad.len().saturating_sub(4));
+                bad[pos..pos + 4]
+                    .copy_from_slice(&rng.gen_range(1u32 << 20..u32::MAX).to_le_bytes());
+            }
+            // Truncation.
+            _ => bad.truncate(rng.gen_range(0..bad.len())),
+        }
+        match decode_checkpoint_record(&bad) {
+            Ok(_) => survivals += 1,
+            Err(_) => rejected += 1,
+        }
+        // The framed version must stop a scan with a typed cause, not kill
+        // it: a journal embedding the corrupt record salvages up to it.
+        let mut journal = encode_evict(ObjectId(1));
+        journal.extend_from_slice(&encode_checkpoint(&bad));
+        assert_salvage(&journal);
+    }
+    assert!(rejected > 0, "no interior mutation was ever rejected");
+    assert!(rejected > survivals, "most interior mutations must be typed rejections");
+}
+
+#[test]
+fn random_garbage_scans_to_nothing() {
+    let mut rng = StdRng::seed_from_u64(0xBAAD);
+    for _ in 0..2000 {
+        let len = rng.gen_range(0..512usize);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u8)).collect();
+        assert_salvage(&garbage);
+        // Garbage behind a valid journal prefix: the prefix survives.
+        let mut rng2 = StdRng::seed_from_u64(rng.gen_range(0..u64::MAX));
+        let mut journal = valid_journal(&mut rng2);
+        let clean = scan_journal(&journal, &SharedInterner::new());
+        journal.extend_from_slice(&garbage);
+        let scan = scan_journal(&journal, &SharedInterner::new());
+        assert!(scan.records.len() >= clean.records.len());
+        assert_salvage(&journal);
+    }
+}
+
+#[test]
+fn open_truncates_corruption_and_stays_appendable() {
+    for seed in 0..40 {
+        let mut rng = StdRng::seed_from_u64(0x0F3A ^ seed);
+        let mut journal = valid_journal(&mut rng);
+        // Corrupt the tail half: flip bytes or chop mid-frame.
+        if rng.gen_bool(0.5) {
+            let pos = rng.gen_range(journal.len() / 2..journal.len());
+            journal[pos] ^= 0x40;
+        } else {
+            let len = rng.gen_range(journal.len() / 2..journal.len());
+            journal.truncate(len);
+        }
+        let salvaged = scan_journal(&journal, &SharedInterner::new());
+        let path = journal_path("reopen");
+        std::fs::write(&path, &journal).unwrap();
+
+        let config = StoreConfig::new().with_fsync(FsyncPolicy::Never);
+        let store = Store::open(&path, config).expect("open salvages, never fails on corruption");
+        assert_eq!(
+            store.truncated_bytes(),
+            journal.len() as u64 - salvaged.valid_len,
+            "open must truncate exactly the torn tail"
+        );
+        // Append after salvage: the journal must stay clean end to end.
+        store.append_event(ObjectId(9), &Symbol::invoke(ProcId(0), Invocation::Read));
+        store.tombstone(ObjectId(9));
+        assert!(store.io_error().is_none());
+        drop(store);
+        let reread = std::fs::read(&path).unwrap();
+        let rescan = scan_journal(&reread, &SharedInterner::new());
+        assert!(rescan.torn.is_none(), "appending after salvage re-tore the journal");
+        assert_eq!(rescan.records.len(), salvaged.records.len() + 2);
+        assert!(matches!(rescan.records.last(), Some(JournalRecord::Evict(ObjectId(9)))));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn recover_from_corrupted_journals_never_panics() {
+    for seed in 0..25 {
+        let mut rng = StdRng::seed_from_u64(0x4EC0 ^ seed);
+        let mut journal = valid_journal(&mut rng);
+        for _ in 0..rng.gen_range(1..=6u32) {
+            let pos = rng.gen_range(0..journal.len());
+            journal[pos] ^= 1u8 << rng.gen_range(0..8u32);
+        }
+        let path = journal_path("recover");
+        std::fs::write(&path, &journal).unwrap();
+        // The journal's checkpoints carry garbage state: recovery must
+        // reject them (typed restore failures → full replay), never panic,
+        // and the rebuilt engine must shut down clean.
+        let recovery = recover(
+            &path,
+            StoreConfig::new().with_fsync(FsyncPolicy::Never),
+            EngineConfig::new(2),
+            Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2)),
+        )
+        .expect("corruption is salvaged, not fatal");
+        assert_eq!(
+            recovery.stats.seeded_objects, 0,
+            "garbage checkpoint state must never seed a monitor"
+        );
+        recovery.engine.finish().expect("no worker panicked");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,338 @@
+//! The kill-and-recover differential: crash a journaled run at **every
+//! frame boundary** (plus seeded mid-frame torn tails), recover, and
+//! require the merged verdict streams to be bit-identical to
+//! [`sequential_reference`] over exactly the events the surviving journal
+//! prefix holds — at 1/2/4 workers and producer batch sizes 1/256.
+//!
+//! The journal is the ground truth of what was accepted: truncating it at
+//! offset X *is* the crash at X (everything past the valid prefix — torn
+//! frame included — is what the crash cost).  Recovery must rebuild the
+//! engine from the latest checkpoints, replay the suffix, and end up with
+//! the exact per-object verdict streams an uninterrupted run over that
+//! prefix would have produced — original `seq` numbering included, which
+//! the pre-filled checkpoint prefixes guarantee by construction.
+
+use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory};
+use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
+use drv_lang::{
+    EventAction, Invocation, ObjectId, ProcId, Response, SharedInterner, Symbol,
+};
+use drv_net::wire::decode_frame;
+use drv_spec::Register;
+use drv_store::{recover, scan_journal, FsyncPolicy, JournalRecord, Store, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const PROCESSES: usize = 2;
+
+/// LIN for even objects, SC for odd — the workspace's standard mixed fleet.
+fn mixed_factory() -> Arc<RoutingMonitorFactory> {
+    let lin = Arc::new(CheckerMonitorFactory::linearizability(Register::new(), PROCESSES))
+        as Arc<dyn ObjectMonitorFactory>;
+    let sc = Arc::new(CheckerMonitorFactory::sequential_consistency(Register::new(), PROCESSES))
+        as Arc<dyn ObjectMonitorFactory>;
+    Arc::new(RoutingMonitorFactory::new("mixed LIN/SC", move |object: ObjectId| {
+        if object.0.is_multiple_of(2) {
+            Arc::clone(&lin)
+        } else {
+            Arc::clone(&sc)
+        }
+    }))
+}
+
+/// A fresh journal path under the OS temp dir (unique per call; removed by
+/// the caller when the test ends).
+fn journal_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "drv-store-{tag}-{}-{unique}.journal",
+        std::process::id()
+    ))
+}
+
+/// A seeded interleaved multi-object stream: per-object self-contained
+/// rounds (`write v; ack; read; v-or-stale`), round order shuffled across
+/// objects, ~20% faulty rounds (latching LIN violations, recovering SC
+/// dips).
+fn seeded_stream(seed: u64, objects: u64, rounds: u64) -> Vec<(ObjectId, Symbol)> {
+    let mut rng = StdRng::seed_from_u64(0x0005_709E ^ seed);
+    let mut per_object: Vec<(ObjectId, Vec<Symbol>)> = (0..objects)
+        .map(|o| {
+            let object = ObjectId(seed * 64 + o);
+            let mut symbols = Vec::new();
+            for r in 0..rounds {
+                let value = r + 1;
+                let read = if rng.gen_bool(0.2) { value.wrapping_sub(1) } else { value };
+                symbols.extend([
+                    Symbol::invoke(ProcId(0), Invocation::Write(value)),
+                    Symbol::respond(ProcId(0), Response::Ack),
+                    Symbol::invoke(ProcId(1), Invocation::Read),
+                    Symbol::respond(ProcId(1), Response::Value(read)),
+                ]);
+            }
+            (object, symbols)
+        })
+        .collect();
+    // Interleave: repeatedly pick a random object with symbols left and
+    // emit a random-length run of its stream (keeps per-object order).
+    let mut events = Vec::new();
+    while per_object.iter().any(|(_, symbols)| !symbols.is_empty()) {
+        let pick = rng.gen_range(0..per_object.len());
+        let (object, symbols) = &mut per_object[pick];
+        if symbols.is_empty() {
+            continue;
+        }
+        let take = rng.gen_range(1..=symbols.len().min(3));
+        for symbol in symbols.drain(..take) {
+            events.push((*object, symbol));
+        }
+    }
+    events
+}
+
+/// Replays the journal's batch records into the flat `(object, symbol)`
+/// stream they were accepted as — the ground truth the differential
+/// compares against.
+fn journaled_events(buf: &[u8]) -> Vec<(ObjectId, Symbol)> {
+    let arena = SharedInterner::new();
+    let scan = scan_journal(buf, &arena);
+    let mut events = Vec::new();
+    for record in scan.records {
+        if let JournalRecord::Batch(batch) = record {
+            for event in batch.iter() {
+                let symbol = match event.action {
+                    EventAction::Invoke(id) => {
+                        Symbol::invoke(event.proc, arena.resolve_invocation(id))
+                    }
+                    EventAction::Respond(id) => {
+                        Symbol::respond(event.proc, arena.resolve_response(id))
+                    }
+                };
+                events.push((event.object, symbol));
+            }
+        }
+    }
+    events
+}
+
+/// Every frame boundary of the journal (0 and the total length included).
+fn frame_boundaries(buf: &[u8]) -> Vec<usize> {
+    let arena = SharedInterner::new();
+    let mut offsets = vec![0];
+    let mut offset = 0;
+    while offset < buf.len() {
+        let (_, used) = decode_frame(&buf[offset..], &arena).expect("journal written by us");
+        offset += used;
+        offsets.push(offset);
+    }
+    offsets
+}
+
+/// Runs the stream through a journaled engine and returns the journal
+/// bytes (the engine's report is checked against the reference too, as the
+/// crash-free baseline).
+fn run_journaled(
+    path: &PathBuf,
+    events: &[(ObjectId, Symbol)],
+    workers: usize,
+    batch: usize,
+    store_config: StoreConfig,
+) -> Vec<u8> {
+    let store = Arc::new(Store::open(path, store_config).expect("journal opens"));
+    let engine = MonitoringEngine::new(EngineConfig::new(workers), mixed_factory());
+    engine.attach_journal(Arc::clone(&store) as Arc<dyn drv_engine::JournalSink>);
+    engine.submit_stream(events, batch);
+    let report = engine.finish().expect("no worker panicked");
+    assert!(store.io_error().is_none(), "journal append failed: {:?}", store.io_error());
+    let expected = sequential_reference(mixed_factory().as_ref(), events);
+    for (object, verdicts) in &expected {
+        assert_eq!(
+            report.verdicts(*object),
+            Some(&verdicts[..]),
+            "baseline run diverged for {object:?}"
+        );
+    }
+    std::fs::read(path).expect("journal readable")
+}
+
+/// Truncates the journal to `len` bytes (the crash), recovers, and asserts
+/// the recovered report is bit-identical to the sequential reference over
+/// the surviving event prefix.
+fn crash_recover_and_check(
+    path: &PathBuf,
+    buf: &[u8],
+    len: usize,
+    workers: usize,
+    store_config: StoreConfig,
+) {
+    std::fs::write(path, &buf[..len]).expect("write truncated journal");
+    let survivors = journaled_events(&buf[..len]);
+    let recovery = recover(path, store_config, EngineConfig::new(workers), mixed_factory())
+        .expect("recovery succeeds");
+    assert_eq!(
+        recovery.stats.replayed_events,
+        survivors.len() as u64,
+        "crash at {len}: replay must cover exactly the surviving prefix"
+    );
+    let report = recovery.engine.finish().expect("no worker panicked");
+    let expected = sequential_reference(mixed_factory().as_ref(), &survivors);
+    assert_eq!(
+        report.objects.keys().collect::<Vec<_>>(),
+        expected.keys().collect::<Vec<_>>(),
+        "crash at {len}: object sets diverge"
+    );
+    for (object, verdicts) in &expected {
+        assert_eq!(
+            report.verdicts(*object),
+            Some(&verdicts[..]),
+            "crash at byte {len}, {workers} workers, {object:?}"
+        );
+    }
+}
+
+#[test]
+fn kill_at_every_frame_boundary_recovers_bit_identically() {
+    // Small checkpoint interval so mid-stream checkpoints actually seed.
+    let store_config = StoreConfig::new()
+        .with_checkpoint_interval(6)
+        .with_fsync(FsyncPolicy::Never);
+    for &workers in &[1usize, 2, 4] {
+        for &batch in &[1usize, 256] {
+            let seed = (workers * 1000 + batch) as u64;
+            let events = seeded_stream(seed, 5, 4);
+            let path = journal_path("boundary");
+            let buf = run_journaled(&path, &events, workers, batch, store_config);
+            for len in frame_boundaries(&buf) {
+                crash_recover_and_check(&path, &buf, len, workers, store_config);
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn kill_at_seeded_torn_write_tails_recovers_bit_identically() {
+    // Mid-frame truncations: the torn-tail scan must salvage the frame
+    // prefix and recovery must match the reference over it.
+    let store_config = StoreConfig::new()
+        .with_checkpoint_interval(5)
+        .with_fsync(FsyncPolicy::EveryN(4));
+    for &(workers, batch) in &[(1usize, 1usize), (2, 1), (4, 256)] {
+        let seed = (workers * 77 + batch) as u64;
+        let events = seeded_stream(seed, 4, 4);
+        let path = journal_path("torn");
+        let buf = run_journaled(&path, &events, workers, batch, store_config);
+        let mut rng = StdRng::seed_from_u64(0x70A2 ^ seed);
+        for _ in 0..25 {
+            let len = rng.gen_range(0..=buf.len());
+            crash_recover_and_check(&path, &buf, len, workers, store_config);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn recover_then_continue_then_recover_again() {
+    // Crash mid-run, recover, keep submitting (journal re-attached), then
+    // crash the *recovered* run too: the second recovery must equal the
+    // reference over prefix + continuation — checkpoints taken before the
+    // first crash still seeding correctly under the grown journal.
+    let store_config = StoreConfig::new()
+        .with_checkpoint_interval(4)
+        .with_fsync(FsyncPolicy::Always);
+    let events = seeded_stream(42, 4, 5);
+    let path = journal_path("continue");
+    let buf = run_journaled(&path, &events, 2, 1, store_config);
+    let boundaries = frame_boundaries(&buf);
+    let cut = boundaries[boundaries.len() / 2];
+    std::fs::write(&path, &buf[..cut]).expect("write truncated journal");
+    let survivors = journaled_events(&buf[..cut]);
+
+    let recovery =
+        recover(&path, store_config, EngineConfig::new(2), mixed_factory()).expect("recovers");
+    // Continue with the suffix the crash cost us (same submission order).
+    let continuation = &events[survivors.len()..];
+    recovery.engine.submit_stream(continuation, 3);
+    let report = recovery.engine.finish().expect("no worker panicked");
+    let expected = sequential_reference(mixed_factory().as_ref(), &events);
+    for (object, verdicts) in &expected {
+        assert_eq!(report.verdicts(*object), Some(&verdicts[..]), "continued run, {object:?}");
+    }
+
+    // The continued run journaled onward: a second recovery of the full
+    // journal must replay to the same truth.
+    let recovery =
+        recover(&path, store_config, EngineConfig::new(4), mixed_factory()).expect("recovers");
+    let report = recovery.engine.finish().expect("no worker panicked");
+    for (object, verdicts) in &expected {
+        assert_eq!(report.verdicts(*object), Some(&verdicts[..]), "second recovery, {object:?}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn tombstones_stop_checkpoint_resurrection() {
+    // Checkpoint an object, evict it (tombstone), keep journaling other
+    // traffic, crash, recover: the evicted object must NOT be seeded from
+    // its stale checkpoint — it is retired again at the tombstone's
+    // position, and fresh post-eviction traffic starts a clean epoch.
+    let store_config = StoreConfig::new()
+        .with_checkpoint_interval(4)
+        .with_fsync(FsyncPolicy::Never);
+    let path = journal_path("tombstone");
+    let store = Arc::new(Store::open(&path, store_config).expect("journal opens"));
+    let engine = MonitoringEngine::new(EngineConfig::new(2), mixed_factory());
+    engine.attach_journal(Arc::clone(&store) as Arc<dyn drv_engine::JournalSink>);
+
+    let victim = ObjectId(2);
+    let bystander = ObjectId(3);
+    let mut events: Vec<(ObjectId, Symbol)> = Vec::new();
+    for r in 0..3u64 {
+        for &object in &[victim, bystander] {
+            events.extend([
+                (object, Symbol::invoke(ProcId(0), Invocation::Write(r + 1))),
+                (object, Symbol::respond(ProcId(0), Response::Ack)),
+                (object, Symbol::invoke(ProcId(1), Invocation::Read)),
+                (object, Symbol::respond(ProcId(1), Response::Value(r + 1))),
+            ]);
+        }
+    }
+    engine.submit_stream(&events, 1);
+    engine.evict(victim);
+    // Replay identity requires post-eviction traffic not to race the
+    // retirement (the tombstone is journaled when the worker processes the
+    // eviction marker, while event frames are journaled write-ahead at
+    // submit).  The store's tombstone counter is the quiesce signal.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while store.stats().tombstones == 0 {
+        assert!(std::time::Instant::now() < deadline, "eviction never retired the victim");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // A fresh epoch for the victim after its eviction.
+    let epoch2: Vec<(ObjectId, Symbol)> = vec![
+        (victim, Symbol::invoke(ProcId(0), Invocation::Read)),
+        (victim, Symbol::respond(ProcId(0), Response::Value(0))),
+    ];
+    engine.submit_stream(&epoch2, 1);
+    let live_report = engine.finish().expect("no worker panicked");
+    assert!(store.stats().checkpoints > 0, "the victim must have been checkpointed");
+    assert_eq!(store.stats().tombstones, 1, "eviction must tombstone exactly once");
+    drop(store);
+
+    let recovery =
+        recover(&path, store_config, EngineConfig::new(2), mixed_factory()).expect("recovers");
+    assert_eq!(recovery.stats.tombstones, 1);
+    assert!(
+        recovery.stats.seeded_objects <= 1,
+        "at most the bystander may seed; the tombstoned victim must not"
+    );
+    let report = recovery.engine.finish().expect("no worker panicked");
+    // Both epochs of the victim, concatenated — exactly like the live run.
+    assert_eq!(report.verdicts(victim), live_report.verdicts(victim));
+    assert_eq!(report.verdicts(bystander), live_report.verdicts(bystander));
+    let _ = std::fs::remove_file(&path);
+}

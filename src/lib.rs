@@ -12,6 +12,8 @@
 //!        │                                        │
 //!        ▼                                        ▼
 //!   MonitoringEngine (shards + work-stealing pool)           [engine]
+//!        │      ▲ └──► append-only journal + checkpoints      [store]
+//!        │      └──── recover(): checkpoint seed + replay
 //!        │ per-object ObjectMonitor state machines             [core]
 //!        ▼
 //!   IncrementalChecker (LIN/SC, parallel Wing–Gong)     [consistency]
@@ -45,6 +47,10 @@
 //!   TCP [`MonitorServer`](crate::net::MonitorServer) over the service-mode
 //!   engine, the [`MonitorClient`](crate::net::MonitorClient), and the live
 //!   ABD bridge,
+//! * [`store`] — the durability subsystem: append-only CRC-framed event
+//!   journal, checkpointed checker state, and replay-identical crash
+//!   recovery ([`store::recover`](crate::store::recover) /
+//!   [`store::serve_durable`](crate::store::serve_durable)),
 //! * [`abd`] — the ABD message-passing port,
 //! * [`bench`] — the Table 1 reproduction harness and the `netload`
 //!   loopback load generator.
@@ -83,3 +89,4 @@ pub use drv_lang as lang;
 pub use drv_net as net;
 pub use drv_shmem as shmem;
 pub use drv_spec as spec;
+pub use drv_store as store;
