@@ -48,7 +48,9 @@ use drv_core::Verdict;
 use drv_engine::JournalSink;
 use drv_lang::wire::{put_u32, put_u64, Reader};
 use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
-use drv_net::wire::{decode_frame, encode_checkpoint, encode_evict, Frame, FrameEncoder};
+use drv_net::wire::{
+    decode_frame, encode_checkpoint, encode_evict, Frame, FrameEncoder, MAX_PAYLOAD,
+};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -285,6 +287,9 @@ pub struct StoreStats {
     pub tombstones: u64,
     /// Syncs issued.
     pub syncs: u64,
+    /// Checkpoints skipped because their encoded record would exceed the
+    /// frame payload cap (the object falls back to full replay).
+    pub oversized_checkpoints: u64,
 }
 
 #[derive(Default)]
@@ -294,6 +299,7 @@ struct StatCells {
     checkpoints: AtomicU64,
     tombstones: AtomicU64,
     syncs: AtomicU64,
+    oversized_checkpoints: AtomicU64,
 }
 
 /// The crash-durable journal store: an open journal file plus the
@@ -387,6 +393,7 @@ impl Store {
             checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
             tombstones: self.stats.tombstones.load(Ordering::Relaxed),
             syncs: self.stats.syncs.load(Ordering::Relaxed),
+            oversized_checkpoints: self.stats.oversized_checkpoints.load(Ordering::Relaxed),
         }
     }
 
@@ -398,23 +405,37 @@ impl Store {
     }
 
     /// Forces an fsync of everything appended so far (regardless of
-    /// policy).
+    /// policy).  A successful explicit sync restarts the
+    /// [`FsyncPolicy::EveryN`] window.
     ///
     /// # Errors
     ///
-    /// The sync error; the store also latches it.
+    /// The sync error (the store also latches it) — or, once latched into
+    /// the degraded no-op state, the original latching error: a caller
+    /// forcing durability must never be told data is safe when appends
+    /// have stopped reaching the file.
     pub fn sync(&self) -> Result<(), StoreError> {
         if self.failed.load(Ordering::Acquire) {
-            return Ok(());
+            return Err(StoreError::Io(self.latched_error()));
         }
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
         if let Err(err) = inner.file.sync_data() {
             let copy = std::io::Error::new(err.kind(), err.to_string());
             self.latch(err);
             return Err(StoreError::Io(copy));
         }
+        inner.since_sync = 0;
         self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// A rendered copy of the latched I/O error (the store keeps the
+    /// original).
+    fn latched_error(&self) -> std::io::Error {
+        self.error.lock().as_ref().map_or_else(
+            || std::io::Error::other("journal store is in its degraded no-op state"),
+            |err| std::io::Error::new(err.kind(), err.to_string()),
+        )
     }
 
     fn latch(&self, err: std::io::Error) {
@@ -423,14 +444,16 @@ impl Store {
     }
 
     /// Appends one sealed frame under the lock, applying the fsync policy.
-    /// Degrades to a no-op once an I/O error has latched.
-    fn append(&self, inner: &mut Appender, frame: &[u8]) {
+    /// Degrades to a no-op once an I/O error has latched.  Returns whether
+    /// the record actually reached the file, so callers only count records
+    /// that were written.
+    fn append(&self, inner: &mut Appender, frame: &[u8]) -> bool {
         if self.failed.load(Ordering::Acquire) {
-            return;
+            return false;
         }
         if let Err(err) = inner.file.write_all(frame) {
             self.latch(err);
-            return;
+            return false;
         }
         inner.since_sync += 1;
         let due = match self.config.fsync {
@@ -442,10 +465,13 @@ impl Store {
             inner.since_sync = 0;
             if let Err(err) = inner.file.sync_data() {
                 self.latch(err);
-                return;
+                // The bytes were written but their promised durability
+                // point failed: degraded, and not counted as journaled.
+                return false;
             }
             self.stats.syncs.fetch_add(1, Ordering::Relaxed);
         }
+        true
     }
 }
 
@@ -455,9 +481,10 @@ impl JournalSink for Store {
         inner.batch_id += 1;
         let id = inner.batch_id;
         let frame = inner.encoder.encode_batch(id, batch, arena);
-        self.append(&mut inner, &frame);
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        self.stats.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if self.append(&mut inner, &frame) {
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        }
     }
 
     fn append_event(&self, object: ObjectId, symbol: &Symbol) {
@@ -468,9 +495,10 @@ impl JournalSink for Store {
         inner.single.push_symbol(object, symbol, &self.arena);
         let Appender { encoder, single, .. } = &mut *inner;
         let frame = encoder.encode_batch(id, single, &self.arena);
-        self.append(&mut inner, &frame);
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        self.stats.events.fetch_add(1, Ordering::Relaxed);
+        if self.append(&mut inner, &frame) {
+            self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            self.stats.events.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn checkpoint_interval(&self) -> u64 {
@@ -478,16 +506,30 @@ impl JournalSink for Store {
     }
 
     fn checkpoint(&self, object: ObjectId, verdicts: &[Verdict], state: &[u8]) {
+        // The record layout is exactly sized: object + fed (u64 each),
+        // verdict count (u32), 5 bytes per verdict, state length (u32),
+        // state bytes.  A long-lived object eventually outgrows the frame
+        // payload cap — skip its checkpoint instead of letting
+        // `seal_frame` panic the worker: the engine has already advanced
+        // its watermark, and recovery falls back to full replay, exactly
+        // as for monitors without checkpoint support.
+        let record_len = 24u64 + verdicts.len() as u64 * 5 + state.len() as u64;
+        if record_len > u64::from(MAX_PAYLOAD) {
+            self.stats.oversized_checkpoints.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let frame = encode_checkpoint(&encode_checkpoint_record(object, verdicts, state));
         let mut inner = self.inner.lock();
-        self.append(&mut inner, &frame);
-        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        if self.append(&mut inner, &frame) {
+            self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn tombstone(&self, object: ObjectId) {
         let frame = encode_evict(object);
         let mut inner = self.inner.lock();
-        self.append(&mut inner, &frame);
-        self.stats.tombstones.fetch_add(1, Ordering::Relaxed);
+        if self.append(&mut inner, &frame) {
+            self.stats.tombstones.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }

@@ -100,9 +100,12 @@ pub fn recover(
         ..RecoveryStats::default()
     };
 
-    // Pass 1 — seed selection, against a throwaway arena.
+    // Pass 1 — seed selection, against a throwaway arena.  In a
+    // single-process world `open()` already truncated the torn tail, so
+    // the whole buffer scans clean; if another process touched the file
+    // between open and this read, the scan simply shortens the valid
+    // prefix again and both passes stay inside it.
     let scan = scan_journal(&buf, &SharedInterner::new());
-    debug_assert!(scan.torn.is_none(), "open() already truncated the torn tail");
     let mut seen: HashMap<ObjectId, u64> = HashMap::new();
     let mut seeds: HashMap<ObjectId, CheckpointRecord> = HashMap::new();
     let mut dead: HashSet<ObjectId> = HashSet::new();
@@ -153,10 +156,13 @@ pub fn recover(
     // retired again instead of resurrected.
     let engine = MonitoringEngine::with_recovered(engine_config, factory, recovered);
     let mut offset = 0usize;
-    while offset < buf.len() {
+    // Replay only the scan-validated prefix, and propagate (never panic
+    // on) a decode error: the file has no lock against concurrent
+    // writers, so salvageable corruption must stay salvageable.
+    let valid_len = usize::try_from(scan.valid_len).expect("scanned from a usize-length buffer");
+    while offset < valid_len {
         use drv_net::wire::{decode_frame, Frame};
-        let (frame, used) =
-            decode_frame(&buf[offset..], engine.interner()).expect("scan validated this prefix");
+        let (frame, used) = decode_frame(&buf[offset..], engine.interner())?;
         offset += used;
         match frame {
             Frame::Batch(batch) => {

@@ -304,3 +304,45 @@ fn recover_from_corrupted_journals_never_panics() {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+#[test]
+fn oversized_checkpoints_are_skipped_not_sealed() {
+    // A checkpoint whose record would blow the frame payload cap must be
+    // dropped (full replay covers the object), never passed to
+    // `seal_frame`, which would panic the worker holding the append lock.
+    let path = journal_path("oversized");
+    let config = StoreConfig::new().with_fsync(FsyncPolicy::Never);
+    let store = Store::open(&path, config).unwrap();
+    store.append_event(ObjectId(1), &Symbol::invoke(ProcId(0), Invocation::Read));
+    let huge_state = vec![0u8; MAX_PAYLOAD as usize + 1];
+    store.checkpoint(ObjectId(1), &[Verdict::Yes], &huge_state);
+    let stats = store.stats();
+    assert_eq!(stats.checkpoints, 0, "an oversized checkpoint must not be journaled");
+    assert_eq!(stats.oversized_checkpoints, 1);
+    // A normally-sized checkpoint still lands, and the file stays clean.
+    store.checkpoint(ObjectId(1), &[Verdict::Yes], &[7u8; 16]);
+    assert_eq!(store.stats().checkpoints, 1);
+    assert!(store.io_error().is_none());
+    drop(store);
+    let scan = scan_journal(&std::fs::read(&path).unwrap(), &SharedInterner::new());
+    assert!(scan.torn.is_none());
+    assert_eq!(scan.records.len(), 2, "one batch + one sized checkpoint");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn explicit_sync_restarts_the_every_n_window() {
+    let path = journal_path("sync-window");
+    let config = StoreConfig::new().with_fsync(FsyncPolicy::EveryN(2));
+    let store = Store::open(&path, config).unwrap();
+    store.append_event(ObjectId(1), &Symbol::invoke(ProcId(0), Invocation::Read));
+    store.sync().expect("healthy store syncs");
+    assert_eq!(store.stats().syncs, 1);
+    // The forced sync reset the window: the second append is 1-of-2 again,
+    // so no policy-driven sync fires for it.
+    store.append_event(ObjectId(1), &Symbol::respond(ProcId(0), Response::Ack));
+    assert_eq!(store.stats().syncs, 1, "explicit sync must restart the EveryN counter");
+    store.append_event(ObjectId(1), &Symbol::invoke(ProcId(0), Invocation::Read));
+    assert_eq!(store.stats().syncs, 2, "the window completes two appends after the forced sync");
+    let _ = std::fs::remove_file(&path);
+}
