@@ -21,6 +21,14 @@
 //! [`FsyncPolicy`] against the in-memory path, plus one timed crash
 //! recovery (full journal replay) — spliced as `"netload_journal"`.  It
 //! composes with the sizing arguments (`--journal quick`).
+//!
+//! `--metrics` measures what `drv-telemetry` costs: the same loopback
+//! deployment (journal attached) with a passive handle vs a fully
+//! instrumented one (timing + flight ring), reports the on/off throughput
+//! ratio at each batch size, and prints the instrumented run's
+//! p50/p95/p99 decode/check/append/fsync latencies off the registry
+//! snapshot — spliced as `"telemetry"`.  Also composes with the sizing
+//! arguments (`--metrics quick`).
 
 use drv_adversary::{merge_round_robin, register_object_stream, RegisterStreamShape};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
@@ -29,6 +37,7 @@ use drv_lang::{ObjectId, Symbol};
 use drv_net::{MonitorClient, MonitorServer, ServerConfig};
 use drv_spec::Register;
 use drv_store::{recover, FsyncPolicy, Store, StoreConfig};
+use drv_telemetry::{Snapshot, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -415,10 +424,219 @@ fn journal_mode(load: &Load, streams: &[Vec<(ObjectId, Symbol)>], parallelism: u
     splice_section("netload_journal", &section);
 }
 
+/// One loopback run with a journal attached, over `telemetry` — the
+/// `--metrics` workload, identical for the passive and instrumented
+/// handles so the throughput ratio isolates what instrumentation costs.
+fn telemetry_run(
+    streams: &[Vec<(ObjectId, Symbol)>],
+    batch_size: usize,
+    telemetry: Arc<Telemetry>,
+) -> (Duration, (BTreeMap<ObjectId, Vec<Verdict>>, Snapshot)) {
+    let path = journal_path("metrics");
+    let engine = MonitoringEngine::with_telemetry(
+        EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
+        mixed_factory(),
+        Arc::clone(&telemetry),
+    );
+    let store = Store::open_with(
+        &path,
+        StoreConfig::new().with_fsync(FsyncPolicy::EveryN(64)),
+        Arc::clone(&telemetry),
+    )
+    .expect("journal opens in the temp dir");
+    engine.attach_journal(Arc::new(store) as Arc<dyn drv_engine::JournalSink>);
+    let server = MonitorServer::with_engine(
+        ("127.0.0.1", 0),
+        Arc::new(engine),
+        ServerConfig::new().with_window(WINDOW),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let cloned: Vec<Vec<(ObjectId, Symbol)>> = streams.to_vec();
+    let start = Instant::now();
+    let handles: Vec<std::thread::JoinHandle<BTreeMap<ObjectId, Vec<Verdict>>>> = cloned
+        .into_iter()
+        .map(|events| {
+            std::thread::spawn(move || {
+                let mut client = MonitorClient::connect(addr).expect("connect");
+                client.send_stream(&events, batch_size).expect("stream");
+                let mut received = 0usize;
+                let mut streams: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+                while received < events.len() {
+                    let batch = client.wait_verdicts(Duration::from_millis(100));
+                    assert!(
+                        !batch.is_empty() || !client.is_closed(),
+                        "connection died before all verdicts arrived"
+                    );
+                    received += batch.len();
+                    for event in batch {
+                        streams.entry(event.object).or_default().push(event.verdict);
+                    }
+                }
+                client.shutdown().expect("clean goodbye");
+                streams
+            })
+        })
+        .collect();
+    let mut merged: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+    for handle in handles {
+        merged.extend(handle.join().expect("connection thread"));
+    }
+    let elapsed = start.elapsed();
+    let snapshot = telemetry.snapshot();
+    drop(server);
+    let _ = std::fs::remove_file(&path);
+    (elapsed, (merged, snapshot))
+}
+
+/// The pipeline latency histograms the `--metrics` summary reports, in
+/// pipeline order.
+const LATENCY_METRICS: [&str; 5] = [
+    "net_decode_ns",
+    "engine_scatter_ns",
+    "engine_check_ns",
+    "store_append_ns",
+    "store_fsync_ns",
+];
+
+/// The `--metrics` mode: telemetry-on vs telemetry-off loopback throughput
+/// plus the instrumented run's latency percentiles, spliced as
+/// `"telemetry"`.
+fn metrics_mode(load: &Load, streams: &[Vec<(ObjectId, Symbol)>], parallelism: usize) {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
+    let reference = sequential_reference(mixed_factory().as_ref(), &combined);
+
+    let mut rows = Vec::new();
+    let mut on_snapshot: Option<Snapshot> = None;
+    for batch_size in BATCH_SIZES {
+        let (off_time, (off_verdicts, _)) =
+            best_of(|| telemetry_run(streams, batch_size, Telemetry::passive()));
+        assert_eq!(
+            off_verdicts, reference,
+            "batch {batch_size} telemetry-off: verdicts differ from the reference"
+        );
+        let (on_time, (on_verdicts, snapshot)) =
+            best_of(|| telemetry_run(streams, batch_size, Telemetry::new()));
+        assert_eq!(
+            on_verdicts, reference,
+            "batch {batch_size} telemetry-on: verdicts differ from the reference"
+        );
+        let off_rate = throughput(total, off_time);
+        let on_rate = throughput(total, on_time);
+        let ratio = on_rate / off_rate.max(1e-12);
+        println!(
+            "netload/metrics/batch-{batch_size:<3}:  off {off_rate:>12.0} events/s   \
+             on {on_rate:>12.0} events/s   ({ratio:.3}x)",
+        );
+        if batch_size == 256 {
+            on_snapshot = Some(snapshot);
+        }
+        rows.push((batch_size, off_rate, on_rate, ratio));
+    }
+
+    let snapshot = on_snapshot.expect("BATCH_SIZES includes 256");
+    println!("netload/metrics: instrumented-run latency percentiles (ns):");
+    println!("  {:<20} {:>9} {:>12} {:>12} {:>12}", "histogram", "count", "p50", "p95", "p99");
+    for name in LATENCY_METRICS {
+        if let Some(hist) = snapshot.histogram(name) {
+            println!(
+                "  {name:<20} {:>9} {:>12} {:>12} {:>12}",
+                hist.count,
+                hist.p50(),
+                hist.p95(),
+                hist.p99(),
+            );
+        }
+    }
+    println!(
+        "netload/metrics: {} journal bytes, {} checkpoints, {} syncs on the instrumented run",
+        snapshot.counter("store_journal_bytes").unwrap_or(0),
+        snapshot.counter("store_checkpoints").unwrap_or(0),
+        snapshot.counter("store_syncs").unwrap_or(0),
+    );
+
+    let batch256 = rows.iter().find(|(batch, ..)| *batch == 256).expect("measured");
+    let ratio256 = batch256.3;
+    // The overhead bar: instrumentation must cost at most 3% at batch 256
+    // (target 0.97x).  Tiny runs and loaded CI boxes are noisy, so the bar
+    // is advisory below load and the hard floor sits at 0.90x.
+    if total >= 10_000 {
+        if ratio256 < 0.97 {
+            println!(
+                "netload/metrics: WARNING — telemetry-on at batch 256 is {ratio256:.3}x \
+                 telemetry-off (target >= 0.97x)"
+            );
+        }
+        assert!(
+            ratio256 >= 0.90,
+            "telemetry-on at batch 256 costs more than 10% ({ratio256:.3}x)"
+        );
+    } else {
+        println!("netload/metrics: run too small for the overhead gate (needs >= 10000 events)");
+    }
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(batch, off_rate, on_rate, ratio)| {
+            format!(
+                concat!(
+                    "      {{ \"batch\": {}, \"off_events_per_sec\": {:.0}, ",
+                    "\"on_events_per_sec\": {:.0}, \"on_vs_off_ratio\": {:.3} }}"
+                ),
+                batch, off_rate, on_rate, ratio,
+            )
+        })
+        .collect();
+    let latency_json: Vec<String> = LATENCY_METRICS
+        .iter()
+        .filter_map(|name| {
+            snapshot.histogram(name).map(|hist| {
+                format!(
+                    concat!(
+                        "      {{ \"histogram\": \"{}\", \"count\": {}, ",
+                        "\"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {} }}"
+                    ),
+                    name,
+                    hist.count,
+                    hist.p50(),
+                    hist.p95(),
+                    hist.p99(),
+                )
+            })
+        })
+        .collect();
+    let section = format!(
+        concat!(
+            "{{\n",
+            "    \"regenerate\": \"cargo run -p drv-bench --bin netload --release -- --metrics\",\n",
+            "    \"shape\": \"{} connections x {} objects x {} ops, loopback TCP with journal, ",
+            "passive vs instrumented telemetry\",\n",
+            "    \"events\": {},\n",
+            "    \"available_parallelism\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"rows\": [\n{}\n    ],\n",
+            "    \"instrumented_latency_batch256\": [\n{}\n    ],\n",
+            "    \"verdicts_bit_identical_to_sequential_reference\": true\n",
+            "  }}"
+        ),
+        load.connections,
+        load.objects_per_conn,
+        load.ops_per_object,
+        total,
+        parallelism,
+        WORKERS,
+        row_json.join(",\n"),
+        latency_json.join(",\n"),
+    );
+    splice_section("telemetry", &section);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let journal = args.iter().any(|arg| arg == "--journal");
-    args.retain(|arg| arg != "--journal");
+    let metrics = args.iter().any(|arg| arg == "--metrics");
+    args.retain(|arg| arg != "--journal" && arg != "--metrics");
     let load = match args.first().map(String::as_str) {
         Some("quick") => Load { connections: 2, objects_per_conn: 4, ops_per_object: 40 },
         Some(_) if args.len() >= 3 => Load {
@@ -440,6 +658,10 @@ fn main() {
     );
     if journal {
         journal_mode(&load, &streams, parallelism);
+        return;
+    }
+    if metrics {
+        metrics_mode(&load, &streams, parallelism);
         return;
     }
 

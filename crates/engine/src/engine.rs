@@ -81,10 +81,12 @@
 use crate::journal::{JournalSink, RecoveredObject};
 use crate::report::{EngineReport, EngineStats, ObjectReport};
 use crate::service::{SubmitError, SubscriptionShared, VerdictEvent, VerdictSubscription};
+use drv_consistency::CheckerStats;
 use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict, WorkerPanic};
 use drv_lang::{
     EventBatch, EventRecord, InternerMirror, ObjectId, SharedInterner, Symbol, Word,
 };
+use drv_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -216,6 +218,85 @@ fn shard_of(object: ObjectId, shards: usize) -> usize {
     (hash % shards as u64) as usize
 }
 
+/// The engine's registered metric handles — the one source of truth the
+/// ad-hoc `AtomicU64` counters of earlier revisions migrated onto:
+/// [`EngineStats`] / [`MonitoringEngine::live_stats`] are now *views* over
+/// these registry cells, and any [`Telemetry`] handle shared with the
+/// engine sees them under the `engine_*` names.
+struct EngineMetrics {
+    /// Processed events (also the idle-TTL clock).
+    events: Counter,
+    /// Worker batch drains.
+    batches: Counter,
+    /// Shard claims stolen from another worker's deque.
+    steals: Counter,
+    /// Retired monitors (explicit evict + TTL sweeps).
+    evicted: Counter,
+    /// Times a worker entered the park wait.
+    parks: Counter,
+    /// Times a worker came back out of the park wait.  Zero while the
+    /// pool sits idle — the proof that parking is untimed, not polled.
+    park_wakeups: Counter,
+    /// Queued-but-undrained work items across all shard queues.
+    queue_depth: Gauge,
+    /// Batch scatter latency (one routing pass of `submit_batch`), ns.
+    scatter_ns: Histogram,
+    /// Per-run check latency (`ObjectMonitor::on_batch`), ns — sampled at
+    /// 1-in-[`CHECK_SAMPLE`] runs per worker (see the constant's docs).
+    check_ns: Histogram,
+    /// Memo-relevant checker counters, harvested as deltas from
+    /// [`ObjectMonitor::checker_stats`] after each run / at retirement.
+    checker_checks: Counter,
+    checker_fast_path: Counter,
+    checker_splices: Counter,
+    checker_repairs: Counter,
+    checker_dfs_runs: Counter,
+    checker_dfs_nodes: Counter,
+}
+
+impl EngineMetrics {
+    fn register(tel: &Telemetry) -> Self {
+        let reg = tel.registry();
+        EngineMetrics {
+            events: reg.counter("engine_events"),
+            batches: reg.counter("engine_batches"),
+            steals: reg.counter("engine_steals"),
+            evicted: reg.counter("engine_evicted"),
+            parks: reg.counter("engine_parks"),
+            park_wakeups: reg.counter("engine_park_wakeups"),
+            queue_depth: reg.gauge("engine_queue_depth"),
+            scatter_ns: reg.histogram("engine_scatter_ns"),
+            check_ns: reg.histogram("engine_check_ns"),
+            checker_checks: reg.counter("engine_checker_checks"),
+            checker_fast_path: reg.counter("engine_checker_fast_path"),
+            checker_splices: reg.counter("engine_checker_splices"),
+            checker_repairs: reg.counter("engine_checker_repairs"),
+            checker_dfs_runs: reg.counter("engine_checker_dfs_runs"),
+            checker_dfs_nodes: reg.counter("engine_checker_dfs_nodes"),
+        }
+    }
+
+    /// Folds the monitor's monotone checker counters in as deltas against
+    /// the slot's last harvest, so each retirement/run adds exactly the
+    /// new work.
+    fn harvest(&self, slot: &mut ObjectSlot) {
+        let Some(now) = slot.monitor.checker_stats() else {
+            return;
+        };
+        let last = slot.harvested;
+        self.checker_checks.add(now.checks.wrapping_sub(last.checks));
+        self.checker_fast_path
+            .add(now.fast_path.wrapping_sub(last.fast_path));
+        self.checker_splices.add(now.splices.wrapping_sub(last.splices));
+        self.checker_repairs.add(now.repairs.wrapping_sub(last.repairs));
+        self.checker_dfs_runs
+            .add(now.dfs_runs.wrapping_sub(last.dfs_runs));
+        self.checker_dfs_nodes
+            .add(now.dfs_nodes.wrapping_sub(last.dfs_nodes));
+        slot.harvested = now;
+    }
+}
+
 struct ObjectSlot {
     monitor: Box<dyn ObjectMonitor>,
     verdicts: Vec<Verdict>,
@@ -233,6 +314,9 @@ struct ObjectSlot {
     /// Fed-event count covered by the object's last journal checkpoint
     /// (the next one is due `JournalSink::checkpoint_interval` later).
     checkpointed: u64,
+    /// Checker counters already folded into the registry (the harvest
+    /// watermark; see [`EngineMetrics::harvest`]).
+    harvested: CheckerStats,
 }
 
 #[derive(Default)]
@@ -284,13 +368,15 @@ struct Shared {
     /// Reports of retired (evicted / TTL-expired) objects, merged into the
     /// final [`EngineReport`] by `finish`.
     retired: Mutex<BTreeMap<ObjectId, ObjectReport>>,
-    batches: AtomicU64,
-    steals: AtomicU64,
-    events: AtomicU64,
-    evicted: AtomicU64,
-    /// Times a worker came back out of the park wait.  Zero while the pool
-    /// sits idle — the proof that parking is untimed, not polled.
-    park_wakeups: AtomicU64,
+    /// The shared observability handle: the `engine_*` metrics live in its
+    /// registry, pipeline events in its flight recorder.  Constructed
+    /// passive (counters only, no clock reads) unless the engine was built
+    /// with [`MonitoringEngine::with_telemetry`].
+    tel: Arc<Telemetry>,
+    /// Registered handles onto `tel`'s registry (events, batches, steals,
+    /// evicted, parks/park_wakeups, queue depth, latency histograms,
+    /// checker counters) — the one source of truth for [`EngineStats`].
+    m: EngineMetrics,
     /// The optional durability tap (see [`crate::journal`]): consulted on
     /// every accepted submission (write-ahead), after each processed run
     /// (checkpoint trigger) and on retirement (tombstone).  `None` until
@@ -399,7 +485,7 @@ impl Shared {
         for offset in 1..n {
             let victim = (worker + offset) % n;
             if let Some(shard) = self.deques[victim].lock().pop_back() {
-                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.m.steals.inc();
                 return Some(shard);
             }
         }
@@ -424,6 +510,9 @@ impl Shared {
         subs: &[Arc<SubscriptionShared>],
         blocking: bool,
     ) {
+        // Fold in the checker work the registry has not seen yet — the
+        // monitor is about to be dropped.
+        self.m.harvest(&mut slot);
         if let Some(verdict) = slot.monitor.finalize() {
             let seq = slot.base + slot.verdicts.len() as u64;
             slot.verdicts.push(verdict);
@@ -469,7 +558,8 @@ impl Shared {
         }
         let mut retired = self.retired.lock();
         self.flush_slot(object, slot, &mut retired, subs, blocking);
-        self.evicted.fetch_add(1, Ordering::Relaxed);
+        self.m.evicted.inc();
+        self.tel.flight(Stage::Evict, object.0, 0, 0, 0);
         true
     }
 
@@ -489,7 +579,7 @@ impl Shared {
             return 0;
         }
         let queued: HashSet<ObjectId> = queue.items.iter().map(QueueItem::object).collect();
-        let clock = self.events.load(Ordering::Relaxed);
+        let clock = self.m.events.get();
         let stale: Vec<ObjectId> = state
             .objects
             .iter()
@@ -536,9 +626,10 @@ impl Shared {
         let subs = self.subscribers();
         let sink = self.journal();
         if !batch.is_empty() {
-            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.m.batches.inc();
+            self.m.queue_depth.sub(batch.len() as i64);
             mirror.sync(&self.interner);
-            let clock = self.events.load(Ordering::Relaxed);
+            let clock = self.m.events.get();
             let mut processed = 0u64;
             let mut state = shard.state.lock();
             let mut index = 0;
@@ -584,6 +675,7 @@ impl Shared {
                         last_seen: clock,
                         skip: 0,
                         checkpointed: 0,
+                        harvested: CheckerStats::default(),
                     }
                 });
                 scratch.verdicts.clear();
@@ -592,8 +684,22 @@ impl Shared {
                 // and feeds only the suffix.
                 let swallow = slot.skip.min(scratch.symbols.len() as u64) as usize;
                 slot.skip -= swallow as u64;
+                scratch.check_tick = scratch.check_tick.wrapping_add(1);
+                let sampled = scratch.check_tick & (CHECK_SAMPLE - 1) == 1;
+                let check_started = if sampled { self.tel.timer() } else { None };
                 slot.monitor
                     .on_batch(&scratch.symbols[swallow..], &mut scratch.verdicts);
+                self.tel.observe(check_started, &self.m.check_ns);
+                self.m.harvest(slot);
+                if sampled {
+                    self.tel.flight(
+                        Stage::Check,
+                        first.object.0,
+                        (end - index) as u64,
+                        worker as u16,
+                        shard_index as u32,
+                    );
+                }
                 assert_eq!(
                     scratch.verdicts.len(),
                     scratch.symbols.len() - swallow,
@@ -623,6 +729,13 @@ impl Shared {
                         if fed >= slot.checkpointed.saturating_add(sink.checkpoint_interval()) {
                             if let Some(state) = slot.monitor.checkpoint() {
                                 sink.checkpoint(first.object, &slot.verdicts, &state);
+                                self.tel.flight(
+                                    Stage::Checkpoint,
+                                    first.object.0,
+                                    fed,
+                                    worker as u16,
+                                    0,
+                                );
                             }
                             // Monitors without checkpoint support advance the
                             // watermark too — the interval gates the *probe*,
@@ -636,7 +749,7 @@ impl Shared {
                 processed += run_len;
                 index = end;
             }
-            self.events.fetch_add(processed, Ordering::Relaxed);
+            self.m.events.add(processed);
         }
         // Sweep (under queue→state, the one nesting order used anywhere),
         // then reschedule or release the claim.
@@ -675,6 +788,7 @@ impl Shared {
         }
         if cleared > 0 {
             self.pending.fetch_sub(cleared, Ordering::AcqRel);
+            self.m.queue_depth.sub(cleared as i64);
         }
         self.publish_work(true);
         if self.max_pending != usize::MAX {
@@ -712,6 +826,7 @@ impl Shared {
         };
         if cleared > 0 {
             self.pending.fetch_sub(cleared, Ordering::AcqRel);
+            self.m.queue_depth.sub(cleared as i64);
             if self.max_pending != usize::MAX {
                 let _gate = self.gate.lock();
                 self.space_signal.notify_all();
@@ -719,15 +834,17 @@ impl Shared {
         }
     }
 
+    /// [`EngineStats`] as a view over the telemetry registry — the
+    /// counters live in [`Shared::m`], nowhere else.
     fn stats_snapshot(&self, config: EngineConfig) -> EngineStats {
         EngineStats {
             workers: config.workers,
             shards: config.shards,
-            events: self.events.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            steals: self.steals.load(Ordering::Relaxed),
-            evicted: self.evicted.load(Ordering::Relaxed),
-            park_wakeups: self.park_wakeups.load(Ordering::Relaxed),
+            events: self.m.events.get(),
+            batches: self.m.batches.get(),
+            steals: self.m.steals.get(),
+            evicted: self.m.evicted.get(),
+            park_wakeups: self.m.park_wakeups.get(),
         }
     }
 }
@@ -739,7 +856,18 @@ impl Shared {
 struct WorkerScratch {
     symbols: Vec<Symbol>,
     verdicts: Vec<Verdict>,
+    /// Monotone run counter driving the 1-in-[`CHECK_SAMPLE`] check-latency
+    /// sampling (worker-local, so no cross-worker coordination).
+    check_tick: u32,
 }
+
+/// Check-latency sampling period (a power of two).  A run can be a single
+/// event (round-robin interleaved streams), and two `Instant::now` calls
+/// plus a flight stamp per event is the difference between ~1% and ~10%
+/// instrumented overhead — so each worker times its first run and then
+/// every 16th.  Counters stay exact; only the `engine_check_ns` histogram
+/// and the `Check` flight stage are sampled.
+const CHECK_SAMPLE: u32 = 16;
 
 fn worker_loop(shared: &Shared, worker: usize) {
     let mut mirror = InternerMirror::new();
@@ -763,11 +891,16 @@ fn worker_loop(shared: &Shared, worker: usize) {
             if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 shared.process(shard, worker, &mut mirror, &mut scratch);
             })) {
+                // Postmortem: stamp the panic into the flight ring and dump
+                // it (bounded, time-ordered) before the pool goes dark.
+                shared.tel.flight(Stage::Panic, 0, shard as u64, worker as u16, 0);
+                shared.tel.dump_to_stderr("engine worker panic");
                 shared.abort(WorkerPanic::from_payload("engine worker", worker, payload));
                 return;
             }
             continue;
         }
+        shared.m.parks.inc();
         let mut park = shared.park.lock();
         shared.park_signal.wait_while(&mut park, |()| {
             shared.work_epoch.load(Ordering::SeqCst) == seen
@@ -776,7 +909,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     && shared.pending.load(Ordering::Acquire) == 0)
         });
         drop(park);
-        shared.park_wakeups.fetch_add(1, Ordering::Relaxed);
+        shared.m.park_wakeups.inc();
     }
 }
 
@@ -820,6 +953,21 @@ impl MonitoringEngine {
         Self::with_recovered(config, factory, Vec::new())
     }
 
+    /// [`MonitoringEngine::new`] sharing an explicit [`Telemetry`] handle:
+    /// the engine registers its `engine_*` metrics into `telemetry`'s
+    /// registry and records pipeline events into its flight ring.  Pass a
+    /// [`Telemetry::new`] handle to turn latency sampling and the flight
+    /// recorder on; the plain constructors use a passive handle (counters
+    /// only — no wall-clock reads on the hot path).
+    #[must_use]
+    pub fn with_telemetry(
+        config: EngineConfig,
+        factory: Arc<dyn ObjectMonitorFactory>,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        Self::with_recovered_telemetry(config, factory, Vec::new(), telemetry)
+    }
+
     /// [`MonitoringEngine::new`], seeded with recovered per-object state —
     /// the constructor a durable store uses after a crash.  Each seed
     /// installs its restored monitor with the checkpointed verdict prefix
@@ -835,6 +983,21 @@ impl MonitoringEngine {
         factory: Arc<dyn ObjectMonitorFactory>,
         seeds: Vec<RecoveredObject>,
     ) -> Self {
+        Self::with_recovered_telemetry(config, factory, seeds, Telemetry::passive())
+    }
+
+    /// [`MonitoringEngine::with_recovered`] sharing an explicit
+    /// [`Telemetry`] handle (see [`MonitoringEngine::with_telemetry`]) —
+    /// what a durable service uses so engine, server and store report into
+    /// one registry.
+    #[must_use]
+    pub fn with_recovered_telemetry(
+        config: EngineConfig,
+        factory: Arc<dyn ObjectMonitorFactory>,
+        seeds: Vec<RecoveredObject>,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
+        let metrics = EngineMetrics::register(&telemetry);
         let shared = Arc::new(Shared {
             factory,
             interner: SharedInterner::new(),
@@ -850,11 +1013,8 @@ impl MonitoringEngine {
             space_signal: Condvar::new(),
             subs: Mutex::new(Vec::new()),
             retired: Mutex::new(BTreeMap::new()),
-            batches: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            events: AtomicU64::new(0),
-            evicted: AtomicU64::new(0),
-            park_wakeups: AtomicU64::new(0),
+            tel: telemetry,
+            m: metrics,
             sink: Mutex::new(None),
             panic: Mutex::new(None),
             batch: config.batch,
@@ -874,6 +1034,7 @@ impl MonitoringEngine {
                     last_seen: 0,
                     skip,
                     checkpointed: skip,
+                    harvested: CheckerStats::default(),
                 },
             );
         }
@@ -908,6 +1069,10 @@ impl MonitoringEngine {
 
     fn enqueue(&self, object: ObjectId, item: QueueItem) {
         let shard_index = shard_of(object, self.shared.shards.len());
+        self.shared.m.queue_depth.add(1);
+        self.shared
+            .tel
+            .flight(Stage::Enqueue, object.0, 1, 0, shard_index as u32);
         let newly_scheduled = {
             let mut queue = self.shared.shards[shard_index].queue.lock();
             queue.items.push_back(item);
@@ -1084,6 +1249,11 @@ impl MonitoringEngine {
     /// for the whole batch.  Runs of one object keep their batch order
     /// within their shard segment, so per-object FIFO holds.
     fn enqueue_batch_range(&self, batch: &EventBatch, start: usize, end: usize) {
+        let scatter_started = self.shared.tel.timer();
+        self.shared.m.queue_depth.add((end - start) as i64);
+        self.shared
+            .tel
+            .flight(Stage::Submit, 0, (end - start) as u64, 0, 0);
         let shard_count = self.shared.shards.len();
         let runs: Vec<(usize, std::ops::Range<usize>)> = batch
             .runs_between(start, end)
@@ -1104,6 +1274,9 @@ impl MonitoringEngine {
                 self.shared.publish_work(false);
             }
             self.shared.reconcile_if_aborted(*shard_index);
+            self.shared
+                .tel
+                .observe(scatter_started, &self.shared.m.scatter_ns);
             return;
         }
         // Stable counting sort: `ordered[segment of shard s]` holds the
@@ -1156,6 +1329,9 @@ impl MonitoringEngine {
                 self.shared.reconcile_if_aborted(shard_index);
             }
         }
+        self.shared
+            .tel
+            .observe(scatter_started, &self.shared.m.scatter_ns);
     }
 
     /// Ingests a whole word as `object`'s stream (symbols in word order).
@@ -1303,10 +1479,21 @@ impl MonitoringEngine {
     }
 
     /// A live snapshot of the pool's operational counters (exact only when
-    /// quiescent).
+    /// quiescent) — a view over the shared [`Telemetry`] registry, where
+    /// the same counters appear under their `engine_*` names.
     #[must_use]
     pub fn live_stats(&self) -> EngineStats {
         self.shared.stats_snapshot(self.config)
+    }
+
+    /// The engine's observability handle: its registry carries the
+    /// `engine_*` metrics (and whatever other layers registered into it),
+    /// its flight recorder the last N pipeline events.  Share it with a
+    /// `MonitorServer` and a `Store` so the whole pipeline reports into
+    /// one registry.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.tel
     }
 
     /// Signals end-of-stream, drains every queue, joins the pool, and

@@ -1,0 +1,200 @@
+//! Telemetry is *passive*: the differential soak re-run with full
+//! instrumentation attached (latency sampling + flight recorder) must
+//! produce verdict streams bit-identical to `sequential_reference`, at
+//! 1/2/4 workers × batch 1/256 — and the registry totals must agree with
+//! the work actually done.  Plus the postmortem contract: a forced worker
+//! panic leaves a bounded, time-ordered flight dump.
+
+use drv_adversary::{merge_random, register_object_stream, RegisterStreamShape};
+use drv_core::{
+    CheckerMonitorFactory, ObjectMonitor, ObjectMonitorFactory, RoutingMonitorFactory, Verdict,
+};
+use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
+use drv_lang::{ObjectId, Symbol};
+use drv_spec::Register;
+use drv_telemetry::{Stage, Telemetry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+const PROCESSES: usize = 2;
+const STREAMS: u64 = 120;
+
+fn mixed_factory() -> Arc<RoutingMonitorFactory> {
+    let lin = Arc::new(CheckerMonitorFactory::linearizability(
+        Register::new(),
+        PROCESSES,
+    )) as Arc<dyn ObjectMonitorFactory>;
+    let sc = Arc::new(CheckerMonitorFactory::sequential_consistency(
+        Register::new(),
+        PROCESSES,
+    )) as Arc<dyn ObjectMonitorFactory>;
+    Arc::new(RoutingMonitorFactory::new(
+        "mixed LIN/SC",
+        move |object: ObjectId| {
+            if object.0.is_multiple_of(2) {
+                Arc::clone(&lin)
+            } else {
+                Arc::clone(&sc)
+            }
+        },
+    ))
+}
+
+fn merged_stream(seed: u64) -> Vec<(ObjectId, Symbol)> {
+    let shape = RegisterStreamShape::differential();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let objects = rng.gen_range(2..=4);
+    let per_object: Vec<(ObjectId, Vec<Symbol>)> = (0..objects)
+        .map(|i| {
+            let ops = rng.gen_range(4..=8);
+            let id = ObjectId(seed * 16 + i);
+            (id, register_object_stream(&mut rng, ops, &shape))
+        })
+        .collect();
+    merge_random(&mut rng, per_object)
+}
+
+/// The satellite soak: instrumented engine ≡ sequential reference at every
+/// (workers × batch) cell, and the `engine_events` counter lands exactly
+/// on the number of submitted events.
+#[test]
+fn instrumented_verdict_streams_are_bit_identical_to_sequential_reference() {
+    for workers in [1usize, 2, 4] {
+        for batch in [1usize, 256] {
+            let mut total_events = 0u64;
+            for seed in 0..STREAMS {
+                let events = merged_stream(seed);
+                let factory = mixed_factory();
+                let expected = sequential_reference(factory.as_ref(), &events);
+                let tel = Telemetry::new();
+                let engine = MonitoringEngine::with_telemetry(
+                    EngineConfig::new(workers),
+                    factory,
+                    Arc::clone(&tel),
+                );
+                engine.submit_stream(&events, batch);
+                let report = engine.finish().expect("no worker panicked");
+                for (object, verdicts) in &expected {
+                    assert_eq!(
+                        report.verdicts(*object),
+                        Some(&verdicts[..]),
+                        "telemetry must be passive: {workers} workers, batch {batch}, \
+                         seed {seed}, {object}"
+                    );
+                }
+                total_events += events.len() as u64;
+                let snap = tel.snapshot();
+                assert_eq!(
+                    snap.counter("engine_events"),
+                    Some(events.len() as u64),
+                    "registry events ≠ submitted events"
+                );
+                assert_eq!(report.stats.events, events.len() as u64);
+                // live_stats is a view over the same registry cells.
+                assert_eq!(
+                    snap.counter("engine_batches").unwrap(),
+                    report.stats.batches
+                );
+            }
+            assert!(total_events > 0, "the soak must exercise real streams");
+        }
+    }
+}
+
+/// The instrumentation actually measures: latency histograms fill, the
+/// flight ring carries the pipeline stages in causal order, the queue
+/// depth gauge returns to zero at quiescence.
+#[test]
+fn instrumented_run_populates_histograms_and_flight_ring() {
+    let events = merged_stream(7);
+    let tel = Telemetry::new();
+    let engine =
+        MonitoringEngine::with_telemetry(EngineConfig::new(2), mixed_factory(), Arc::clone(&tel));
+    engine.submit_stream(&events, 64);
+    let report = engine.finish().expect("no worker panicked");
+    assert!(report.stats.events > 0);
+    let snap = tel.snapshot();
+    let check = snap.histogram("engine_check_ns").expect("registered");
+    assert!(check.count > 0, "check latency must have been sampled");
+    let scatter = snap.histogram("engine_scatter_ns").expect("registered");
+    assert!(scatter.count > 0, "scatter latency must have been sampled");
+    assert_eq!(
+        snap.gauge("engine_queue_depth"),
+        Some(0),
+        "every enqueued item must have been drained"
+    );
+    assert!(
+        snap.counter("engine_checker_checks").unwrap() > 0,
+        "checker stats must be harvested into the registry"
+    );
+    let dump = tel.recorder().dump();
+    assert!(!dump.is_empty());
+    let submit = dump.iter().find(|e| e.stage == Stage::Submit);
+    let check = dump.iter().find(|e| e.stage == Stage::Check);
+    assert!(submit.is_some() && check.is_some(), "both stages recorded");
+    let mut last = 0u64;
+    for event in &dump {
+        assert!(event.ts_ns >= last, "dump is time-ordered");
+        last = event.ts_ns;
+    }
+}
+
+/// Forced worker panic → the flight recorder produces a bounded, ordered
+/// dump whose newest record is the panic stamp.
+#[test]
+fn worker_panic_leaves_a_bounded_ordered_flight_dump() {
+    struct Bomb {
+        fed: u32,
+    }
+    impl ObjectMonitor for Bomb {
+        fn name(&self) -> Cow<'_, str> {
+            Cow::Borrowed("bomb")
+        }
+        fn on_symbol(&mut self, _symbol: &Symbol) -> Verdict {
+            self.fed += 1;
+            assert!(self.fed < 4, "boom on purpose");
+            Verdict::Yes
+        }
+    }
+    struct BombFactory;
+    impl ObjectMonitorFactory for BombFactory {
+        fn name(&self) -> Cow<'_, str> {
+            Cow::Borrowed("bomb")
+        }
+        fn create(&self, _object: ObjectId) -> Box<dyn ObjectMonitor> {
+            Box::new(Bomb { fed: 0 })
+        }
+    }
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let tel = Telemetry::with_flight_capacity(64);
+    let engine = MonitoringEngine::with_telemetry(
+        EngineConfig::new(2),
+        Arc::new(BombFactory),
+        Arc::clone(&tel),
+    );
+    for i in 0..32u64 {
+        engine.submit(
+            ObjectId(i % 2),
+            &Symbol::invoke(drv_lang::ProcId(0), drv_lang::Invocation::Read),
+        );
+    }
+    let result = engine.finish();
+    std::panic::set_hook(hook);
+    let panic = result.expect_err("the monitor panicked");
+    assert!(panic.message.contains("boom on purpose"), "{panic}");
+    let dump = tel.recorder().dump();
+    assert!(!dump.is_empty(), "the postmortem ring must not be empty");
+    assert!(dump.len() <= 64, "the dump is bounded by the ring capacity");
+    let mut last = 0u64;
+    for event in &dump {
+        assert!(event.ts_ns >= last, "the dump is time-ordered");
+        last = event.ts_ns;
+    }
+    assert!(
+        dump.iter().any(|e| e.stage == Stage::Panic),
+        "the panic itself is stamped into the ring"
+    );
+}

@@ -15,7 +15,7 @@
 
 use crate::wire::{
     encode_shutdown, encode_stats_request, read_frame, write_frame, Frame, FrameEncoder,
-    NackReason, WireStats,
+    NackReason, StatsReply,
 };
 use drv_engine::VerdictEvent;
 use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
@@ -117,7 +117,7 @@ struct ClientShared {
     credit_signal: Condvar,
     verdicts: Mutex<VecDeque<VerdictEvent>>,
     verdict_signal: Condvar,
-    stats: Mutex<Option<WireStats>>,
+    stats: Mutex<Option<Box<StatsReply>>>,
     stats_signal: Condvar,
     nacks: Mutex<Vec<Nack>>,
     closed: AtomicBool,
@@ -159,8 +159,8 @@ fn reader_loop(shared: &ClientShared, mut stream: TcpStream) {
                 shared.verdicts.lock().extend(events);
                 shared.verdict_signal.notify_all();
             }
-            Ok(Frame::Stats(snapshot)) => {
-                *shared.stats.lock() = Some(snapshot);
+            Ok(Frame::Stats(reply)) => {
+                *shared.stats.lock() = Some(reply);
                 shared.stats_signal.notify_all();
             }
             Ok(Frame::Nack { batch_id, reason, detail }) => {
@@ -396,14 +396,20 @@ impl MonitorClient {
         verdicts.drain(..).collect()
     }
 
-    /// Requests a stats snapshot and waits up to `timeout` for the reply.
+    /// Requests a stats snapshot and waits up to `timeout` for the reply:
+    /// the server's flat engine counters plus its entire telemetry
+    /// registry (engine, net and store metrics), decoded off the versioned
+    /// Stats payload.
     ///
     /// # Errors
     ///
     /// [`ClientError::Closed`] when the reply never arrived (timeout or a
-    /// dead connection); [`ClientError::Io`] when the request could not be
+    /// dead connection — including a reply whose payload version this
+    /// client does not speak, which kills the connection with a typed
+    /// [`WireError::BadStatsVersion`](crate::wire::WireError::BadStatsVersion)
+    /// on the reader); [`ClientError::Io`] when the request could not be
     /// written.
-    pub fn stats(&mut self, timeout: Duration) -> Result<WireStats, ClientError> {
+    pub fn stats(&mut self, timeout: Duration) -> Result<StatsReply, ClientError> {
         *self.shared.stats.lock() = None;
         write_frame(&mut self.stream, &encode_stats_request())?;
         let mut slot = self.shared.stats.lock();
@@ -412,7 +418,7 @@ impl MonitorClient {
             |slot| slot.is_none() && !self.shared.is_closed(),
             timeout,
         );
-        slot.take().ok_or(ClientError::Closed)
+        slot.take().map(|reply| *reply).ok_or(ClientError::Closed)
     }
 
     /// The clean goodbye: sends a Shutdown frame (the server evicts this

@@ -101,4 +101,6 @@ pub mod wire;
 pub use bridge::{stream_abd, BridgeReport};
 pub use client::{ClientError, MonitorClient, Nack, TrySendError};
 pub use server::{MonitorServer, ServerConfig, ServerStats};
-pub use wire::{Frame, FrameKind, NackReason, ReadError, WireBatch, WireError, WireStats};
+pub use wire::{
+    Frame, FrameKind, NackReason, ReadError, StatsReply, WireBatch, WireError, WireStats,
+};

@@ -52,14 +52,15 @@
 
 use crate::wire::{
     decode_frame_capped, encode_credit, encode_nack, encode_shutdown, encode_stats,
-    encode_verdicts, read_raw_frame, write_frame, Frame, NackReason, ReadError, WireError,
-    WireStats,
+    encode_verdicts, read_raw_frame, write_frame, Frame, NackReason, ReadError, StatsReply,
+    WireError, WireStats,
 };
 use drv_core::{ObjectMonitorFactory, WorkerPanic};
 use drv_engine::{
     EngineConfig, EngineReport, MonitoringEngine, SubmitError, VerdictEvent,
 };
 use drv_lang::ObjectId;
+use drv_telemetry::{Counter, Gauge, Histogram, Snapshot, Stage, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Write};
@@ -167,17 +168,59 @@ pub struct ServerStats {
     pub stalled_disconnects: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    accepted: AtomicU64,
-    active: AtomicU64,
-    batches: AtomicU64,
-    events: AtomicU64,
-    engine_full_stalls: AtomicU64,
-    nacks: AtomicU64,
-    dropped_verdicts: AtomicU64,
-    protocol_errors: AtomicU64,
-    stalled_disconnects: AtomicU64,
+/// The server's operational metrics, registered as `net_*` on the serving
+/// engine's telemetry registry — [`ServerStats`] (and the Stats frame's
+/// snapshot) are *views* over these cells, there is no second set of
+/// bookkeeping.
+struct NetMetrics {
+    accepted: Counter,
+    /// Live connections (gauge: accept adds, reader exit subtracts).
+    active: Gauge,
+    batches: Counter,
+    events: Counter,
+    engine_full_stalls: Counter,
+    nacks: Counter,
+    /// NACKs by kind — the "by kind" split the aggregate hides.
+    nacks_credit_exceeded: Counter,
+    nacks_batch_too_large: Counter,
+    dropped_verdicts: Counter,
+    protocol_errors: Counter,
+    stalled_disconnects: Counter,
+    /// Raw frame bytes off / onto sockets (per-connection throughput is
+    /// `rx_bytes` rate over `net_connections`; exact per-peer splits live
+    /// in each connection's `consumed` cell).
+    rx_bytes: Counter,
+    tx_bytes: Counter,
+    /// Events admitted but not yet re-granted, summed over connections —
+    /// the credit-window occupancy (how much of the end-to-end in-flight
+    /// budget is in use).
+    credit_outstanding: Gauge,
+    /// Frame decode latency (raw bytes → typed [`Frame`]), sampled only
+    /// when the engine's telemetry handle has timing enabled.
+    decode_ns: Histogram,
+}
+
+impl NetMetrics {
+    fn register(tel: &Telemetry) -> NetMetrics {
+        let r = tel.registry();
+        NetMetrics {
+            accepted: r.counter("net_accepted"),
+            active: r.gauge("net_connections"),
+            batches: r.counter("net_batches"),
+            events: r.counter("net_events"),
+            engine_full_stalls: r.counter("net_engine_full_stalls"),
+            nacks: r.counter("net_nacks"),
+            nacks_credit_exceeded: r.counter("net_nacks_credit_exceeded"),
+            nacks_batch_too_large: r.counter("net_nacks_batch_too_large"),
+            dropped_verdicts: r.counter("net_dropped_verdicts"),
+            protocol_errors: r.counter("net_protocol_errors"),
+            stalled_disconnects: r.counter("net_stalled_disconnects"),
+            rx_bytes: r.counter("net_rx_bytes"),
+            tx_bytes: r.counter("net_tx_bytes"),
+            credit_outstanding: r.gauge("net_credit_outstanding"),
+            decode_ns: r.histogram("net_decode_ns"),
+        }
+    }
 }
 
 struct Outbound {
@@ -203,6 +246,9 @@ struct ConnShared {
     consumed: AtomicU64,
     /// Events granted back by the router as their verdicts were delivered.
     granted: AtomicU64,
+    /// Registry handle for the writer's outbound byte count (the writer
+    /// loop only sees the connection, not the server).
+    tx_bytes: Counter,
 }
 
 impl ConnShared {
@@ -255,6 +301,10 @@ impl ConnShared {
 
 struct ServerShared {
     engine: Arc<MonitoringEngine>,
+    /// The engine's telemetry handle (registry + flight recorder) — the
+    /// server registers its `net_*` metrics on the same registry, so one
+    /// Stats reply carries the whole process.
+    tel: Arc<Telemetry>,
     config: ServerConfig,
     stopping: AtomicBool,
     conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
@@ -263,22 +313,25 @@ struct ServerShared {
     owners: Mutex<HashMap<ObjectId, u64>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
-    stats: StatCells,
+    m: NetMetrics,
 }
 
 impl ServerShared {
-    fn snapshot(&self) -> WireStats {
+    fn snapshot(&self) -> StatsReply {
         let engine = self.engine.live_stats();
-        WireStats {
-            workers: engine.workers as u32,
-            shards: engine.shards as u32,
-            events: engine.events,
-            batches: engine.batches,
-            steals: engine.steals,
-            evicted: engine.evicted,
-            park_wakeups: engine.park_wakeups,
-            backlog: self.engine.backlog() as u64,
-            connections: self.stats.active.load(Ordering::Relaxed) as u32,
+        StatsReply {
+            engine: WireStats {
+                workers: engine.workers as u32,
+                shards: engine.shards as u32,
+                events: engine.events,
+                batches: engine.batches,
+                steals: engine.steals,
+                evicted: engine.evicted,
+                park_wakeups: engine.park_wakeups,
+                backlog: self.engine.backlog() as u64,
+                connections: self.m.active.get().max(0) as u32,
+            },
+            telemetry: self.tel.snapshot(),
         }
     }
 
@@ -303,11 +356,18 @@ impl ServerShared {
 
 /// One reader loop: frames off the socket, batches into the engine,
 /// credits back out.
+/// Consecutive NACKs on one connection before the server calls it a storm
+/// and writes the flight-recorder postmortem to stderr (once per run of
+/// refusals — a successful batch re-arms it).
+const NACK_STORM: u64 = 32;
+
 fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) {
     let window = shared.config.window;
     // Objects this connection has already registered in the global owners
     // map: steady-state batches over known objects take no lock at all.
     let mut known: HashSet<ObjectId> = HashSet::new();
+    // Consecutive refusals (the NACK-storm detector's run length).
+    let mut nack_run = 0u64;
     // The opening grant announces the window.
     conn.push(encode_credit(window, window));
     loop {
@@ -328,9 +388,14 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
         let remaining = window.saturating_sub(outstanding);
         let row_cap = u32::try_from(remaining).unwrap_or(u32::MAX);
         let decoded = raw.and_then(|frame| {
-            decode_frame_capped(&frame, shared.engine.interner(), row_cap)
+            shared.m.rx_bytes.add(frame.len() as u64);
+            // Time only the decode, not the (blocking) socket read.
+            let started = shared.tel.timer();
+            let decoded = decode_frame_capped(&frame, shared.engine.interner(), row_cap)
                 .map(|(frame, _)| frame)
-                .map_err(ReadError::Wire)
+                .map_err(ReadError::Wire);
+            shared.tel.observe(started, &shared.m.decode_ns);
+            decoded
         });
         match decoded {
             Ok(Frame::Batch(batch)) => {
@@ -362,6 +427,7 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
                     // at `consumed - granted` — a late increment would read
                     // as a zero cap and permanently lose the credit.
                     conn.consumed.fetch_add(n, Ordering::AcqRel);
+                    shared.m.credit_outstanding.add(n as i64);
                     // The protocol's backpressure loop: a full engine stops
                     // the credit re-grant (the client runs dry and waits),
                     // while the reader holds exactly one in-flight batch.
@@ -369,7 +435,7 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
                         match shared.engine.try_submit_batch(&batch.events) {
                             Ok(()) => break,
                             Err(SubmitError::Full) => {
-                                shared.stats.engine_full_stalls.fetch_add(1, Ordering::Relaxed);
+                                shared.m.engine_full_stalls.inc();
                                 std::thread::sleep(Duration::from_micros(100));
                             }
                             Err(SubmitError::Aborted) => {
@@ -378,8 +444,9 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
                             }
                         }
                     }
-                    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.events.fetch_add(n, Ordering::Relaxed);
+                    shared.m.batches.inc();
+                    shared.m.events.add(n);
+                    nack_run = 0;
                 }
             }
             Ok(Frame::StatsRequest) => {
@@ -395,7 +462,8 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
             Ok(_) => {
                 // Credit/Nack/Verdict/Stats replies are server-to-client
                 // only: a peer sending them is not a MonitorClient.
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.m.protocol_errors.inc();
+                shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 1);
                 shared.evict_connection(conn.id);
                 conn.close();
                 return;
@@ -405,13 +473,36 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
                 // connection survives the NACK.  Over the whole window the
                 // batch could never fit; over the remaining credit it is an
                 // overrun the client must wait out.
-                shared.stats.nacks.fetch_add(1, Ordering::Relaxed);
+                shared.m.nacks.inc();
                 let nack = if u64::from(rows) > window {
+                    shared.m.nacks_batch_too_large.inc();
+                    shared.tel.flight(
+                        Stage::Nack,
+                        batch_id,
+                        conn.id,
+                        0,
+                        NackReason::BatchTooLarge as u32,
+                    );
                     encode_nack(batch_id, NackReason::BatchTooLarge, window)
                 } else {
+                    shared.m.nacks_credit_exceeded.inc();
+                    shared.tel.flight(
+                        Stage::Nack,
+                        batch_id,
+                        conn.id,
+                        0,
+                        NackReason::CreditExceeded as u32,
+                    );
                     encode_nack(batch_id, NackReason::CreditExceeded, remaining)
                 };
                 conn.push(nack);
+                nack_run += 1;
+                if nack_run == NACK_STORM {
+                    // A compliant client waits for credit; a run this long
+                    // is a peer bug or a wedged pipeline — leave the
+                    // postmortem while the evidence is still in the ring.
+                    shared.tel.dump_to_stderr("nack storm");
+                }
             }
             Err(ReadError::Closed) => {
                 // Mid-stream disconnect: everything received so far stays
@@ -421,7 +512,8 @@ fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) 
                 return;
             }
             Err(_) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.m.protocol_errors.inc();
+                shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 2);
                 shared.evict_connection(conn.id);
                 conn.close();
                 return;
@@ -459,6 +551,7 @@ fn writer_loop(conn: &ConnShared, mut stream: TcpStream) {
                 conn.close();
                 return;
             }
+            conn.tx_bytes.add(wire_buf.len() as u64);
         } else {
             if conn.open.load(Ordering::Acquire) {
                 let _ = write_frame(&mut stream, &encode_shutdown());
@@ -518,7 +611,7 @@ fn route(
             match owners.get(&event.object) {
                 Some(conn) => per_conn.entry(*conn).or_default().push(*event),
                 None => {
-                    shared.stats.dropped_verdicts.fetch_add(1, Ordering::Relaxed);
+                    shared.m.dropped_verdicts.inc();
                 }
             }
         }
@@ -541,15 +634,14 @@ fn route(
                     if conn.push_deadline(encode_verdicts(piece), STALL_GRACE) {
                         delivered += piece.len() as u64;
                     } else {
-                        shared
-                            .stats
-                            .dropped_verdicts
-                            .fetch_add(piece.len() as u64, Ordering::Relaxed);
+                        shared.m.dropped_verdicts.add(piece.len() as u64);
                         if conn.open.load(Ordering::Acquire) {
                             // The queue stayed full past the grace period:
                             // the consumer stalled.  Close it so the rest of
                             // the fleet keeps its verdict flow.
-                            shared.stats.stalled_disconnects.fetch_add(1, Ordering::Relaxed);
+                            shared.m.stalled_disconnects.inc();
+                            shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 0);
+                            shared.tel.dump_to_stderr("stalled consumer disconnected");
                             conn.close();
                             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
                         }
@@ -567,6 +659,7 @@ fn route(
                     let grant = delivered.min(consumed.saturating_sub(granted));
                     if grant > 0 {
                         conn.granted.fetch_add(grant, Ordering::AcqRel);
+                        shared.m.credit_outstanding.sub(grant as i64);
                         if !conn.push_deadline(
                             encode_credit(grant, shared.config.window),
                             STALL_GRACE,
@@ -576,7 +669,9 @@ fn route(
                             // would silently shrink the client's window
                             // forever: treat it like the stalled-verdict
                             // case and close the connection.
-                            shared.stats.stalled_disconnects.fetch_add(1, Ordering::Relaxed);
+                            shared.m.stalled_disconnects.inc();
+                            shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 0);
+                            shared.tel.dump_to_stderr("stalled consumer disconnected");
                             conn.close();
                             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
                         }
@@ -584,10 +679,7 @@ fn route(
                 }
             }
             _ => {
-                shared
-                    .stats
-                    .dropped_verdicts
-                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                shared.m.dropped_verdicts.add(batch.len() as u64);
                 // The connection is gone: drop its routing entry, or the
                 // map (and this loop) grows with every connection ever
                 // served.
@@ -636,10 +728,11 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener) {
             capacity: shared.config.outbound,
             consumed: AtomicU64::new(0),
             granted: AtomicU64::new(0),
+            tx_bytes: shared.m.tx_bytes.clone(),
         });
         shared.conns.lock().insert(id, Arc::clone(&conn));
-        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-        shared.stats.active.fetch_add(1, Ordering::Relaxed);
+        shared.m.accepted.inc();
+        shared.m.active.add(1);
         let reader = {
             let shared = Arc::clone(shared);
             let conn = Arc::clone(&conn);
@@ -648,9 +741,17 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener) {
                 .spawn(move || {
                     reader_loop(&shared, &conn, reader_stream);
                     // Reader exit is connection exit: release the registry
-                    // entry and the active count exactly once.
+                    // entry and the active count exactly once, and return
+                    // the connection's never-regranted credit to the
+                    // occupancy gauge (the router stops granting once the
+                    // entry is gone).
                     shared.conns.lock().remove(&conn.id);
-                    shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                    shared.m.active.sub(1);
+                    let outstanding = conn
+                        .consumed
+                        .load(Ordering::Acquire)
+                        .saturating_sub(conn.granted.load(Ordering::Acquire));
+                    shared.m.credit_outstanding.sub(outstanding as i64);
                 })
                 .expect("spawning a connection reader")
         };
@@ -725,15 +826,18 @@ impl MonitorServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let subscription = engine.subscribe(config.subscription);
+        let tel = Arc::clone(engine.telemetry());
+        let metrics = NetMetrics::register(&tel);
         let shared = Arc::new(ServerShared {
             engine,
+            tel,
             config,
             stopping: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             owners: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
-            stats: StatCells::default(),
+            m: metrics,
         });
         let accept_handle = {
             let shared = Arc::clone(&shared);
@@ -763,21 +867,72 @@ impl MonitorServer {
         self.local_addr
     }
 
-    /// A snapshot of the server's operational counters.
+    /// A snapshot of the server's operational counters — a view over the
+    /// `net_*` cells of [`MonitorServer::telemetry`]'s registry (there is
+    /// no second set of bookkeeping).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        let cells = &self.shared.stats;
+        let m = &self.shared.m;
         ServerStats {
-            accepted: cells.accepted.load(Ordering::Relaxed),
-            active: cells.active.load(Ordering::Relaxed),
-            batches: cells.batches.load(Ordering::Relaxed),
-            events: cells.events.load(Ordering::Relaxed),
-            engine_full_stalls: cells.engine_full_stalls.load(Ordering::Relaxed),
-            nacks: cells.nacks.load(Ordering::Relaxed),
-            dropped_verdicts: cells.dropped_verdicts.load(Ordering::Relaxed),
-            protocol_errors: cells.protocol_errors.load(Ordering::Relaxed),
-            stalled_disconnects: cells.stalled_disconnects.load(Ordering::Relaxed),
+            accepted: m.accepted.get(),
+            active: m.active.get().max(0) as u64,
+            batches: m.batches.get(),
+            events: m.events.get(),
+            engine_full_stalls: m.engine_full_stalls.get(),
+            nacks: m.nacks.get(),
+            dropped_verdicts: m.dropped_verdicts.get(),
+            protocol_errors: m.protocol_errors.get(),
+            stalled_disconnects: m.stalled_disconnects.get(),
         }
+    }
+
+    /// The telemetry handle the server and its engine share: the `net_*`
+    /// metrics live on this registry next to the `engine_*` ones, and the
+    /// flight recorder carries both layers' pipeline events.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.tel
+    }
+
+    /// The whole registry, rendered as Prometheus text exposition.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        self.shared.tel.snapshot().to_prometheus()
+    }
+
+    /// Spawns the periodic snapshot hook: every `interval` (clamped to
+    /// ≥ 10 ms), `hook` runs on a server-owned thread with a fresh
+    /// registry [`Snapshot`] — the export loop for scrapers, log shippers
+    /// or rolling dashboards.  The thread is joined by
+    /// [`MonitorServer::shutdown`] (it notices the stop within ~50 ms).
+    pub fn spawn_snapshot_hook(
+        &self,
+        interval: Duration,
+        hook: impl Fn(&Snapshot) + Send + 'static,
+    ) {
+        let shared = Arc::clone(&self.shared);
+        let interval = interval.max(Duration::from_millis(10));
+        let handle = std::thread::Builder::new()
+            .name("drv-net-snapshot".to_string())
+            .spawn(move || {
+                let mut last = std::time::Instant::now();
+                while !shared.stopping.load(Ordering::Acquire) {
+                    // Sleep in short slices so shutdown never waits a whole
+                    // interval on this thread.
+                    std::thread::sleep(interval.saturating_sub(last.elapsed()).min(
+                        Duration::from_millis(50),
+                    ));
+                    if shared.stopping.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if last.elapsed() >= interval {
+                        last = std::time::Instant::now();
+                        hook(&shared.tel.snapshot());
+                    }
+                }
+            })
+            .expect("spawning the snapshot hook");
+        self.shared.handles.lock().push(handle);
     }
 
     /// Submitted-but-unprocessed events in the engine.

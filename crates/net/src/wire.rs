@@ -58,13 +58,15 @@
 use drv_core::Verdict;
 use drv_engine::VerdictEvent;
 use drv_lang::wire::{
-    put_invocation, put_response, put_u32, put_u64, take_invocation, take_response, CodecError,
-    Reader,
+    put_invocation, put_response, put_string, put_u32, put_u64, put_u64_seq, take_invocation,
+    take_response, CodecError, Reader,
 };
 use drv_lang::{
     EventAction, EventBatch, EventRecord, InvocationId, ObjectId, ProcId, ResponseId,
     SharedInterner,
 };
+use drv_telemetry::metrics::BUCKETS;
+use drv_telemetry::{HistogramSnapshot, Snapshot};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -77,6 +79,12 @@ pub const HEADER_LEN: usize = 16;
 /// Hard cap on a frame's payload length (16 MiB): the over-allocation guard
 /// for the length field itself.
 pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+/// Version byte leading a non-empty [`FrameKind::Stats`] payload.  The
+/// pre-telemetry flat layout was (an unversioned) 1; version 2 appends the
+/// encoded registry snapshot.  A reply whose version this implementation
+/// does not speak decodes to [`WireError::BadStatsVersion`], never to
+/// garbled counters.
+pub const STATS_VERSION: u8 = 2;
 
 /// The discriminant of a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +184,18 @@ pub struct WireStats {
     pub connections: u32,
 }
 
+/// A full [`FrameKind::Stats`] reply: the flat engine counters plus the
+/// server's entire telemetry registry at the same instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// The engine-level counters (the pre-telemetry reply, kept flat so
+    /// dashboards need no registry knowledge for the headline numbers).
+    pub engine: WireStats,
+    /// Every registered counter, gauge and histogram of the serving
+    /// process — engine, net and store metrics alike.
+    pub telemetry: Snapshot,
+}
+
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
@@ -203,8 +223,8 @@ pub enum Frame {
     Verdicts(Vec<VerdictEvent>),
     /// A stats request (empty [`FrameKind::Stats`] payload).
     StatsRequest,
-    /// A stats snapshot reply.
-    Stats(WireStats),
+    /// A stats snapshot reply (engine counters + registry snapshot).
+    Stats(Box<StatsReply>),
     /// Clean end-of-stream.
     Shutdown,
     /// A journal retirement record (see [`FrameKind::Evict`]).
@@ -275,6 +295,15 @@ pub enum WireError {
         /// Rows the frame declared.
         rows: u32,
     },
+    /// A non-empty [`FrameKind::Stats`] payload led with a version byte
+    /// this implementation does not speak (see [`STATS_VERSION`]).
+    BadStatsVersion(u8),
+    /// A stats reply's histogram declared a bucket-array length other than
+    /// the fixed [`BUCKETS`] the log₂ layout mandates.
+    BadStatsHistogram {
+        /// Buckets the reply declared.
+        buckets: u64,
+    },
     /// Bytes remained after the payload's last field.
     TrailingBytes {
         /// How many.
@@ -309,6 +338,12 @@ impl fmt::Display for WireError {
             }
             WireError::DictOverflow { entries, rows } => {
                 write!(f, "{entries} dictionary entries for {rows} rows")
+            }
+            WireError::BadStatsVersion(version) => {
+                write!(f, "unsupported stats payload version {version} (expected {STATS_VERSION})")
+            }
+            WireError::BadStatsHistogram { buckets } => {
+                write!(f, "stats histogram declares {buckets} buckets (expected {BUCKETS})")
             }
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the payload's last field")
@@ -523,10 +558,25 @@ pub fn encode_stats_request() -> Vec<u8> {
     seal_frame(FrameKind::Stats, &[])
 }
 
-/// Encodes a stats snapshot reply.
+/// Encodes a stats snapshot reply: the version byte ([`STATS_VERSION`]),
+/// the flat engine counters, then the registry snapshot — counters and
+/// gauges as `(name, value)` pairs, histograms as `(name, bucket seq,
+/// sum)` (the count is the bucket sum, so it is not re-encoded).
+///
+/// # Panics
+///
+/// Panics when the encoded snapshot exceeds [`MAX_PAYLOAD`] (a registry
+/// would need hundreds of thousands of metrics).
 #[must_use]
-pub fn encode_stats(stats: &WireStats) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(52);
+pub fn encode_stats(reply: &StatsReply) -> Vec<u8> {
+    let stats = &reply.engine;
+    let snapshot = &reply.telemetry;
+    let mut payload = Vec::with_capacity(
+        64 + snapshot.counters.len() * 24
+            + snapshot.gauges.len() * 24
+            + snapshot.histograms.len() * (32 + BUCKETS * 8),
+    );
+    payload.push(STATS_VERSION);
     put_u32(&mut payload, stats.workers);
     put_u32(&mut payload, stats.shards);
     put_u64(&mut payload, stats.events);
@@ -536,6 +586,22 @@ pub fn encode_stats(stats: &WireStats) -> Vec<u8> {
     put_u64(&mut payload, stats.park_wakeups);
     put_u64(&mut payload, stats.backlog);
     put_u32(&mut payload, stats.connections);
+    put_u32(&mut payload, u32::try_from(snapshot.counters.len()).expect("< 2^32 counters"));
+    for (name, value) in &snapshot.counters {
+        put_string(&mut payload, name);
+        put_u64(&mut payload, *value);
+    }
+    put_u32(&mut payload, u32::try_from(snapshot.gauges.len()).expect("< 2^32 gauges"));
+    for (name, value) in &snapshot.gauges {
+        put_string(&mut payload, name);
+        put_u64(&mut payload, *value as u64);
+    }
+    put_u32(&mut payload, u32::try_from(snapshot.histograms.len()).expect("< 2^32 histograms"));
+    for (name, hist) in &snapshot.histograms {
+        put_string(&mut payload, name);
+        put_u64_seq(&mut payload, &hist.buckets);
+        put_u64(&mut payload, hist.sum);
+    }
     seal_frame(FrameKind::Stats, &payload)
 }
 
@@ -683,17 +749,7 @@ fn decode_payload(
             Frame::Verdicts(events)
         }
         FrameKind::Stats if payload.is_empty() => Frame::StatsRequest,
-        FrameKind::Stats => Frame::Stats(WireStats {
-            workers: reader.u32("stats workers")?,
-            shards: reader.u32("stats shards")?,
-            events: reader.u64("stats events")?,
-            batches: reader.u64("stats batches")?,
-            steals: reader.u64("stats steals")?,
-            evicted: reader.u64("stats evicted")?,
-            park_wakeups: reader.u64("stats park wakeups")?,
-            backlog: reader.u64("stats backlog")?,
-            connections: reader.u32("stats connections")?,
-        }),
+        FrameKind::Stats => Frame::Stats(Box::new(decode_stats_reply(&mut reader)?)),
         FrameKind::Shutdown => Frame::Shutdown,
         FrameKind::Evict => Frame::Evict { object: ObjectId(reader.u64("evicted object")?) },
         FrameKind::Checkpoint => {
@@ -707,6 +763,62 @@ fn decode_payload(
         return Err(WireError::TrailingBytes { extra: reader.remaining() });
     }
     Ok(frame)
+}
+
+/// Decodes a non-empty [`FrameKind::Stats`] payload: the version byte
+/// first (so layout drift across releases surfaces as the typed
+/// [`WireError::BadStatsVersion`], not as garbled counters), then the flat
+/// engine stats, then the registry snapshot.  Every collection length is
+/// bounds-checked against the remaining payload before allocation
+/// ([`Reader::count`]), and each histogram must carry exactly [`BUCKETS`]
+/// buckets.
+fn decode_stats_reply(reader: &mut Reader<'_>) -> Result<StatsReply, WireError> {
+    let version = reader.u8("stats version")?;
+    if version != STATS_VERSION {
+        return Err(WireError::BadStatsVersion(version));
+    }
+    let engine = WireStats {
+        workers: reader.u32("stats workers")?,
+        shards: reader.u32("stats shards")?,
+        events: reader.u64("stats events")?,
+        batches: reader.u64("stats batches")?,
+        steals: reader.u64("stats steals")?,
+        evicted: reader.u64("stats evicted")?,
+        park_wakeups: reader.u64("stats park wakeups")?,
+        backlog: reader.u64("stats backlog")?,
+        connections: reader.u32("stats connections")?,
+    };
+    // Each counter/gauge entry is ≥ 12 bytes (4-byte name length + 8-byte
+    // value); each histogram ≥ 4 + 4 + 8 (empty name, bucket count, sum).
+    let counter_count = reader.count(12, "stats counters")?;
+    let mut counters = Vec::with_capacity(counter_count);
+    for _ in 0..counter_count {
+        let name = reader.string("counter name")?;
+        counters.push((name, reader.u64("counter value")?));
+    }
+    let gauge_count = reader.count(12, "stats gauges")?;
+    let mut gauges = Vec::with_capacity(gauge_count);
+    for _ in 0..gauge_count {
+        let name = reader.string("gauge name")?;
+        gauges.push((name, reader.u64("gauge value")? as i64));
+    }
+    let hist_count = reader.count(16, "stats histograms")?;
+    let mut histograms = Vec::with_capacity(hist_count);
+    for _ in 0..hist_count {
+        let name = reader.string("histogram name")?;
+        let bucket_seq = reader.u64_seq("histogram buckets")?;
+        if bucket_seq.len() != BUCKETS {
+            return Err(WireError::BadStatsHistogram { buckets: bucket_seq.len() as u64 });
+        }
+        let mut hist = HistogramSnapshot::default();
+        hist.buckets.copy_from_slice(&bucket_seq);
+        // The count is definitionally the bucket sum — derived, not
+        // trusted off the wire.
+        hist.count = hist.buckets.iter().fold(0u64, |acc, &n| acc.wrapping_add(n));
+        hist.sum = reader.u64("histogram sum")?;
+        histograms.push((name, hist));
+    }
+    Ok(StatsReply { engine, telemetry: Snapshot { counters, gauges, histograms } })
 }
 
 /// Decodes a batch payload, interning each dictionary entry once into
@@ -977,8 +1089,14 @@ mod tests {
             ),
             (encode_stats_request(), Frame::StatsRequest),
             (
-                encode_stats(&WireStats { workers: 2, shards: 8, events: 100, ..WireStats::default() }),
-                Frame::Stats(WireStats { workers: 2, shards: 8, events: 100, ..WireStats::default() }),
+                encode_stats(&StatsReply {
+                    engine: WireStats { workers: 2, shards: 8, events: 100, ..WireStats::default() },
+                    telemetry: Snapshot::default(),
+                }),
+                Frame::Stats(Box::new(StatsReply {
+                    engine: WireStats { workers: 2, shards: 8, events: 100, ..WireStats::default() },
+                    telemetry: Snapshot::default(),
+                })),
             ),
             (encode_shutdown(), Frame::Shutdown),
         ];
@@ -1106,6 +1224,65 @@ mod tests {
         let arena = SharedInterner::new();
         assert!(matches!(decode_frame(&bad, &arena), Err(WireError::BadDictIndex { .. })));
         assert_eq!(arena.versions(), (0, 0), "a bad row must refuse before interning");
+    }
+
+    #[test]
+    fn populated_stats_replies_round_trip() {
+        let tel = drv_telemetry::Telemetry::new();
+        tel.registry().counter("net_batches").add(17);
+        tel.registry().gauge("engine_queue_depth").add(-3);
+        let h = tel.registry().histogram("net_decode_ns");
+        h.record(0);
+        h.record(900);
+        h.record(70_000);
+        let reply = StatsReply {
+            engine: WireStats { workers: 4, shards: 16, events: 9000, ..WireStats::default() },
+            telemetry: tel.snapshot(),
+        };
+        let frame = encode_stats(&reply);
+        let (decoded, consumed) =
+            decode_frame(&frame, &SharedInterner::new()).expect("valid frame");
+        assert_eq!(consumed, frame.len());
+        let Frame::Stats(got) = decoded else { panic!("not a stats reply") };
+        assert_eq!(*got, reply, "the snapshot survives the wire verbatim");
+        let hist = got.telemetry.histogram("net_decode_ns").expect("histogram");
+        assert_eq!(hist.count, 3, "count re-derives from the bucket sum");
+        assert_eq!(hist.sum, 70_900);
+    }
+
+    #[test]
+    fn stats_version_mismatch_is_a_typed_error() {
+        let mut frame = encode_stats(&StatsReply::default());
+        // The version byte is the first payload byte; claim version 9 and
+        // re-seal the CRC so only the version is wrong.
+        frame[HEADER_LEN] = 9;
+        let crc = crc32(&frame[HEADER_LEN..]);
+        frame[12..16].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_frame(&frame, &SharedInterner::new()),
+            Err(WireError::BadStatsVersion(9))
+        );
+    }
+
+    #[test]
+    fn stats_histograms_must_carry_the_fixed_bucket_count() {
+        // Hand-build a version-2 payload whose one histogram declares 3
+        // buckets: the log₂ layout mandates exactly BUCKETS.
+        let flat = encode_stats(&StatsReply::default());
+        let mut payload = flat[HEADER_LEN..].to_vec();
+        // Replace the trailing (0 counters, 0 gauges, 0 histograms) tail:
+        // the last 4 bytes are the histogram count.
+        let len = payload.len();
+        payload.truncate(len - 4);
+        put_u32(&mut payload, 1);
+        put_string(&mut payload, "short");
+        put_u64_seq(&mut payload, &[1, 2, 3]);
+        put_u64(&mut payload, 6);
+        let frame = seal_frame(FrameKind::Stats, &payload);
+        assert_eq!(
+            decode_frame(&frame, &SharedInterner::new()),
+            Err(WireError::BadStatsHistogram { buckets: 3 })
+        );
     }
 
     #[test]

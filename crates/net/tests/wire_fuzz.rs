@@ -14,8 +14,8 @@ use drv_engine::VerdictEvent;
 use drv_lang::{EventBatch, Invocation, ObjectId, ProcId, Response, SharedInterner, Symbol};
 use drv_net::wire::{
     decode_frame, encode_credit, encode_nack, encode_shutdown, encode_stats,
-    encode_stats_request, encode_verdicts, Frame, FrameEncoder, NackReason, WireError, WireStats,
-    HEADER_LEN, MAX_PAYLOAD,
+    encode_stats_request, encode_verdicts, Frame, FrameEncoder, NackReason, StatsReply,
+    WireError, WireStats, HEADER_LEN, MAX_PAYLOAD,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -58,10 +58,24 @@ fn valid_frames(rng: &mut StdRng) -> Vec<Vec<u8>> {
         encode_nack(rng.gen_range(0..u64::MAX), NackReason::CreditExceeded, rng.gen_range(0..u64::MAX)),
         encode_verdicts(&verdicts),
         encode_stats_request(),
-        encode_stats(&WireStats {
-            workers: rng.gen_range(1..8u32),
-            events: rng.gen_range(0..u64::MAX),
-            ..WireStats::default()
+        encode_stats(&StatsReply {
+            engine: WireStats {
+                workers: rng.gen_range(1..8u32),
+                events: rng.gen_range(0..u64::MAX),
+                ..WireStats::default()
+            },
+            telemetry: {
+                // A populated registry so the fuzz also mutates the
+                // snapshot section (names, counts, bucket arrays).
+                let tel = drv_telemetry::Telemetry::new();
+                tel.registry().counter("net_batches").add(rng.gen_range(0..1_000u64));
+                tel.registry().gauge("engine_queue_depth").add(rng.gen_range(0..100u64) as i64 - 50);
+                let hist = tel.registry().histogram("net_decode_ns");
+                for _ in 0..rng.gen_range(1..64u32) {
+                    hist.record(rng.gen_range(0..u64::MAX));
+                }
+                tel.snapshot()
+            },
         }),
         encode_shutdown(),
     ]

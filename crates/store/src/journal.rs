@@ -51,11 +51,13 @@ use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
 use drv_net::wire::{
     decode_frame, encode_checkpoint, encode_evict, Frame, FrameEncoder, MAX_PAYLOAD,
 };
+use drv_telemetry::{Counter, Histogram, Stage, Telemetry};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// When the journal calls `fsync` (well, `fdatasync`-equivalent) after an
 /// append.
@@ -274,7 +276,9 @@ struct Appender {
     single: EventBatch,
 }
 
-/// Counters of a running [`Store`] (monotone, racy reads).
+/// Counters of a running [`Store`] (monotone, racy reads) — a view over
+/// the store's `store_*` cells in its [`Telemetry`] registry, so the
+/// report and a wire/Prometheus snapshot can never disagree.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Event-batch records appended.
@@ -292,14 +296,52 @@ pub struct StoreStats {
     pub oversized_checkpoints: u64,
 }
 
-#[derive(Default)]
-struct StatCells {
-    batches: AtomicU64,
-    events: AtomicU64,
-    checkpoints: AtomicU64,
-    tombstones: AtomicU64,
-    syncs: AtomicU64,
-    oversized_checkpoints: AtomicU64,
+/// The store's registry cells, all named `store_*`.  Registered once at
+/// open; every hot-path update is a single relaxed striped add.
+struct StoreMetrics {
+    /// `store_batches` — event-batch records appended.
+    batches: Counter,
+    /// `store_events` — events those batches carried.
+    events: Counter,
+    /// `store_checkpoints` — checkpoint records accepted into the file.
+    checkpoints: Counter,
+    /// `store_checkpoints_skipped` — checkpoint records dropped because
+    /// the store was (or went) degraded mid-append.
+    checkpoints_skipped: Counter,
+    /// `store_oversized_checkpoints` — checkpoints skipped at the payload
+    /// cap, before touching the file.
+    oversized_checkpoints: Counter,
+    /// `store_tombstones` — eviction records appended.
+    tombstones: Counter,
+    /// `store_syncs` — `fdatasync`s issued (policy-driven and explicit).
+    syncs: Counter,
+    /// `store_degraded_appends` — records refused by the degraded latch.
+    degraded_appends: Counter,
+    /// `store_journal_bytes` — framed bytes that reached the file.
+    journal_bytes: Counter,
+    /// `store_append_ns` — `write_all` latency of one framed record.
+    append_ns: Histogram,
+    /// `store_fsync_ns` — `sync_data` latency.
+    fsync_ns: Histogram,
+}
+
+impl StoreMetrics {
+    fn register(tel: &Telemetry) -> StoreMetrics {
+        let reg = tel.registry();
+        StoreMetrics {
+            batches: reg.counter("store_batches"),
+            events: reg.counter("store_events"),
+            checkpoints: reg.counter("store_checkpoints"),
+            checkpoints_skipped: reg.counter("store_checkpoints_skipped"),
+            oversized_checkpoints: reg.counter("store_oversized_checkpoints"),
+            tombstones: reg.counter("store_tombstones"),
+            syncs: reg.counter("store_syncs"),
+            degraded_appends: reg.counter("store_degraded_appends"),
+            journal_bytes: reg.counter("store_journal_bytes"),
+            append_ns: reg.histogram("store_append_ns"),
+            fsync_ns: reg.histogram("store_fsync_ns"),
+        }
+    }
 }
 
 /// The crash-durable journal store: an open journal file plus the
@@ -323,18 +365,36 @@ pub struct Store {
     error: Mutex<Option<std::io::Error>>,
     /// Bytes the open-time scan cut off the inherited file.
     truncated: u64,
-    stats: StatCells,
+    tel: Arc<Telemetry>,
+    m: StoreMetrics,
 }
 
 impl Store {
     /// Opens (creating if absent) the journal at `path`: scans the
     /// existing contents, truncates the torn tail if one is found, and
-    /// positions appends at the end of the valid prefix.
+    /// positions appends at the end of the valid prefix.  The store runs
+    /// over a passive [`Telemetry`] handle (counters tick, latency timing
+    /// off); use [`Store::open_with`] to share an instrumented one.
     ///
     /// # Errors
     ///
     /// File I/O only — on-disk corruption is salvaged, not fatal.
     pub fn open(path: impl AsRef<Path>, config: StoreConfig) -> Result<Store, StoreError> {
+        Store::open_with(path, config, Telemetry::passive())
+    }
+
+    /// [`Store::open`] over a caller-supplied [`Telemetry`] handle — pass
+    /// the engine's so one registry (and one Stats frame) carries the
+    /// `engine_*`, `net_*` and `store_*` cells together.
+    ///
+    /// # Errors
+    ///
+    /// File I/O only — on-disk corruption is salvaged, not fatal.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        config: StoreConfig,
+        telemetry: Arc<Telemetry>,
+    ) -> Result<Store, StoreError> {
         let path = path.as_ref();
         let buf = match std::fs::read(path) {
             Ok(buf) => buf,
@@ -354,6 +414,7 @@ impl Store {
             file.set_len(scan.valid_len)?;
         }
         file.seek(SeekFrom::Start(scan.valid_len))?;
+        let m = StoreMetrics::register(&telemetry);
         Ok(Store {
             inner: Mutex::new(Appender {
                 file,
@@ -367,7 +428,8 @@ impl Store {
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
             truncated,
-            stats: StatCells::default(),
+            tel: telemetry,
+            m,
         })
     }
 
@@ -377,6 +439,12 @@ impl Store {
         &self.config
     }
 
+    /// The [`Telemetry`] handle the store records into.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tel
+    }
+
     /// Bytes the open-time scan truncated off a torn tail (0 for a clean
     /// or fresh journal).
     #[must_use]
@@ -384,16 +452,17 @@ impl Store {
         self.truncated
     }
 
-    /// A snapshot of the append counters.
+    /// A snapshot of the append counters — read straight off the registry
+    /// cells, no second set of bookkeeping.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            batches: self.stats.batches.load(Ordering::Relaxed),
-            events: self.stats.events.load(Ordering::Relaxed),
-            checkpoints: self.stats.checkpoints.load(Ordering::Relaxed),
-            tombstones: self.stats.tombstones.load(Ordering::Relaxed),
-            syncs: self.stats.syncs.load(Ordering::Relaxed),
-            oversized_checkpoints: self.stats.oversized_checkpoints.load(Ordering::Relaxed),
+            batches: self.m.batches.get(),
+            events: self.m.events.get(),
+            checkpoints: self.m.checkpoints.get(),
+            tombstones: self.m.tombstones.get(),
+            syncs: self.m.syncs.get(),
+            oversized_checkpoints: self.m.oversized_checkpoints.get(),
         }
     }
 
@@ -419,13 +488,15 @@ impl Store {
             return Err(StoreError::Io(self.latched_error()));
         }
         let mut inner = self.inner.lock();
+        let started = self.tel.timer();
         if let Err(err) = inner.file.sync_data() {
             let copy = std::io::Error::new(err.kind(), err.to_string());
             self.latch(err);
             return Err(StoreError::Io(copy));
         }
+        self.tel.observe(started, &self.m.fsync_ns);
         inner.since_sync = 0;
-        self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+        self.m.syncs.inc();
         Ok(())
     }
 
@@ -449,12 +520,16 @@ impl Store {
     /// that were written.
     fn append(&self, inner: &mut Appender, frame: &[u8]) -> bool {
         if self.failed.load(Ordering::Acquire) {
+            self.m.degraded_appends.inc();
             return false;
         }
+        let started = self.tel.timer();
         if let Err(err) = inner.file.write_all(frame) {
             self.latch(err);
             return false;
         }
+        self.tel.observe(started, &self.m.append_ns);
+        self.m.journal_bytes.add(frame.len() as u64);
         inner.since_sync += 1;
         let due = match self.config.fsync {
             FsyncPolicy::Always => true,
@@ -463,13 +538,15 @@ impl Store {
         };
         if due {
             inner.since_sync = 0;
+            let started = self.tel.timer();
             if let Err(err) = inner.file.sync_data() {
                 self.latch(err);
                 // The bytes were written but their promised durability
                 // point failed: degraded, and not counted as journaled.
                 return false;
             }
-            self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+            self.tel.observe(started, &self.m.fsync_ns);
+            self.m.syncs.inc();
         }
         true
     }
@@ -482,8 +559,9 @@ impl JournalSink for Store {
         let id = inner.batch_id;
         let frame = inner.encoder.encode_batch(id, batch, arena);
         if self.append(&mut inner, &frame) {
-            self.stats.batches.fetch_add(1, Ordering::Relaxed);
-            self.stats.events.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.m.batches.inc();
+            self.m.events.add(batch.len() as u64);
+            self.tel.flight(Stage::JournalAppend, id, batch.len() as u64, 0, frame.len() as u32);
         }
     }
 
@@ -496,8 +574,9 @@ impl JournalSink for Store {
         let Appender { encoder, single, .. } = &mut *inner;
         let frame = encoder.encode_batch(id, single, &self.arena);
         if self.append(&mut inner, &frame) {
-            self.stats.batches.fetch_add(1, Ordering::Relaxed);
-            self.stats.events.fetch_add(1, Ordering::Relaxed);
+            self.m.batches.inc();
+            self.m.events.inc();
+            self.tel.flight(Stage::JournalAppend, object.0, 1, 0, frame.len() as u32);
         }
     }
 
@@ -515,13 +594,16 @@ impl JournalSink for Store {
         // as for monitors without checkpoint support.
         let record_len = 24u64 + verdicts.len() as u64 * 5 + state.len() as u64;
         if record_len > u64::from(MAX_PAYLOAD) {
-            self.stats.oversized_checkpoints.fetch_add(1, Ordering::Relaxed);
+            self.m.oversized_checkpoints.inc();
             return;
         }
         let frame = encode_checkpoint(&encode_checkpoint_record(object, verdicts, state));
         let mut inner = self.inner.lock();
         if self.append(&mut inner, &frame) {
-            self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+            self.m.checkpoints.inc();
+            self.tel.flight(Stage::Checkpoint, object.0, verdicts.len() as u64, 0, frame.len() as u32);
+        } else {
+            self.m.checkpoints_skipped.inc();
         }
     }
 
@@ -529,7 +611,7 @@ impl JournalSink for Store {
         let frame = encode_evict(object);
         let mut inner = self.inner.lock();
         if self.append(&mut inner, &frame) {
-            self.stats.tombstones.fetch_add(1, Ordering::Relaxed);
+            self.m.tombstones.inc();
         }
     }
 }

@@ -63,4 +63,6 @@ pub use journal::{
     decode_checkpoint_record, encode_checkpoint_record, scan_journal, CheckpointRecord,
     FsyncPolicy, JournalRecord, ScanResult, Store, StoreConfig, StoreStats,
 };
-pub use recover::{recover, serve_durable, Recovery, RecoveryStats};
+pub use recover::{
+    recover, recover_with, serve_durable, serve_durable_with, Recovery, RecoveryStats,
+};

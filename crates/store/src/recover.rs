@@ -37,6 +37,7 @@ use drv_core::ObjectMonitorFactory;
 use drv_engine::{EngineConfig, MonitoringEngine, RecoveredObject};
 use drv_lang::{ObjectId, SharedInterner};
 use drv_net::{MonitorServer, ServerConfig};
+use drv_telemetry::Telemetry;
 use std::collections::{HashMap, HashSet};
 use std::net::ToSocketAddrs;
 use std::path::Path;
@@ -91,8 +92,29 @@ pub fn recover(
     engine_config: EngineConfig,
     factory: Arc<dyn ObjectMonitorFactory>,
 ) -> Result<Recovery, StoreError> {
+    recover_with(path, config, engine_config, factory, Telemetry::passive())
+}
+
+/// [`recover`] over a caller-supplied [`Telemetry`] handle, shared by the
+/// store and the rebuilt engine — one registry carries the `engine_*` and
+/// `store_*` cells (and the `net_*` cells, once a server binds over the
+/// engine), and the flight ring sees the whole pipeline.  Replay itself is
+/// instrumented like live traffic: the engine's check histograms include
+/// the replayed suffix.
+///
+/// # Errors
+///
+/// File I/O only — journal corruption is salvaged by the torn-tail scan,
+/// and unusable checkpoints degrade to full replay.
+pub fn recover_with(
+    path: impl AsRef<Path>,
+    config: StoreConfig,
+    engine_config: EngineConfig,
+    factory: Arc<dyn ObjectMonitorFactory>,
+    telemetry: Arc<Telemetry>,
+) -> Result<Recovery, StoreError> {
     let path = path.as_ref();
-    let store = Arc::new(Store::open(path, config)?);
+    let store = Arc::new(Store::open_with(path, config, Arc::clone(&telemetry))?);
     // Re-read the (now truncated-to-valid) file once for both passes.
     let buf = std::fs::read(path)?;
     let mut stats = RecoveryStats {
@@ -154,7 +176,8 @@ pub fn recover(
     // as evict() calls, which queue FIFO behind the events before them —
     // reproducing the retirement position, so tombstoned objects are
     // retired again instead of resurrected.
-    let engine = MonitoringEngine::with_recovered(engine_config, factory, recovered);
+    let engine =
+        MonitoringEngine::with_recovered_telemetry(engine_config, factory, recovered, telemetry);
     let mut offset = 0usize;
     // Replay only the scan-validated prefix, and propagate (never panic
     // on) a decode error: the file has no lock against concurrent
@@ -199,7 +222,37 @@ pub fn serve_durable(
     factory: Arc<dyn ObjectMonitorFactory>,
     server_config: ServerConfig,
 ) -> Result<(MonitorServer, Arc<Store>, RecoveryStats), StoreError> {
-    let recovery = recover(path, config, engine_config, factory)?;
+    serve_durable_with(
+        addr,
+        path,
+        config,
+        engine_config,
+        factory,
+        server_config,
+        Telemetry::passive(),
+    )
+}
+
+/// [`serve_durable`] over a caller-supplied [`Telemetry`] handle: store,
+/// engine and TCP server share one registry, so the server's Stats frame
+/// (and Prometheus text) carries `store_*` append/fsync metrics alongside
+/// the `engine_*`/`net_*` cells, and the flight ring spans submit →
+/// check → verdict route → journal append end to end.
+///
+/// # Errors
+///
+/// The recovery error or the bind error.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_durable_with(
+    addr: impl ToSocketAddrs,
+    path: impl AsRef<Path>,
+    config: StoreConfig,
+    engine_config: EngineConfig,
+    factory: Arc<dyn ObjectMonitorFactory>,
+    server_config: ServerConfig,
+    telemetry: Arc<Telemetry>,
+) -> Result<(MonitorServer, Arc<Store>, RecoveryStats), StoreError> {
+    let recovery = recover_with(path, config, engine_config, factory, telemetry)?;
     let server = MonitorServer::with_engine(addr, Arc::new(recovery.engine), server_config)
         .map_err(StoreError::Io)?;
     Ok((server, recovery.store, recovery.stats))

@@ -72,9 +72,23 @@ fn main() {
                 if conn == 0 {
                     let stats = client.stats(Duration::from_secs(5)).expect("stats reply");
                     println!(
-                        "stats frame: {} events checked, {} engine workers, {} connections",
-                        stats.events, stats.workers, stats.connections
+                        "stats frame: {} events checked, {} engine workers, {} connections, \
+                         {} registry metrics over the wire",
+                        stats.engine.events,
+                        stats.engine.workers,
+                        stats.engine.connections,
+                        stats.telemetry.counters.len()
+                            + stats.telemetry.gauges.len()
+                            + stats.telemetry.histograms.len(),
                     );
+                    let net_events = stats
+                        .telemetry
+                        .counter("net_events")
+                        .expect("the live registry snapshot rides the same frame");
+                    // This connection's own traffic is fully verdicted, so
+                    // it is contained in both the net- and engine-side tallies.
+                    let own = OBJECTS_PER_CONN * OPS_PER_OBJECT * 2;
+                    assert!(net_events >= own && stats.engine.events >= own);
                 }
                 client.shutdown().expect("clean goodbye");
                 (received, yes)

@@ -21,6 +21,13 @@
 //!        ▼
 //!   verdict streams → subscriptions / wire Verdict frames / report
 //!
+//!   cross-cutting: one shared Telemetry registry           [telemetry]
+//!   (striped counters/gauges, log2 latency histograms, flight ring)
+//!   fed by engine (engine_*), net (net_*) and store (store_*);
+//!   exported as a Stats wire frame, Prometheus text, or a snapshot
+//!   hook — and zero-overhead-when-idle: the default passive handle
+//!   never reads the clock.
+//!
 //!   scenario sources: adversary scripts [adversary] · shared-memory
 //!   substrate [shmem] · ABD message-passing sim [abd] (bridged onto
 //!   the wire by net::stream_abd) · benches and load generators [bench]
@@ -51,6 +58,14 @@
 //!   journal, checkpointed checker state, and replay-identical crash
 //!   recovery ([`store::recover`](crate::store::recover) /
 //!   [`store::serve_durable`](crate::store::serve_durable)),
+//! * [`telemetry`] — the observability subsystem: the sharded
+//!   allocation-free metrics registry
+//!   ([`Counter`](crate::telemetry::Counter) /
+//!   [`Gauge`](crate::telemetry::Gauge) /
+//!   [`Histogram`](crate::telemetry::Histogram)), the lock-free pipeline
+//!   flight recorder, and the snapshot / Prometheus exporters — engine,
+//!   net and store all record into one shared
+//!   [`Telemetry`](crate::telemetry::Telemetry) handle,
 //! * [`abd`] — the ABD message-passing port,
 //! * [`bench`] — the Table 1 reproduction harness and the `netload`
 //!   loopback load generator.
@@ -90,3 +105,4 @@ pub use drv_net as net;
 pub use drv_shmem as shmem;
 pub use drv_spec as spec;
 pub use drv_store as store;
+pub use drv_telemetry as telemetry;
