@@ -8,6 +8,8 @@
 //! cargo run -p drv-bench --bin netload --release -- quick      # CI smoke
 //! cargo run -p drv-bench --bin netload --release -- C M OPS    # custom size
 //! cargo run -p drv-bench --bin netload --release -- --journal  # journal overhead
+//! cargo run -p drv-bench --bin netload --release -- --connections        # 8/256/1000 sweep
+//! cargo run -p drv-bench --bin netload --release -- --connections quick  # 1000-conn CI gate
 //! ```
 //!
 //! Every run asserts the wire verdict streams bit-identical to
@@ -22,6 +24,17 @@
 //! recovery (full journal replay) — spliced as `"netload_journal"`.  It
 //! composes with the sizing arguments (`--journal quick`).
 //!
+//! `--connections` measures the reactor's scaling claim directly: the
+//! whole fleet is held concurrently open behind a barrier before the clock
+//! starts, the server's thread count is read off `/proc/self/task` at peak
+//! (it must stay at exactly two — reactor + router — no matter how many
+//! sockets are registered), a worker/batch matrix (1/2/4 workers × batch
+//! 1/256) re-proves wire verdicts ≡ `sequential_reference`, and the
+//! 8-connection batch-256 row is gated at 0.9× the thread-per-connection
+//! implementation's recorded rate — spliced as `"netload_connections"`.
+//! `quick` keeps the 1 000-connection row (tiny per-connection load) as a
+//! CI gate.
+//!
 //! `--metrics` measures what `drv-telemetry` costs: the same loopback
 //! deployment (journal attached) with a passive handle vs a fully
 //! instrumented one (timing + flight ring), reports the on/off throughput
@@ -34,7 +47,7 @@ use drv_adversary::{merge_round_robin, register_object_stream, RegisterStreamSha
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
 use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
 use drv_lang::{ObjectId, Symbol};
-use drv_net::{MonitorClient, MonitorServer, ServerConfig};
+use drv_net::{ClientConfig, MonitorClient, MonitorServer, ServerConfig};
 use drv_spec::Register;
 use drv_store::{recover, FsyncPolicy, Store, StoreConfig};
 use drv_telemetry::{Snapshot, Telemetry};
@@ -236,9 +249,9 @@ fn throughput(events: usize, duration: Duration) -> f64 {
     events as f64 / duration.as_secs_f64().max(1e-12)
 }
 
-/// Splices `section` in as the `"{key}"` field of `BENCH_engine.json`
-/// (replacing a previous one; the field — and everything a previous
-/// regenerate appended after it — is always moved last).
+/// Splices `section` in as the `"{key}"` field of `BENCH_engine.json`,
+/// replacing a previous one in place (other sections — before *and*
+/// after it — are preserved; the refreshed field moves last).
 fn splice_section(key: &str, section: &str) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let mut content = match std::fs::read_to_string(path) {
@@ -248,9 +261,24 @@ fn splice_section(key: &str, section: &str) {
             "{\n}\n".to_string()
         }
     };
-    if let Some(pos) = content.find(&format!(",\n  \"{key}\"")) {
-        content.truncate(pos);
-        content.push_str("\n}\n");
+    // Remove a previous `"{key}": { … }` block.  The needle includes the
+    // closing quote and colon so a key that prefixes another ("netload"
+    // vs "netload_journal") can never match the wrong section, and the
+    // block ends at the first two-space-indented `}` — nested objects sit
+    // at deeper indents in this pretty-printed layout.
+    let needle = format!(",\n  \"{key}\": ");
+    if let Some(start) = content.find(&needle) {
+        let mut cursor = start + needle.len();
+        while let Some(pos) = content[cursor..].find("\n  }") {
+            let close_end = cursor + pos + "\n  }".len();
+            match content.as_bytes().get(close_end) {
+                Some(b',' | b'\n') => {
+                    content.replace_range(start..close_end, "");
+                    break;
+                }
+                _ => cursor = close_end,
+            }
+        }
     }
     let Some(pos) = content.rfind('}') else {
         eprintln!("{path} has no closing brace; leaving it untouched");
@@ -632,11 +660,289 @@ fn metrics_mode(load: &Load, streams: &[Vec<(ObjectId, Symbol)>], parallelism: u
     splice_section("telemetry", &section);
 }
 
+/// The thread-per-connection implementation's recorded loopback rate at
+/// batch 256 (the `"netload"` section of `BENCH_engine.json` before the
+/// reactor landed).  The reactor must not cost more than 10% against it on
+/// the comparable 8-connection sweep row.
+const THREAD_PER_CONN_BASELINE: f64 = 690_405.0;
+
+/// Counts the server's own threads (`drv-net-io` + `drv-net-router`) off
+/// procfs.  Returns -1 where procfs is unavailable (non-Linux).
+#[cfg(target_os = "linux")]
+fn server_threads() -> i64 {
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else { return -1 };
+    let mut count = 0;
+    for entry in entries.flatten() {
+        if let Ok(name) = std::fs::read_to_string(entry.path().join("comm")) {
+            if matches!(name.trim_end(), "drv-net-io" | "drv-net-router") {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(not(target_os = "linux"))]
+fn server_threads() -> i64 {
+    -1
+}
+
+/// Waits for the server's thread count to settle at exactly two (threads
+/// name themselves asynchronously at startup).  A count that never reaches
+/// two — including one that grew *past* two with the connection count —
+/// fails here, which is the flatness assertion.
+fn await_flat_threads(context: &str) -> i64 {
+    if !cfg!(target_os = "linux") {
+        return -1;
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let threads = server_threads();
+        if threads == 2 {
+            return threads;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{context}: server thread count is {threads}, expected exactly 2 \
+             (reactor + router, flat in connections)"
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Connects with retries: a 1 000-connection storm overruns the listener
+/// backlog, so refused attempts back off and try again.
+fn connect_retry(addr: std::net::SocketAddr) -> MonitorClient {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let config = ClientConfig::new().with_connect_timeout(Duration::from_secs(5));
+        match MonitorClient::connect_with(addr, config) {
+            Ok(client) => return client,
+            Err(err) => {
+                assert!(Instant::now() < deadline, "connect kept failing: {err}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+/// One sweep run: every connection is open *simultaneously* (the fleet
+/// parks on a barrier after connecting, before a single frame is sent),
+/// the server's thread count is read at peak, and only then does the
+/// clock start.  Returns (elapsed, merged verdicts, threads-at-peak,
+/// server stats).
+fn sweep_run(
+    streams: &[Vec<(ObjectId, Symbol)>],
+    batch_size: usize,
+    workers: usize,
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>, i64, drv_net::ServerStats) {
+    let connections = streams.len();
+    let server = MonitorServer::bind(
+        ("127.0.0.1", 0),
+        EngineConfig::new(workers).with_max_pending(max_pending(connections)),
+        mixed_factory(),
+        ServerConfig::new().with_window(WINDOW),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let barrier = Arc::new(std::sync::Barrier::new(connections + 1));
+    let cloned: Vec<Vec<(ObjectId, Symbol)>> = streams.to_vec();
+    let handles: Vec<std::thread::JoinHandle<BTreeMap<ObjectId, Vec<Verdict>>>> = cloned
+        .into_iter()
+        .map(|events| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = connect_retry(addr);
+                barrier.wait();
+                client.send_stream(&events, batch_size).expect("stream");
+                let mut received = 0usize;
+                let mut streams: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+                while received < events.len() {
+                    let batch = client.wait_verdicts(Duration::from_millis(100));
+                    assert!(
+                        !batch.is_empty() || !client.is_closed(),
+                        "connection died before all verdicts arrived"
+                    );
+                    received += batch.len();
+                    for event in batch {
+                        streams.entry(event.object).or_default().push(event.verdict);
+                    }
+                }
+                client.shutdown().expect("clean goodbye");
+                streams
+            })
+        })
+        .collect();
+    // The fleet is fully connected once the server sees every socket; all
+    // clients are still parked on the barrier, so this is the moment the
+    // whole fleet is provably concurrent.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while (server.stats().active as usize) < connections {
+        assert!(
+            Instant::now() < deadline,
+            "fleet never fully connected: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let threads = await_flat_threads("at peak connections");
+    let start = Instant::now();
+    barrier.wait();
+    let mut merged: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+    for handle in handles {
+        merged.extend(handle.join().expect("connection thread"));
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats();
+    drop(server);
+    (elapsed, merged, threads, stats)
+}
+
+/// The `--connections` mode: the worker/batch verdict matrix plus the
+/// connection-count sweep, spliced as `"netload_connections"`.
+fn connections_mode(quick: bool, parallelism: usize) {
+    // 1/2/4 workers × batch 1/256: wire verdict streams must equal the
+    // sequential reference under every parallelism the engine offers.
+    let matrix_load = if quick {
+        Load { connections: 4, objects_per_conn: 2, ops_per_object: 20 }
+    } else {
+        Load { connections: 8, objects_per_conn: 4, ops_per_object: 60 }
+    };
+    let matrix_streams: Vec<Vec<(ObjectId, Symbol)>> = (0..matrix_load.connections as u64)
+        .map(|conn| connection_stream(conn, &matrix_load))
+        .collect();
+    let matrix_combined: Vec<(ObjectId, Symbol)> =
+        matrix_streams.iter().flatten().cloned().collect();
+    let matrix_reference = sequential_reference(mixed_factory().as_ref(), &matrix_combined);
+    for workers in [1usize, 2, 4] {
+        for batch_size in BATCH_SIZES {
+            let (_, verdicts, _, stats) = sweep_run(&matrix_streams, batch_size, workers);
+            assert_eq!(
+                verdicts, matrix_reference,
+                "{workers} workers / batch {batch_size}: wire verdicts differ from the reference"
+            );
+            assert_eq!(stats.nacks, 0, "compliant clients must never be NACKed");
+            println!(
+                "netload/connections/matrix: {workers} workers x batch {batch_size:<3} \
+                 == sequential_reference"
+            );
+        }
+    }
+
+    // The sweep proper: batch 256, default workers, three orders of
+    // magnitude of connection count (quick keeps the 1 000-connection CI
+    // gate with a tiny per-connection load).
+    let sweep: &[(usize, u64, usize)] = if quick {
+        &[(1000, 1, 4)]
+    } else {
+        &[(8, 8, 150), (256, 1, 40), (1000, 1, 16)]
+    };
+    let mut rows = Vec::new();
+    for &(connections, objects_per_conn, ops_per_object) in sweep {
+        let load = Load { connections, objects_per_conn, ops_per_object };
+        let streams: Vec<Vec<(ObjectId, Symbol)>> = (0..connections as u64)
+            .map(|conn| connection_stream(conn, &load))
+            .collect();
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
+        let reference = sequential_reference(mixed_factory().as_ref(), &combined);
+        // Large fleets are connect-dominated and slow to set up; one run
+        // is representative there, while the gated 8-connection row keeps
+        // the usual best-of-REPS discipline.
+        let reps = if connections <= 8 { REPS } else { 1 };
+        let mut best: Option<(Duration, i64)> = None;
+        for _ in 0..reps {
+            let (elapsed, verdicts, threads, stats) = sweep_run(&streams, 256, WORKERS);
+            assert_eq!(
+                verdicts, reference,
+                "{connections} connections: wire verdicts differ from the reference"
+            );
+            assert_eq!(stats.nacks, 0, "compliant clients must never be NACKed");
+            if best.as_ref().is_none_or(|(d, _)| elapsed < *d) {
+                best = Some((elapsed, threads));
+            }
+        }
+        let (elapsed, threads) = best.expect("reps > 0");
+        let rate = throughput(total, elapsed);
+        println!(
+            "netload/connections/{connections:<4}:  {:>10.2} ms  {:>12.0} events/s  \
+             ({total} events, {threads} server threads)",
+            elapsed.as_secs_f64() * 1e3,
+            rate,
+        );
+        rows.push((connections, objects_per_conn, ops_per_object, total, elapsed, rate, threads));
+    }
+
+    let mut ratio8 = f64::NAN;
+    if let Some(row) = rows.iter().find(|row| row.0 == 8) {
+        ratio8 = row.5 / THREAD_PER_CONN_BASELINE;
+        println!(
+            "netload/connections: batch-256/8-connection rate is {ratio8:.2}x the \
+             thread-per-connection baseline ({THREAD_PER_CONN_BASELINE:.0} events/s)"
+        );
+        assert!(
+            ratio8 >= 0.9,
+            "the reactor regressed the 8-connection batch-256 rate below 0.9x the \
+             thread-per-connection baseline ({:.0} vs {THREAD_PER_CONN_BASELINE:.0} events/s)",
+            row.5,
+        );
+    } else {
+        println!("netload/connections: quick run — baseline ratio not measured");
+    }
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(connections, objects, ops, total, elapsed, rate, threads)| {
+            format!(
+                concat!(
+                    "      {{ \"connections\": {}, \"objects_per_conn\": {}, ",
+                    "\"ops_per_object\": {}, \"events\": {}, \"total_ns\": {}, ",
+                    "\"events_per_sec\": {:.0}, \"server_threads\": {} }}"
+                ),
+                connections,
+                objects,
+                ops,
+                total,
+                elapsed.as_nanos(),
+                rate,
+                threads,
+            )
+        })
+        .collect();
+    let section = format!(
+        concat!(
+            "{{\n",
+            "    \"regenerate\": \"cargo run -p drv-bench --bin netload --release -- ",
+            "--connections\",\n",
+            "    \"shape\": \"whole fleet concurrently open (barrier), batch 256, ",
+            "server threads counted at peak via /proc/self/task\",\n",
+            "    \"available_parallelism\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"window\": {},\n",
+            "    \"rows\": [\n{}\n    ],\n",
+            "    \"worker_matrix\": \"workers 1/2/4 x batch 1/256 wire verdicts ",
+            "bit-identical to sequential_reference\",\n",
+            "    \"thread_per_conn_baseline_events_per_sec\": {:.0},\n",
+            "    \"batch256_8conn_vs_baseline_ratio\": {},\n",
+            "    \"verdicts_bit_identical_to_sequential_reference\": true\n",
+            "  }}"
+        ),
+        parallelism,
+        WORKERS,
+        WINDOW,
+        row_json.join(",\n"),
+        THREAD_PER_CONN_BASELINE,
+        if ratio8.is_nan() { "null".to_string() } else { format!("{ratio8:.2}") },
+    );
+    splice_section("netload_connections", &section);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let journal = args.iter().any(|arg| arg == "--journal");
     let metrics = args.iter().any(|arg| arg == "--metrics");
-    args.retain(|arg| arg != "--journal" && arg != "--metrics");
+    let connections_sweep = args.iter().any(|arg| arg == "--connections");
+    args.retain(|arg| arg != "--journal" && arg != "--metrics" && arg != "--connections");
     let load = match args.first().map(String::as_str) {
         Some("quick") => Load { connections: 2, objects_per_conn: 4, ops_per_object: 40 },
         Some(_) if args.len() >= 3 => Load {
@@ -647,6 +953,16 @@ fn main() {
         _ => Load { connections: 4, objects_per_conn: 16, ops_per_object: 150 },
     };
     let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    if connections_sweep {
+        let quick = args.first().is_some_and(|arg| arg == "quick");
+        println!(
+            "netload: connection-count sweep{}, {parallelism} hardware threads, \
+             window {WINDOW}, {WORKERS} workers",
+            if quick { " (quick)" } else { "" }
+        );
+        connections_mode(quick, parallelism);
+        return;
+    }
     let streams: Vec<Vec<(ObjectId, Symbol)>> = (0..load.connections as u64)
         .map(|conn| connection_stream(conn, &load))
         .collect();

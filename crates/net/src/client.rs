@@ -13,21 +13,22 @@
 //! [`MonitorClient::wait_verdicts`], stats replies fill the
 //! [`MonitorClient::stats`] slot.
 
+use crate::reactor::FrameAssembler;
 use crate::wire::{
-    encode_shutdown, encode_stats_request, read_frame, write_frame, Frame, FrameEncoder,
-    NackReason, StatsReply,
+    decode_frame, encode_shutdown, encode_stats_request, write_frame, Frame, FrameEncoder,
+    NackReason, StatsReply, WireError,
 };
 use drv_engine::VerdictEvent;
 use drv_lang::{EventBatch, ObjectId, SharedInterner, Symbol};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a send failed.
 #[derive(Debug)]
@@ -45,6 +46,11 @@ pub enum ClientError {
         /// The server's announced window.
         window: u64,
     },
+    /// A protocol-level failure with a typed cause — most notably
+    /// [`WireError::Timeout`] when a deadline from [`ClientConfig`]
+    /// expired (e.g. a server that accepted the connection but never sent
+    /// its opening credit grant).
+    Wire(WireError),
 }
 
 impl fmt::Display for ClientError {
@@ -55,6 +61,7 @@ impl fmt::Display for ClientError {
             ClientError::BatchTooLarge { len, window } => {
                 write!(f, "batch of {len} events exceeds the {window}-event window")
             }
+            ClientError::Wire(err) => write!(f, "wire: {err}"),
         }
     }
 }
@@ -64,6 +71,70 @@ impl std::error::Error for ClientError {}
 impl From<io::Error> for ClientError {
     fn from(err: io::Error) -> Self {
         ClientError::Io(err)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> Self {
+        ClientError::Wire(err)
+    }
+}
+
+/// Deadlines for [`MonitorClient::connect_with`].  The default has none —
+/// identical to [`MonitorClient::connect`] — so every bound is opt-in.
+///
+/// ```no_run
+/// use drv_net::{ClientConfig, MonitorClient};
+/// use std::time::Duration;
+///
+/// let config = ClientConfig::new()
+///     .with_connect_timeout(Duration::from_secs(2))
+///     .with_handshake_timeout(Duration::from_secs(2));
+/// let client = MonitorClient::connect_with("10.0.0.7:4400", config);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    connect_timeout: Option<Duration>,
+    handshake_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+}
+
+impl ClientConfig {
+    /// No deadlines (the [`MonitorClient::connect`] behaviour).
+    #[must_use]
+    pub fn new() -> Self {
+        ClientConfig::default()
+    }
+
+    /// Bounds the TCP connection establishment itself (clamped ≥ 1 ms).
+    /// Expiry surfaces as [`ClientError::Io`] with
+    /// [`io::ErrorKind::TimedOut`].
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout.max(Duration::from_millis(1)));
+        self
+    }
+
+    /// Bounds the wait for the server's opening credit grant (clamped
+    /// ≥ 1 ms).  A wedged server — one that accepts the socket but never
+    /// speaks — previously blocked the first `send_batch` forever; with
+    /// this deadline `connect_with` fails up front with
+    /// [`ClientError::Wire`]\([`WireError::Timeout`]\).
+    #[must_use]
+    pub fn with_handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = Some(timeout.max(Duration::from_millis(1)));
+        self
+    }
+
+    /// Sets `SO_RCVTIMEO` on the reader socket (clamped ≥ 1 ms): the
+    /// background reader wakes at least this often to notice a closed
+    /// client instead of blocking in `read` until the peer acts.  Quiet
+    /// periods do **not** kill the connection — an idle monitoring stream
+    /// is legal — the reader just re-arms the read.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout.max(Duration::from_millis(1)));
+        self
     }
 }
 
@@ -146,36 +217,76 @@ impl ClientShared {
     }
 }
 
+/// The background reader: reassembles frames from whatever chunk sizes the
+/// transport delivers ([`FrameAssembler`] — the read path works unchanged
+/// against a nonblocking or `SO_RCVTIMEO`-armed socket) and dispatches
+/// them into the shared state.
 fn reader_loop(shared: &ClientShared, mut stream: TcpStream) {
+    let mut assembler = FrameAssembler::new();
+    let mut chunk = vec![0u8; 64 * 1024];
     loop {
-        match read_frame(&mut stream, &shared.arena) {
-            Ok(Frame::Credit { grant, window }) => {
-                let mut credit = shared.credit.lock();
-                credit.available += grant;
-                credit.window = window;
-                shared.credit_signal.notify_all();
+        // Drain every complete frame before touching the socket again.
+        loop {
+            let decoded = match assembler.next_frame() {
+                Ok(Some(raw)) => decode_frame(raw, &shared.arena),
+                Ok(None) => break,
+                Err(err) => Err(err),
+            };
+            match decoded {
+                Ok((Frame::Credit { grant, window }, _)) => {
+                    let mut credit = shared.credit.lock();
+                    credit.available += grant;
+                    credit.window = window;
+                    shared.credit_signal.notify_all();
+                }
+                Ok((Frame::Verdicts(events), _)) => {
+                    shared.verdicts.lock().extend(events);
+                    shared.verdict_signal.notify_all();
+                }
+                Ok((Frame::Stats(reply), _)) => {
+                    *shared.stats.lock() = Some(reply);
+                    shared.stats_signal.notify_all();
+                }
+                Ok((Frame::Nack { batch_id, reason, detail }, _)) => {
+                    shared.nacks.lock().push(Nack { batch_id, reason, detail });
+                }
+                Ok((Frame::Shutdown, _)) => {
+                    shared.server_shutdown.store(true, Ordering::Release);
+                    shared.close();
+                    return;
+                }
+                Ok((
+                    Frame::Batch(_) | Frame::StatsRequest | Frame::Evict { .. }
+                    | Frame::Checkpoint(_),
+                    _,
+                ))
+                | Err(_) => {
+                    // Client-bound streams never carry these (the last two
+                    // are journal-file record kinds); treat like a broken
+                    // connection.
+                    shared.close();
+                    return;
+                }
             }
-            Ok(Frame::Verdicts(events)) => {
-                shared.verdicts.lock().extend(events);
-                shared.verdict_signal.notify_all();
-            }
-            Ok(Frame::Stats(reply)) => {
-                *shared.stats.lock() = Some(reply);
-                shared.stats_signal.notify_all();
-            }
-            Ok(Frame::Nack { batch_id, reason, detail }) => {
-                shared.nacks.lock().push(Nack { batch_id, reason, detail });
-            }
-            Ok(Frame::Shutdown) => {
-                shared.server_shutdown.store(true, Ordering::Release);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
                 shared.close();
                 return;
             }
-            Ok(Frame::Batch(_) | Frame::StatsRequest | Frame::Evict { .. } | Frame::Checkpoint(_))
-            | Err(_) => {
-                // Client-bound streams never carry these (the last two are
-                // journal-file record kinds); treat like a broken
-                // connection.
+            Ok(n) => assembler.feed(&chunk[..n]),
+            Err(err)
+                if matches!(err.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // A read deadline (ClientConfig::with_read_timeout) or a
+                // nonblocking socket: not an error, just a chance to
+                // notice a client-side close.
+                if shared.is_closed() {
+                    return;
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
                 shared.close();
                 return;
             }
@@ -195,16 +306,65 @@ pub struct MonitorClient {
 }
 
 impl MonitorClient {
-    /// Connects to a monitoring server.
+    /// Connects to a monitoring server with no deadlines: establishment
+    /// and the opening handshake block for as long as the OS lets them.
+    /// Use [`MonitorClient::connect_with`] to bound either.
     ///
     /// # Errors
     ///
     /// The connect error.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::new()).map_err(|err| match err {
+            ClientError::Io(err) => err,
+            other => io::Error::other(other.to_string()),
+        })
+    }
+
+    /// [`MonitorClient::connect`] with deadlines: bounds connection
+    /// establishment, the opening credit handshake, and the background
+    /// reader's blocking reads per `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure (including a connect
+    /// deadline expiring, as [`io::ErrorKind::TimedOut`]);
+    /// [`ClientError::Wire`]\([`WireError::Timeout`]\) when the server
+    /// accepted the connection but sent no opening credit grant within the
+    /// handshake deadline; [`ClientError::Closed`] when the server hung up
+    /// mid-handshake.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                // connect_timeout takes one concrete address: try each
+                // resolution, keeping the last failure.
+                let mut last: Option<io::Error> = None;
+                let mut connected: Option<TcpStream> = None;
+                for candidate in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&candidate, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(err) => last = Some(err),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+        };
         stream.set_nodelay(true).ok();
         let peer = stream.peer_addr()?;
         let reader_stream = stream.try_clone()?;
+        if let Some(timeout) = config.read_timeout {
+            reader_stream.set_read_timeout(Some(timeout))?;
+        }
         let shared = Arc::new(ClientShared {
             credit: Mutex::new(CreditState { available: 0, window: 0 }),
             credit_signal: Condvar::new(),
@@ -224,14 +384,37 @@ impl MonitorClient {
                 .spawn(move || reader_loop(&shared, reader_stream))
                 .expect("spawning the client reader")
         };
-        Ok(MonitorClient {
+        let client = MonitorClient {
             stream,
             shared,
             reader: Some(reader),
             encoder: FrameEncoder::new(),
             next_batch_id: 0,
             peer,
-        })
+        };
+        if let Some(timeout) = config.handshake_timeout {
+            // The server speaks first (the opening Credit announces the
+            // window); a peer that accepted but stays silent past the
+            // deadline is wedged.  Dropping `client` tears the socket down
+            // and reaps the reader.
+            let deadline = Instant::now() + timeout;
+            let mut credit = client.shared.credit.lock();
+            while credit.window == 0 && !client.shared.is_closed() {
+                let now = Instant::now();
+                if now >= deadline {
+                    drop(credit);
+                    return Err(ClientError::Wire(WireError::Timeout {
+                        millis: u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX),
+                    }));
+                }
+                client.shared.credit_signal.wait_for(&mut credit, deadline - now);
+            }
+            if credit.window == 0 {
+                drop(credit);
+                return Err(ClientError::Closed);
+            }
+        }
+        Ok(client)
     }
 
     /// The server's address.
@@ -460,5 +643,38 @@ impl fmt::Debug for MonitorClient {
             .field("window", &window)
             .field("closed", &self.shared.is_closed())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Regression: a server that accepts the TCP connection but never
+    /// sends its opening credit grant used to wedge the client forever
+    /// (the first `send_batch` waited on a window that never came).  The
+    /// handshake deadline turns that into an up-front typed timeout.
+    #[test]
+    fn mute_listener_times_out_with_a_typed_error() {
+        // No accept() needed: the kernel backlog completes the handshake,
+        // and nothing ever speaks on the socket.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let config = ClientConfig::new()
+            .with_connect_timeout(Duration::from_secs(5))
+            .with_handshake_timeout(Duration::from_millis(200))
+            .with_read_timeout(Duration::from_millis(50));
+        let started = Instant::now();
+        let err = MonitorClient::connect_with(addr, config)
+            .expect_err("a mute server must not yield a usable client");
+        assert!(
+            matches!(err, ClientError::Wire(WireError::Timeout { millis: 200 })),
+            "expected the typed handshake timeout, got: {err}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the deadline was not honoured"
+        );
     }
 }

@@ -6,7 +6,33 @@
 //! [`EventBatch`](drv_lang::EventBatch)es, a TCP [`MonitorServer`] over the
 //! service-mode [`MonitoringEngine`](drv_engine::MonitoringEngine), and the
 //! [`MonitorClient`] a monitored system embeds.  Std-only: `std::net`
-//! blocking sockets and threads, no external dependencies.
+//! sockets driven by a hand-rolled readiness [`reactor`], no external
+//! dependencies.
+//!
+//! ## The reactor (one I/O thread, any number of connections)
+//!
+//! The server's thread count is **flat**: one reactor thread owns every
+//! socket — nonblocking, multiplexed by a readiness poller (`epoll` on
+//! Linux, `poll(2)` on other unix; see [`reactor`]) — and one router
+//! thread fans verdicts out.  Three rules define the event loop:
+//!
+//! * **Readiness loop** — the reactor sleeps in the poller until a socket
+//!   has bytes, a peer connects, or the waker fires (the router queued
+//!   output, or shutdown was requested).  An idle server makes no
+//!   syscalls and spins nothing.
+//! * **Reassembly buffers** — TCP delivers arbitrary chunks, so each
+//!   connection accumulates partial reads in a
+//!   [`FrameAssembler`](reactor::FrameAssembler); a frame is decoded
+//!   (bounds-checked, straight into the engine's arena) only once its
+//!   declared length has fully arrived, and the buffer grows with *bytes
+//!   received*, never with lengths merely claimed.
+//! * **Write-interest rules** — output goes through bounded
+//!   per-connection outbound queues drained by the reactor; a socket is
+//!   registered for write-readiness only while unflushed output exists.
+//!   A queue that stays full past the grace period
+//!   ([`ServerConfig::with_stall_grace`]) marks a stalled consumer: it is
+//!   disconnected (a `stalled_disconnects` eviction) rather than allowed
+//!   to head-of-line block every other connection or buffer unboundedly.
 //!
 //! ## The wire format ([`wire`])
 //!
@@ -48,12 +74,12 @@
 //!
 //! Per-object verdict streams over the wire are bit-identical to an
 //! in-process [`sequential_reference`](drv_engine::sequential_reference)
-//! run: TCP preserves the client's batch order, the reader submits in
-//! arrival order, the engine's shards are per-object FIFO, the router
-//! forwards the subscription in delivery order to the owning connection,
-//! and the writer drains FIFO.  `tests/differential.rs` proves it at 1/2/4
-//! workers × batch 1/16/256, under forced credit stalls and mid-stream
-//! disconnects.
+//! run: TCP preserves the client's batch order, the reactor reassembles
+//! and submits frames in arrival order, the engine's shards are
+//! per-object FIFO, the router forwards the subscription in delivery
+//! order to the owning connection, and the outbound queue drains FIFO.
+//! `tests/differential.rs` proves it at 1/2/4 workers × batch 1/16/256,
+//! under forced credit stalls and mid-stream disconnects.
 //!
 //! ## Quick start (loopback)
 //!
@@ -90,16 +116,21 @@
 //! assert_eq!(report.aggregate().yes, 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the reactor's syscall shim
+// (`reactor::sys`), the one module that must speak FFI to reach
+// poll/epoll — std exposes no readiness API.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bridge;
 pub mod client;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use bridge::{stream_abd, BridgeReport};
-pub use client::{ClientError, MonitorClient, Nack, TrySendError};
+pub use client::{ClientConfig, ClientError, MonitorClient, Nack, TrySendError};
+pub use reactor::FrameAssembler;
 pub use server::{MonitorServer, ServerConfig, ServerStats};
 pub use wire::{
     Frame, FrameKind, NackReason, ReadError, StatsReply, WireBatch, WireError, WireStats,

@@ -4,22 +4,32 @@
 //! ## Threads and data flow
 //!
 //! ```text
-//!   client A ──TCP──► reader A ──try_submit_batch──► MonitoringEngine
-//!            ◄─TCP─── writer A ◄─┐                        │ subscribe()
-//!   client B ──TCP──► reader B ──┼─try_submit_batch──►    │
-//!            ◄─TCP─── writer B ◄─┤                        ▼
-//!                                └──────────────────── router
-//!                                  (verdicts → owning connection)
+//!   client A ──TCP──┐                  ┌─try_submit_batch─► MonitoringEngine
+//!   client B ──TCP──┼──► reactor ──────┤                        │ subscribe()
+//!   client N ──TCP──┘   (one I/O       │  outbound queues       ▼
+//!            ◄──────────  thread) ◄────┴───────────────────── router
+//!                        epoll/poll         (verdicts → owning connection)
 //! ```
 //!
-//! * One **reader** thread per connection decodes frames straight into the
-//!   engine's arena and submits whole [`EventBatch`]es.
-//! * One **writer** thread per connection drains a bounded outbound queue of
-//!   pre-sealed frames (credits, verdicts, stats, shutdown).
-//! * One **router** thread drains the engine's verdict subscription and
-//!   forwards each verdict to the connection that *owns* the object (the
-//!   connection that first submitted traffic for it), preserving the
-//!   subscription's per-object order.
+//! * One **reactor** thread (`drv-net-io`) owns every socket: it accepts,
+//!   reads and writes them all, nonblocking, driven by a readiness poller
+//!   ([`reactor`](crate::reactor) — `epoll` on Linux, `poll(2)` elsewhere).
+//!   Partial reads accumulate in a per-connection
+//!   [`FrameAssembler`](crate::reactor::FrameAssembler); complete frames
+//!   decode with the bounds-checked row cap straight into the engine's
+//!   arena and are submitted as whole [`EventBatch`]es.  Writes drain
+//!   bounded per-connection outbound queues of pre-sealed frames (credits,
+//!   verdicts, stats, shutdown); write interest is registered only while a
+//!   connection has unflushed output.  Thread count is **flat**: two server
+//!   threads total, independent of connection count.
+//! * One **router** thread (`drv-net-router`) drains the engine's verdict
+//!   subscription and forwards each verdict to the connection that *owns*
+//!   the object (the connection that first submitted traffic for it),
+//!   preserving the subscription's per-object order.  Delivery never
+//!   blocks: frames that do not fit a connection's outbound queue stay in
+//!   a per-connection pending list (bounded by the credit window) and are
+//!   retried — a queue still full past the grace period is a stalled
+//!   consumer, disconnected so it cannot head-of-line block the fleet.
 //!
 //! ## Backpressure: credits, not buffers
 //!
@@ -32,43 +42,44 @@
 //! flight *end to end* (sent but not yet checked), and
 //! [`SubmitError::Full`] surfaces to the client as *absent credit*: a full
 //! engine stops producing verdicts, grants dry up, and a compliant client
-//! stalls while the reader retries its single in-flight batch (bounded
-//! memory: one decoded batch per connection).  A peer that overruns the
-//! window is refused with a [`Nack`](crate::wire::Frame::Nack) and the
-//! batch is dropped — before anything of it reaches the engine, so
-//! per-object order survives the refusal.  Corollary: verdicts (and hence
-//! credit) return to the connection that *owns* the object, so each
-//! connection should submit only objects it introduced.
+//! stalls while the reactor parks that connection's single in-flight batch
+//! (reads pause — bounded memory: one decoded batch per connection) and
+//! retries on a short tick.  A peer that overruns the window is refused
+//! with a [`Nack`](crate::wire::Frame::Nack) and the batch is dropped —
+//! before anything of it reaches the engine, so per-object order survives
+//! the refusal.  Corollary: verdicts (and hence credit) return to the
+//! connection that *owns* the object, so each connection should submit
+//! only objects it introduced.
 //!
 //! ## Disconnect and shutdown
 //!
 //! A connection that sends [`Shutdown`](crate::wire::Frame::Shutdown) — or
 //! disappears — has its objects evicted from the engine
 //! ([`MonitoringEngine::evict_many`]): monitors finalized, slots freed,
-//! verdicts flushed into the end-of-run report.  [`MonitorServer::shutdown`]
+//! verdicts flushed into the end-of-run report.  The clean handshake is
+//! preserved: the reactor flushes the connection's outbound queue, appends
+//! the server's own Shutdown frame, and closes.  [`MonitorServer::shutdown`]
 //! stops accepting, disconnects every client, quiesces the engine and
 //! returns the full [`EngineReport`] — the same report an in-process run
 //! would have produced.
 
+use crate::reactor::{waker_pair, FrameAssembler, Poller, SysFd, WakeRx, Waker};
 use crate::wire::{
     decode_frame_capped, encode_credit, encode_nack, encode_shutdown, encode_stats,
-    encode_verdicts, read_raw_frame, write_frame, Frame, NackReason, ReadError, StatsReply,
-    WireError, WireStats,
+    encode_verdicts, Frame, NackReason, StatsReply, WireError, WireStats,
 };
 use drv_core::{ObjectMonitorFactory, WorkerPanic};
-use drv_engine::{
-    EngineConfig, EngineReport, MonitoringEngine, SubmitError, VerdictEvent,
-};
-use drv_lang::ObjectId;
+use drv_engine::{EngineConfig, EngineReport, MonitoringEngine, SubmitError, VerdictEvent};
+use drv_lang::{EventBatch, ObjectId};
 use drv_telemetry::{Counter, Gauge, Histogram, Snapshot, Stage, Telemetry};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`MonitorServer`] (the engine itself is configured by
 /// the [`EngineConfig`] passed alongside).
@@ -78,6 +89,7 @@ pub struct ServerConfig {
     subscription: usize,
     outbound: usize,
     verdict_chunk: usize,
+    stall_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -87,13 +99,15 @@ impl Default for ServerConfig {
             subscription: 4096,
             outbound: 256,
             verdict_chunk: 512,
+            stall_grace: Duration::from_secs(2),
         }
     }
 }
 
 impl ServerConfig {
     /// The defaults: a 4096-event credit window, 4096-event verdict
-    /// subscription, 256-frame outbound queues, 512 verdicts per frame.
+    /// subscription, 256-frame outbound queues, 512 verdicts per frame,
+    /// a 2 s stalled-consumer grace period.
     #[must_use]
     pub fn new() -> Self {
         ServerConfig::default()
@@ -116,7 +130,7 @@ impl ServerConfig {
     }
 
     /// Frames a connection's outbound queue buffers before the router
-    /// blocks on it (clamped to ≥ 1).
+    /// defers further delivery to it (clamped to ≥ 1).
     #[must_use]
     pub fn with_outbound(mut self, frames: usize) -> Self {
         self.outbound = frames.max(1);
@@ -130,6 +144,16 @@ impl ServerConfig {
     #[must_use]
     pub fn with_verdict_chunk(mut self, verdicts: usize) -> Self {
         self.verdict_chunk = verdicts.max(1);
+        self
+    }
+
+    /// How long a connection's outbound queue may stay full before the
+    /// router declares the consumer stalled and disconnects it (clamped to
+    /// ≥ 10 ms; default 2 s) — the head-of-line protection for every other
+    /// connection.
+    #[must_use]
+    pub fn with_stall_grace(mut self, grace: Duration) -> Self {
+        self.stall_grace = grace.max(Duration::from_millis(10));
         self
     }
 
@@ -153,7 +177,8 @@ pub struct ServerStats {
     /// Events those batches carried.
     pub events: u64,
     /// Times a batch had to wait out [`SubmitError::Full`] before the
-    /// engine accepted it (each wait is one backoff nap, not one batch).
+    /// engine accepted it (each wait parks the connection for one retry
+    /// tick, not one batch).
     pub engine_full_stalls: u64,
     /// Batches refused with a NACK (credit overrun / oversized).
     pub nacks: u64,
@@ -174,7 +199,7 @@ pub struct ServerStats {
 /// bookkeeping.
 struct NetMetrics {
     accepted: Counter,
-    /// Live connections (gauge: accept adds, reader exit subtracts).
+    /// Live connections (gauge: accept adds, teardown subtracts).
     active: Gauge,
     batches: Counter,
     events: Counter,
@@ -198,6 +223,19 @@ struct NetMetrics {
     /// Frame decode latency (raw bytes → typed [`Frame`]), sampled only
     /// when the engine's telemetry handle has timing enabled.
     decode_ns: Histogram,
+    /// Poller returns on the reactor thread (one per readiness wakeup —
+    /// flat at zero while the server is idle).
+    reactor_wakeups: Counter,
+    /// Readiness events dispatched (a wakeup can carry many).
+    reactor_events: Counter,
+    /// Descriptors registered in the poller (listener + waker + sockets).
+    reactor_fds: Gauge,
+    /// Partial-read reassembly spread: socket reads each completed frame
+    /// spanned (1 = the frame arrived whole).
+    reassembly_reads: Histogram,
+    /// Frames sitting in outbound queues, summed over connections — the
+    /// write-side occupancy the stall detector watches.
+    outbound_frames: Gauge,
 }
 
 impl NetMetrics {
@@ -219,83 +257,57 @@ impl NetMetrics {
             tx_bytes: r.counter("net_tx_bytes"),
             credit_outstanding: r.gauge("net_credit_outstanding"),
             decode_ns: r.histogram("net_decode_ns"),
+            reactor_wakeups: r.counter("net_reactor_wakeups"),
+            reactor_events: r.counter("net_reactor_events"),
+            reactor_fds: r.gauge("net_reactor_fds"),
+            reassembly_reads: r.histogram("net_reactor_reassembly_reads"),
+            outbound_frames: r.gauge("net_outbound_frames"),
         }
     }
 }
 
-struct Outbound {
-    queue: VecDeque<Vec<u8>>,
-    /// Flush the queue, send a final Shutdown frame, then exit (the clean
-    /// end-of-connection handshake).
-    draining: bool,
+/// Outcome of a non-blocking outbound push.
+enum Push {
+    Queued,
+    Full,
+    Closed,
 }
 
-/// The state one connection's reader, writer and the router share.
+/// The state one connection shares between the reactor and the router.
 struct ConnShared {
     id: u64,
-    /// For forced teardown: shutting the socket down unblocks the reader.
+    /// For forced teardown from the router: shutting the socket down makes
+    /// the reactor's poller report it and the read observe the close.
     stream: TcpStream,
-    outbound: Mutex<Outbound>,
-    readable: Condvar,
-    writable: Condvar,
+    outbound: Mutex<VecDeque<Vec<u8>>>,
     /// Cleared when either side of the connection is gone; pushes turn into
-    /// drops (counted by the caller) instead of blocks.
+    /// drops (counted by the caller).
     open: AtomicBool,
     capacity: usize,
-    /// Events admitted into the engine on this connection (reader-side).
+    /// Events admitted into the engine on this connection (reactor-side).
     consumed: AtomicU64,
     /// Events granted back by the router as their verdicts were delivered.
     granted: AtomicU64,
-    /// Registry handle for the writer's outbound byte count (the writer
-    /// loop only sees the connection, not the server).
-    tx_bytes: Counter,
 }
 
 impl ConnShared {
-    /// Queues a frame for the writer.  Blocks while the queue is full and
-    /// the connection is open; returns whether the frame was queued.
-    /// Bounded in practice: the writer stream carries a write timeout, so
-    /// a stalled consumer errors the writer out and closes the connection,
-    /// which unblocks this wait.
-    fn push(&self, frame: Vec<u8>) -> bool {
-        self.push_deadline(frame, Duration::MAX)
-    }
-
-    /// [`ConnShared::push`] that gives up after `deadline`: the *router*
-    /// delivers through this, so one stalled consumer cannot head-of-line
-    /// block verdict delivery (and credit regeneration) for every other
-    /// connection — the caller closes the offender instead.
-    fn push_deadline(&self, frame: Vec<u8>, deadline: Duration) -> bool {
-        let start = std::time::Instant::now();
-        let mut outbound = self.outbound.lock();
-        while outbound.queue.len() >= self.capacity {
-            if !self.open.load(Ordering::Acquire) || start.elapsed() >= deadline {
-                return false;
-            }
-            self.writable.wait_for(&mut outbound, Duration::from_millis(20));
-        }
+    /// Queues a frame for the reactor's write path — never blocks.
+    fn try_push(&self, frame: Vec<u8>, occupancy: &Gauge) -> Push {
         if !self.open.load(Ordering::Acquire) {
-            return false;
+            return Push::Closed;
         }
-        outbound.queue.push_back(frame);
-        self.readable.notify_one();
-        true
-    }
-
-    /// Starts the clean drain: the writer flushes what is queued, appends a
-    /// Shutdown frame, and exits.
-    fn drain_and_close(&self) {
         let mut outbound = self.outbound.lock();
-        outbound.draining = true;
-        self.readable.notify_all();
+        if outbound.len() >= self.capacity {
+            return Push::Full;
+        }
+        outbound.push_back(frame);
+        occupancy.add(1);
+        Push::Queued
     }
 
-    /// Marks the connection dead and wakes everyone blocked on it.
+    /// Marks the connection dead; queued frames are dropped by teardown.
     fn close(&self) {
         self.open.store(false, Ordering::Release);
-        let _outbound = self.outbound.lock();
-        self.readable.notify_all();
-        self.writable.notify_all();
     }
 }
 
@@ -311,8 +323,12 @@ struct ServerShared {
     /// Which connection owns (first submitted traffic for) each object —
     /// the router's verdict dispatch table.
     owners: Mutex<HashMap<ObjectId, u64>>,
+    /// Snapshot-hook threads (the two core threads have their own slots).
     handles: Mutex<Vec<JoinHandle<()>>>,
-    next_conn: AtomicU64,
+    /// Connections the router touched since the reactor last flushed —
+    /// the wake channel's payload.
+    dirty: Mutex<Vec<u64>>,
+    waker: Waker,
     m: NetMetrics,
 }
 
@@ -352,221 +368,668 @@ impl ServerShared {
         };
         self.engine.evict_many(owned);
     }
+
+    /// Marks `conn` dirty and wakes the reactor to flush it.
+    fn wake_conns(&self, ids: &[u64]) {
+        if ids.is_empty() {
+            return;
+        }
+        self.dirty.lock().extend_from_slice(ids);
+        self.waker.wake();
+    }
 }
 
-/// One reader loop: frames off the socket, batches into the engine,
-/// credits back out.
 /// Consecutive NACKs on one connection before the server calls it a storm
 /// and writes the flight-recorder postmortem to stderr (once per run of
 /// refusals — a successful batch re-arms it).
 const NACK_STORM: u64 = 32;
 
-fn reader_loop(shared: &ServerShared, conn: &ConnShared, mut stream: TcpStream) {
-    let window = shared.config.window;
-    // Objects this connection has already registered in the global owners
-    // map: steady-state batches over known objects take no lock at all.
-    let mut known: HashSet<ObjectId> = HashSet::new();
-    // Consecutive refusals (the NACK-storm detector's run length).
-    let mut nack_run = 0u64;
-    // The opening grant announces the window.
-    conn.push(encode_credit(window, window));
-    loop {
-        let raw = read_raw_frame(&mut stream);
-        // Credit regenerates on *verdict delivery* (see the router), so the
-        // connection's un-verdicted events are bounded by the window — and
-        // the *remaining* credit is the decoder's row cap, so a batch the
-        // credit cannot admit is refused before anything of it interns into
-        // the engine's append-only arena.  The cap is computed only now,
-        // AFTER the frame arrived: grants issued while the read blocked
-        // must count, or a compliant client gets spuriously refused.
-        // From here `remaining` only grows until the decode (the reader is
-        // the sole writer of `consumed`), so the cap is conservative-safe.
-        let outstanding = conn
-            .consumed
-            .load(Ordering::Acquire)
-            .saturating_sub(conn.granted.load(Ordering::Acquire));
-        let remaining = window.saturating_sub(outstanding);
-        let row_cap = u32::try_from(remaining).unwrap_or(u32::MAX);
-        let decoded = raw.and_then(|frame| {
-            shared.m.rx_bytes.add(frame.len() as u64);
-            // Time only the decode, not the (blocking) socket read.
-            let started = shared.tel.timer();
-            let decoded = decode_frame_capped(&frame, shared.engine.interner(), row_cap)
-                .map(|(frame, _)| frame)
-                .map_err(ReadError::Wire);
-            shared.tel.observe(started, &shared.m.decode_ns);
-            decoded
-        });
-        match decoded {
-            Ok(Frame::Batch(batch)) => {
-                let n = batch.events.len() as u64;
-                if n > 0 {
-                    // Register ownership before submitting: the router must
-                    // be able to route the very first verdict.  Deduplicate
-                    // against the reader-local `known` set first — the
-                    // global owners lock is taken only when the batch
-                    // introduces objects, not once per event.
-                    let fresh: Vec<ObjectId> = {
-                        let mut fresh = Vec::new();
-                        for object in batch.events.objects() {
-                            if known.insert(*object) {
-                                fresh.push(*object);
-                            }
-                        }
-                        fresh
-                    };
-                    if !fresh.is_empty() {
-                        let mut owners = shared.owners.lock();
-                        for object in fresh {
-                            owners.entry(object).or_insert(conn.id);
-                        }
-                    }
-                    // Count the batch as consumed *before* submitting: once
-                    // submitted, its verdicts can be delivered (and credit
-                    // re-granted) at any moment, and the router caps grants
-                    // at `consumed - granted` — a late increment would read
-                    // as a zero cap and permanently lose the credit.
-                    conn.consumed.fetch_add(n, Ordering::AcqRel);
-                    shared.m.credit_outstanding.add(n as i64);
-                    // The protocol's backpressure loop: a full engine stops
-                    // the credit re-grant (the client runs dry and waits),
-                    // while the reader holds exactly one in-flight batch.
-                    loop {
-                        match shared.engine.try_submit_batch(&batch.events) {
-                            Ok(()) => break,
-                            Err(SubmitError::Full) => {
-                                shared.m.engine_full_stalls.inc();
-                                std::thread::sleep(Duration::from_micros(100));
-                            }
-                            Err(SubmitError::Aborted) => {
-                                conn.close();
-                                return;
-                            }
-                        }
-                    }
-                    shared.m.batches.inc();
-                    shared.m.events.add(n);
-                    nack_run = 0;
-                }
-            }
-            Ok(Frame::StatsRequest) => {
-                conn.push(encode_stats(&shared.snapshot()));
-            }
-            Ok(Frame::Shutdown) => {
-                // Clean end-of-stream: retire the connection's monitors and
-                // hand the writer the drain-then-Shutdown handshake.
-                shared.evict_connection(conn.id);
-                conn.drain_and_close();
-                return;
-            }
-            Ok(_) => {
-                // Credit/Nack/Verdict/Stats replies are server-to-client
-                // only: a peer sending them is not a MonitorClient.
-                shared.m.protocol_errors.inc();
-                shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 1);
-                shared.evict_connection(conn.id);
-                conn.close();
-                return;
-            }
-            Err(ReadError::Wire(WireError::TooManyRows { batch_id, rows, .. })) => {
-                // Refused by the decoder before any interning; the
-                // connection survives the NACK.  Over the whole window the
-                // batch could never fit; over the remaining credit it is an
-                // overrun the client must wait out.
-                shared.m.nacks.inc();
-                let nack = if u64::from(rows) > window {
-                    shared.m.nacks_batch_too_large.inc();
-                    shared.tel.flight(
-                        Stage::Nack,
-                        batch_id,
-                        conn.id,
-                        0,
-                        NackReason::BatchTooLarge as u32,
-                    );
-                    encode_nack(batch_id, NackReason::BatchTooLarge, window)
-                } else {
-                    shared.m.nacks_credit_exceeded.inc();
-                    shared.tel.flight(
-                        Stage::Nack,
-                        batch_id,
-                        conn.id,
-                        0,
-                        NackReason::CreditExceeded as u32,
-                    );
-                    encode_nack(batch_id, NackReason::CreditExceeded, remaining)
-                };
-                conn.push(nack);
-                nack_run += 1;
-                if nack_run == NACK_STORM {
-                    // A compliant client waits for credit; a run this long
-                    // is a peer bug or a wedged pipeline — leave the
-                    // postmortem while the evidence is still in the ring.
-                    shared.tel.dump_to_stderr("nack storm");
-                }
-            }
-            Err(ReadError::Closed) => {
-                // Mid-stream disconnect: everything received so far stays
-                // checked; the monitors are retired into the report.
-                shared.evict_connection(conn.id);
-                conn.close();
-                return;
-            }
-            Err(_) => {
-                shared.m.protocol_errors.inc();
-                shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 2);
-                shared.evict_connection(conn.id);
-                conn.close();
-                return;
-            }
-        }
+/// Bytes per nonblocking read (also the per-readiness fairness unit: after
+/// [`READ_BUDGET`] chunks the reactor moves on and lets level-triggered
+/// readiness re-report the socket).
+const READ_CHUNK: usize = 64 * 1024;
+const READ_BUDGET: usize = 16;
+
+/// How long the reactor keeps draining connections after a stop request
+/// before force-closing the stragglers (a peer that never reads its final
+/// frames cannot wedge shutdown).
+const STOP_GRACE: Duration = Duration::from_secs(2);
+
+/// Poller tokens 0 and 1 are the listener and the waker; connection `id`
+/// maps to token `id + CONN_TOKEN_BASE`.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const CONN_TOKEN_BASE: u64 = 2;
+
+#[cfg(unix)]
+fn raw_fd(stream: &impl std::os::unix::io::AsRawFd) -> SysFd {
+    stream.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_stream: &T) -> SysFd {
+    -1
+}
+
+/// Why the reactor is removing a connection.
+enum Gone {
+    /// Peer EOF / transport error / forced close: evict and drop.
+    Lost,
+    /// Protocol violation (bad frame, client-forbidden kind): counted,
+    /// flight-recorded, then evict and drop.
+    Protocol(u32),
+    /// Clean drain completed (outbound flushed, server Shutdown written).
+    Drained,
+}
+
+/// The reactor-private half of a connection.
+struct ConnIo {
+    shared: Arc<ConnShared>,
+    /// The I/O handle (nonblocking); `shared.stream` is a dup kept for
+    /// forced teardown from other threads.
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    /// A decoded batch the engine refused with `Full`: reads pause, the
+    /// reactor retries on a short tick.  At most one per connection.
+    parked: Option<EventBatch>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Objects this connection already registered in the owners map.
+    known: HashSet<ObjectId>,
+    nack_run: u64,
+    /// Flush outbound, append the server Shutdown frame, then close.
+    draining: bool,
+    shutdown_queued: bool,
+    /// The interest set currently registered in the poller.
+    interest: (bool, bool),
+}
+
+impl ConnIo {
+    fn wants_write(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+            || !self.shared.outbound.lock().is_empty()
+            || (self.draining && !self.shutdown_queued)
+    }
+
+    fn wants_read(&self) -> bool {
+        !self.draining && self.parked.is_none()
     }
 }
 
-/// One writer loop: drains the outbound queue onto the socket — the whole
-/// queue per wake-up, coalesced into a single `write_all` (one syscall
-/// carries every frame queued since the last one).  On drain mode, flushes
-/// and appends the closing Shutdown frame.
-fn writer_loop(conn: &ConnShared, mut stream: TcpStream) {
-    let mut wire_buf: Vec<u8> = Vec::with_capacity(64 * 1024);
-    loop {
-        let drained = {
-            let mut outbound = conn.outbound.lock();
-            loop {
-                if !outbound.queue.is_empty() {
-                    wire_buf.clear();
-                    for frame in outbound.queue.drain(..) {
-                        wire_buf.extend_from_slice(&frame);
+/// What a frame-processing pass concluded about a connection.
+enum Pass {
+    /// Keep going (assembler empty or drained cleanly so far).
+    Alive,
+    /// A batch is parked on `SubmitError::Full`: stop reading this conn.
+    Parked,
+    /// Tear the connection down.
+    Dead(Gone),
+}
+
+/// The one I/O thread: accepts, reads, writes and retires every socket.
+struct Reactor {
+    shared: Arc<ServerShared>,
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: WakeRx,
+    io: HashMap<u64, ConnIo>,
+    /// Copy of the poller's ready set (so the poller can be re-borrowed
+    /// mutably while handling events).
+    ready: Vec<crate::reactor::Event>,
+    scratch: Vec<u8>,
+    next_conn: u64,
+    /// Connections with a parked batch (drives the short retry tick).
+    parked: usize,
+    stop_seen: Option<Instant>,
+}
+
+impl Reactor {
+    fn new(shared: Arc<ServerShared>, listener: TcpListener, wake_rx: WakeRx) -> io::Result<Reactor> {
+        let mut poller = Poller::new()?;
+        poller.register(raw_fd(&listener), TOKEN_LISTENER, true, false)?;
+        poller.register(wake_rx.fd(), TOKEN_WAKER, true, false)?;
+        shared.m.reactor_fds.add(2);
+        Ok(Reactor {
+            shared,
+            poller,
+            listener,
+            wake_rx,
+            io: HashMap::new(),
+            ready: Vec::new(),
+            scratch: vec![0u8; READ_CHUNK],
+            next_conn: 0,
+            parked: 0,
+            stop_seen: None,
+        })
+    }
+
+    fn run(mut self) {
+        loop {
+            if self.shared.stopping.load(Ordering::Acquire) && self.stop_seen.is_none() {
+                self.begin_stop();
+            }
+            if self.stop_seen.is_some() && self.io.is_empty() {
+                break;
+            }
+            let timeout = if self.parked > 0 {
+                // Engine-full retry tick: short, but never a spin.
+                Some(Duration::from_millis(1))
+            } else if self.stop_seen.is_some() {
+                Some(Duration::from_millis(10))
+            } else {
+                // Fully event-driven when nothing is parked: the waker
+                // covers router pushes and stop requests.
+                None
+            };
+            self.ready.clear();
+            match self.poller.wait(timeout) {
+                Ok(events) => self.ready.extend_from_slice(events),
+                Err(_) => continue,
+            }
+            self.shared.m.reactor_wakeups.inc();
+            for i in 0..self.ready.len() {
+                let event = self.ready[i];
+                self.shared.m.reactor_events.inc();
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.wake_rx.drain(),
+                    token => {
+                        let id = token - CONN_TOKEN_BASE;
+                        if event.readable {
+                            self.conn_readable(id);
+                        }
+                        if event.writable {
+                            self.flush_conn(id);
+                        }
+                        self.update_interest(id);
                     }
-                    conn.writable.notify_all();
-                    break true;
                 }
-                if outbound.draining || !conn.open.load(Ordering::Acquire) {
-                    break false;
+            }
+            self.flush_dirty();
+            self.retry_parked();
+            if let Some(seen) = self.stop_seen {
+                if seen.elapsed() > STOP_GRACE {
+                    // Stragglers that never read their final frames: cut.
+                    let ids: Vec<u64> = self.io.keys().copied().collect();
+                    for id in ids {
+                        self.teardown(id, Gone::Lost);
+                    }
                 }
-                conn.readable.wait(&mut outbound);
             }
-        };
-        if drained {
-            if write_frame(&mut stream, &wire_buf).is_err() {
-                conn.close();
-                return;
+        }
+        let _ = self.poller.deregister(raw_fd(&self.listener));
+        let _ = self.poller.deregister(self.wake_rx.fd());
+        self.shared.m.reactor_fds.sub(2);
+    }
+
+    /// Stop requested: refuse new connections and start the clean drain of
+    /// every live one (flush, server Shutdown frame, close — the same
+    /// handshake a client-initiated Shutdown gets).
+    fn begin_stop(&mut self) {
+        self.stop_seen = Some(Instant::now());
+        let _ = self.poller.deregister(raw_fd(&self.listener));
+        self.shared.m.reactor_fds.sub(1);
+        let ids: Vec<u64> = self.io.keys().copied().collect();
+        for id in ids {
+            if let Some(conn) = self.io.get_mut(&id) {
+                // A parked batch still gets its retries; draining only
+                // stops *new* reads.
+                conn.draining = true;
+                conn.shared.close();
             }
-            conn.tx_bytes.add(wire_buf.len() as u64);
-        } else {
-            if conn.open.load(Ordering::Acquire) {
-                let _ = write_frame(&mut stream, &encode_shutdown());
-                let _ = stream.flush();
-            }
-            conn.close();
-            return;
+            self.flush_conn(id);
+            self.update_interest(id);
         }
     }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            if self.stop_seen.is_some() {
+                continue; // accepted-then-dropped: we are not serving anymore
+            }
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let Ok(dup) = stream.try_clone() else { continue };
+            let id = self.next_conn;
+            self.next_conn += 1;
+            let shared = Arc::new(ConnShared {
+                id,
+                stream: dup,
+                outbound: Mutex::new(VecDeque::new()),
+                open: AtomicBool::new(true),
+                capacity: self.shared.config.outbound,
+                consumed: AtomicU64::new(0),
+                granted: AtomicU64::new(0),
+            });
+            if self
+                .poller
+                .register(raw_fd(&stream), id + CONN_TOKEN_BASE, true, false)
+                .is_err()
+            {
+                continue;
+            }
+            self.shared.conns.lock().insert(id, Arc::clone(&shared));
+            self.shared.m.accepted.inc();
+            self.shared.m.active.add(1);
+            self.shared.m.reactor_fds.add(1);
+            let window = self.shared.config.window;
+            let conn = ConnIo {
+                shared,
+                stream,
+                assembler: FrameAssembler::new(),
+                parked: None,
+                write_buf: Vec::new(),
+                write_pos: 0,
+                known: HashSet::new(),
+                nack_run: 0,
+                draining: false,
+                shutdown_queued: false,
+                interest: (true, false),
+            };
+            // The opening grant announces the window.
+            conn.shared
+                .outbound
+                .lock()
+                .push_back(encode_credit(window, window));
+            self.shared.m.outbound_frames.add(1);
+            self.io.insert(id, conn);
+            self.flush_conn(id);
+            self.update_interest(id);
+        }
+    }
+
+    /// Reads until the socket runs dry (or the fairness budget is spent),
+    /// processing every completed frame along the way.
+    fn conn_readable(&mut self, id: u64) {
+        let mut budget = READ_BUDGET;
+        loop {
+            match self.process_frames(id) {
+                Pass::Alive => {}
+                Pass::Parked => return,
+                Pass::Dead(gone) => {
+                    self.teardown(id, gone);
+                    return;
+                }
+            }
+            let Some(conn) = self.io.get_mut(&id) else { return };
+            if conn.draining || budget == 0 {
+                return;
+            }
+            budget -= 1;
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    self.teardown(id, Gone::Lost);
+                    return;
+                }
+                Ok(n) => {
+                    self.shared.m.rx_bytes.add(n as u64);
+                    conn.assembler.feed(&self.scratch[..n]);
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.teardown(id, Gone::Lost);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Decodes and handles every complete frame buffered in `id`'s
+    /// assembler.  Mirrors the per-connection reader loop of the
+    /// thread-per-connection design frame for frame — ownership
+    /// registration before submit, consumed-before-submit ordering, NACK
+    /// semantics, the Shutdown handshake — so the protocol is preserved
+    /// bit for bit.
+    fn process_frames(&mut self, id: u64) -> Pass {
+        let shared = Arc::clone(&self.shared);
+        let window = shared.config.window;
+        loop {
+            let Some(conn) = self.io.get_mut(&id) else { return Pass::Alive };
+            if conn.parked.is_some() {
+                return Pass::Parked;
+            }
+            if conn.draining {
+                return Pass::Alive;
+            }
+            // Credit regenerates on *verdict delivery* (see the router), so
+            // the connection's un-verdicted events are bounded by the
+            // window — and the *remaining* credit is the decoder's row cap,
+            // so a batch the credit cannot admit is refused before anything
+            // of it interns into the engine's append-only arena.  The cap
+            // is computed only now, with the frame fully reassembled:
+            // grants issued while the bytes trickled in must count, or a
+            // compliant client gets spuriously refused.
+            let outstanding = conn
+                .shared
+                .consumed
+                .load(Ordering::Acquire)
+                .saturating_sub(conn.shared.granted.load(Ordering::Acquire));
+            let remaining = window.saturating_sub(outstanding);
+            let row_cap = u32::try_from(remaining).unwrap_or(u32::MAX);
+            let raw = match conn.assembler.next_frame() {
+                Ok(Some(raw)) => raw,
+                Ok(None) => return Pass::Alive,
+                Err(_) => {
+                    // An unframeable byte stream (bad magic/version/kind or
+                    // an oversized length claim): not a MonitorClient.
+                    shared.m.protocol_errors.inc();
+                    return Pass::Dead(Gone::Protocol(2));
+                }
+            };
+            let started = shared.tel.timer();
+            let decoded = decode_frame_capped(raw, shared.engine.interner(), row_cap)
+                .map(|(frame, _)| frame);
+            shared.tel.observe(started, &shared.m.decode_ns);
+            shared.m.reassembly_reads.record(conn.assembler.last_spread());
+            match decoded {
+                Ok(Frame::Batch(batch)) => {
+                    let n = batch.events.len() as u64;
+                    if n > 0 {
+                        // Register ownership before submitting: the router
+                        // must be able to route the very first verdict.
+                        // Deduplicate against the connection-local `known`
+                        // set first — the global owners lock is taken only
+                        // when the batch introduces objects.
+                        let mut fresh: Vec<ObjectId> = Vec::new();
+                        for object in batch.events.objects() {
+                            if conn.known.insert(*object) {
+                                fresh.push(*object);
+                            }
+                        }
+                        if !fresh.is_empty() {
+                            let mut owners = shared.owners.lock();
+                            for object in fresh {
+                                owners.entry(object).or_insert(conn.shared.id);
+                            }
+                        }
+                        // Count the batch as consumed *before* submitting:
+                        // once submitted, its verdicts can be delivered
+                        // (and credit re-granted) at any moment, and the
+                        // router caps grants at `consumed - granted` — a
+                        // late increment would read as a zero cap and
+                        // permanently lose the credit.
+                        conn.shared.consumed.fetch_add(n, Ordering::AcqRel);
+                        shared.m.credit_outstanding.add(n as i64);
+                        match shared.engine.try_submit_batch(&batch.events) {
+                            Ok(()) => {
+                                shared.m.batches.inc();
+                                shared.m.events.add(n);
+                                conn.nack_run = 0;
+                            }
+                            Err(SubmitError::Full) => {
+                                // The backpressure loop, reactor-style: the
+                                // connection parks its single in-flight
+                                // batch (reads pause) and the event loop
+                                // retries on a millisecond tick — the I/O
+                                // thread itself never sleeps on one
+                                // connection's behalf.
+                                shared.m.engine_full_stalls.inc();
+                                conn.parked = Some(batch.events);
+                                self.parked += 1;
+                                return Pass::Parked;
+                            }
+                            Err(SubmitError::Aborted) => return Pass::Dead(Gone::Lost),
+                        }
+                    }
+                }
+                Ok(Frame::StatsRequest) => {
+                    let reply = encode_stats(&shared.snapshot());
+                    self.push_direct(id, reply);
+                }
+                Ok(Frame::Shutdown) => {
+                    // Clean end-of-stream: retire the connection's monitors
+                    // and run the drain-then-Shutdown handshake.
+                    shared.evict_connection(id);
+                    let Some(conn) = self.io.get_mut(&id) else { return Pass::Alive };
+                    conn.draining = true;
+                    conn.shared.close();
+                    return Pass::Alive;
+                }
+                Ok(_) => {
+                    // Credit/Nack/Verdict/Stats replies are server-to-client
+                    // only: a peer sending them is not a MonitorClient.
+                    shared.m.protocol_errors.inc();
+                    return Pass::Dead(Gone::Protocol(1));
+                }
+                Err(WireError::TooManyRows { batch_id, rows, .. }) => {
+                    // Refused by the decoder before any interning; the
+                    // connection survives the NACK.  Over the whole window
+                    // the batch could never fit; over the remaining credit
+                    // it is an overrun the client must wait out.
+                    shared.m.nacks.inc();
+                    let nack = if u64::from(rows) > window {
+                        shared.m.nacks_batch_too_large.inc();
+                        shared.tel.flight(
+                            Stage::Nack,
+                            batch_id,
+                            id,
+                            0,
+                            NackReason::BatchTooLarge as u32,
+                        );
+                        encode_nack(batch_id, NackReason::BatchTooLarge, window)
+                    } else {
+                        shared.m.nacks_credit_exceeded.inc();
+                        shared.tel.flight(
+                            Stage::Nack,
+                            batch_id,
+                            id,
+                            0,
+                            NackReason::CreditExceeded as u32,
+                        );
+                        encode_nack(batch_id, NackReason::CreditExceeded, remaining)
+                    };
+                    self.push_direct(id, nack);
+                    let Some(conn) = self.io.get_mut(&id) else { return Pass::Alive };
+                    conn.nack_run += 1;
+                    if conn.nack_run == NACK_STORM {
+                        // A compliant client waits for credit; a run this
+                        // long is a peer bug or a wedged pipeline — leave
+                        // the postmortem while the evidence is in the ring.
+                        shared.tel.dump_to_stderr("nack storm");
+                    }
+                }
+                Err(_) => {
+                    shared.m.protocol_errors.inc();
+                    return Pass::Dead(Gone::Protocol(2));
+                }
+            }
+        }
+    }
+
+    /// Reactor-side push: appends straight to the outbound queue (the
+    /// reactor owns the socket, so no capacity refusal — these are its own
+    /// replies: the opening credit, NACKs, stats).
+    fn push_direct(&mut self, id: u64, frame: Vec<u8>) {
+        if let Some(conn) = self.io.get_mut(&id) {
+            conn.shared.outbound.lock().push_back(frame);
+            self.shared.m.outbound_frames.add(1);
+        }
+    }
+
+    /// Retries every parked batch once (called on the short tick).
+    fn retry_parked(&mut self) {
+        if self.parked == 0 {
+            return;
+        }
+        let ids: Vec<u64> = self
+            .io
+            .iter()
+            .filter(|(_, conn)| conn.parked.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let Some(conn) = self.io.get_mut(&id) else { continue };
+            let Some(batch) = conn.parked.take() else { continue };
+            match self.shared.engine.try_submit_batch(&batch) {
+                Ok(()) => {
+                    self.parked -= 1;
+                    self.shared.m.batches.inc();
+                    self.shared.m.events.add(batch.len() as u64);
+                    conn.nack_run = 0;
+                    // Unparked: frames may be waiting in the assembler, and
+                    // read interest comes back.
+                    match self.process_frames(id) {
+                        Pass::Dead(gone) => {
+                            self.teardown(id, gone);
+                            continue;
+                        }
+                        Pass::Alive | Pass::Parked => {}
+                    }
+                    self.flush_conn(id);
+                    self.update_interest(id);
+                }
+                Err(SubmitError::Full) => {
+                    conn.parked = Some(batch);
+                }
+                Err(SubmitError::Aborted) => {
+                    self.parked -= 1;
+                    self.teardown(id, Gone::Lost);
+                }
+            }
+        }
+    }
+
+    /// Flushes the connections the router touched since the last wake.
+    fn flush_dirty(&mut self) {
+        let dirty: Vec<u64> = std::mem::take(&mut *self.shared.dirty.lock());
+        for id in dirty {
+            self.flush_conn(id);
+            self.update_interest(id);
+        }
+    }
+
+    /// Writes as much of the outbound queue as the socket accepts,
+    /// coalescing queued frames into one buffer (one syscall carries every
+    /// frame queued since the last flush).  Completes the clean-shutdown
+    /// handshake when a draining connection runs dry.
+    fn flush_conn(&mut self, id: u64) {
+        let Some(conn) = self.io.get_mut(&id) else { return };
+        let mut fate: Option<Gone> = None;
+        loop {
+            if conn.write_pos == conn.write_buf.len() {
+                conn.write_buf.clear();
+                conn.write_pos = 0;
+                {
+                    let mut outbound = conn.shared.outbound.lock();
+                    let drained = outbound.len();
+                    for frame in outbound.drain(..) {
+                        conn.write_buf.extend_from_slice(&frame);
+                    }
+                    if drained > 0 {
+                        self.shared.m.outbound_frames.sub(drained as i64);
+                    }
+                }
+                if conn.write_buf.is_empty() {
+                    if conn.draining && !conn.shutdown_queued {
+                        // Everything queued is flushed: append the server's
+                        // half of the Shutdown handshake.
+                        conn.write_buf.extend_from_slice(&encode_shutdown());
+                        conn.shutdown_queued = true;
+                    } else {
+                        if conn.draining && conn.shutdown_queued {
+                            fate = Some(Gone::Drained);
+                        }
+                        break;
+                    }
+                }
+            }
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    fate = Some(Gone::Lost);
+                    break;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    self.shared.m.tx_bytes.add(n as u64);
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    fate = Some(Gone::Lost);
+                    break;
+                }
+            }
+        }
+        if let Some(gone) = fate {
+            self.teardown(id, gone);
+        }
+    }
+
+    /// Reconciles the poller's interest set with the connection's state:
+    /// read interest while not parked/draining, write interest only while
+    /// output is unflushed.
+    fn update_interest(&mut self, id: u64) {
+        let Some(conn) = self.io.get_mut(&id) else { return };
+        let want = (conn.wants_read(), conn.wants_write());
+        if want != conn.interest {
+            conn.interest = want;
+            let fd = raw_fd(&conn.stream);
+            let _ = self.poller.reregister(fd, id + CONN_TOKEN_BASE, want.0, want.1);
+        }
+    }
+
+    /// Retires a connection: poller deregistration, eviction of its
+    /// objects, metric reconciliation, socket close.
+    fn teardown(&mut self, id: u64, gone: Gone) {
+        let Some(conn) = self.io.remove(&id) else { return };
+        if conn.parked.is_some() {
+            self.parked -= 1;
+        }
+        let _ = self.poller.deregister(raw_fd(&conn.stream));
+        conn.shared.close();
+        if let Gone::Protocol(code) = gone {
+            self.shared.tel.flight(Stage::Disconnect, 0, id, 0, code);
+        }
+        self.shared.conns.lock().remove(&id);
+        // Mid-stream disconnect or clean Shutdown alike: everything
+        // received so far stays checked; the monitors are retired into the
+        // report.  (After a client-initiated Shutdown the owners entries
+        // are already gone and this is a no-op.)
+        self.shared.evict_connection(id);
+        self.shared.m.active.sub(1);
+        self.shared.m.reactor_fds.sub(1);
+        let outstanding = conn
+            .shared
+            .consumed
+            .load(Ordering::Acquire)
+            .saturating_sub(conn.shared.granted.load(Ordering::Acquire));
+        self.shared.m.credit_outstanding.sub(outstanding as i64);
+        let dropped = conn.shared.outbound.lock().len();
+        if dropped > 0 {
+            self.shared.m.outbound_frames.sub(dropped as i64);
+        }
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Per-connection router state: verdicts awaiting outbound space and
+/// credit grants awaiting the same.
+#[derive(Default)]
+struct RouterEntry {
+    /// Verdicts routed here but not yet pushed (bounded: new verdicts
+    /// require credit, and credit only returns as these deliver).
+    pending: VecDeque<VerdictEvent>,
+    /// Events whose verdicts were delivered but whose credit grant frame
+    /// has not fit the outbound queue yet.
+    owed: u64,
+    /// Set while the outbound queue refuses delivery; past the grace
+    /// period the consumer is declared stalled and disconnected.
+    stalled_since: Option<Instant>,
 }
 
 /// The router: engine verdicts → owning connection, in subscription order.
 fn router_loop(shared: &ServerShared, subscription: &drv_engine::VerdictSubscription) {
     let chunk = shared.config.verdict_chunk;
-    let mut per_conn: HashMap<u64, Vec<VerdictEvent>> = HashMap::new();
+    let mut entries: HashMap<u64, RouterEntry> = HashMap::new();
     loop {
         let mut events = subscription.wait_verdicts(Duration::from_millis(20));
         if !events.is_empty() && events.len() < chunk {
@@ -574,198 +1037,170 @@ fn router_loop(shared: &ServerShared, subscription: &drv_engine::VerdictSubscrip
             // a sub-millisecond accumulation window turns many tiny
             // verdict/credit frames into a few big ones (the syscall and
             // wake-up count is what loopback throughput is made of).
-            let deadline = std::time::Instant::now() + Duration::from_micros(300);
-            while events.len() < chunk && std::time::Instant::now() < deadline {
+            let deadline = Instant::now() + Duration::from_micros(300);
+            while events.len() < chunk && Instant::now() < deadline {
                 std::thread::yield_now();
                 events.extend(subscription.poll_verdicts());
             }
         }
-        if events.is_empty() {
-            if subscription.is_closed() {
+        let closing = events.is_empty() && subscription.is_closed();
+        if events.is_empty()
+            && !closing
+            && shared.stopping.load(Ordering::Acquire)
+            && shared.engine.backlog() == 0
+        {
+            // Quiesced under a stop request: one final opportunistic
+            // drain; exit once nothing is pending anywhere (the reactor's
+            // stop grace guarantees stalled remainders go Closed).
+            events = subscription.poll_verdicts();
+            if events.is_empty() && entries.values().all(|entry| entry.pending.is_empty()) {
                 return;
             }
-            if shared.stopping.load(Ordering::Acquire) && shared.engine.backlog() == 0 {
-                // Quiesced under a stop request: one final opportunistic
-                // drain, then exit (finish() delivers the report).
-                let tail = subscription.poll_verdicts();
-                if tail.is_empty() {
-                    return;
-                }
-                route(shared, &tail, chunk, &mut per_conn);
-            }
-            continue;
         }
-        route(shared, &events, chunk, &mut per_conn);
+        // Bucket by owner.
+        if !events.is_empty() {
+            let owners = shared.owners.lock();
+            for event in &events {
+                match owners.get(&event.object) {
+                    Some(conn) => {
+                        entries.entry(*conn).or_default().pending.push_back(*event);
+                    }
+                    None => shared.m.dropped_verdicts.inc(),
+                }
+            }
+        }
+        // Deliver hot while progress is being made: the outbound queues are
+        // small, so a backlogged entry needs many push→drain round-trips —
+        // waiting out the 20 ms subscription beat between each would cap
+        // delivery at queue-capacity frames per beat.  Yielding lets the
+        // reactor (woken by `wake_conns`) drain between passes; the loop
+        // exits the moment a pass moves nothing, so a genuinely stalled
+        // consumer still falls through to the grace-period clock.
+        loop {
+            let (progressed, backlog) = deliver(shared, &mut entries, chunk);
+            if !(progressed && backlog) {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        if closing {
+            return;
+        }
     }
 }
 
-fn route(
+/// One delivery pass: push pending verdicts and owed credit into each
+/// connection's outbound queue, non-blocking; enforce the stall grace.
+/// Returns `(progressed, backlog)`: whether anything was pushed, and
+/// whether undelivered verdicts remain.
+fn deliver(
     shared: &ServerShared,
-    events: &[VerdictEvent],
+    entries: &mut HashMap<u64, RouterEntry>,
     chunk: usize,
-    per_conn: &mut HashMap<u64, Vec<VerdictEvent>>,
-) {
-    {
-        let owners = shared.owners.lock();
-        for event in events {
-            match owners.get(&event.object) {
-                Some(conn) => per_conn.entry(*conn).or_default().push(*event),
-                None => {
-                    shared.m.dropped_verdicts.inc();
-                }
-            }
-        }
-    }
-    /// How long the router waits on one connection's full outbound queue
-    /// before declaring the consumer stalled and closing it — the
-    /// head-of-line protection for every other connection.
-    const STALL_GRACE: Duration = Duration::from_secs(2);
-
+) -> (bool, bool) {
     let mut dead: Vec<u64> = Vec::new();
-    for (conn_id, batch) in per_conn.iter_mut() {
-        if batch.is_empty() {
+    let mut touched: Vec<u64> = Vec::new();
+    let mut any_progress = false;
+    for (conn_id, entry) in entries.iter_mut() {
+        if entry.pending.is_empty() && entry.owed == 0 {
             continue;
         }
         let conn = shared.conns.lock().get(conn_id).cloned();
-        match conn {
-            Some(conn) if conn.open.load(Ordering::Acquire) => {
-                let mut delivered = 0u64;
-                for piece in batch.chunks(chunk) {
-                    if conn.push_deadline(encode_verdicts(piece), STALL_GRACE) {
-                        delivered += piece.len() as u64;
-                    } else {
-                        shared.m.dropped_verdicts.add(piece.len() as u64);
-                        if conn.open.load(Ordering::Acquire) {
-                            // The queue stayed full past the grace period:
-                            // the consumer stalled.  Close it so the rest of
-                            // the fleet keeps its verdict flow.
-                            shared.m.stalled_disconnects.inc();
-                            shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 0);
-                            shared.tel.dump_to_stderr("stalled consumer disconnected");
-                            conn.close();
-                            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                        }
-                    }
+        let Some(conn) = conn else {
+            shared.m.dropped_verdicts.add(entry.pending.len() as u64);
+            dead.push(*conn_id);
+            continue;
+        };
+        let mut progressed = false;
+        let mut full = false;
+        while !entry.pending.is_empty() {
+            let take = entry.pending.len().min(chunk);
+            let piece: Vec<VerdictEvent> = entry.pending.iter().take(take).copied().collect();
+            match conn.try_push(encode_verdicts(&piece), &shared.m.outbound_frames) {
+                Push::Queued => {
+                    entry.pending.drain(..take);
+                    entry.owed += take as u64;
+                    progressed = true;
                 }
-                if delivered > 0 {
-                    // Credit returns with verdicts: the window bounds a
-                    // connection's events in flight *end to end* (submitted
-                    // but not yet checked), not just its socket buffer.
-                    // Capped at what the connection actually consumed, so
-                    // extra verdicts (a monitor's finalize on an idle-TTL
-                    // sweep) can never inflate credit past the window.
-                    let consumed = conn.consumed.load(Ordering::Acquire);
-                    let granted = conn.granted.load(Ordering::Acquire);
-                    let grant = delivered.min(consumed.saturating_sub(granted));
-                    if grant > 0 {
+                Push::Full => {
+                    full = true;
+                    break;
+                }
+                Push::Closed => {
+                    shared.m.dropped_verdicts.add(entry.pending.len() as u64);
+                    dead.push(*conn_id);
+                    entry.pending.clear();
+                    entry.owed = 0;
+                    break;
+                }
+            }
+        }
+        if entry.owed > 0 && !dead.contains(conn_id) {
+            // Credit returns with verdicts: the window bounds a
+            // connection's events in flight *end to end* (submitted but
+            // not yet checked), not just its socket buffer.  Capped at
+            // what the connection actually consumed, so extra verdicts (a
+            // monitor's finalize on an idle-TTL sweep) can never inflate
+            // credit past the window.
+            let consumed = conn.consumed.load(Ordering::Acquire);
+            let granted = conn.granted.load(Ordering::Acquire);
+            let grant = entry.owed.min(consumed.saturating_sub(granted));
+            if grant == 0 {
+                entry.owed = 0;
+            } else {
+                match conn.try_push(
+                    encode_credit(grant, shared.config.window),
+                    &shared.m.outbound_frames,
+                ) {
+                    Push::Queued => {
                         conn.granted.fetch_add(grant, Ordering::AcqRel);
                         shared.m.credit_outstanding.sub(grant as i64);
-                        if !conn.push_deadline(
-                            encode_credit(grant, shared.config.window),
-                            STALL_GRACE,
-                        ) && conn.open.load(Ordering::Acquire)
-                        {
-                            // A lost Credit frame on a surviving connection
-                            // would silently shrink the client's window
-                            // forever: treat it like the stalled-verdict
-                            // case and close the connection.
-                            shared.m.stalled_disconnects.inc();
-                            shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 0);
-                            shared.tel.dump_to_stderr("stalled consumer disconnected");
-                            conn.close();
-                            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                        }
+                        entry.owed -= grant;
+                        progressed = true;
+                    }
+                    Push::Full => full = true,
+                    Push::Closed => {
+                        entry.owed = 0;
+                        dead.push(*conn_id);
                     }
                 }
             }
-            _ => {
-                shared.m.dropped_verdicts.add(batch.len() as u64);
-                // The connection is gone: drop its routing entry, or the
-                // map (and this loop) grows with every connection ever
-                // served.
-                dead.push(*conn_id);
-            }
         }
-        batch.clear();
+        if progressed {
+            touched.push(*conn_id);
+        }
+        if full && !progressed {
+            // The queue refused everything this pass: start (or check) the
+            // stall clock.
+            let since = *entry.stalled_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= shared.config.stall_grace {
+                // The queue stayed full past the grace period: the consumer
+                // stalled.  Close it so the rest of the fleet keeps its
+                // verdict flow — a lost verdict or Credit frame on a
+                // *surviving* connection is never acceptable, so the only
+                // lossy exit is a dead connection.
+                shared.m.stalled_disconnects.inc();
+                shared.m.dropped_verdicts.add(entry.pending.len() as u64);
+                shared.tel.flight(Stage::Disconnect, 0, conn.id, 0, 0);
+                shared.tel.dump_to_stderr("stalled consumer disconnected");
+                conn.close();
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                entry.pending.clear();
+                entry.owed = 0;
+                dead.push(*conn_id);
+                touched.push(*conn_id);
+            }
+        } else if progressed {
+            entry.stalled_since = None;
+        }
+        any_progress |= progressed;
     }
     for conn_id in dead {
-        per_conn.remove(&conn_id);
+        entries.remove(&conn_id);
     }
-}
-
-fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener) {
-    loop {
-        let (stream, _) = match listener.accept() {
-            Ok(accepted) => accepted,
-            Err(_) => {
-                if shared.stopping.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if shared.stopping.load(Ordering::Acquire) {
-            return;
-        }
-        stream.set_nodelay(true).ok();
-        // A consumer that stops reading blocks the writer in write_all once
-        // the socket buffers fill; the timeout turns that into an error
-        // that closes the connection (unblocking its reader and the
-        // router) instead of wedging shutdown.
-        stream
-            .set_write_timeout(Some(Duration::from_secs(5)))
-            .ok();
-        let Ok(reader_stream) = stream.try_clone() else { continue };
-        let Ok(writer_stream) = stream.try_clone() else { continue };
-        let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        let conn = Arc::new(ConnShared {
-            id,
-            stream,
-            outbound: Mutex::new(Outbound { queue: VecDeque::new(), draining: false }),
-            readable: Condvar::new(),
-            writable: Condvar::new(),
-            open: AtomicBool::new(true),
-            capacity: shared.config.outbound,
-            consumed: AtomicU64::new(0),
-            granted: AtomicU64::new(0),
-            tx_bytes: shared.m.tx_bytes.clone(),
-        });
-        shared.conns.lock().insert(id, Arc::clone(&conn));
-        shared.m.accepted.inc();
-        shared.m.active.add(1);
-        let reader = {
-            let shared = Arc::clone(shared);
-            let conn = Arc::clone(&conn);
-            std::thread::Builder::new()
-                .name(format!("drv-net-reader-{id}"))
-                .spawn(move || {
-                    reader_loop(&shared, &conn, reader_stream);
-                    // Reader exit is connection exit: release the registry
-                    // entry and the active count exactly once, and return
-                    // the connection's never-regranted credit to the
-                    // occupancy gauge (the router stops granting once the
-                    // entry is gone).
-                    shared.conns.lock().remove(&conn.id);
-                    shared.m.active.sub(1);
-                    let outstanding = conn
-                        .consumed
-                        .load(Ordering::Acquire)
-                        .saturating_sub(conn.granted.load(Ordering::Acquire));
-                    shared.m.credit_outstanding.sub(outstanding as i64);
-                })
-                .expect("spawning a connection reader")
-        };
-        let writer = {
-            let conn = Arc::clone(&conn);
-            std::thread::Builder::new()
-                .name(format!("drv-net-writer-{id}"))
-                .spawn(move || writer_loop(&conn, writer_stream))
-                .expect("spawning a connection writer")
-        };
-        let mut handles = shared.handles.lock();
-        handles.push(reader);
-        handles.push(writer);
-    }
+    shared.wake_conns(&touched);
+    let backlog = entries.values().any(|entry| !entry.pending.is_empty());
+    (any_progress, backlog)
 }
 
 /// A TCP monitoring server: accepts [`MonitorClient`](crate::MonitorClient)
@@ -774,7 +1209,7 @@ fn accept_loop(shared: &Arc<ServerShared>, listener: &TcpListener) {
 /// backpressure model.
 pub struct MonitorServer {
     shared: Arc<ServerShared>,
-    accept_handle: Option<JoinHandle<()>>,
+    reactor_handle: Option<JoinHandle<()>>,
     router_handle: Option<JoinHandle<()>>,
     local_addr: SocketAddr,
 }
@@ -784,17 +1219,9 @@ impl MonitorServer {
     /// [`MonitorServer::local_addr`] reports the choice) and starts serving
     /// a fresh engine built from `engine_config` and `factory`.
     ///
-    /// Bind to a *locally connectable* address (loopback, a wildcard, or an
-    /// interface the host can reach itself on): [`MonitorServer::shutdown`]
-    /// wakes the blocking accept loop with a loopback self-connect, which
-    /// `std`'s `TcpListener` offers no other portable way to interrupt — on
-    /// an address the host cannot self-connect (a firewalled external IP),
-    /// shutdown would wait on the accept thread until the next inbound
-    /// connection.
-    ///
     /// # Errors
     ///
-    /// The bind error.
+    /// The bind (or poller setup) error.
     pub fn bind(
         addr: impl ToSocketAddrs,
         engine_config: EngineConfig,
@@ -817,17 +1244,19 @@ impl MonitorServer {
     ///
     /// # Errors
     ///
-    /// The bind error.
+    /// The bind (or poller setup) error.
     pub fn with_engine(
         addr: impl ToSocketAddrs,
         engine: Arc<MonitoringEngine>,
         config: ServerConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let subscription = engine.subscribe(config.subscription);
         let tel = Arc::clone(engine.telemetry());
         let metrics = NetMetrics::register(&tel);
+        let (waker, wake_rx) = waker_pair()?;
         let shared = Arc::new(ServerShared {
             engine,
             tel,
@@ -836,16 +1265,15 @@ impl MonitorServer {
             conns: Mutex::new(HashMap::new()),
             owners: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
-            next_conn: AtomicU64::new(0),
+            dirty: Mutex::new(Vec::new()),
+            waker,
             m: metrics,
         });
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("drv-net-accept".to_string())
-                .spawn(move || accept_loop(&shared, &listener))
-                .expect("spawning the accept loop")
-        };
+        let reactor = Reactor::new(Arc::clone(&shared), listener, wake_rx)?;
+        let reactor_handle = std::thread::Builder::new()
+            .name("drv-net-io".to_string())
+            .spawn(move || reactor.run())
+            .expect("spawning the reactor");
         let router_handle = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -855,7 +1283,7 @@ impl MonitorServer {
         };
         Ok(MonitorServer {
             shared,
-            accept_handle: Some(accept_handle),
+            reactor_handle: Some(reactor_handle),
             router_handle: Some(router_handle),
             local_addr,
         })
@@ -887,8 +1315,9 @@ impl MonitorServer {
     }
 
     /// The telemetry handle the server and its engine share: the `net_*`
-    /// metrics live on this registry next to the `engine_*` ones, and the
-    /// flight recorder carries both layers' pipeline events.
+    /// metrics (including the `net_reactor_*` family) live on this registry
+    /// next to the `engine_*` ones, and the flight recorder carries both
+    /// layers' pipeline events.
     #[must_use]
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.shared.tel
@@ -915,18 +1344,18 @@ impl MonitorServer {
         let handle = std::thread::Builder::new()
             .name("drv-net-snapshot".to_string())
             .spawn(move || {
-                let mut last = std::time::Instant::now();
+                let mut last = Instant::now();
                 while !shared.stopping.load(Ordering::Acquire) {
                     // Sleep in short slices so shutdown never waits a whole
                     // interval on this thread.
-                    std::thread::sleep(interval.saturating_sub(last.elapsed()).min(
-                        Duration::from_millis(50),
-                    ));
+                    std::thread::sleep(
+                        interval.saturating_sub(last.elapsed()).min(Duration::from_millis(50)),
+                    );
                     if shared.stopping.load(Ordering::Acquire) {
                         return;
                     }
                     if last.elapsed() >= interval {
-                        last = std::time::Instant::now();
+                        last = Instant::now();
                         hook(&shared.tel.snapshot());
                     }
                 }
@@ -943,45 +1372,28 @@ impl MonitorServer {
 
     /// Stops and joins every server thread, returning the panic of the
     /// first one whose `join` surfaced a payload (a bug in the server
-    /// itself, not a monitor panic — those are caught engine-side).  The
-    /// payloads used to be dropped here; now [`MonitorServer::shutdown`]
-    /// surfaces them.
+    /// itself, not a monitor panic — those are caught engine-side).
     fn stop_threads(&mut self) -> Option<WorkerPanic> {
         let mut escaped: Option<WorkerPanic> = None;
-        let mut joined = 0usize;
-        let join = |handle: JoinHandle<()>, role: &'static str, escaped: &mut Option<WorkerPanic>, index: usize| {
+        let join = |handle: JoinHandle<()>,
+                    role: &'static str,
+                    escaped: &mut Option<WorkerPanic>,
+                    index: usize| {
             if let Err(payload) = handle.join() {
                 escaped.get_or_insert(WorkerPanic::from_payload(role, index, payload));
             }
         };
         self.shared.stopping.store(true, Ordering::Release);
-        // Unblock the accept loop with a throwaway connection.  A wildcard
-        // bind (0.0.0.0 / ::) is not a connectable destination everywhere,
-        // but its listener is always reachable via loopback on the same
-        // port; the timeout keeps an unreachable interface bind from
-        // wedging shutdown.
-        let mut wake = self.local_addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match wake {
-                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
-            });
+        // One wake is all the reactor needs: it stops accepting, drains
+        // every connection through the clean Shutdown handshake (with the
+        // stop grace bounding peers that never read), and exits.
+        self.shared.waker.wake();
+        if let Some(handle) = self.reactor_handle.take() {
+            join(handle, "net reactor", &mut escaped, 0);
         }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(500));
-        if let Some(handle) = self.accept_handle.take() {
-            join(handle, "net accept loop", &mut escaped, 0);
-        }
-        // Disconnect every client: shutting the socket down unblocks its
-        // reader (which evicts the connection's objects on the way out).
-        let conns: Vec<Arc<ConnShared>> = self.shared.conns.lock().values().cloned().collect();
-        for conn in conns {
-            conn.drain_and_close();
-            let _ = conn.stream.shutdown(std::net::Shutdown::Read);
-        }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.handles.lock());
-        for handle in handles {
-            join(handle, "net connection thread", &mut escaped, joined);
-            joined += 1;
+        let hooks: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.handles.lock());
+        for (index, handle) in hooks.into_iter().enumerate() {
+            join(handle, "net snapshot hook", &mut escaped, index);
         }
         // Quiesce the engine so the router's final drain sees everything
         // (an aborted engine reconciles its backlog to zero, so this also
@@ -1003,9 +1415,8 @@ impl MonitorServer {
     ///
     /// The [`WorkerPanic`] of the first engine worker that died (like
     /// [`MonitoringEngine::finish`]) — or of the first *server* thread
-    /// whose join surfaced an escaped panic, which used to be logged and
-    /// dropped here.  A dead engine outranks a dead server thread: the
-    /// engine panic usually explains both.
+    /// whose join surfaced an escaped panic.  A dead engine outranks a dead
+    /// server thread: the engine panic usually explains both.
     ///
     /// # Panics
     ///
@@ -1029,7 +1440,7 @@ impl MonitorServer {
 
 impl Drop for MonitorServer {
     fn drop(&mut self) {
-        if self.accept_handle.is_none() && self.router_handle.is_none() {
+        if self.reactor_handle.is_none() && self.router_handle.is_none() {
             // shutdown() already ran (or bind never finished).
             return;
         }

@@ -309,6 +309,13 @@ pub enum WireError {
         /// How many.
         extra: usize,
     },
+    /// A deadline elapsed before the peer produced the awaited bytes — a
+    /// hung or wedged endpoint, surfaced typed instead of blocking forever
+    /// (see [`ClientConfig`](crate::client::ClientConfig)).
+    Timeout {
+        /// How long the caller waited, in milliseconds.
+        millis: u64,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -347,6 +354,9 @@ impl fmt::Display for WireError {
             }
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the payload's last field")
+            }
+            WireError::Timeout { millis } => {
+                write!(f, "peer produced nothing for {millis} ms")
             }
         }
     }
@@ -631,15 +641,16 @@ pub fn encode_checkpoint(payload: &[u8]) -> Vec<u8> {
 }
 
 /// A validated frame header.
-struct Header {
+pub(crate) struct Header {
     kind: FrameKind,
-    len: u32,
+    pub(crate) len: u32,
     crc: u32,
 }
 
 /// Validates the fixed-size header — the ONE copy of the header contract,
-/// shared by the buffer and stream decoders.
-fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
+/// shared by the buffer and stream decoders and the reactor's
+/// [`FrameAssembler`](crate::reactor::FrameAssembler).
+pub(crate) fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<Header, WireError> {
     let mut header = Reader::new(bytes);
     let magic = header.u32("magic").expect("fixed-size header");
     if magic != MAGIC {

@@ -1,0 +1,79 @@
+//! The reactor's scaling claim, measured directly off procfs: the server's
+//! thread count is the same with 1 connection and with 16 — connections
+//! are poller registrations, not threads.
+//!
+//! This test lives in its own binary on purpose: `/proc/self/task` is
+//! process-wide, so it must not share a process with other tests that
+//! start their own servers concurrently.
+
+#![cfg(target_os = "linux")]
+
+use drv_core::CheckerMonitorFactory;
+use drv_engine::EngineConfig;
+use drv_net::{MonitorClient, MonitorServer, ServerConfig};
+use drv_spec::Register;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn server_threads() -> usize {
+    let mut count = 0;
+    for entry in std::fs::read_dir("/proc/self/task").expect("procfs") {
+        let comm = entry.expect("task entry").path().join("comm");
+        if let Ok(name) = std::fs::read_to_string(comm) {
+            if matches!(name.trim_end(), "drv-net-io" | "drv-net-router") {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Polls `server_threads` until it reports `want` (threads name themselves
+/// asynchronously at startup, and exit asynchronously at shutdown).
+fn await_threads(want: usize, context: &str) {
+    let start = Instant::now();
+    while server_threads() != want {
+        assert!(
+            start.elapsed() < DEADLINE,
+            "{context}: expected {want} server threads, stuck at {}",
+            server_threads()
+        );
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn server_thread_count_is_flat_in_connections() {
+    assert_eq!(server_threads(), 0, "stray server threads before bind");
+    let server = MonitorServer::bind(
+        ("127.0.0.1", 0),
+        EngineConfig::new(1).with_max_pending(256),
+        Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2)),
+        ServerConfig::new(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    await_threads(2, "after bind");
+    let one = MonitorClient::connect(addr).expect("first connection");
+    let mut fleet = Vec::new();
+    for _ in 0..15 {
+        fleet.push(MonitorClient::connect(addr).expect("fleet connection"));
+    }
+    // Wait until the server has registered all 16, then re-count.
+    let start = Instant::now();
+    while server.stats().active < 16 {
+        assert!(start.elapsed() < DEADLINE, "connections never registered");
+        std::thread::yield_now();
+    }
+    assert_eq!(
+        server_threads(),
+        2,
+        "server thread count grew with connection count"
+    );
+    drop(fleet);
+    drop(one);
+    server.shutdown().expect("no worker panicked");
+    await_threads(0, "after shutdown");
+}

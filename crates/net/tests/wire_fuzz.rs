@@ -205,3 +205,140 @@ fn random_garbage_never_panics() {
         let _ = must_not_panic(&prefixed);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Read-boundary fuzz: the reactor's reassembly path.  TCP may deliver a
+// frame in any chunking whatsoever; the assembler must produce the exact
+// same frame bytes regardless, fail typed (never panic) on unframeable
+// streams, and size its buffer by *received* bytes only.
+// ---------------------------------------------------------------------------
+
+use drv_net::FrameAssembler;
+
+#[test]
+fn byte_at_a_time_reassembly_is_exact() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let corpus = valid_frames(&mut rng);
+        let mut assembler = FrameAssembler::new();
+        let mut reassembled: Vec<Vec<u8>> = Vec::new();
+        for frame in &corpus {
+            for (i, byte) in frame.iter().enumerate() {
+                assembler.feed(std::slice::from_ref(byte));
+                loop {
+                    let raw = match assembler.next_frame() {
+                        Ok(Some(raw)) => raw.to_vec(),
+                        Ok(None) => break,
+                        Err(err) => panic!("valid corpus unframeable at byte {i}: {err}"),
+                    };
+                    // A frame may only complete on its own final byte, and
+                    // its reassembly spread is then exactly its length in
+                    // single-byte reads.
+                    assert_eq!(i, frame.len() - 1, "frame completed before its last byte");
+                    assert_eq!(assembler.last_spread(), frame.len() as u64);
+                    reassembled.push(raw);
+                }
+            }
+        }
+        assert_eq!(reassembled, corpus, "byte-at-a-time replay altered the stream");
+        assert_eq!(assembler.buffered(), 0, "residual bytes after a whole corpus");
+        // And every reassembled frame still decodes identically.
+        let arena = SharedInterner::new();
+        for frame in &reassembled {
+            decode_frame(frame, &arena).expect("reassembled frame decodes");
+        }
+    }
+}
+
+#[test]
+fn seeded_chunk_sizes_preserve_the_frame_sequence() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0xC4A0 ^ seed);
+        let corpus = valid_frames(&mut rng);
+        let stream: Vec<u8> = corpus.iter().flatten().copied().collect();
+        let mut assembler = FrameAssembler::new();
+        let mut reassembled: Vec<Vec<u8>> = Vec::new();
+        let mut offset = 0usize;
+        while offset < stream.len() {
+            let chunk = rng.gen_range(1..=97usize).min(stream.len() - offset);
+            assembler.feed(&stream[offset..offset + chunk]);
+            offset += chunk;
+            loop {
+                let raw = match assembler.next_frame() {
+                    Ok(Some(raw)) => raw.to_vec(),
+                    Ok(None) => break,
+                    Err(err) => panic!("valid corpus unframeable under chunking: {err}"),
+                };
+                assert!(assembler.last_spread() >= 1);
+                reassembled.push(raw);
+            }
+        }
+        assert_eq!(reassembled, corpus, "chunked replay altered the stream (seed {seed})");
+    }
+}
+
+#[test]
+fn corrupted_streams_fail_typed_through_the_assembler() {
+    let mut typed_errors = 0u64;
+    for seed in 0..ROUNDS / 4 {
+        let mut rng = StdRng::seed_from_u64(0xBAD0 ^ seed);
+        let corpus = valid_frames(&mut rng);
+        let mut stream: Vec<u8> = corpus.iter().flatten().copied().collect();
+        // Flip bits anywhere — headers make the assembler itself reject,
+        // payload flips surface later in decode_frame's CRC check.
+        for _ in 0..rng.gen_range(1..=6u32) {
+            let pos = rng.gen_range(0..stream.len());
+            stream[pos] ^= 1u8 << rng.gen_range(0..8u32);
+        }
+        let arena = SharedInterner::new();
+        let mut assembler = FrameAssembler::new();
+        let mut offset = 0usize;
+        'stream: while offset < stream.len() {
+            let chunk = rng.gen_range(1..=64usize).min(stream.len() - offset);
+            assembler.feed(&stream[offset..offset + chunk]);
+            offset += chunk;
+            loop {
+                match assembler.next_frame() {
+                    Ok(Some(raw)) => {
+                        if decode_frame(raw, &arena).is_err() {
+                            typed_errors += 1;
+                            break 'stream; // a real reader tears down here
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        typed_errors += 1;
+                        break 'stream;
+                    }
+                }
+            }
+        }
+    }
+    assert!(typed_errors > 0, "no corruption was ever surfaced as a typed error");
+}
+
+#[test]
+fn claimed_lengths_never_inflate_the_assembler() {
+    // A header claiming a payload just under the cap, with almost no bytes
+    // behind it: the assembler must wait, not allocate the claim.
+    let mut huge = encode_shutdown();
+    huge[8..12].copy_from_slice(&(MAX_PAYLOAD - 1).to_le_bytes());
+    let mut assembler = FrameAssembler::new();
+    assembler.feed(&huge);
+    assert!(matches!(assembler.next_frame(), Ok(None)));
+    assert!(
+        assembler.capacity() < 4096,
+        "a {}-byte length claim grew the buffer to {} bytes",
+        MAX_PAYLOAD - 1,
+        assembler.capacity()
+    );
+    // Over the cap, the claim is a typed header error instead.
+    let mut oversized = encode_shutdown();
+    oversized[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    let mut assembler = FrameAssembler::new();
+    assembler.feed(&oversized);
+    assert!(matches!(
+        assembler.next_frame(),
+        Err(WireError::Oversized(len)) if len == MAX_PAYLOAD + 1
+    ));
+}

@@ -7,6 +7,11 @@
 //!
 //!   monitored system ──MonitorClient──TCP──► MonitorServer       [net]
 //!        │  (or in-process)                       │
+//!        │            one readiness reactor thread (epoll/poll)
+//!        │            multiplexes every connection: incremental
+//!        │            frame reassembly in, write-interest-driven
+//!        │            bounded outbound queues back — connections
+//!        │            are poller registrations, not threads
 //!        ▼                                        ▼
 //!   EventBatch (arena-backed rows)     [lang]  submit_batch
 //!        │                                        │
@@ -52,8 +57,9 @@
 //!   with its work-stealing checker pool,
 //! * [`net`] — the network subsystem: wire-format `EventBatch` frames, the
 //!   TCP [`MonitorServer`](crate::net::MonitorServer) over the service-mode
-//!   engine, the [`MonitorClient`](crate::net::MonitorClient), and the live
-//!   ABD bridge,
+//!   engine (a std-only readiness reactor — one I/O thread plus one router
+//!   thread serve any number of connections), the
+//!   [`MonitorClient`](crate::net::MonitorClient), and the live ABD bridge,
 //! * [`store`] — the durability subsystem: append-only CRC-framed event
 //!   journal, checkpointed checker state, and replay-identical crash
 //!   recovery ([`store::recover`](crate::store::recover) /
