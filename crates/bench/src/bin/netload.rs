@@ -10,6 +10,7 @@
 //! cargo run -p drv-bench --bin netload --release -- --journal  # journal overhead
 //! cargo run -p drv-bench --bin netload --release -- --connections        # 8/256/1000 sweep
 //! cargo run -p drv-bench --bin netload --release -- --connections quick  # 1000-conn CI gate
+//! cargo run -p drv-bench --bin netload --release -- --verdict-batch      # batched vs legacy frames
 //! ```
 //!
 //! Every run asserts the wire verdict streams bit-identical to
@@ -42,11 +43,20 @@
 //! p50/p95/p99 decode/check/append/fsync latencies off the registry
 //! snapshot — spliced as `"telemetry"`.  Also composes with the sizing
 //! arguments (`--metrics quick`).
+//!
+//! `--verdict-batch` isolates what the run-compressed `VerdictBatch` wire
+//! frame buys: the same loopback deployment with batched frames on vs the
+//! legacy per-row `Verdicts` frames, at each batch size, both sides checked
+//! bit-identical to `sequential_reference`.  At load the batched side is
+//! gated at 0.9× legacy (it must never cost throughput), and the batched
+//! run must actually emit `net_verdict_frames` — spliced as
+//! `"netload_verdict_batch"`.  Composes with the sizing arguments
+//! (`--verdict-batch quick`).
 
 use drv_adversary::{merge_round_robin, register_object_stream, RegisterStreamShape};
 use drv_core::{CheckerMonitorFactory, ObjectMonitorFactory, RoutingMonitorFactory, Verdict};
 use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
-use drv_lang::{ObjectId, Symbol};
+use drv_lang::{ObjectId, Symbol, VerdictBatch};
 use drv_net::{ClientConfig, MonitorClient, MonitorServer, ServerConfig};
 use drv_spec::Register;
 use drv_store::{recover, FsyncPolicy, Store, StoreConfig};
@@ -160,13 +170,17 @@ fn in_process_subscribed(
     let subscription = engine.subscribe(4096);
     let consumer = std::thread::spawn(move || {
         let mut streams: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();
+        // The struct-of-arrays drain: one reusable batch, workers push
+        // whole same-object runs under one channel lock.
+        let mut batch: VerdictBatch<Verdict> = VerdictBatch::new();
         loop {
-            let batch = subscription.wait_verdicts(Duration::from_millis(10));
+            batch.clear();
+            subscription.wait_batch(Duration::from_millis(10), &mut batch);
             if batch.is_empty() && subscription.is_closed() {
                 break;
             }
-            for event in batch {
-                streams.entry(event.object).or_default().push(event.verdict);
+            for (object, _seq, verdict) in batch.iter() {
+                streams.entry(object).or_default().push(verdict);
             }
         }
         streams
@@ -188,11 +202,25 @@ fn loopback_run(
     streams: &[Vec<(ObjectId, Symbol)>],
     batch_size: usize,
 ) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>, drv_net::ServerStats) {
+    let (elapsed, merged, stats, _frames) = loopback_run_with(streams, batch_size, true);
+    (elapsed, merged, stats)
+}
+
+/// [`loopback_run`] with the verdict framing selectable: `batched` routes
+/// delivery through run-compressed `VerdictBatch` frames, `false` through
+/// the legacy per-row `Verdicts` frames.  Also returns the server's
+/// `net_verdict_frames` counter so callers can prove verdict frames
+/// actually flowed.
+fn loopback_run_with(
+    streams: &[Vec<(ObjectId, Symbol)>],
+    batch_size: usize,
+    batched: bool,
+) -> (Duration, BTreeMap<ObjectId, Vec<Verdict>>, drv_net::ServerStats, u64) {
     let server = MonitorServer::bind(
         ("127.0.0.1", 0),
         EngineConfig::new(WORKERS).with_max_pending(max_pending(streams.len())),
         mixed_factory(),
-        ServerConfig::new().with_window(WINDOW),
+        ServerConfig::new().with_window(WINDOW).with_batched_verdicts(batched),
     )
     .expect("bind loopback");
     let addr = server.local_addr();
@@ -230,8 +258,13 @@ fn loopback_run(
     }
     let elapsed = start.elapsed();
     let stats = server.stats();
+    let verdict_frames = server
+        .telemetry()
+        .snapshot()
+        .counter("net_verdict_frames")
+        .unwrap_or(0);
     drop(server);
-    (elapsed, merged, stats)
+    (elapsed, merged, stats, verdict_frames)
 }
 
 fn best_of<T>(mut f: impl FnMut() -> (Duration, T)) -> (Duration, T) {
@@ -937,12 +970,124 @@ fn connections_mode(quick: bool, parallelism: usize) {
     splice_section("netload_connections", &section);
 }
 
+/// The `--verdict-batch` mode: the same loopback deployment with
+/// run-compressed `VerdictBatch` frames vs the legacy per-row `Verdicts`
+/// frames, at each batch size, both sides bit-identical to
+/// `sequential_reference` — spliced as `"netload_verdict_batch"`.
+fn verdict_batch_mode(load: &Load, streams: &[Vec<(ObjectId, Symbol)>], parallelism: usize) {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
+    let reference = sequential_reference(mixed_factory().as_ref(), &combined);
+
+    let mut rows = Vec::new();
+    for batch_size in BATCH_SIZES {
+        let mut rates = [0.0f64; 2];
+        let mut nanos = [0u128; 2];
+        let mut batched_frames = 0u64;
+        for (slot, batched) in [(0usize, false), (1usize, true)] {
+            let label = if batched { "batched" } else { "legacy" };
+            let (elapsed, (verdicts, stats, frames)) = best_of(|| {
+                let (elapsed, verdicts, stats, frames) =
+                    loopback_run_with(streams, batch_size, batched);
+                (elapsed, (verdicts, stats, frames))
+            });
+            assert_eq!(
+                verdicts, reference,
+                "{label} frames, batch {batch_size}: wire verdicts differ from the reference"
+            );
+            assert_eq!(stats.nacks, 0, "compliant clients must never be NACKed");
+            if batched {
+                assert!(
+                    frames > 0,
+                    "batched run emitted no verdict frames over the wire"
+                );
+                batched_frames = frames;
+            }
+            rates[slot] = throughput(total, elapsed);
+            nanos[slot] = elapsed.as_nanos();
+            println!(
+                "netload/verdict-batch/{label:<7}/batch-{batch_size:<3}: {:>10.2} ms  \
+                 {:>12.0} events/s  ({frames} verdict frames)",
+                elapsed.as_secs_f64() * 1e3,
+                rates[slot],
+            );
+        }
+        let ratio = rates[1] / rates[0].max(1e-12);
+        println!(
+            "netload/verdict-batch/batch-{batch_size}: batched = {ratio:.2}x legacy"
+        );
+        rows.push((batch_size, nanos, rates, ratio, batched_frames));
+    }
+
+    // The gate: batched frames must never cost throughput.  Tiny runs (the
+    // CI `quick` smoke) are latency-dominated, so the ratio bar only binds
+    // at load — `quick` still gates bit-identity and frame emission above.
+    let ratio256 = rows
+        .iter()
+        .find(|(batch, ..)| *batch == 256)
+        .expect("measured")
+        .3;
+    if total >= 10_000 {
+        assert!(
+            ratio256 >= 0.9,
+            "VerdictBatch frames cost throughput at batch 256: {ratio256:.2}x legacy"
+        );
+    } else {
+        println!("netload: run too small for the 0.9x ratio gate (needs >= 10000 events)");
+    }
+
+    let row_json: Vec<String> = rows
+        .iter()
+        .map(|(batch, nanos, rates, ratio, frames)| {
+            format!(
+                concat!(
+                    "      {{ \"batch\": {}, \"legacy_ns\": {}, ",
+                    "\"legacy_events_per_sec\": {:.0}, \"batched_ns\": {}, ",
+                    "\"batched_events_per_sec\": {:.0}, ",
+                    "\"batched_vs_legacy_ratio\": {:.2}, ",
+                    "\"batched_verdict_frames\": {} }}"
+                ),
+                batch, nanos[0], rates[0], nanos[1], rates[1], ratio, frames,
+            )
+        })
+        .collect();
+    let section = format!(
+        concat!(
+            "{{\n",
+            "    \"regenerate\": \"cargo run -p drv-bench --bin netload --release -- ",
+            "--verdict-batch\",\n",
+            "    \"shape\": \"{} connections x {} objects x {} ops, loopback TCP, ",
+            "run-compressed VerdictBatch frames vs legacy per-row Verdicts frames\",\n",
+            "    \"events\": {},\n",
+            "    \"available_parallelism\": {},\n",
+            "    \"workers\": {},\n",
+            "    \"window\": {},\n",
+            "    \"rows\": [\n{}\n    ],\n",
+            "    \"verdicts_bit_identical_to_sequential_reference\": true\n",
+            "  }}"
+        ),
+        load.connections,
+        load.objects_per_conn,
+        load.ops_per_object,
+        total,
+        parallelism,
+        WORKERS,
+        WINDOW,
+        row_json.join(",\n"),
+    );
+    splice_section("netload_verdict_batch", &section);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let journal = args.iter().any(|arg| arg == "--journal");
     let metrics = args.iter().any(|arg| arg == "--metrics");
     let connections_sweep = args.iter().any(|arg| arg == "--connections");
-    args.retain(|arg| arg != "--journal" && arg != "--metrics" && arg != "--connections");
+    let verdict_batch = args.iter().any(|arg| arg == "--verdict-batch");
+    args.retain(|arg| {
+        arg != "--journal" && arg != "--metrics" && arg != "--connections"
+            && arg != "--verdict-batch"
+    });
     let load = match args.first().map(String::as_str) {
         Some("quick") => Load { connections: 2, objects_per_conn: 4, ops_per_object: 40 },
         Some(_) if args.len() >= 3 => Load {
@@ -980,6 +1125,10 @@ fn main() {
         metrics_mode(&load, &streams, parallelism);
         return;
     }
+    if verdict_batch {
+        verdict_batch_mode(&load, &streams, parallelism);
+        return;
+    }
 
     // The independent reference every run is checked against.
     let combined: Vec<(ObjectId, Symbol)> = streams.iter().flatten().cloned().collect();
@@ -1003,6 +1152,11 @@ fn main() {
         "netload/in-process/subscribed:    {:>10.2} ms  {:>12.0} events/s  (the wire comparator)",
         inproc_time.as_secs_f64() * 1e3,
         inproc_rate,
+    );
+    let subscribed_ratio = inproc_rate / report_rate.max(1e-12);
+    println!(
+        "netload: subscribed/report-only throughput ratio = {subscribed_ratio:.2}x \
+         (what verdict delivery costs)"
     );
 
     let mut rows = Vec::new();
@@ -1077,6 +1231,7 @@ fn main() {
             "    \"in_process_report_only_events_per_sec\": {:.0},\n",
             "    \"in_process_subscribed_ns\": {},\n",
             "    \"in_process_subscribed_events_per_sec\": {:.0},\n",
+            "    \"in_process_subscribed_vs_report_only_ratio\": {:.2},\n",
             "    \"loopback\": [\n{}\n    ],\n",
             "    \"loopback_vs_in_process_subscribed_ratio_batch256\": {:.2},\n",
             "    \"verdicts_bit_identical_to_sequential_reference\": true\n",
@@ -1093,6 +1248,7 @@ fn main() {
         report_rate,
         inproc_time.as_nanos(),
         inproc_rate,
+        subscribed_ratio,
         row_json.join(",\n"),
         ratio,
     );

@@ -55,7 +55,13 @@
 //!   bounded [`VerdictSubscription`] channel delivering
 //!   `(object, seq, verdict)` as soon as each symbol is checked — consumers
 //!   no longer wait for the end-of-run [`crate::EngineReport`], which
-//!   [`MonitoringEngine::finish`] still returns unchanged.
+//!   [`MonitoringEngine::finish`] still returns unchanged.  Delivery is
+//!   run-batched on both ends: a worker pushes each same-object run's
+//!   verdicts as one slice under one channel lock, and consumers drain into
+//!   a reusable struct-of-arrays `VerdictBatch` via
+//!   [`VerdictSubscription::poll_batch`] /
+//!   [`VerdictSubscription::wait_batch`] (the per-verdict methods remain as
+//!   compatibility views).  Grouping changes, order and content never do.
 //! * **Eviction.**  [`MonitoringEngine::evict`] retires a quiesced object's
 //!   monitor through an in-queue marker (so it cannot overtake the object's
 //!   own events), flushing its verdicts into the final report and freeing
@@ -91,7 +97,7 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 /// Configuration of a [`MonitoringEngine`].
@@ -252,6 +258,15 @@ struct EngineMetrics {
     checker_repairs: Counter,
     checker_dfs_runs: Counter,
     checker_dfs_nodes: Counter,
+    /// Coalesced verdict deliveries into subscriptions (one per flush of a
+    /// drained batch's accumulated verdicts, regardless of the subscriber
+    /// count).
+    verdict_batches: Counter,
+    /// Verdicts delivered through those batches.
+    verdict_batch_events: Counter,
+    /// Verdicts per delivered batch (the grouping the batched path
+    /// actually achieves on live traffic).
+    verdict_batch_len: Histogram,
 }
 
 impl EngineMetrics {
@@ -273,6 +288,9 @@ impl EngineMetrics {
             checker_repairs: reg.counter("engine_checker_repairs"),
             checker_dfs_runs: reg.counter("engine_checker_dfs_runs"),
             checker_dfs_nodes: reg.counter("engine_checker_dfs_nodes"),
+            verdict_batches: reg.counter("engine_verdict_batches"),
+            verdict_batch_events: reg.counter("engine_verdict_batch_events"),
+            verdict_batch_len: reg.histogram("engine_verdict_batch_len"),
         }
     }
 
@@ -363,6 +381,13 @@ struct Shared {
     /// Producers blocked on the `max_pending` bound wait here.
     gate: Mutex<()>,
     space_signal: Condvar,
+    /// Capacity-notification hook: invoked (outside every lock) whenever
+    /// pending work drains below the bound, the pool aborts, or backlog is
+    /// reconciled — the same moments `space_signal` fires.  Lets an external
+    /// event loop (the net reactor's parked-batch retry) sleep untimed on
+    /// engine fullness instead of polling.  Set once via
+    /// [`MonitoringEngine::set_capacity_hook`].
+    capacity_hook: OnceLock<Arc<dyn Fn() + Send + Sync>>,
     /// Open verdict subscription channels.
     subs: Mutex<Vec<Arc<SubscriptionShared>>>,
     /// Reports of retired (evicted / TTL-expired) objects, merged into the
@@ -410,10 +435,7 @@ impl Drop for PendingGuard<'_> {
             // workers so they observe the exit condition.
             self.shared.publish_work(true);
         }
-        if self.shared.max_pending != usize::MAX {
-            let _gate = self.shared.gate.lock();
-            self.shared.space_signal.notify_all();
-        }
+        self.shared.notify_capacity();
     }
 }
 
@@ -429,6 +451,19 @@ impl Shared {
             self.park_signal.notify_all();
         } else {
             self.park_signal.notify_one();
+        }
+    }
+
+    /// The one capacity-notification path: wakes producers blocked on the
+    /// `max_pending` gate, then (outside the gate lock) invokes the
+    /// registered capacity hook so external pollers re-check fullness.
+    fn notify_capacity(&self) {
+        if self.max_pending != usize::MAX {
+            let _gate = self.gate.lock();
+            self.space_signal.notify_all();
+        }
+        if let Some(hook) = self.capacity_hook.get() {
+            hook();
         }
     }
 
@@ -595,15 +630,35 @@ impl Shared {
         stale.len()
     }
 
+    /// Flushes the coalesced delivery buffer: everything accumulated since
+    /// the last flush goes into each subscription as one slice under one
+    /// channel lock.  Rows are in processing order, so per-object `seq`
+    /// order is preserved exactly.
+    fn flush_delivery(&self, subs: &[Arc<SubscriptionShared>], delivery: &mut Vec<VerdictEvent>) {
+        if delivery.is_empty() {
+            return;
+        }
+        self.m.verdict_batches.inc();
+        self.m.verdict_batch_events.add(delivery.len() as u64);
+        self.m.verdict_batch_len.record(delivery.len() as u64);
+        for sub in subs {
+            sub.push_events(delivery, &|| self.streaming());
+        }
+        delivery.clear();
+    }
+
     /// Drains and processes one batch of the claimed shard.
     ///
     /// The drained items are walked as maximal *runs* of consecutive
     /// same-object events: each run is resolved into `scratch.symbols` once
     /// and handed to the object's monitor through
-    /// [`ObjectMonitor::on_batch`] — one slot lookup, one monitor call and
-    /// one verdict flush per run instead of per event.  Eviction markers
-    /// break runs (they must retire the monitor exactly between the events
-    /// around them).
+    /// [`ObjectMonitor::on_batch`] — one slot lookup and one monitor call
+    /// per run instead of per event — while the verdicts of *all* runs
+    /// accumulate into one delivery buffer pushed into each subscription
+    /// as a single slice per drained batch.  Eviction markers break runs
+    /// (they must retire the monitor exactly between the events around
+    /// them) and flush the delivery buffer first, so a finalize verdict
+    /// can never overtake buffered event verdicts.
     fn process(
         &self,
         shard_index: usize,
@@ -636,6 +691,11 @@ impl Shared {
             while index < batch.len() {
                 let first = match batch[index] {
                     QueueItem::Evict(object) => {
+                        // The finalize verdict must not overtake this
+                        // batch's still-buffered event verdicts for the
+                        // same object: flush the coalesced deliveries
+                        // first, then retire.
+                        self.flush_delivery(&subs, &mut scratch.delivery);
                         // Marker path holds only the state lock, like event
                         // pushes: finalize verdicts stay lossless while
                         // live.
@@ -705,18 +765,26 @@ impl Shared {
                     scratch.symbols.len() - swallow,
                     "an ObjectMonitor::on_batch must append exactly one verdict per symbol"
                 );
-                for &verdict in &scratch.verdicts {
-                    slot.verdicts.push(verdict);
-                    if !subs.is_empty() {
-                        let delivery = VerdictEvent {
-                            object: first.object,
-                            seq: slot.base + slot.verdicts.len() as u64 - 1,
-                            verdict,
-                        };
-                        for sub in &subs {
-                            sub.push(delivery, &|| self.streaming());
-                        }
-                    }
+                // Batched delivery: the run's verdicts join the drained
+                // batch's delivery buffer, flushed into each subscription
+                // as one slice under one channel lock (round-robin
+                // interleaved streams degenerate runs to single events, so
+                // per-run pushes would still lock per verdict).  Seqs are
+                // assigned from the slot's stream position before the
+                // extend and rows accumulate in processing order, so
+                // per-object order is exactly the per-verdict path's.
+                let run_base = slot.base + slot.verdicts.len() as u64;
+                slot.verdicts.extend_from_slice(&scratch.verdicts);
+                if !subs.is_empty() {
+                    scratch
+                        .delivery
+                        .extend(scratch.verdicts.iter().enumerate().map(
+                            |(offset, &verdict)| VerdictEvent {
+                                object: first.object,
+                                seq: run_base + offset as u64,
+                                verdict,
+                            },
+                        ));
                 }
                 if let Some(sink) = &sink {
                     // Checkpoint only a first-generation, fully caught-up
@@ -749,6 +817,8 @@ impl Shared {
                 processed += run_len;
                 index = end;
             }
+            drop(state);
+            self.flush_delivery(&subs, &mut scratch.delivery);
             self.m.events.add(processed);
         }
         // Sweep (under queue→state, the one nesting order used anywhere),
@@ -791,10 +861,7 @@ impl Shared {
             self.m.queue_depth.sub(cleared as i64);
         }
         self.publish_work(true);
-        if self.max_pending != usize::MAX {
-            let _gate = self.gate.lock();
-            self.space_signal.notify_all();
-        }
+        self.notify_capacity();
         // No verdict will ever be pushed again: close the channels (queued
         // events stay drainable), freeing blocked writers *and* consumers
         // looping until is_closed().
@@ -827,10 +894,7 @@ impl Shared {
         if cleared > 0 {
             self.pending.fetch_sub(cleared, Ordering::AcqRel);
             self.m.queue_depth.sub(cleared as i64);
-            if self.max_pending != usize::MAX {
-                let _gate = self.gate.lock();
-                self.space_signal.notify_all();
-            }
+            self.notify_capacity();
         }
     }
 
@@ -856,6 +920,10 @@ impl Shared {
 struct WorkerScratch {
     symbols: Vec<Symbol>,
     verdicts: Vec<Verdict>,
+    /// The coalesced delivery buffer: every `(object, seq, verdict)` row a
+    /// drained shard batch produces, pushed into each subscription as one
+    /// slice under one channel lock at flush time.
+    delivery: Vec<VerdictEvent>,
     /// Monotone run counter driving the 1-in-[`CHECK_SAMPLE`] check-latency
     /// sampling (worker-local, so no cross-worker coordination).
     check_tick: u32,
@@ -1011,6 +1079,7 @@ impl MonitoringEngine {
             pending: AtomicUsize::new(0),
             gate: Mutex::new(()),
             space_signal: Condvar::new(),
+            capacity_hook: OnceLock::new(),
             subs: Mutex::new(Vec::new()),
             retired: Mutex::new(BTreeMap::new()),
             tel: telemetry,
@@ -1450,6 +1519,18 @@ impl MonitoringEngine {
         subs.retain(|sub| sub.is_open());
         subs.push(Arc::clone(&shared));
         VerdictSubscription::new(shared)
+    }
+
+    /// Registers a capacity-notification hook, invoked (outside the
+    /// engine's locks) every time pending work drains below the
+    /// `max_pending` bound, the pool aborts, or an aborted shard's backlog
+    /// is reconciled — exactly when a `SubmitError::Full` retry could
+    /// succeed or becomes pointless.  An external event loop parks a
+    /// rejected batch and sleeps untimed; this hook replaces its retry
+    /// polling.  The hook must be cheap and non-blocking (it runs on worker
+    /// threads); it can only be set once — later calls return `false`.
+    pub fn set_capacity_hook(&self, hook: Arc<dyn Fn() + Send + Sync>) -> bool {
+        self.shared.capacity_hook.set(hook).is_ok()
     }
 
     /// Work items submitted but not yet processed (racy by nature; exact

@@ -13,6 +13,17 @@
 //!   (`(object, seq, verdict)` triples) delivering verdicts *as they are
 //!   decided*, created by [`MonitoringEngine::subscribe`].
 //!
+//! Delivery is **run-batched** on both sides of the channel: workers push
+//! each same-object run's verdicts as one slice under one channel lock
+//! ([`SubscriptionShared::push_slice`]), and consumers drain everything
+//! queued into a reusable struct-of-arrays
+//! [`VerdictBatch`](drv_lang::VerdictBatch) via
+//! [`VerdictSubscription::poll_batch`] / [`VerdictSubscription::wait_batch`].
+//! The per-verdict [`VerdictSubscription::poll_verdicts`] /
+//! [`VerdictSubscription::wait_verdicts`] remain as compatibility views —
+//! same events, same order, one allocation per drain instead of a reusable
+//! batch.
+//!
 //! ## Channel semantics
 //!
 //! Events of one object arrive in `seq` order (the engine's per-object FIFO
@@ -40,7 +51,7 @@
 //! [`MonitoringEngine::subscribe`]: crate::MonitoringEngine::subscribe
 
 use drv_core::Verdict;
-use drv_lang::ObjectId;
+use drv_lang::{ObjectId, VerdictBatch};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
@@ -117,28 +128,101 @@ impl SubscriptionShared {
     /// otherwise the event is counted as missed.  Returns whether the event
     /// was enqueued.
     pub(crate) fn push(&self, event: VerdictEvent, may_block: &dyn Fn() -> bool) -> bool {
-        let mut state = self.state.lock();
-        loop {
-            if state.closed {
-                return false;
-            }
-            if state.queue.len() < state.capacity {
-                state.queue.push_back(event);
-                self.readable.notify_all();
-                return true;
-            }
-            if !may_block() {
-                state.missed += 1;
-                return false;
-            }
-            self.writable.wait(&mut state);
-        }
+        self.push_slice(event.object, event.seq, &[event.verdict], may_block) == 1
     }
 
     /// Delivery that never blocks (used under shard locks, e.g. for
     /// finalize verdicts): full ⇒ missed.
     pub(crate) fn push_nonblocking(&self, event: VerdictEvent) -> bool {
         self.push(event, &|| false)
+    }
+
+    /// Worker-side batched delivery: one same-object run of verdicts
+    /// (`seq`s `base_seq..base_seq + verdicts.len()`) under **one** channel
+    /// lock.  Semantics are element-for-element identical to calling
+    /// [`SubscriptionShared::push`] in a loop — partial fills enqueue what
+    /// fits, then block while `may_block()` holds, then count the remainder
+    /// as missed — only the locking granularity changes.  Returns how many
+    /// verdicts were enqueued.
+    pub(crate) fn push_slice(
+        &self,
+        object: ObjectId,
+        base_seq: u64,
+        verdicts: &[Verdict],
+        may_block: &dyn Fn() -> bool,
+    ) -> usize {
+        if verdicts.is_empty() {
+            return 0;
+        }
+        let mut state = self.state.lock();
+        let mut next = 0usize;
+        loop {
+            if state.closed {
+                return next;
+            }
+            let space = state.capacity - state.queue.len();
+            if space > 0 {
+                let take = space.min(verdicts.len() - next);
+                for (offset, &verdict) in verdicts.iter().enumerate().skip(next).take(take) {
+                    state.queue.push_back(VerdictEvent {
+                        object,
+                        seq: base_seq + offset as u64,
+                        verdict,
+                    });
+                }
+                next += take;
+                self.readable.notify_all();
+                if next == verdicts.len() {
+                    return next;
+                }
+                continue; // still full: re-check closed before waiting
+            }
+            if !may_block() {
+                state.missed += (verdicts.len() - next) as u64;
+                return next;
+            }
+            self.writable.wait(&mut state);
+        }
+    }
+
+    /// Worker-side coalesced delivery: every verdict a drained shard batch
+    /// produced — possibly many objects' runs — under **one** channel
+    /// lock.  The rows arrive in delivery order, so per-object `seq` order
+    /// is exactly the per-verdict path's; only the grouping (and the lock
+    /// count) changes.  Partial fills enqueue what fits, then block while
+    /// `may_block()` holds, then count the remainder as missed.  Returns
+    /// how many events were enqueued.
+    pub(crate) fn push_events(
+        &self,
+        events: &[VerdictEvent],
+        may_block: &dyn Fn() -> bool,
+    ) -> usize {
+        if events.is_empty() {
+            return 0;
+        }
+        let mut state = self.state.lock();
+        let mut next = 0usize;
+        loop {
+            if state.closed {
+                return next;
+            }
+            let space = state.capacity - state.queue.len();
+            if space > 0 {
+                let take = space.min(events.len() - next);
+                state.queue.extend(events[next..next + take].iter().copied());
+                next += take;
+                self.readable.notify_all();
+                if next == events.len() {
+                    return next;
+                }
+                continue; // still full: re-check closed before waiting
+            }
+            if !may_block() {
+                state.missed += (events.len() - next) as u64;
+                return next;
+            }
+            self.writable.wait(&mut state);
+        }
     }
 
     /// Wakes every blocked writer *and* reader so they re-check the engine
@@ -175,34 +259,72 @@ impl VerdictSubscription {
         VerdictSubscription { shared }
     }
 
-    /// Drains every currently queued event without blocking (empty vector
-    /// when nothing is pending).
-    #[must_use]
-    pub fn poll_verdicts(&self) -> Vec<VerdictEvent> {
+    /// Drains every currently queued event into `batch` without blocking,
+    /// returning how many were appended.  The batch is **appended to**, not
+    /// cleared — the consumer loop owns the reuse pattern (`clear`, drain,
+    /// process).
+    pub fn poll_batch(&self, batch: &mut VerdictBatch<Verdict>) -> usize {
         let mut state = self.shared.state.lock();
-        let drained: Vec<VerdictEvent> = state.queue.drain(..).collect();
-        if !drained.is_empty() {
-            self.shared.writable.notify_all();
-        }
-        drained
+        Self::drain_locked(&self.shared, &mut state, batch)
     }
 
     /// Blocks until at least one event is queued (then drains everything
-    /// queued), the channel closes, or `timeout` elapses — whichever comes
-    /// first.
-    #[must_use]
-    pub fn wait_verdicts(&self, timeout: Duration) -> Vec<VerdictEvent> {
+    /// queued into `batch`), the channel closes, or `timeout` elapses —
+    /// whichever comes first.  Returns how many events were appended.
+    pub fn wait_batch(&self, timeout: Duration, batch: &mut VerdictBatch<Verdict>) -> usize {
         let mut state = self.shared.state.lock();
         self.shared.readable.wait_while_for(
             &mut state,
             |state| state.queue.is_empty() && !state.closed,
             timeout,
         );
-        let drained: Vec<VerdictEvent> = state.queue.drain(..).collect();
-        if !drained.is_empty() {
-            self.shared.writable.notify_all();
+        Self::drain_locked(&self.shared, &mut state, batch)
+    }
+
+    /// The one drain path: moves every queued event into `batch` and frees
+    /// blocked writers.  Both the batch API and the per-verdict
+    /// compatibility views below go through here.
+    fn drain_locked(
+        shared: &SubscriptionShared,
+        state: &mut SubState,
+        batch: &mut VerdictBatch<Verdict>,
+    ) -> usize {
+        let drained = state.queue.len();
+        for event in state.queue.drain(..) {
+            batch.push(event.object, event.seq, event.verdict);
+        }
+        if drained > 0 {
+            shared.writable.notify_all();
         }
         drained
+    }
+
+    /// Drains every currently queued event without blocking (empty vector
+    /// when nothing is pending).  Compatibility view over
+    /// [`VerdictSubscription::poll_batch`]: same events, same order, a fresh
+    /// allocation per call.
+    #[must_use]
+    pub fn poll_verdicts(&self) -> Vec<VerdictEvent> {
+        let mut batch = VerdictBatch::new();
+        let _ = self.poll_batch(&mut batch);
+        Self::events_of(&batch)
+    }
+
+    /// Blocks until at least one event is queued (then drains everything
+    /// queued), the channel closes, or `timeout` elapses — whichever comes
+    /// first.  Compatibility view over [`VerdictSubscription::wait_batch`].
+    #[must_use]
+    pub fn wait_verdicts(&self, timeout: Duration) -> Vec<VerdictEvent> {
+        let mut batch = VerdictBatch::new();
+        let _ = self.wait_batch(timeout, &mut batch);
+        Self::events_of(&batch)
+    }
+
+    fn events_of(batch: &VerdictBatch<Verdict>) -> Vec<VerdictEvent> {
+        batch
+            .iter()
+            .map(|(object, seq, verdict)| VerdictEvent { object, seq, verdict })
+            .collect()
     }
 
     /// Events the engine could not deliver because the queue was full while
@@ -304,6 +426,51 @@ mod tests {
         assert_eq!(sub.poll_verdicts().len(), 1);
         // wait_verdicts on a closed, empty channel returns immediately.
         assert!(sub.wait_verdicts(Duration::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn push_slice_matches_per_element_semantics() {
+        // Partial fill: space for 2 of 3, blocking not allowed → 1 missed.
+        let shared = SubscriptionShared::new(2);
+        let sub = VerdictSubscription::new(Arc::clone(&shared));
+        let verdicts = [Verdict::Yes, Verdict::No, Verdict::Yes];
+        let pushed = shared.push_slice(ObjectId(3), 10, &verdicts, &|| false);
+        assert_eq!(pushed, 2);
+        assert_eq!(sub.missed(), 1);
+        let mut batch = VerdictBatch::new();
+        assert_eq!(sub.poll_batch(&mut batch), 2);
+        assert_eq!(
+            batch.iter().collect::<Vec<_>>(),
+            vec![(ObjectId(3), 10, Verdict::Yes), (ObjectId(3), 11, Verdict::No)]
+        );
+        // Closed channel: remainder dropped silently, not missed.
+        sub.close();
+        assert_eq!(shared.push_slice(ObjectId(3), 12, &verdicts, &|| true), 0);
+        assert_eq!(sub.missed(), 1);
+        assert_eq!(shared.push_slice(ObjectId(3), 12, &[], &|| true), 0);
+    }
+
+    #[test]
+    fn blocked_slice_writer_is_freed_by_a_batch_reader() {
+        let shared = SubscriptionShared::new(2);
+        let sub = VerdictSubscription::new(Arc::clone(&shared));
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                shared.push_slice(ObjectId(9), 0, &[Verdict::Yes; 5], &|| true)
+            })
+        };
+        let mut batch = VerdictBatch::new();
+        let mut total = 0;
+        while total < 5 {
+            total += sub.wait_batch(Duration::from_millis(50), &mut batch);
+        }
+        assert_eq!(writer.join().unwrap(), 5);
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.seqs(), &[0, 1, 2, 3, 4]);
+        assert_eq!(sub.missed(), 0);
+        // The per-verdict views drain the same channel.
+        assert!(sub.poll_verdicts().is_empty());
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! `DRV_ENGINE_TEST_WORKERS` to split the matrix across jobs.  Setting
 //! `DRV_ENGINE_TEST_BATCH=N` reroutes every suite through the batched
 //! ingestion path (`submit_batch` / `try_submit_batch` over `EventBatch`es
-//! of up to `N` events) — the verdict contracts are identical, so the same
-//! assertions prove the batched path bit-exact.
+//! of up to `N` events), and `DRV_ENGINE_TEST_VERDICT_BATCH=1` through the
+//! batched *delivery* path (`poll_batch` over `VerdictBatch`es) — the
+//! verdict contracts are identical, so the same assertions prove the
+//! batched paths bit-exact.
 
 use drv_adversary::{merge_random, register_object_stream, RegisterStreamShape};
 use drv_consistency::{CheckerConfig, IncrementalChecker};
@@ -115,6 +117,34 @@ fn batch_size() -> Option<usize> {
         .filter(|&n| n > 0)
 }
 
+/// The batched-delivery override: `DRV_ENGINE_TEST_VERDICT_BATCH` (any
+/// value but `0`) makes every suite consume its subscription through the
+/// struct-of-arrays `poll_batch` path instead of `poll_verdicts`.  The two
+/// views carry the same verdicts in the same order, so the same assertions
+/// prove the batched path bit-exact.
+fn verdict_batch_forced() -> bool {
+    std::env::var("DRV_ENGINE_TEST_VERDICT_BATCH").is_ok_and(|value| value != "0")
+}
+
+/// Drains every ready verdict into `received`, through `poll_batch` when
+/// [`verdict_batch_forced`], through `poll_verdicts` otherwise.
+fn drain(
+    subscription: &drv_engine::VerdictSubscription,
+    received: &mut Vec<drv_engine::VerdictEvent>,
+) {
+    if verdict_batch_forced() {
+        let mut batch = drv_lang::VerdictBatch::new();
+        subscription.poll_batch(&mut batch);
+        received.extend(
+            batch
+                .iter()
+                .map(|(object, seq, verdict)| drv_engine::VerdictEvent { object, seq, verdict }),
+        );
+    } else {
+        received.extend(subscription.poll_verdicts());
+    }
+}
+
 /// Ingests the whole stream: per-event `submit` by default, rolling
 /// `submit_batch`es of the configured size under `DRV_ENGINE_TEST_BATCH`.
 fn ingest(engine: &MonitoringEngine, events: &[(ObjectId, Symbol)]) {
@@ -192,7 +222,7 @@ fn flush_buffer(
             Ok(()) => break,
             Err(SubmitError::Full) => {
                 *rejections += 1;
-                received.extend(subscription.poll_verdicts());
+                drain(subscription, received);
                 std::thread::yield_now();
             }
             Err(SubmitError::Aborted) => panic!("seed {seed}: worker died"),
@@ -261,7 +291,7 @@ fn service_mode_soak_matches_sequential_reference() {
                             Ok(()) => break,
                             Err(SubmitError::Full) => {
                                 rejections += 1;
-                                received.extend(subscription.poll_verdicts());
+                                drain(&subscription, &mut received);
                                 std::thread::yield_now();
                             }
                             Err(SubmitError::Aborted) => panic!("seed {seed}: worker died"),
@@ -286,11 +316,11 @@ fn service_mode_soak_matches_sequential_reference() {
                 &engine, &mut buffer, &subscription, &mut received, &mut rejections, seed,
             );
             while engine.backlog() > 0 {
-                received.extend(subscription.poll_verdicts());
+                drain(&subscription, &mut received);
                 std::thread::yield_now();
             }
             let report = engine.finish().expect("no worker panicked");
-            received.extend(subscription.poll_verdicts());
+            drain(&subscription, &mut received);
             assert_eq!(subscription.missed(), 0, "seed {seed}, {workers} workers");
             // Rebuild the per-object streams from the live deliveries.
             let mut streamed: BTreeMap<ObjectId, Vec<Verdict>> = BTreeMap::new();

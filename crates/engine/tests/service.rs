@@ -31,6 +31,43 @@ fn clean_stream(object: u64, rounds: u64) -> Vec<(ObjectId, Symbol)> {
     events
 }
 
+/// `DRV_ENGINE_TEST_VERDICT_BATCH` (any value but `0`) reroutes every
+/// subscription consumer below through the struct-of-arrays
+/// `poll_batch`/`wait_batch` path — same verdicts, same order, so the same
+/// assertions prove the batched delivery path bit-exact.
+fn verdict_batch_forced() -> bool {
+    std::env::var("DRV_ENGINE_TEST_VERDICT_BATCH").is_ok_and(|value| value != "0")
+}
+
+fn events_of(batch: &drv_lang::VerdictBatch<Verdict>) -> Vec<VerdictEvent> {
+    batch
+        .iter()
+        .map(|(object, seq, verdict)| VerdictEvent { object, seq, verdict })
+        .collect()
+}
+
+/// `wait_verdicts`, or its `wait_batch` equivalent when forced.
+fn wait(subscription: &drv_engine::VerdictSubscription, timeout: Duration) -> Vec<VerdictEvent> {
+    if verdict_batch_forced() {
+        let mut batch = drv_lang::VerdictBatch::new();
+        subscription.wait_batch(timeout, &mut batch);
+        events_of(&batch)
+    } else {
+        subscription.wait_verdicts(timeout)
+    }
+}
+
+/// `poll_verdicts`, or its `poll_batch` equivalent when forced.
+fn poll(subscription: &drv_engine::VerdictSubscription) -> Vec<VerdictEvent> {
+    if verdict_batch_forced() {
+        let mut batch = drv_lang::VerdictBatch::new();
+        subscription.poll_batch(&mut batch);
+        events_of(&batch)
+    } else {
+        subscription.poll_verdicts()
+    }
+}
+
 /// Spins until `done` holds or `timeout` elapses; returns whether it held.
 fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
     let deadline = Instant::now() + timeout;
@@ -106,7 +143,7 @@ fn bounded_producer_and_live_subscriber_see_every_verdict() {
     };
     let mut received: Vec<VerdictEvent> = Vec::new();
     while received.len() < events.len() {
-        let batch = subscription.wait_verdicts(Duration::from_millis(100));
+        let batch = wait(&subscription, Duration::from_millis(100));
         received.extend(batch);
         assert!(
             !subscription.is_closed() || received.len() == events.len(),
@@ -149,7 +186,7 @@ fn finish_never_deadlocks_on_an_abandoned_full_subscription() {
     }
     let report = engine.finish().expect("no panics");
     assert_eq!(report.verdicts(ObjectId(11)), Some(&expected[&ObjectId(11)][..]));
-    let leftover = subscription.poll_verdicts();
+    let leftover = poll(&subscription);
     assert_eq!(
         leftover.len() as u64 + subscription.missed(),
         events.len() as u64,
@@ -287,7 +324,7 @@ fn worker_panic_closes_open_subscriptions() {
     std::panic::set_hook(hook);
     drop(_hook_guard);
     // The documented consumer loop terminates promptly on the dead engine.
-    assert!(subscription.wait_verdicts(Duration::from_secs(5)).is_empty());
+    assert!(wait(&subscription, Duration::from_secs(5)).is_empty());
     let panic = engine.finish().expect_err("the monitor panicked");
     assert!(panic.message.contains("boom on purpose"), "{panic}");
 }

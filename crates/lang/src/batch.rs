@@ -256,6 +256,133 @@ impl EventBatch {
     }
 }
 
+/// A struct-of-arrays batch of verdicts: parallel `objects` / `seqs` /
+/// `verdicts` columns, one entry per delivered verdict, in delivery order —
+/// the return half of the pipeline, mirroring [`EventBatch`] on the
+/// ingestion half.
+///
+/// The verdict type is generic (`V: Copy`) because this crate sits below the
+/// crate that defines the concrete verdict enum; consumers instantiate it
+/// with their own `Copy` verdict.  Like [`EventBatch`], the container is
+/// order-preserving and reusable: a consumer loop drains a subscription into
+/// the same batch (`clear` keeps the column allocations), then walks
+/// [`VerdictBatch::runs`] to process maximal same-object spans with one
+/// lookup each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictBatch<V: Copy> {
+    objects: Vec<ObjectId>,
+    seqs: Vec<u64>,
+    verdicts: Vec<V>,
+}
+
+impl<V: Copy> Default for VerdictBatch<V> {
+    fn default() -> Self {
+        VerdictBatch {
+            objects: Vec::new(),
+            seqs: Vec::new(),
+            verdicts: Vec::new(),
+        }
+    }
+}
+
+impl<V: Copy> VerdictBatch<V> {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        VerdictBatch::default()
+    }
+
+    /// An empty batch with room for `capacity` verdicts per column.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        VerdictBatch {
+            objects: Vec::with_capacity(capacity),
+            seqs: Vec::with_capacity(capacity),
+            verdicts: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of verdicts in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the batch holds no verdicts.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Empties the batch, keeping the column allocations (the reuse pattern
+    /// of a consumer loop: drain, process, clear).
+    pub fn clear(&mut self) {
+        self.objects.clear();
+        self.seqs.clear();
+        self.verdicts.clear();
+    }
+
+    /// Appends one `(object, seq, verdict)` row.
+    pub fn push(&mut self, object: ObjectId, seq: u64, verdict: V) {
+        self.objects.push(object);
+        self.seqs.push(seq);
+        self.verdicts.push(verdict);
+    }
+
+    /// The row at `index` as an `(object, seq, verdict)` triple.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    #[must_use]
+    pub fn get(&self, index: usize) -> (ObjectId, u64, V) {
+        (self.objects[index], self.seqs[index], self.verdicts[index])
+    }
+
+    /// The object column (one entry per verdict, in delivery order).
+    #[must_use]
+    pub fn objects(&self) -> &[ObjectId] {
+        &self.objects
+    }
+
+    /// The per-object sequence-number column.
+    #[must_use]
+    pub fn seqs(&self) -> &[u64] {
+        &self.seqs
+    }
+
+    /// The verdict column.
+    #[must_use]
+    pub fn verdicts(&self) -> &[V] {
+        &self.verdicts
+    }
+
+    /// Iterates the rows in delivery order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, u64, V)> + '_ {
+        (0..self.len()).map(|index| self.get(index))
+    }
+
+    /// Iterates the maximal runs of consecutive same-object verdicts as
+    /// `(object, index range)` pairs — the grouped-consumption unit, exactly
+    /// like [`EventBatch::runs`].
+    pub fn runs(&self) -> impl Iterator<Item = (ObjectId, Range<usize>)> + '_ {
+        let mut cursor = 0;
+        std::iter::from_fn(move || {
+            if cursor >= self.len() {
+                return None;
+            }
+            let object = self.objects[cursor];
+            let mut run_end = cursor + 1;
+            while run_end < self.len() && self.objects[run_end] == object {
+                run_end += 1;
+            }
+            let run = (object, cursor..run_end);
+            cursor = run_end;
+            Some(run)
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +478,37 @@ mod tests {
         batch.clear();
         assert!(batch.is_empty());
         assert!(batch.objects.capacity() >= 4);
+    }
+
+    #[test]
+    fn verdict_batch_preserves_order_and_groups_runs() {
+        let mut batch: VerdictBatch<u8> = VerdictBatch::new();
+        batch.push(ObjectId(1), 0, 10);
+        batch.push(ObjectId(1), 1, 11);
+        batch.push(ObjectId(2), 5, 20);
+        batch.push(ObjectId(1), 2, 12);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.get(2), (ObjectId(2), 5, 20));
+        assert_eq!(
+            batch.iter().collect::<Vec<_>>(),
+            vec![
+                (ObjectId(1), 0, 10),
+                (ObjectId(1), 1, 11),
+                (ObjectId(2), 5, 20),
+                (ObjectId(1), 2, 12),
+            ]
+        );
+        assert_eq!(
+            batch.runs().collect::<Vec<_>>(),
+            vec![
+                (ObjectId(1), 0..2),
+                (ObjectId(2), 2..3),
+                (ObjectId(1), 3..4),
+            ]
+        );
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(batch.objects.capacity() >= 4);
+        assert!(VerdictBatch::<u8>::with_capacity(8).is_empty());
     }
 }

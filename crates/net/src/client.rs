@@ -239,7 +239,11 @@ fn reader_loop(shared: &ClientShared, mut stream: TcpStream) {
                     credit.window = window;
                     shared.credit_signal.notify_all();
                 }
-                Ok((Frame::Verdicts(events), _)) => {
+                // Legacy per-verdict frames and run-compressed batches
+                // carry the same triples into the same queue — servers may
+                // interleave them (e.g. across a config change) without the
+                // client caring.
+                Ok((Frame::Verdicts(events) | Frame::VerdictBatch(events), _)) => {
                     shared.verdicts.lock().extend(events);
                     shared.verdict_signal.notify_all();
                 }

@@ -43,7 +43,7 @@
 //!  │ magic  version kind  reserved  len   crc ││ kind-specific│
 //!  │ u32    u8      u8    u16       u32   u32 ││ bytes        │
 //!  └──────────────────────────────────────────┘└──────────────┘
-//!  kinds: Batch · Credit · Nack · Verdict · Stats · Shutdown
+//!  kinds: Batch · Credit · Nack · Verdict · Stats · Shutdown · VerdictBatch
 //! ```
 //!
 //! A `Batch` payload carries the struct-of-arrays rows of an `EventBatch`
@@ -52,9 +52,20 @@
 //! dictionary entry exactly once into the interner it is handed — the
 //! server passes the engine's own arena, so a decoded batch is directly
 //! submittable and a payload repeated across a million events is interned
-//! once, not a million times.  Malformed, truncated, corrupted or
-//! oversized input decodes to a typed [`WireError`] — never a panic, never
-//! an allocation sized by unvalidated input (`tests/wire_fuzz.rs`).
+//! once, not a million times.
+//!
+//! Verdicts travel the other way as `VerdictBatch` frames (the default;
+//! [`ServerConfig::with_batched_verdicts`] restores the legacy per-row
+//! `Verdict` frames): a *run table* of `(object, base_seq, len)` entries
+//! plus 5-byte `(tag, run-index)` rows, so a run of consecutive
+//! same-object verdicts costs one table entry instead of repeating the
+//! 16-byte `(object, seq)` pair per row.  The router stably groups each
+//! frame's rows by object before encoding — per-object `seq` order is the
+//! only delivery contract, and grouping is what makes the runs maximal.
+//!
+//! Malformed, truncated, corrupted or oversized input decodes to a typed
+//! [`WireError`] — never a panic, never an allocation sized by
+//! unvalidated input (`tests/wire_fuzz.rs`).
 //!
 //! ## The backpressure protocol
 //!
@@ -66,9 +77,12 @@
 //! engine's [`SubmitError::Full`](drv_engine::SubmitError::Full) therefore
 //! never turns into unbounded server-side buffering: a full engine stops
 //! producing verdicts, grants dry up, and the client stalls while the
-//! server holds exactly one in-flight batch per connection.  A client that
-//! overruns its window gets a `Nack` and the batch is dropped *before*
-//! touching the engine, so per-object order survives refusals.
+//! server holds exactly one in-flight batch per connection — parked
+//! wakeup-silent until the engine's capacity hook wakes the reactor (no
+//! retry polling; `tests/parked_wakeups.rs` asserts zero wakeups across a
+//! parked window).  A client that overruns its window gets a `Nack` and
+//! the batch is dropped *before* touching the engine, so per-object order
+//! survives refusals.
 //!
 //! ## End-to-end order
 //!
@@ -76,10 +90,12 @@
 //! in-process [`sequential_reference`](drv_engine::sequential_reference)
 //! run: TCP preserves the client's batch order, the reactor reassembles
 //! and submits frames in arrival order, the engine's shards are
-//! per-object FIFO, the router forwards the subscription in delivery
-//! order to the owning connection, and the outbound queue drains FIFO.
-//! `tests/differential.rs` proves it at 1/2/4 workers × batch 1/16/256,
-//! under forced credit stalls and mid-stream disconnects.
+//! per-object FIFO, the router forwards the subscription to the owning
+//! connection keeping each object's verdicts in seq order (frames may
+//! group rows by object — grouping, never reordering within an object),
+//! and the outbound queue drains FIFO.  `tests/differential.rs` proves it
+//! at 1/2/4 workers × batch 1/16/256, under forced credit stalls and
+//! mid-stream disconnects, over both verdict framings.
 //!
 //! ## Quick start (loopback)
 //!

@@ -23,13 +23,22 @@
 //!   connection has unflushed output.  Thread count is **flat**: two server
 //!   threads total, independent of connection count.
 //! * One **router** thread (`drv-net-router`) drains the engine's verdict
-//!   subscription and forwards each verdict to the connection that *owns*
-//!   the object (the connection that first submitted traffic for it),
-//!   preserving the subscription's per-object order.  Delivery never
-//!   blocks: frames that do not fit a connection's outbound queue stay in
-//!   a per-connection pending list (bounded by the credit window) and are
-//!   retried — a queue still full past the grace period is a stalled
-//!   consumer, disconnected so it cannot head-of-line block the fleet.
+//!   subscription in struct-of-arrays batches
+//!   ([`VerdictSubscription::wait_batch`](drv_engine::VerdictSubscription::wait_batch))
+//!   and forwards each verdict to the connection that *owns* the object
+//!   (the connection that first submitted traffic for it), preserving the
+//!   subscription's per-object order.  A connection's pending verdicts
+//!   coalesce into run-compressed
+//!   [`VerdictBatch`](crate::wire::FrameKind::VerdictBatch) frames — one
+//!   frame per drain pass per connection under load — with one Credit
+//!   frame covering the whole batch.  Delivery never blocks: frames that
+//!   do not fit a connection's outbound queue stay in a per-connection
+//!   pending list (bounded by the credit window) and are retried — a queue
+//!   still full past the grace period is a stalled consumer, disconnected
+//!   so it cannot head-of-line block the fleet.  The router wakes the
+//!   reactor only for pushes that made a queue go empty → non-empty; a
+//!   queue that already had frames has a wake in flight
+//!   (`net_reactor_wake_skips` counts the saved syscalls).
 //!
 //! ## Backpressure: credits, not buffers
 //!
@@ -43,8 +52,9 @@
 //! [`SubmitError::Full`] surfaces to the client as *absent credit*: a full
 //! engine stops producing verdicts, grants dry up, and a compliant client
 //! stalls while the reactor parks that connection's single in-flight batch
-//! (reads pause — bounded memory: one decoded batch per connection) and
-//! retries on a short tick.  A peer that overruns the window is refused
+//! (reads pause — bounded memory: one decoded batch per connection) until
+//! the engine's capacity hook wakes the reactor — no retry polling, a
+//! parked reactor is wakeup-silent.  A peer that overruns the window is refused
 //! with a [`Nack`](crate::wire::Frame::Nack) and the batch is dropped —
 //! before anything of it reaches the engine, so per-object order survives
 //! the refusal.  Corollary: verdicts (and hence credit) return to the
@@ -66,11 +76,11 @@
 use crate::reactor::{waker_pair, FrameAssembler, Poller, SysFd, WakeRx, Waker};
 use crate::wire::{
     decode_frame_capped, encode_credit, encode_nack, encode_shutdown, encode_stats,
-    encode_verdicts, Frame, NackReason, StatsReply, WireError, WireStats,
+    encode_verdict_batch, encode_verdicts, Frame, NackReason, StatsReply, WireError, WireStats,
 };
-use drv_core::{ObjectMonitorFactory, WorkerPanic};
+use drv_core::{ObjectMonitorFactory, Verdict, WorkerPanic};
 use drv_engine::{EngineConfig, EngineReport, MonitoringEngine, SubmitError, VerdictEvent};
-use drv_lang::{EventBatch, ObjectId};
+use drv_lang::{EventBatch, ObjectId, VerdictBatch};
 use drv_telemetry::{Counter, Gauge, Histogram, Snapshot, Stage, Telemetry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -90,6 +100,7 @@ pub struct ServerConfig {
     outbound: usize,
     verdict_chunk: usize,
     stall_grace: Duration,
+    batched_verdicts: bool,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +111,7 @@ impl Default for ServerConfig {
             outbound: 256,
             verdict_chunk: 512,
             stall_grace: Duration::from_secs(2),
+            batched_verdicts: true,
         }
     }
 }
@@ -157,6 +169,20 @@ impl ServerConfig {
         self
     }
 
+    /// Whether verdicts travel as run-compressed
+    /// [`FrameKind::VerdictBatch`] frames (the default) or as legacy
+    /// per-row [`FrameKind::Verdict`] frames.  Both carry the same events
+    /// in the same order; only the byte layout differs.  Disable for peers
+    /// that predate the batch frame.
+    ///
+    /// [`FrameKind::VerdictBatch`]: crate::wire::FrameKind::VerdictBatch
+    /// [`FrameKind::Verdict`]: crate::wire::FrameKind::Verdict
+    #[must_use]
+    pub fn with_batched_verdicts(mut self, batched: bool) -> Self {
+        self.batched_verdicts = batched;
+        self
+    }
+
     /// The per-connection credit window, in events.
     #[must_use]
     pub fn window(&self) -> u64 {
@@ -211,6 +237,10 @@ struct NetMetrics {
     dropped_verdicts: Counter,
     protocol_errors: Counter,
     stalled_disconnects: Counter,
+    /// Verdict frames queued to connections (batched or legacy — the
+    /// frame/event ratio against `engine_verdict_batch_events` is the wire
+    /// coalescing factor).
+    verdict_frames: Counter,
     /// Raw frame bytes off / onto sockets (per-connection throughput is
     /// `rx_bytes` rate over `net_connections`; exact per-peer splits live
     /// in each connection's `consumed` cell).
@@ -226,6 +256,10 @@ struct NetMetrics {
     /// Poller returns on the reactor thread (one per readiness wakeup —
     /// flat at zero while the server is idle).
     reactor_wakeups: Counter,
+    /// Router pushes that skipped the waker write because the connection's
+    /// outbound queue was already non-empty (a wake for it was already in
+    /// flight, or write interest is driving the drain).
+    reactor_wake_skips: Counter,
     /// Readiness events dispatched (a wakeup can carry many).
     reactor_events: Counter,
     /// Descriptors registered in the poller (listener + waker + sockets).
@@ -253,11 +287,13 @@ impl NetMetrics {
             dropped_verdicts: r.counter("net_dropped_verdicts"),
             protocol_errors: r.counter("net_protocol_errors"),
             stalled_disconnects: r.counter("net_stalled_disconnects"),
+            verdict_frames: r.counter("net_verdict_frames"),
             rx_bytes: r.counter("net_rx_bytes"),
             tx_bytes: r.counter("net_tx_bytes"),
             credit_outstanding: r.gauge("net_credit_outstanding"),
             decode_ns: r.histogram("net_decode_ns"),
             reactor_wakeups: r.counter("net_reactor_wakeups"),
+            reactor_wake_skips: r.counter("net_reactor_wake_skips"),
             reactor_events: r.counter("net_reactor_events"),
             reactor_fds: r.gauge("net_reactor_fds"),
             reassembly_reads: r.histogram("net_reactor_reassembly_reads"),
@@ -268,7 +304,11 @@ impl NetMetrics {
 
 /// Outcome of a non-blocking outbound push.
 enum Push {
-    Queued,
+    /// Queued; `was_empty` reports whether this push made the queue
+    /// non-empty.  A queue that was already non-empty has a reactor wake
+    /// (or registered write interest) in flight, so the pusher may skip
+    /// its own — the wake-coalescing rule.
+    Queued { was_empty: bool },
     Full,
     Closed,
 }
@@ -300,9 +340,10 @@ impl ConnShared {
         if outbound.len() >= self.capacity {
             return Push::Full;
         }
+        let was_empty = outbound.is_empty();
         outbound.push_back(frame);
         occupancy.add(1);
-        Push::Queued
+        Push::Queued { was_empty }
     }
 
     /// Marks the connection dead; queued frames are dropped by teardown.
@@ -328,6 +369,15 @@ struct ServerShared {
     /// Connections the router touched since the reactor last flushed —
     /// the wake channel's payload.
     dirty: Mutex<Vec<u64>>,
+    /// True while any connection has a batch parked on `SubmitError::Full`.
+    /// The engine's capacity hook reads it: freed capacity wakes the
+    /// reactor only when something is actually waiting for it.
+    parked_hint: AtomicBool,
+    /// Whether the engine accepted this server's capacity hook.  When it
+    /// did (the normal case), parked batches retry on the hook's wake and
+    /// the reactor needs no poll timeout for them; when it did not (a
+    /// pre-hooked engine), the reactor falls back to the retry tick.
+    capacity_hooked: AtomicBool,
     waker: Waker,
     m: NetMetrics,
 }
@@ -511,14 +561,18 @@ impl Reactor {
             if self.stop_seen.is_some() && self.io.is_empty() {
                 break;
             }
-            let timeout = if self.parked > 0 {
-                // Engine-full retry tick: short, but never a spin.
+            let timeout = if self.parked > 0 && !self.shared.capacity_hooked.load(Ordering::Acquire)
+            {
+                // Fallback retry tick, only for an engine that refused the
+                // capacity hook (one was already installed).  With the hook
+                // in place a parked batch waits fully event-driven: the
+                // engine wakes the reactor the moment capacity frees.
                 Some(Duration::from_millis(1))
             } else if self.stop_seen.is_some() {
                 Some(Duration::from_millis(10))
             } else {
-                // Fully event-driven when nothing is parked: the waker
-                // covers router pushes and stop requests.
+                // Fully event-driven: the waker covers router pushes, stop
+                // requests and engine-capacity wakes for parked batches.
                 None
             };
             self.ready.clear();
@@ -547,6 +601,11 @@ impl Reactor {
             }
             self.flush_dirty();
             self.retry_parked();
+            if self.parked == 0 {
+                // Reactor-only write: parks (and the hint's rise) happen on
+                // this thread, so clearing on quiescence cannot race a park.
+                self.shared.parked_hint.store(false, Ordering::Release);
+            }
             if let Some(seen) = self.stop_seen {
                 if seen.elapsed() > STOP_GRACE {
                     // Stragglers that never read their final frames: cut.
@@ -759,7 +818,21 @@ impl Reactor {
                         // permanently lose the credit.
                         conn.shared.consumed.fetch_add(n, Ordering::AcqRel);
                         shared.m.credit_outstanding.add(n as i64);
-                        match shared.engine.try_submit_batch(&batch.events) {
+                        let submitted = match shared.engine.try_submit_batch(&batch.events) {
+                            Ok(()) => Ok(()),
+                            Err(SubmitError::Full) => {
+                                // Raise the hint *before* the double-check:
+                                // capacity freed between the two attempts is
+                                // caught by the retry; capacity freed after
+                                // it fires the hook (which sees the hint and
+                                // wakes this reactor).  No window loses the
+                                // wake.
+                                shared.parked_hint.store(true, Ordering::Release);
+                                shared.engine.try_submit_batch(&batch.events)
+                            }
+                            Err(SubmitError::Aborted) => return Pass::Dead(Gone::Lost),
+                        };
+                        match submitted {
                             Ok(()) => {
                                 shared.m.batches.inc();
                                 shared.m.events.add(n);
@@ -768,9 +841,9 @@ impl Reactor {
                             Err(SubmitError::Full) => {
                                 // The backpressure loop, reactor-style: the
                                 // connection parks its single in-flight
-                                // batch (reads pause) and the event loop
-                                // retries on a millisecond tick — the I/O
-                                // thread itself never sleeps on one
+                                // batch (reads pause) until the engine's
+                                // capacity hook wakes the event loop — the
+                                // I/O thread itself never sleeps on one
                                 // connection's behalf.
                                 shared.m.engine_full_stalls.inc();
                                 conn.parked = Some(batch.events);
@@ -1030,21 +1103,30 @@ struct RouterEntry {
 fn router_loop(shared: &ServerShared, subscription: &drv_engine::VerdictSubscription) {
     let chunk = shared.config.verdict_chunk;
     let mut entries: HashMap<u64, RouterEntry> = HashMap::new();
+    // One struct-of-arrays batch, reused across drains: the subscription
+    // appends into it without allocating once its arrays reach steady-state
+    // capacity.
+    let mut batch: VerdictBatch<Verdict> = VerdictBatch::new();
+    // Reused per-frame staging buffer for the by-object grouping sort.
+    let mut scratch: Vec<VerdictEvent> = Vec::new();
     loop {
-        let mut events = subscription.wait_verdicts(Duration::from_millis(20));
-        if !events.is_empty() && events.len() < chunk {
+        batch.clear();
+        subscription.wait_batch(Duration::from_millis(20), &mut batch);
+        if !batch.is_empty() && batch.len() < chunk {
             // Coalesce: under load the subscription fills continuously —
             // a sub-millisecond accumulation window turns many tiny
             // verdict/credit frames into a few big ones (the syscall and
-            // wake-up count is what loopback throughput is made of).
+            // wake-up count is what loopback throughput is made of).  The
+            // yields keep the checker workers running while the window
+            // fills.
             let deadline = Instant::now() + Duration::from_micros(300);
-            while events.len() < chunk && Instant::now() < deadline {
+            while batch.len() < chunk && Instant::now() < deadline {
                 std::thread::yield_now();
-                events.extend(subscription.poll_verdicts());
+                subscription.poll_batch(&mut batch);
             }
         }
-        let closing = events.is_empty() && subscription.is_closed();
-        if events.is_empty()
+        let closing = batch.is_empty() && subscription.is_closed();
+        if batch.is_empty()
             && !closing
             && shared.stopping.load(Ordering::Acquire)
             && shared.engine.backlog() == 0
@@ -1052,20 +1134,26 @@ fn router_loop(shared: &ServerShared, subscription: &drv_engine::VerdictSubscrip
             // Quiesced under a stop request: one final opportunistic
             // drain; exit once nothing is pending anywhere (the reactor's
             // stop grace guarantees stalled remainders go Closed).
-            events = subscription.poll_verdicts();
-            if events.is_empty() && entries.values().all(|entry| entry.pending.is_empty()) {
+            subscription.poll_batch(&mut batch);
+            if batch.is_empty() && entries.values().all(|entry| entry.pending.is_empty()) {
                 return;
             }
         }
-        // Bucket by owner.
-        if !events.is_empty() {
+        // Bucket by owner.  Runs keep a connection's consecutive verdicts
+        // together, so the owners lock is consulted once per run, not once
+        // per verdict.
+        if !batch.is_empty() {
             let owners = shared.owners.lock();
-            for event in &events {
-                match owners.get(&event.object) {
+            for (object, range) in batch.runs() {
+                match owners.get(&object) {
                     Some(conn) => {
-                        entries.entry(*conn).or_default().pending.push_back(*event);
+                        let entry = entries.entry(*conn).or_default();
+                        for index in range {
+                            let (object, seq, verdict) = batch.get(index);
+                            entry.pending.push_back(VerdictEvent { object, seq, verdict });
+                        }
                     }
-                    None => shared.m.dropped_verdicts.inc(),
+                    None => shared.m.dropped_verdicts.add(range.len() as u64),
                 }
             }
         }
@@ -1077,7 +1165,7 @@ fn router_loop(shared: &ServerShared, subscription: &drv_engine::VerdictSubscrip
         // exits the moment a pass moves nothing, so a genuinely stalled
         // consumer still falls through to the grace-period clock.
         loop {
-            let (progressed, backlog) = deliver(shared, &mut entries, chunk);
+            let (progressed, backlog) = deliver(shared, &mut entries, chunk, &mut scratch);
             if !(progressed && backlog) {
                 break;
             }
@@ -1097,6 +1185,7 @@ fn deliver(
     shared: &ServerShared,
     entries: &mut HashMap<u64, RouterEntry>,
     chunk: usize,
+    scratch: &mut Vec<VerdictEvent>,
 ) -> (bool, bool) {
     let mut dead: Vec<u64> = Vec::new();
     let mut touched: Vec<u64> = Vec::new();
@@ -1113,14 +1202,39 @@ fn deliver(
         };
         let mut progressed = false;
         let mut full = false;
+        // Skip the reactor wake when every push this pass landed on an
+        // already non-empty queue: a prior wake (or registered write
+        // interest) is still in flight for it, and `flush_conn` drains the
+        // whole queue under one lock — the coalesced frame cannot strand.
+        let mut needs_wake = false;
         while !entry.pending.is_empty() {
-            let take = entry.pending.len().min(chunk);
-            let piece: Vec<VerdictEvent> = entry.pending.iter().take(take).copied().collect();
-            match conn.try_push(encode_verdicts(&piece), &shared.m.outbound_frames) {
-                Push::Queued => {
+            // Encode off the deque's front slice.  A wrapped ring just
+            // yields two (still chunk-capped) frames for one pass;
+            // grouping is not part of the contract.
+            let (front, back) = entry.pending.as_slices();
+            let piece = if front.is_empty() { back } else { front };
+            let take = piece.len().min(chunk);
+            let frame = if shared.config.batched_verdicts {
+                // Per-object seq order is the delivery contract; the
+                // interleaving *across* objects is not.  A stable by-object
+                // sort (seqs arrive ascending, stability keeps them so)
+                // turns the round-robin row soup into maximal runs the run
+                // table compresses ~4x — fewer bytes to CRC, copy and
+                // read back.
+                scratch.clear();
+                scratch.extend_from_slice(&piece[..take]);
+                scratch.sort_by_key(|event| event.object.0);
+                encode_verdict_batch(scratch)
+            } else {
+                encode_verdicts(&piece[..take])
+            };
+            match conn.try_push(frame, &shared.m.outbound_frames) {
+                Push::Queued { was_empty } => {
                     entry.pending.drain(..take);
                     entry.owed += take as u64;
                     progressed = true;
+                    needs_wake |= was_empty;
+                    shared.m.verdict_frames.inc();
                 }
                 Push::Full => {
                     full = true;
@@ -1152,11 +1266,12 @@ fn deliver(
                     encode_credit(grant, shared.config.window),
                     &shared.m.outbound_frames,
                 ) {
-                    Push::Queued => {
+                    Push::Queued { was_empty } => {
                         conn.granted.fetch_add(grant, Ordering::AcqRel);
                         shared.m.credit_outstanding.sub(grant as i64);
                         entry.owed -= grant;
                         progressed = true;
+                        needs_wake |= was_empty;
                     }
                     Push::Full => full = true,
                     Push::Closed => {
@@ -1166,8 +1281,10 @@ fn deliver(
                 }
             }
         }
-        if progressed {
+        if needs_wake {
             touched.push(*conn_id);
+        } else if progressed {
+            shared.m.reactor_wake_skips.inc();
         }
         if full && !progressed {
             // The queue refused everything this pass: start (or check) the
@@ -1266,9 +1383,25 @@ impl MonitorServer {
             owners: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
             dirty: Mutex::new(Vec::new()),
+            parked_hint: AtomicBool::new(false),
+            capacity_hooked: AtomicBool::new(false),
             waker,
             m: metrics,
         });
+        // Wake-on-capacity: the engine calls this hook whenever pending
+        // space frees.  The hint keeps the idle cost at one atomic load —
+        // the waker write (a syscall) happens only while a batch is
+        // actually parked.  Held as a Weak so the engine (whose Shared owns
+        // the hook) never keeps the server state alive.
+        let hook_target = Arc::downgrade(&shared);
+        let hooked = shared.engine.set_capacity_hook(Arc::new(move || {
+            if let Some(shared) = hook_target.upgrade() {
+                if shared.parked_hint.load(Ordering::Acquire) {
+                    shared.waker.wake();
+                }
+            }
+        }));
+        shared.capacity_hooked.store(hooked, Ordering::Release);
         let reactor = Reactor::new(Arc::clone(&shared), listener, wake_rx)?;
         let reactor_handle = std::thread::Builder::new()
             .name("drv-net-io".to_string())

@@ -51,6 +51,27 @@
 //! [`WireError::DictOverflow`] *before* the first intern, so a peer
 //! cannot grow server memory with dictionary-only frames.
 //!
+//! ## Verdict batch payload
+//!
+//! The return leg mirrors the batch leg: a [`FrameKind::VerdictBatch`]
+//! payload run-compresses a span of the verdict stream —
+//!
+//! ```text
+//!  run_count u32   row_count u32
+//!  runs  run_count × (object u64, base_seq u64, len u32)
+//!  rows  row_count × (tag u8, index u32)
+//! ```
+//!
+//! Consecutive verdicts of one object share a run-table entry, so the
+//! `(object, seq)` pair the per-verdict [`FrameKind::Verdict`] layout
+//! repeats in every 21-byte row is paid once per run; each row is 5 bytes
+//! and `seq` reconstructs as `base_seq + offset`.  Decode enforces the same
+//! discipline as batch decode: counts validated against the remaining
+//! payload before any allocation, a run table larger than the row count
+//! rejected as [`WireError::DictOverflow`], lengths that do not sum to the
+//! row count rejected as [`WireError::BadRunTable`] — all before a single
+//! event is surfaced.
+//!
 //! Every decode error is a typed [`WireError`]; malformed, truncated or
 //! oversized input can neither panic nor over-allocate
 //! (`tests/wire_fuzz.rs`).
@@ -112,6 +133,12 @@ pub enum FrameKind {
     /// (`drv-store` owns the inner layout).  Like [`FrameKind::Evict`],
     /// never valid over a live connection.
     Checkpoint = 8,
+    /// Server → client: a run-compressed batch of decided verdicts (run
+    /// table + 5-byte rows; see the module docs).  Carries the same
+    /// `(object, seq, verdict)` triples as [`FrameKind::Verdict`] at a
+    /// fraction of the bytes — grouping changes, order and content never
+    /// do.
+    VerdictBatch = 9,
 }
 
 impl FrameKind {
@@ -125,6 +152,7 @@ impl FrameKind {
             6 => FrameKind::Shutdown,
             7 => FrameKind::Evict,
             8 => FrameKind::Checkpoint,
+            9 => FrameKind::VerdictBatch,
             _ => return None,
         })
     }
@@ -221,6 +249,10 @@ pub enum Frame {
     },
     /// A run of decided verdicts, per-object in `seq` order.
     Verdicts(Vec<VerdictEvent>),
+    /// A run-compressed verdict batch ([`FrameKind::VerdictBatch`]),
+    /// decoded back to the flat triples — byte layout differs from
+    /// [`Frame::Verdicts`], the carried events do not.
+    VerdictBatch(Vec<VerdictEvent>),
     /// A stats request (empty [`FrameKind::Stats`] payload).
     StatsRequest,
     /// A stats snapshot reply (engine counters + registry snapshot).
@@ -288,12 +320,23 @@ pub enum WireError {
     },
     /// A batch's dictionaries hold more entries than it has rows — a
     /// legitimate encoder emits only referenced payloads, so this is a
-    /// memory-growth probe; nothing was interned.
+    /// memory-growth probe; nothing was interned.  (A `VerdictBatch` whose
+    /// run table holds more runs than rows is the same probe: every run
+    /// covers at least one row.)
     DictOverflow {
         /// Total dictionary entries declared.
         entries: u64,
         /// Rows the frame declared.
         rows: u32,
+    },
+    /// A `VerdictBatch` run table whose lengths do not sum to the frame's
+    /// declared row count — the frame is internally inconsistent and
+    /// nothing of it was surfaced.
+    BadRunTable {
+        /// Rows the frame declared.
+        declared_rows: u32,
+        /// What the run lengths actually sum to.
+        summed: u64,
     },
     /// A non-empty [`FrameKind::Stats`] payload led with a version byte
     /// this implementation does not speak (see [`STATS_VERSION`]).
@@ -345,6 +388,9 @@ impl fmt::Display for WireError {
             }
             WireError::DictOverflow { entries, rows } => {
                 write!(f, "{entries} dictionary entries for {rows} rows")
+            }
+            WireError::BadRunTable { declared_rows, summed } => {
+                write!(f, "verdict run table sums {summed} rows, frame declares {declared_rows}")
             }
             WireError::BadStatsVersion(version) => {
                 write!(f, "unsupported stats payload version {version} (expected {STATS_VERSION})")
@@ -562,6 +608,61 @@ pub fn encode_verdicts(events: &[VerdictEvent]) -> Vec<u8> {
     seal_frame(FrameKind::Verdict, &payload)
 }
 
+/// Encodes a run-compressed [`FrameKind::VerdictBatch`] frame:
+///
+/// ```text
+///  run_count u32   row_count u32
+///  runs  run_count × (object u64, base_seq u64, len u32)
+///  rows  row_count × (tag u8, index u32)
+/// ```
+///
+/// The encoder splits `events` into maximal runs of same-object,
+/// consecutive-`seq` verdicts, so the 16 bytes of `(object, seq)` that the
+/// legacy [`encode_verdicts`] repeats per row are paid once per run — on
+/// live traffic a row costs 5 bytes instead of 21.  Splitting is lossless:
+/// any input (object changes, seq gaps, even out-of-order seqs) round-trips
+/// to exactly the same event sequence.
+///
+/// # Panics
+///
+/// Panics on 2^32 or more events per frame (senders chunk far below).
+#[must_use]
+pub fn encode_verdict_batch(events: &[VerdictEvent]) -> Vec<u8> {
+    let mut runs: Vec<(ObjectId, u64, u32)> = Vec::new();
+    for event in events {
+        match runs.last_mut() {
+            Some((object, base, len))
+                if *object == event.object
+                    && *len < u32::MAX
+                    && event.seq == base.wrapping_add(u64::from(*len)) =>
+            {
+                *len += 1;
+            }
+            _ => runs.push((event.object, event.seq, 1)),
+        }
+    }
+    let mut payload = Vec::with_capacity(8 + runs.len() * 20 + events.len() * 5);
+    put_u32(&mut payload, u32::try_from(runs.len()).expect("< 2^32 runs"));
+    put_u32(&mut payload, u32::try_from(events.len()).expect("< 2^32 verdicts"));
+    for (object, base, len) in &runs {
+        put_u64(&mut payload, object.0);
+        put_u64(&mut payload, *base);
+        put_u32(&mut payload, *len);
+    }
+    let mut row = [0u8; 5];
+    for event in events {
+        let (tag, index) = match event.verdict {
+            Verdict::Yes => (0u8, 0u32),
+            Verdict::No => (1, 0),
+            Verdict::Maybe(i) => (2, i),
+        };
+        row[0] = tag;
+        row[1..5].copy_from_slice(&index.to_le_bytes());
+        payload.extend_from_slice(&row);
+    }
+    seal_frame(FrameKind::VerdictBatch, &payload)
+}
+
 /// Encodes a stats request (empty [`FrameKind::Stats`] payload).
 #[must_use]
 pub fn encode_stats_request() -> Vec<u8> {
@@ -758,6 +859,61 @@ fn decode_payload(
                 events.push(VerdictEvent { object, seq, verdict });
             }
             Frame::Verdicts(events)
+        }
+        FrameKind::VerdictBatch => {
+            // Size caps first, exactly like batch decode: the run count is
+            // bounded by remaining/20, the row count by remaining/5, and
+            // every allocation below is sized only after the backing bytes
+            // were actually taken off the payload.
+            let runs = reader.count(20, "verdict runs")?;
+            let rows = reader.count(5, "verdict batch rows")?;
+            if runs > rows {
+                // Every legitimate run covers ≥ 1 row — a fatter run table
+                // is the same memory-growth probe as a dictionary overflow.
+                return Err(WireError::DictOverflow { entries: runs as u64, rows: rows as u32 });
+            }
+            let run_bytes = reader.take(runs * 20, "verdict run table")?;
+            let mut table: Vec<(ObjectId, u64, u32)> = Vec::with_capacity(runs);
+            let mut summed = 0u64;
+            for chunk in run_bytes.chunks_exact(20) {
+                let object =
+                    ObjectId(u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes")));
+                let base = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
+                let len = u32::from_le_bytes(chunk[16..20].try_into().expect("4 bytes"));
+                summed += u64::from(len);
+                table.push((object, base, len));
+            }
+            if summed != rows as u64 {
+                return Err(WireError::BadRunTable { declared_rows: rows as u32, summed });
+            }
+            let row_bytes = reader.take(rows * 5, "verdict batch rows")?;
+            // Validate every tag before surfacing anything.
+            for chunk in row_bytes.chunks_exact(5) {
+                if chunk[0] > 2 {
+                    return Err(WireError::Payload(CodecError::BadTag {
+                        what: "verdict",
+                        tag: chunk[0],
+                    }));
+                }
+            }
+            let mut events = Vec::with_capacity(rows);
+            let mut cursor = row_bytes.chunks_exact(5);
+            for (object, base, len) in table {
+                for offset in 0..u64::from(len) {
+                    let chunk = cursor.next().expect("lengths sum to the row count");
+                    let index = u32::from_le_bytes(chunk[1..5].try_into().expect("4 bytes"));
+                    let verdict = match chunk[0] {
+                        0 => Verdict::Yes,
+                        1 => Verdict::No,
+                        _ => Verdict::Maybe(index),
+                    };
+                    // Wrapping, like the legacy frame's arbitrary per-row
+                    // seq field: a hostile base near u64::MAX yields odd
+                    // seqs, never a panic.
+                    events.push(VerdictEvent { object, seq: base.wrapping_add(offset), verdict });
+                }
+            }
+            Frame::VerdictBatch(events)
         }
         FrameKind::Stats if payload.is_empty() => Frame::StatsRequest,
         FrameKind::Stats => Frame::Stats(Box::new(decode_stats_reply(&mut reader)?)),
@@ -1098,6 +1254,18 @@ mod tests {
                     VerdictEvent { object: ObjectId(2), seq: 0, verdict: Verdict::Maybe(3) },
                 ]),
             ),
+            (
+                encode_verdict_batch(&[
+                    VerdictEvent { object: ObjectId(1), seq: 0, verdict: Verdict::Yes },
+                    VerdictEvent { object: ObjectId(1), seq: 1, verdict: Verdict::No },
+                    VerdictEvent { object: ObjectId(2), seq: 0, verdict: Verdict::Maybe(3) },
+                ]),
+                Frame::VerdictBatch(vec![
+                    VerdictEvent { object: ObjectId(1), seq: 0, verdict: Verdict::Yes },
+                    VerdictEvent { object: ObjectId(1), seq: 1, verdict: Verdict::No },
+                    VerdictEvent { object: ObjectId(2), seq: 0, verdict: Verdict::Maybe(3) },
+                ]),
+            ),
             (encode_stats_request(), Frame::StatsRequest),
             (
                 encode_stats(&StatsReply {
@@ -1235,6 +1403,103 @@ mod tests {
         let arena = SharedInterner::new();
         assert!(matches!(decode_frame(&bad, &arena), Err(WireError::BadDictIndex { .. })));
         assert_eq!(arena.versions(), (0, 0), "a bad row must refuse before interning");
+    }
+
+    #[test]
+    fn verdict_batch_run_compression_is_lossless() {
+        // Seq gaps, object alternation, and out-of-order seqs all split
+        // runs; the round trip is exact regardless.
+        let awkward = vec![
+            VerdictEvent { object: ObjectId(5), seq: 0, verdict: Verdict::Yes },
+            VerdictEvent { object: ObjectId(5), seq: 1, verdict: Verdict::Yes },
+            VerdictEvent { object: ObjectId(5), seq: 7, verdict: Verdict::No }, // gap
+            VerdictEvent { object: ObjectId(6), seq: 0, verdict: Verdict::Maybe(1) },
+            VerdictEvent { object: ObjectId(5), seq: 8, verdict: Verdict::Yes },
+            VerdictEvent { object: ObjectId(5), seq: 2, verdict: Verdict::Yes }, // backwards
+        ];
+        let frame = encode_verdict_batch(&awkward);
+        let (decoded, consumed) =
+            decode_frame(&frame, &SharedInterner::new()).expect("valid frame");
+        assert_eq!(consumed, frame.len());
+        assert_eq!(decoded, Frame::VerdictBatch(awkward));
+        // A long run amortizes: 256 consecutive verdicts of one object cost
+        // one 20-byte run entry + 5 bytes/row, vs 21 bytes/row legacy.
+        let long: Vec<VerdictEvent> = (0..256)
+            .map(|seq| VerdictEvent { object: ObjectId(1), seq, verdict: Verdict::Yes })
+            .collect();
+        let batched = encode_verdict_batch(&long);
+        let legacy = encode_verdicts(&long);
+        assert!(batched.len() * 3 < legacy.len(), "{} vs {}", batched.len(), legacy.len());
+        let (redecoded, _) = decode_frame(&batched, &SharedInterner::new()).expect("valid");
+        assert_eq!(redecoded, Frame::VerdictBatch(long));
+        // Empty batches round-trip too.
+        let empty = encode_verdict_batch(&[]);
+        assert_eq!(
+            decode_frame(&empty, &SharedInterner::new()).expect("valid").0,
+            Frame::VerdictBatch(Vec::new())
+        );
+    }
+
+    #[test]
+    fn verdict_batch_structural_probes_are_typed_errors() {
+        let events = [
+            VerdictEvent { object: ObjectId(1), seq: 0, verdict: Verdict::Yes },
+            VerdictEvent { object: ObjectId(1), seq: 1, verdict: Verdict::No },
+        ];
+        let good = encode_verdict_batch(&events);
+        let arena = SharedInterner::new();
+        let reseal = |frame: &mut Vec<u8>| {
+            let crc = crc32(&frame[HEADER_LEN..]);
+            frame[12..16].copy_from_slice(&crc.to_le_bytes());
+        };
+        // Row-count inflation (re-sealed CRC): the declared count no longer
+        // fits the remaining bytes — refused before allocation.
+        let mut inflated = good.clone();
+        inflated[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&1000u32.to_le_bytes());
+        reseal(&mut inflated);
+        assert!(matches!(
+            decode_frame(&inflated, &arena),
+            Err(WireError::Payload(CodecError::LengthOverflow { .. }))
+        ));
+        // More runs than rows: the run-table analogue of DictOverflow.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 2); // runs
+        put_u32(&mut payload, 1); // rows
+        for _ in 0..2 {
+            put_u64(&mut payload, 1);
+            put_u64(&mut payload, 0);
+            put_u32(&mut payload, 1);
+        }
+        payload.extend_from_slice(&[0u8; 5]);
+        // Pad so the lenient per-field caps pass and the structural check
+        // is what fires.
+        payload.extend_from_slice(&[0u8; 64]);
+        let frame = seal_frame(FrameKind::VerdictBatch, &payload);
+        assert_eq!(
+            decode_frame(&frame, &arena),
+            Err(WireError::DictOverflow { entries: 2, rows: 1 })
+        );
+        // Run lengths that do not sum to the row count.
+        let mut mismatched = good.clone();
+        // The single run's len field is the last 4 bytes of the run table.
+        let len_at = HEADER_LEN + 8 + 16;
+        mismatched[len_at..len_at + 4].copy_from_slice(&1u32.to_le_bytes());
+        reseal(&mut mismatched);
+        assert_eq!(
+            decode_frame(&mismatched, &arena),
+            Err(WireError::BadRunTable { declared_rows: 2, summed: 1 })
+        );
+        // A bad verdict tag is the same typed error as the legacy frame's.
+        let mut bad_tag = good.clone();
+        let tag_at = HEADER_LEN + 8 + 20; // first row's tag byte
+        bad_tag[tag_at] = 9;
+        reseal(&mut bad_tag);
+        assert_eq!(
+            decode_frame(&bad_tag, &arena),
+            Err(WireError::Payload(CodecError::BadTag { what: "verdict", tag: 9 }))
+        );
+        // Truncation inside the run table is typed, not a panic.
+        assert!(decode_frame(&good[..good.len() - 12], &arena).is_err());
     }
 
     #[test]

@@ -29,6 +29,21 @@ const PROCESSES: usize = 2;
 /// How long any single wait may take before the test is declared hung.
 const DEADLINE: Duration = Duration::from_secs(60);
 
+/// `DRV_ENGINE_TEST_VERDICT_BATCH=0` pins the suite to the legacy per-row
+/// verdict frames; any other value (or unset) leaves the run-compressed
+/// `VerdictBatch` default on.  Either way the carried verdicts must be
+/// bit-identical — only the byte layout may differ.
+fn server_config() -> ServerConfig {
+    let legacy = std::env::var("DRV_ENGINE_TEST_VERDICT_BATCH").is_ok_and(|value| value == "0");
+    ServerConfig::new().with_batched_verdicts(!legacy)
+}
+
+/// Whether the batched wire path was explicitly forced on (so suites can
+/// additionally assert the batched frames actually flowed).
+fn verdict_batch_forced() -> bool {
+    std::env::var("DRV_ENGINE_TEST_VERDICT_BATCH").is_ok_and(|value| value != "0")
+}
+
 fn mixed_factory() -> Arc<RoutingMonitorFactory> {
     let lin = Arc::new(CheckerMonitorFactory::linearizability(Register::new(), PROCESSES))
         as Arc<dyn ObjectMonitorFactory>;
@@ -122,7 +137,7 @@ fn wire_verdicts_equal_sequential_reference() {
                 mixed_factory(),
                 // A window of 300 forces credit waiting at batch 256 while
                 // still admitting one max-size batch.
-                ServerConfig::new().with_window(300),
+                server_config().with_window(300),
             )
             .expect("bind");
             let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
@@ -135,6 +150,14 @@ fn wire_verdicts_equal_sequential_reference() {
             let streamed: BTreeMap<ObjectId, Vec<Verdict>> = streamed.into_iter().collect();
             assert_eq!(streamed, expected, "{context}: wire streams differ");
             assert!(client.take_nacks().is_empty(), "{context}: spurious NACKs");
+            if verdict_batch_forced() {
+                let frames = server
+                    .telemetry()
+                    .snapshot()
+                    .counter("net_verdict_frames")
+                    .unwrap_or(0);
+                assert!(frames > 0, "{context}: forced batched path sent no verdict frames");
+            }
             client.shutdown().expect("clean goodbye");
             let report = server.shutdown().expect("no worker panicked");
             for (object, verdicts) in &expected {
@@ -160,7 +183,7 @@ fn forced_credit_exhaustion_preserves_streams() {
         ("127.0.0.1", 0),
         EngineConfig::new(2).with_max_pending(8),
         mixed_factory(),
-        ServerConfig::new().with_window(8),
+        server_config().with_window(8),
     )
     .expect("bind");
     let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
@@ -221,7 +244,7 @@ fn mid_stream_disconnect_keeps_other_connections_exact() {
         ("127.0.0.1", 0),
         EngineConfig::new(2).with_max_pending(1024),
         mixed_factory(),
-        ServerConfig::new(),
+        server_config(),
     )
     .expect("bind");
     let mut survivor = MonitorClient::connect(server.local_addr()).expect("connect survivor");
@@ -278,7 +301,7 @@ fn verdicts_route_to_the_owning_connection() {
         ("127.0.0.1", 0),
         EngineConfig::new(2).with_max_pending(1024),
         mixed_factory(),
-        ServerConfig::new(),
+        server_config(),
     )
     .expect("bind");
     let addr = server.local_addr();
@@ -355,7 +378,7 @@ fn abd_bridge_matches_post_hoc_history() {
             ("127.0.0.1", 0),
             EngineConfig::new(2).with_max_pending(256),
             factory,
-            ServerConfig::new().with_window(64),
+            server_config().with_window(64),
         )
         .expect("bind");
         let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
@@ -386,7 +409,7 @@ fn oversized_batch_is_nacked_not_fatal() {
         ("127.0.0.1", 0),
         EngineConfig::new(1).with_max_pending(64),
         mixed_factory(),
-        ServerConfig::new().with_window(4),
+        server_config().with_window(4),
     )
     .expect("bind");
     let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
@@ -438,7 +461,7 @@ fn raw_credit_violations_are_nacked_server_side() {
         ("127.0.0.1", 0),
         EngineConfig::new(1).with_max_pending(64),
         mixed_factory(),
-        ServerConfig::new().with_window(4),
+        server_config().with_window(4),
     )
     .expect("bind");
     // The legitimate owner of ObjectId(5).
@@ -475,7 +498,7 @@ fn raw_credit_violations_are_nacked_server_side() {
     while nacks.len() < 2 {
         match read_frame(&mut socket, &local).expect("server frame") {
             Frame::Nack { batch_id, reason, detail } => nacks.push((batch_id, reason, detail)),
-            Frame::Credit { .. } | Frame::Verdicts(_) => {}
+            Frame::Credit { .. } | Frame::Verdicts(_) | Frame::VerdictBatch(_) => {}
             other => panic!("unexpected frame {other:?}"),
         }
     }

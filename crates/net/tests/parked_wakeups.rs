@@ -1,0 +1,139 @@
+//! The wake-on-capacity acceptance bar (the network-side twin of the
+//! engine's `idle_engine_performs_zero_wakeups_while_parked`): a reactor
+//! with a batch parked on [`SubmitError::Full`] performs **zero** poller
+//! wake-ups while the engine stays full — the 1 ms retry tick cannot come
+//! back — and still un-parks promptly the moment capacity frees, because
+//! the engine's capacity hook wakes it.
+//!
+//! [`SubmitError::Full`]: drv_engine::SubmitError::Full
+
+use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict};
+use drv_engine::EngineConfig;
+use drv_lang::{Invocation, ObjectId, ProcId, Symbol};
+use drv_net::{MonitorClient, MonitorServer, ServerConfig};
+use std::borrow::Cow;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(30);
+
+/// A gate the test holds closed to wedge the engine's one worker inside a
+/// monitor callback, keeping `max_pending` occupied for as long as the
+/// test needs the engine to stay `Full`.
+#[derive(Default)]
+struct Gate {
+    open: Mutex<bool>,
+    released: Condvar,
+}
+
+impl Gate {
+    fn release(&self) {
+        *self.open.lock().expect("gate") = true;
+        self.released.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().expect("gate");
+        while !*open {
+            open = self.released.wait(open).expect("gate");
+        }
+    }
+}
+
+struct GatedMonitor(Arc<Gate>);
+
+impl ObjectMonitor for GatedMonitor {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("gated")
+    }
+    fn on_symbol(&mut self, _symbol: &Symbol) -> Verdict {
+        self.0.wait_open();
+        Verdict::Yes
+    }
+}
+
+struct GatedFactory(Arc<Gate>);
+
+impl ObjectMonitorFactory for GatedFactory {
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("gated")
+    }
+    fn create(&self, _object: ObjectId) -> Box<dyn ObjectMonitor> {
+        Box::new(GatedMonitor(Arc::clone(&self.0)))
+    }
+}
+
+fn wait_until(timeout: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if done() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    done()
+}
+
+#[test]
+fn parked_reactor_performs_zero_wakeups_until_capacity_frees() {
+    let gate = Arc::new(Gate::default());
+    let server = MonitorServer::bind(
+        ("127.0.0.1", 0),
+        // One worker, a 4-event bound: the gated monitor wedges the worker
+        // on the first event, so the first batch occupies the bound until
+        // the gate opens.
+        EngineConfig::new(1).with_max_pending(4),
+        Arc::new(GatedFactory(Arc::clone(&gate))),
+        ServerConfig::new(),
+    )
+    .expect("bind");
+    let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
+    let object = ObjectId(1);
+    let wedge: Vec<(ObjectId, Symbol)> = (0..4)
+        .map(|i| (object, Symbol::invoke(ProcId(0), Invocation::Write(i))))
+        .collect();
+    client.send_stream(&wedge, 4).expect("wedge batch");
+    // This batch cannot fit while the gate is closed: the reactor must
+    // park it.
+    let parked: Vec<(ObjectId, Symbol)> =
+        vec![(object, Symbol::invoke(ProcId(1), Invocation::Read))];
+    client.send_stream(&parked, 1).expect("parked batch");
+    assert!(
+        wait_until(DEADLINE, || server.stats().engine_full_stalls >= 1),
+        "the second batch never parked on the full engine"
+    );
+    // Settling grace: let the wakeups of the sends themselves drain.
+    std::thread::sleep(Duration::from_millis(100));
+    let before = server
+        .telemetry()
+        .snapshot()
+        .counter("net_reactor_wakeups")
+        .unwrap_or(0);
+    std::thread::sleep(Duration::from_millis(300));
+    let after = server
+        .telemetry()
+        .snapshot()
+        .counter("net_reactor_wakeups")
+        .unwrap_or(0);
+    assert_eq!(
+        after, before,
+        "a reactor with a parked batch woke with no capacity freed: timed retry polling is back"
+    );
+    // And the park is not a deadlock: freeing capacity fires the engine's
+    // capacity hook, which wakes the reactor, which resubmits — every
+    // verdict still arrives.
+    gate.release();
+    let mut received = Vec::new();
+    let start = Instant::now();
+    while received.len() < 5 {
+        assert!(
+            start.elapsed() < DEADLINE,
+            "only {} of 5 verdicts after the gate opened (lost capacity wake?)",
+            received.len()
+        );
+        received.extend(client.wait_verdicts(Duration::from_millis(100)));
+    }
+    client.shutdown().expect("clean goodbye");
+    let report = server.shutdown().expect("no worker panicked");
+    assert_eq!(report.stats.events, 5);
+}

@@ -14,8 +14,8 @@ use drv_engine::VerdictEvent;
 use drv_lang::{EventBatch, Invocation, ObjectId, ProcId, Response, SharedInterner, Symbol};
 use drv_net::wire::{
     decode_frame, encode_credit, encode_nack, encode_shutdown, encode_stats,
-    encode_stats_request, encode_verdicts, Frame, FrameEncoder, NackReason, StatsReply,
-    WireError, WireStats, HEADER_LEN, MAX_PAYLOAD,
+    encode_stats_request, encode_verdict_batch, encode_verdicts, Frame, FrameEncoder, NackReason,
+    StatsReply, WireError, WireStats, HEADER_LEN, MAX_PAYLOAD,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,6 +57,7 @@ fn valid_frames(rng: &mut StdRng) -> Vec<Vec<u8>> {
         encode_credit(rng.gen_range(0..u64::MAX), rng.gen_range(0..u64::MAX)),
         encode_nack(rng.gen_range(0..u64::MAX), NackReason::CreditExceeded, rng.gen_range(0..u64::MAX)),
         encode_verdicts(&verdicts),
+        encode_verdict_batch(&verdicts),
         encode_stats_request(),
         encode_stats(&StatsReply {
             engine: WireStats {
@@ -189,6 +190,76 @@ fn interior_count_inflation_is_rejected_with_fixed_crc() {
         }
     }
     assert!(rejected > 0, "no interior mutation was ever rejected");
+}
+
+#[test]
+fn verdict_batch_probes_are_typed_with_resealed_crc() {
+    // The VerdictBatch frame's structural fields — run count, row count,
+    // per-run lengths, verdict tags — each corrupted *with the CRC
+    // re-sealed*, so the probe reaches the payload decoder: every guard
+    // must hold on its own and answer with a typed error, sized by the
+    // bytes actually present (no allocation from the claimed counts).
+    use drv_net::wire::crc32;
+    let events: Vec<VerdictEvent> = (0..64u64)
+        .map(|i| VerdictEvent {
+            object: ObjectId(i / 16), // 4 runs of 16
+            seq: i % 16,
+            verdict: if i % 3 == 0 { Verdict::Yes } else { Verdict::Maybe(i as u32) },
+        })
+        .collect();
+    let frame = encode_verdict_batch(&events);
+    let reseal = |bytes: &mut [u8]| {
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+    };
+    // Row-count inflation: claims more rows than the payload holds.
+    let mut inflated = frame.clone();
+    inflated[HEADER_LEN + 4..HEADER_LEN + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal(&mut inflated);
+    assert!(
+        matches!(must_not_panic(&inflated), Err(WireError::Payload(_))),
+        "row-count inflation must be a typed payload error"
+    );
+    // Run-count inflation past the row count: the dictionary-overflow
+    // guard (more runs than rows is structurally impossible).
+    let mut overflow = frame.clone();
+    let rows = u32::from_le_bytes(frame[HEADER_LEN + 4..HEADER_LEN + 8].try_into().unwrap());
+    overflow[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&(rows + 1).to_le_bytes());
+    reseal(&mut overflow);
+    assert!(
+        matches!(
+            must_not_panic(&overflow),
+            Err(WireError::DictOverflow { .. } | WireError::Payload(_))
+        ),
+        "run-count inflation must hit the overflow guard"
+    );
+    // A run length that no longer sums to the row count.
+    let mut unsummed = frame.clone();
+    let len_at = HEADER_LEN + 8 + 16; // first run entry's len field
+    unsummed[len_at..len_at + 4].copy_from_slice(&1u32.to_le_bytes());
+    reseal(&mut unsummed);
+    assert!(
+        matches!(must_not_panic(&unsummed), Err(WireError::BadRunTable { .. })),
+        "a lying run table must be rejected as such"
+    );
+    // Truncation at every boundary inside the payload: typed, never a
+    // panic, and whatever decodes must have been a complete valid frame.
+    for cut in HEADER_LEN..frame.len() {
+        let mut cut_frame = frame[..cut].to_vec();
+        cut_frame[8..12].copy_from_slice(&((cut - HEADER_LEN) as u32).to_le_bytes());
+        reseal(&mut cut_frame);
+        assert!(
+            must_not_panic(&cut_frame).is_err(),
+            "a truncated verdict batch decoded at cut {cut}"
+        );
+    }
+    // The untouched frame still round-trips — the probes above fail for
+    // the right reason, not because the baseline was broken.
+    let (decoded, _) = must_not_panic(&frame).expect("the baseline frame decodes");
+    match decoded {
+        Frame::VerdictBatch(carried) => assert_eq!(carried, events),
+        other => panic!("verdict batch decoded as {other:?}"),
+    }
 }
 
 #[test]

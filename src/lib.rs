@@ -24,7 +24,13 @@
 //!   IncrementalChecker (LIN/SC, parallel Wing–Gong)     [consistency]
 //!        │ against SequentialSpec objects                      [spec]
 //!        ▼
-//!   verdict streams → subscriptions / wire Verdict frames / report
+//!   VerdictBatch (struct-of-arrays)                            [lang]
+//!        │ workers flush each drained batch's verdicts as one
+//!        │ slice per subscription; the router drains them with
+//!        │ wait_batch and ships run-compressed VerdictBatch
+//!        │ wire frames (credit granted per batch)
+//!        ▼
+//!   verdict streams → batched subscriptions / VerdictBatch frames / report
 //!
 //!   cross-cutting: one shared Telemetry registry           [telemetry]
 //!   (striped counters/gauges, log2 latency histograms, flight ring)
@@ -42,7 +48,8 @@
 //! tests, examples and downstream users can depend on a single package:
 //!
 //! * [`lang`] — distributed alphabets, words, histories, languages, the
-//!   interned [`EventBatch`](crate::lang::EventBatch) interchange type and
+//!   interned [`EventBatch`](crate::lang::EventBatch) /
+//!   [`VerdictBatch`](crate::lang::VerdictBatch) interchange types and
 //!   the wire payload codec ([`lang::wire`](crate::lang::wire)),
 //! * [`spec`] — sequential object specifications,
 //! * [`consistency`] — linearizability / sequential-consistency checkers
@@ -55,8 +62,9 @@
 //!   surface,
 //! * [`engine`] — the sharded multi-object streaming monitoring engine
 //!   with its work-stealing checker pool,
-//! * [`net`] — the network subsystem: wire-format `EventBatch` frames, the
-//!   TCP [`MonitorServer`](crate::net::MonitorServer) over the service-mode
+//! * [`net`] — the network subsystem: wire-format `EventBatch` frames in,
+//!   run-compressed `VerdictBatch` frames back, the TCP
+//!   [`MonitorServer`](crate::net::MonitorServer) over the service-mode
 //!   engine (a std-only readiness reactor — one I/O thread plus one router
 //!   thread serve any number of connections), the
 //!   [`MonitorClient`](crate::net::MonitorClient), and the live ABD bridge,
