@@ -92,7 +92,7 @@ use drv_core::{ObjectMonitor, ObjectMonitorFactory, Verdict, WorkerPanic};
 use drv_lang::{
     EventBatch, EventRecord, InternerMirror, ObjectId, SharedInterner, Symbol, Word,
 };
-use drv_telemetry::{Counter, Gauge, Histogram, Stage, Telemetry};
+use drv_telemetry::{Counter, Gauge, Histogram, SpanKind, Stage, Telemetry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::AssertUnwindSafe;
@@ -747,11 +747,47 @@ impl Shared {
                 scratch.check_tick = scratch.check_tick.wrapping_add(1);
                 let sampled = scratch.check_tick & (CHECK_SAMPLE - 1) == 1;
                 let check_started = if sampled { self.tel.timer() } else { None };
+                // One relaxed load when no trace is in flight; a traced
+                // object's run gets queue-wait + check spans attributed to
+                // its trace.
+                let traced = if self.tel.tracer().is_active() {
+                    self.tel.tracer().lookup_object(first.object.0)
+                } else {
+                    None
+                };
+                let run_started = traced.map(|_| self.tel.clock().now_ns());
                 slot.monitor
                     .on_batch(&scratch.symbols[swallow..], &mut scratch.verdicts);
                 self.tel.observe(check_started, &self.m.check_ns);
                 self.m.harvest(slot);
-                if sampled {
+                if let Some((trace_id, enqueue_ns)) = traced {
+                    let run_end = self.tel.clock().now_ns();
+                    let started = run_started.unwrap_or(run_end);
+                    let tracer = self.tel.tracer();
+                    tracer.record(
+                        trace_id,
+                        SpanKind::QueueWait,
+                        enqueue_ns,
+                        started,
+                        first.object.0,
+                        worker as u16,
+                    );
+                    tracer.record(
+                        trace_id,
+                        SpanKind::Check,
+                        started,
+                        run_end,
+                        first.object.0,
+                        worker as u16,
+                    );
+                    if scratch.traced.last() != Some(&(trace_id, first.object.0)) {
+                        scratch.traced.push((trace_id, first.object.0));
+                    }
+                }
+                if sampled || traced.is_some() {
+                    // Traced runs always stamp the flight ring (bypassing
+                    // the 1-in-CHECK_SAMPLE thinning) so every check span
+                    // has a matching flight event.
                     self.tel.flight(
                         Stage::Check,
                         first.object.0,
@@ -818,7 +854,23 @@ impl Shared {
                 index = end;
             }
             drop(state);
+            let flush_started =
+                (!scratch.traced.is_empty()).then(|| self.tel.clock().now_ns());
             self.flush_delivery(&subs, &mut scratch.delivery);
+            if let Some(started) = flush_started {
+                let now = self.tel.clock().now_ns();
+                for &(trace_id, object) in &scratch.traced {
+                    self.tel.tracer().record(
+                        trace_id,
+                        SpanKind::VerdictFlush,
+                        started,
+                        now,
+                        object,
+                        worker as u16,
+                    );
+                }
+                scratch.traced.clear();
+            }
             self.m.events.add(processed);
         }
         // Sweep (under queue→state, the one nesting order used anywhere),
@@ -927,6 +979,11 @@ struct WorkerScratch {
     /// Monotone run counter driving the 1-in-[`CHECK_SAMPLE`] check-latency
     /// sampling (worker-local, so no cross-worker coordination).
     check_tick: u32,
+    /// `(trace_id, object)` pairs of the traced runs in the current drained
+    /// batch, so the post-loop delivery flush can close one `verdict_flush`
+    /// span per traced run.  Reused across batches; empty whenever no trace
+    /// is in flight.
+    traced: Vec<(u64, u64)>,
 }
 
 /// Check-latency sampling period (a power of two).  A run can be a single
@@ -1256,6 +1313,7 @@ impl MonitoringEngine {
         if batch.is_empty() || self.shared.aborted.load(Ordering::Acquire) {
             return;
         }
+        self.trace_expect(batch);
         if let Some(sink) = self.shared.journal() {
             // One write-ahead append for the whole batch.  The blocking
             // path below cannot refuse it (it only stops early on abort, in
@@ -1301,6 +1359,7 @@ impl MonitoringEngine {
         } else if self.shared.try_reserve(batch.len()).is_err() {
             return Err(SubmitError::Full);
         }
+        self.trace_expect(batch);
         if let Some(sink) = self.shared.journal() {
             // Write-ahead, after the all-or-nothing reservation: a refused
             // batch leaves no trace in the journal.
@@ -1308,6 +1367,21 @@ impl MonitoringEngine {
         }
         self.enqueue_batch_range(batch, 0, batch.len());
         Ok(())
+    }
+
+    /// Opens (or extends) a stamped sampled batch's trace with the whole
+    /// batch's expected verdict count — **before** any chunk enqueues, so
+    /// a trace can never observe `routed == expected` while later chunks
+    /// are still on their way and complete early.
+    fn trace_expect(&self, batch: &EventBatch) {
+        let Some(ctx) = batch.trace().filter(|ctx| ctx.sampled()) else {
+            return;
+        };
+        let tracer = self.shared.tel.tracer();
+        if tracer.enabled() {
+            tracer.begin(ctx.trace_id, self.shared.tel.clock().now_ns());
+            tracer.add_expected(ctx.trace_id, batch.len() as u64);
+        }
     }
 
     /// One routing pass over `batch[start..end]`: one shard decision per
@@ -1323,6 +1397,25 @@ impl MonitoringEngine {
         self.shared
             .tel
             .flight(Stage::Submit, 0, (end - start) as u64, 0, 0);
+        // Trace attribution for a stamped (sampled) batch: open/extend the
+        // trace, stamp the queue-entry instant, and register each object of
+        // the range so workers can attribute their runs.  Unstamped batches
+        // skip all of it on one `Option` branch.
+        if let Some(ctx) = batch.trace().filter(|ctx| ctx.sampled()) {
+            let tracer = self.shared.tel.tracer();
+            if tracer.enabled() {
+                let now = self.shared.tel.clock().now_ns();
+                tracer.begin(ctx.trace_id, now);
+                tracer.note_enqueue(ctx.trace_id, now);
+                for (object, range) in batch.runs_between(start, end) {
+                    if tracer.register_object(ctx.trace_id, object.0) {
+                        self.shared
+                            .tel
+                            .flight(Stage::Enqueue, object.0, range.len() as u64, 0, 0);
+                    }
+                }
+            }
+        }
         let shard_count = self.shared.shards.len();
         let runs: Vec<(usize, std::ops::Range<usize>)> = batch
             .runs_between(start, end)

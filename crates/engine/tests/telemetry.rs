@@ -10,7 +10,7 @@ use drv_core::{
     CheckerMonitorFactory, ObjectMonitor, ObjectMonitorFactory, RoutingMonitorFactory, Verdict,
 };
 use drv_engine::{sequential_reference, EngineConfig, MonitoringEngine};
-use drv_lang::{ObjectId, Symbol};
+use drv_lang::{EventBatch, ObjectId, Symbol, TraceContext};
 use drv_spec::Register;
 use drv_telemetry::{Stage, Telemetry};
 use rand::rngs::StdRng;
@@ -99,6 +99,58 @@ fn instrumented_verdict_streams_are_bit_identical_to_sequential_reference() {
                 );
             }
             assert!(total_events > 0, "the soak must exercise real streams");
+        }
+    }
+}
+
+/// Tracing is passive too: the soak re-run with the tracer forced on
+/// (1-in-1 sampling, every batch stamped with a sampled trace context) —
+/// queue-wait/check/verdict-flush spans record on every run, and the
+/// verdict streams must stay bit-identical to the sequential reference at
+/// 1/4 workers × batch 1/256.
+#[test]
+fn tracing_forced_verdict_streams_are_bit_identical_to_sequential_reference() {
+    for workers in [1usize, 4] {
+        for batch_size in [1usize, 256] {
+            for seed in 0..STREAMS / 4 {
+                let events = merged_stream(seed);
+                let factory = mixed_factory();
+                let expected = sequential_reference(factory.as_ref(), &events);
+                let tel = Telemetry::with_trace_sampling(1);
+                let engine = MonitoringEngine::with_telemetry(
+                    EngineConfig::new(workers),
+                    factory,
+                    Arc::clone(&tel),
+                );
+                let mut stamped = 0u64;
+                for window in events.chunks(batch_size) {
+                    let mut batch = EventBatch::with_capacity(window.len());
+                    for (object, symbol) in window {
+                        batch.push_symbol(*object, symbol, engine.interner());
+                    }
+                    stamped += 1;
+                    batch.set_trace(Some(TraceContext::sampled_root(seed * 4096 + stamped)));
+                    engine.submit_batch(&batch);
+                }
+                let report = engine.finish().expect("no worker panicked");
+                for (object, verdicts) in &expected {
+                    assert_eq!(
+                        report.verdicts(*object),
+                        Some(&verdicts[..]),
+                        "forced tracing must be passive: {workers} workers, \
+                         batch {batch_size}, seed {seed}, {object}"
+                    );
+                }
+                // Every stamped batch claimed a trace slot and recorded
+                // spans (in-engine traces never see a socket flush, so
+                // they stay active/recycled rather than completed).
+                let tracer = tel.tracer();
+                assert!(tracer.enabled());
+                assert!(
+                    tracer.is_active() || tracer.recycled() > 0,
+                    "forced sampling left no tracer activity: seed {seed}"
+                );
+            }
         }
     }
 }

@@ -60,7 +60,7 @@ pub mod wire;
 pub mod word;
 
 pub use alphabet::{ObjectKind, SymbolSampler};
-pub use batch::{EventAction, EventBatch, EventRecord, VerdictBatch};
+pub use batch::{EventAction, EventBatch, EventRecord, TraceContext, VerdictBatch};
 pub use intern::{Interner, InternerMirror, InvocationId, OpRecord, ResponseId, SharedInterner};
 pub use language::{Complement, Intersection, Language, RunVerdict, Union};
 pub use oblivious::{oblivious_counterexample, ObliviousReport, ObliviousnessTester};

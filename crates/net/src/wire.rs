@@ -34,7 +34,17 @@
 //!  inv_dict  u32 count, then count encoded Invocations (drv_lang::wire)
 //!  resp_dict u32 count, then count encoded Responses
 //!  rows      row_count × (object u64, proc u32, tag u8, dict u32)
+//!  [ext]     OPTIONAL: tag u8 = EXT_TRACE_CONTEXT, len u8 ≥ 16,
+//!            then len bytes (the 16-byte TraceContext; extras skipped)
 //! ```
+//!
+//! The trailing extension block is the *versioned optional trace-context
+//! carrier*: absent entirely on an unstamped batch (legacy frames and the
+//! common unsampled case are byte-identical to the pre-extension layout),
+//! and when present it is explicitly consumed — an unknown tag, an
+//! undersized length or truncated context bytes decode to the typed
+//! [`WireError::BadTraceContext`] (lengths are bounds-checked before any
+//! read, and a refused frame interns nothing, like every other refusal).
 //!
 //! Rows reference payloads by dictionary index, so a batch of 10 000 events
 //! over 12 distinct payloads carries 12 encoded payloads.  Decoding interns
@@ -84,7 +94,7 @@ use drv_lang::wire::{
 };
 use drv_lang::{
     EventAction, EventBatch, EventRecord, InvocationId, ObjectId, ProcId, ResponseId,
-    SharedInterner,
+    SharedInterner, TraceContext,
 };
 use drv_telemetry::metrics::BUCKETS;
 use drv_telemetry::{HistogramSnapshot, Snapshot};
@@ -106,6 +116,12 @@ pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
 /// does not speak decodes to [`WireError::BadStatsVersion`], never to
 /// garbled counters.
 pub const STATS_VERSION: u8 = 2;
+/// Batch-payload extension tag: a version-1 trace context follows (one
+/// length byte, then at least [`TraceContext::WIRE_LEN`] bytes — the length
+/// byte is the forward-compatibility hinge: a future revision may append
+/// fields, which this decoder skips).  A batch without a stamped context
+/// carries no extension block at all.
+pub const EXT_TRACE_CONTEXT: u8 = 1;
 
 /// The discriminant of a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -347,6 +363,14 @@ pub enum WireError {
         /// Buckets the reply declared.
         buckets: u64,
     },
+    /// A batch's trailing extension block is malformed: an unknown
+    /// extension tag, a length below the fixed context size, or context
+    /// bytes the payload does not actually hold.  Nothing of the frame was
+    /// interned.
+    BadTraceContext {
+        /// What exactly was wrong.
+        what: &'static str,
+    },
     /// Bytes remained after the payload's last field.
     TrailingBytes {
         /// How many.
@@ -397,6 +421,9 @@ impl fmt::Display for WireError {
             }
             WireError::BadStatsHistogram { buckets } => {
                 write!(f, "stats histogram declares {buckets} buckets (expected {BUCKETS})")
+            }
+            WireError::BadTraceContext { what } => {
+                write!(f, "malformed trace-context extension: {what}")
             }
             WireError::TrailingBytes { extra } => {
                 write!(f, "{extra} trailing bytes after the payload's last field")
@@ -503,6 +530,25 @@ impl FrameEncoder {
         batch: &EventBatch,
         arena: &SharedInterner,
     ) -> Vec<u8> {
+        self.encode_batch_traced(batch_id, batch, arena, batch.trace())
+    }
+
+    /// [`FrameEncoder::encode_batch`] with an explicit trace context,
+    /// overriding whatever the batch itself carries — how a client stamps
+    /// a *borrowed* batch at send time without cloning it.  `None` encodes
+    /// the legacy extension-free framing.
+    ///
+    /// # Panics
+    ///
+    /// As [`FrameEncoder::encode_batch`].
+    #[must_use]
+    pub fn encode_batch_traced(
+        &mut self,
+        batch_id: u64,
+        batch: &EventBatch,
+        arena: &SharedInterner,
+        trace: Option<TraceContext>,
+    ) -> Vec<u8> {
         self.epoch += 1;
         let epoch = self.epoch;
         self.dict.clear();
@@ -560,6 +606,14 @@ impl FrameEncoder {
         put_u32(&mut self.payload, u32::try_from(batch.len()).expect("< 2^32 events"));
         self.payload.extend_from_slice(&self.dict);
         self.payload.extend_from_slice(&self.rows);
+        // Versioned optional extension block: only stamped (sampled)
+        // batches carry it, so unstamped traffic stays bit-identical to
+        // the legacy framing.
+        if let Some(ctx) = trace {
+            self.payload.push(EXT_TRACE_CONTEXT);
+            self.payload.push(TraceContext::WIRE_LEN as u8);
+            self.payload.extend_from_slice(&ctx.to_bytes());
+        }
         seal_frame(FrameKind::Batch, &self.payload)
     }
 }
@@ -1051,6 +1105,28 @@ fn decode_batch(
             return Err(WireError::BadDictIndex { index, len: len as u32 });
         }
     }
+    // The optional trace-context extension trails the rows.  Validate it
+    // here — still before the intern step below — so a malformed context
+    // refuses the frame without growing the arena, same as every other
+    // refusal.  A declared length beyond the fixed context size is fine
+    // (a newer peer may extend the block); the extra bytes are consumed
+    // and ignored.
+    let trace = if reader.is_empty() {
+        None
+    } else {
+        let tag = reader.u8("extension tag")?;
+        if tag != EXT_TRACE_CONTEXT {
+            return Err(WireError::BadTraceContext { what: "unknown extension tag" });
+        }
+        let len = reader.u8("extension length")? as usize;
+        if len < TraceContext::WIRE_LEN {
+            return Err(WireError::BadTraceContext { what: "extension shorter than a context" });
+        }
+        let bytes = reader.take(len, "trace context")?;
+        Some(TraceContext::from_bytes(
+            bytes[..TraceContext::WIRE_LEN].try_into().expect("length checked"),
+        ))
+    };
     let inv_ids: Vec<InvocationId> =
         invocations.iter().map(|invocation| arena.invocation(invocation)).collect();
     let resp_ids: Vec<ResponseId> =
@@ -1066,6 +1142,7 @@ fn decode_batch(
         };
         events.push(EventRecord { object, proc, action });
     }
+    events.set_trace(trace);
     Ok(WireBatch { batch_id, events })
 }
 
@@ -1350,6 +1427,114 @@ mod tests {
         assert_eq!(receiver.versions(), (0, 0));
         // At the cap exactly, the frame decodes.
         assert!(decode_frame_capped(&frame, &receiver, 5).is_ok());
+    }
+
+    #[test]
+    fn trace_context_extension_round_trips() {
+        let sender = SharedInterner::new();
+        let mut batch = sample_batch(&sender);
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF_CAFE, parent_span: 7, flags: 1 };
+        batch.set_trace(Some(ctx));
+        let frame = FrameEncoder::new().encode_batch(3, &batch, &sender);
+        let receiver = SharedInterner::new();
+        let (decoded, consumed) = decode_frame(&frame, &receiver).expect("stamped frame decodes");
+        assert_eq!(consumed, frame.len());
+        match decoded {
+            Frame::Batch(wire) => {
+                assert_eq!(wire.events.trace(), Some(ctx));
+                assert_eq!(wire.events.len(), batch.len());
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unstamped_batches_stay_bit_identical_to_legacy_framing() {
+        let sender = SharedInterner::new();
+        let batch = sample_batch(&sender);
+        let plain = FrameEncoder::new().encode_batch(3, &batch, &sender);
+        // A stamped frame is exactly the legacy frame plus the 18-byte
+        // extension (tag + length + 16 context bytes) before the CRC is
+        // recomputed: the legacy prefix is untouched.
+        let mut stamped_batch = sample_batch(&sender);
+        stamped_batch.set_trace(Some(TraceContext::sampled_root(9)));
+        let stamped = FrameEncoder::new().encode_batch(3, &stamped_batch, &sender);
+        assert_eq!(stamped.len(), plain.len() + 2 + TraceContext::WIRE_LEN);
+        assert_eq!(&stamped[HEADER_LEN..plain.len()], &plain[HEADER_LEN..]);
+        // And a plain frame still decodes to a context-free batch.
+        let (decoded, _) = decode_frame(&plain, &SharedInterner::new()).expect("legacy decodes");
+        match decoded {
+            Frame::Batch(wire) => assert_eq!(wire.events.trace(), None),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn longer_trace_extensions_from_newer_peers_are_tolerated() {
+        // A future peer may grow the extension block; today's decoder takes
+        // the declared length and reads only the prefix it understands.
+        let sender = SharedInterner::new();
+        let mut batch = sample_batch(&sender);
+        batch.set_trace(Some(TraceContext { trace_id: 42, parent_span: 0, flags: 1 }));
+        let mut frame = FrameEncoder::new().encode_batch(1, &batch, &sender);
+        // Inflate the declared extension length and append 4 extra bytes.
+        let len_at = frame.len() - TraceContext::WIRE_LEN - 1;
+        frame[len_at] = (TraceContext::WIRE_LEN + 4) as u8;
+        frame.extend_from_slice(&[0xAA; 4]);
+        let payload_len = (frame.len() - HEADER_LEN) as u32;
+        frame[8..12].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&frame[HEADER_LEN..]);
+        frame[12..16].copy_from_slice(&crc.to_le_bytes());
+        let (decoded, _) = decode_frame(&frame, &SharedInterner::new()).expect("wider ext ok");
+        match decoded {
+            Frame::Batch(wire) => {
+                assert_eq!(wire.events.trace().map(|c| c.trace_id), Some(42));
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_trace_extensions_refuse_without_interning() {
+        let sender = SharedInterner::new();
+        let mut batch = sample_batch(&sender);
+        batch.set_trace(Some(TraceContext::sampled_root(5)));
+        let good = FrameEncoder::new().encode_batch(1, &batch, &sender);
+        let ext_at = good.len() - 2 - TraceContext::WIRE_LEN;
+        let reseal = |mut bytes: Vec<u8>| -> Vec<u8> {
+            let payload_len = (bytes.len() - HEADER_LEN) as u32;
+            bytes[8..12].copy_from_slice(&payload_len.to_le_bytes());
+            let crc = crc32(&bytes[HEADER_LEN..]);
+            bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+            bytes
+        };
+        // Unknown extension tag.
+        let mut bad_tag = good.clone();
+        bad_tag[ext_at] = 99;
+        let bad_tag = reseal(bad_tag);
+        // Declared length below the fixed context size.
+        let mut short_len = good.clone();
+        short_len[ext_at + 1] = (TraceContext::WIRE_LEN - 1) as u8;
+        let short_len = reseal(short_len);
+        // Declared length beyond what the payload holds.
+        let truncated = reseal(good[..good.len() - 4].to_vec());
+        for (frame, what) in [
+            (bad_tag, "unknown tag"),
+            (short_len, "short length"),
+        ] {
+            let arena = SharedInterner::new();
+            assert!(
+                matches!(decode_frame(&frame, &arena), Err(WireError::BadTraceContext { .. })),
+                "{what} must refuse with a typed error"
+            );
+            assert_eq!(arena.versions(), (0, 0), "{what} must not intern");
+        }
+        let arena = SharedInterner::new();
+        assert!(
+            matches!(decode_frame(&truncated, &arena), Err(WireError::Payload(_))),
+            "truncated context bytes must refuse with a typed error"
+        );
+        assert_eq!(arena.versions(), (0, 0), "truncation must not intern");
     }
 
     #[test]

@@ -11,7 +11,9 @@
 
 use drv_core::Verdict;
 use drv_engine::VerdictEvent;
-use drv_lang::{EventBatch, Invocation, ObjectId, ProcId, Response, SharedInterner, Symbol};
+use drv_lang::{
+    EventBatch, Invocation, ObjectId, ProcId, Response, SharedInterner, Symbol, TraceContext,
+};
 use drv_net::wire::{
     decode_frame, encode_credit, encode_nack, encode_shutdown, encode_stats,
     encode_stats_request, encode_verdict_batch, encode_verdicts, Frame, FrameEncoder, NackReason,
@@ -52,8 +54,18 @@ fn valid_frames(rng: &mut StdRng) -> Vec<Vec<u8>> {
             },
         })
         .collect();
+    // A second copy of the batch carrying the trace-context extension, so
+    // every generic mutation pass (flips, truncation, inflation) also
+    // exercises the extension bytes.
+    let mut stamped = batch.clone();
+    stamped.set_trace(Some(TraceContext {
+        trace_id: rng.gen_range(1..u64::MAX),
+        parent_span: rng.gen_range(0..u32::MAX),
+        flags: rng.gen_range(0..4u32),
+    }));
     vec![
         FrameEncoder::new().encode_batch(rng.gen_range(0..u64::MAX), &batch, &arena),
+        FrameEncoder::new().encode_batch(rng.gen_range(0..u64::MAX), &stamped, &arena),
         encode_credit(rng.gen_range(0..u64::MAX), rng.gen_range(0..u64::MAX)),
         encode_nack(rng.gen_range(0..u64::MAX), NackReason::CreditExceeded, rng.gen_range(0..u64::MAX)),
         encode_verdicts(&verdicts),
@@ -260,6 +272,86 @@ fn verdict_batch_probes_are_typed_with_resealed_crc() {
         Frame::VerdictBatch(carried) => assert_eq!(carried, events),
         other => panic!("verdict batch decoded as {other:?}"),
     }
+}
+
+#[test]
+fn trace_context_probes_are_typed_with_resealed_crc() {
+    // The Batch frame's trailing trace-context extension, corrupted with
+    // the CRC re-sealed so every probe reaches the payload decoder:
+    // truncated context bytes, inflated declared lengths, unknown tags and
+    // garbage interiors must each answer with a typed error — never a
+    // panic, and never an intern into the receiving arena.
+    use drv_net::wire::crc32;
+    let arena = SharedInterner::new();
+    let mut batch = EventBatch::new();
+    for i in 0..6 {
+        batch.push_symbol(ObjectId(i % 2), &Symbol::invoke(ProcId(0), Invocation::Write(i)), &arena);
+        batch.push_symbol(ObjectId(i % 2), &Symbol::respond(ProcId(0), Response::Ack), &arena);
+    }
+    batch.set_trace(Some(TraceContext { trace_id: 0xABCD_EF01, parent_span: 3, flags: 1 }));
+    let frame = FrameEncoder::new().encode_batch(11, &batch, &arena);
+    let ext_len = 2 + TraceContext::WIRE_LEN; // tag + len + context bytes
+    let ext_at = frame.len() - ext_len;
+    let reseal = |mut bytes: Vec<u8>| -> Vec<u8> {
+        let payload_len = (bytes.len() - HEADER_LEN) as u32;
+        bytes[8..12].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = crc32(&bytes[HEADER_LEN..]);
+        bytes[12..16].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    };
+    let probe = |bytes: Vec<u8>, what: &str| {
+        let receiver = SharedInterner::new();
+        let result = decode_frame(&bytes, &receiver);
+        assert!(result.is_err(), "{what}: a malformed extension decoded: {result:?}");
+        assert_eq!(receiver.versions(), (0, 0), "{what}: a refused frame interned");
+    };
+    // Truncation at every boundary inside the extension block.
+    for cut in ext_at + 1..frame.len() {
+        probe(reseal(frame[..cut].to_vec()), "extension truncation");
+    }
+    // Unknown extension tags (every non-zero wrong value class).
+    for tag in [0u8, 2, 7, 0xFF] {
+        let mut bad = frame.clone();
+        bad[ext_at] = tag;
+        probe(reseal(bad), "unknown extension tag");
+    }
+    // Declared lengths below the fixed context size.
+    for len in [0u8, 1, 8, 15] {
+        let mut bad = frame.clone();
+        bad[ext_at + 1] = len;
+        probe(reseal(bad), "short declared length");
+    }
+    // A declared length far beyond what the payload holds.
+    let mut inflated = frame.clone();
+    inflated[ext_at + 1] = 0xFF;
+    probe(reseal(inflated), "inflated declared length");
+    // Garbage context bytes still decode (the 16 bytes are opaque), but
+    // byte flips in tag/len stay typed; and the baseline still carries the
+    // stamped context exactly.
+    let receiver = SharedInterner::new();
+    match decode_frame(&frame, &receiver).expect("the baseline stamped frame decodes") {
+        (Frame::Batch(wire), _) => {
+            assert_eq!(
+                wire.events.trace(),
+                Some(TraceContext { trace_id: 0xABCD_EF01, parent_span: 3, flags: 1 })
+            );
+        }
+        (other, _) => panic!("batch decoded as {other:?}"),
+    }
+    // And a legacy (unstamped) batch round-trips bit-identically: decode,
+    // re-encode against a mirror of the receiving arena, compare bytes.
+    let mut legacy_batch = EventBatch::new();
+    for i in 0..4 {
+        legacy_batch.push_symbol(ObjectId(9), &Symbol::invoke(ProcId(1), Invocation::Write(i)), &arena);
+    }
+    let legacy = FrameEncoder::new().encode_batch(21, &legacy_batch, &arena);
+    let receiver = SharedInterner::new();
+    let (decoded, consumed) = decode_frame(&legacy, &receiver).expect("legacy decodes");
+    assert_eq!(consumed, legacy.len());
+    let Frame::Batch(wire) = decoded else { panic!("not a batch") };
+    assert_eq!(wire.events.trace(), None, "no extension ⇒ no context");
+    let reencoded = FrameEncoder::new().encode_batch(21, &wire.events, &receiver);
+    assert_eq!(reencoded, legacy, "legacy frames must round-trip bit-identically");
 }
 
 #[test]

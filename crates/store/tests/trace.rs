@@ -1,0 +1,256 @@
+//! End-to-end distributed tracing over the durable wire pipeline: a
+//! sampled batch stamped by [`MonitorClient`] produces one assembled
+//! trace on the shared [`Telemetry`] handle whose spans cover the whole
+//! path — client send → wire decode → journal append/fsync → queue wait →
+//! check → verdict flush → verdict route → socket write — and the Chrome
+//! trace-event export carries every span.  A second suite proves the
+//! trace spans *cohere* with the flight recorder: every span kind that
+//! has a pipeline flight stage finds a matching [`FlightEvent`] with a
+//! consistent object (and, for checks, worker) attribution.
+
+use drv_core::CheckerMonitorFactory;
+use drv_engine::EngineConfig;
+use drv_lang::{EventBatch, Invocation, ObjectId, ProcId, Response, Symbol};
+use drv_net::{MonitorClient, ServerConfig};
+use drv_spec::Register;
+use drv_store::{serve_durable_with, FsyncPolicy, StoreConfig};
+use drv_telemetry::{SpanKind, Stage, Telemetry};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long any single wait may take before the test is declared hung.
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn factory() -> Arc<CheckerMonitorFactory<Register>> {
+    Arc::new(CheckerMonitorFactory::linearizability(Register::new(), 2))
+}
+
+/// A write/read-back batch over `objects` register objects: `2 * objects *
+/// rounds` events, every one answered with exactly one verdict.
+fn build_batch(
+    client: &MonitorClient,
+    objects: u64,
+    rounds: u64,
+    base: u64,
+) -> EventBatch {
+    let arena = client.interner();
+    let mut batch = EventBatch::new();
+    for round in 0..rounds {
+        for object in 0..objects {
+            let value = base + round;
+            batch.push_symbol(ObjectId(object), &Symbol::invoke(ProcId(0), Invocation::Write(value)), &arena);
+            batch.push_symbol(ObjectId(object), &Symbol::respond(ProcId(0), Response::Ack), &arena);
+        }
+    }
+    batch
+}
+
+/// Drains verdicts until `expected` arrived (or the deadline).
+fn drain(client: &MonitorClient, expected: usize, context: &str) {
+    let start = Instant::now();
+    let mut received = 0;
+    while received < expected {
+        assert!(
+            start.elapsed() < DEADLINE,
+            "{context}: only {received} of {expected} verdicts after {DEADLINE:?}"
+        );
+        received += client.wait_verdicts(Duration::from_millis(100)).len();
+    }
+    assert_eq!(received, expected, "{context}: too many verdicts");
+}
+
+/// Waits for the tracer's completed count to reach `n`.
+fn await_completed(tel: &Telemetry, n: u64, context: &str) {
+    let start = Instant::now();
+    while tel.tracer().completed_count() < n {
+        assert!(
+            start.elapsed() < DEADLINE,
+            "{context}: {} of {n} traces completed after {DEADLINE:?}",
+            tel.tracer().completed_count()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn sampled_batch_traces_the_whole_durable_pipeline() {
+    let dir = std::env::temp_dir().join(format!("drv-store-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("pipeline.journal");
+    let _ = std::fs::remove_file(&journal);
+
+    // Sampling 1-in-1: every stamped batch traces.  Fsync Always so the
+    // trace carries a real fsync span, not just the append.
+    let tel = Telemetry::with_trace_sampling(1);
+    let (server, store, _stats) = serve_durable_with(
+        ("127.0.0.1", 0),
+        &journal,
+        StoreConfig::new().with_fsync(FsyncPolicy::Always),
+        EngineConfig::new(2).with_max_pending(4096),
+        factory(),
+        ServerConfig::new(),
+        Arc::clone(&tel),
+    )
+    .expect("durable server binds");
+    let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
+    client.enable_tracing(Arc::clone(&tel), 7);
+
+    let batch = build_batch(&client, 4, 4, 0);
+    let expected = batch.len();
+    client.send_batch(&batch).expect("stamped batch sends");
+    drain(&client, expected, "pipeline trace");
+    await_completed(&tel, 1, "pipeline trace");
+
+    let traces = tel.tracer().completed();
+    assert_eq!(traces.len(), 1, "one sampled batch ⇒ one assembled trace");
+    let trace = &traces[0];
+    assert_ne!(trace.trace_id, 0);
+    assert!(trace.ended_ns >= trace.started_ns);
+    assert_eq!(trace.dropped_spans, 0, "a small batch fits the span buffer");
+
+    // Every pipeline stage left at least one span, and every span is a
+    // well-formed interval inside the trace's envelope.
+    for kind in [
+        SpanKind::ClientSend,
+        SpanKind::Decode,
+        SpanKind::QueueWait,
+        SpanKind::Check,
+        SpanKind::VerdictFlush,
+        SpanKind::JournalAppend,
+        SpanKind::Fsync,
+        SpanKind::VerdictRoute,
+        SpanKind::SocketWrite,
+    ] {
+        assert!(
+            trace.spans.iter().any(|span| span.kind == kind),
+            "no {} span; got {:?}",
+            kind.name(),
+            trace.spans.iter().map(|span| span.kind).collect::<Vec<_>>()
+        );
+    }
+    for span in &trace.spans {
+        assert!(span.end_ns >= span.start_ns, "inverted {} span", span.kind.name());
+        assert!(
+            span.end_ns <= trace.ended_ns,
+            "{} span ends after the trace closed",
+            span.kind.name()
+        );
+    }
+    // Check spans attribute real engine workers over the traced objects.
+    assert!(
+        trace
+            .spans
+            .iter()
+            .filter(|span| span.kind == SpanKind::Check)
+            .all(|span| span.object < 4 && (span.worker as usize) < 2),
+        "check spans carry engine object/worker attribution"
+    );
+
+    // The export drains the ring and produces loadable Chrome trace JSON.
+    let export = dir.join("pipeline.trace.json");
+    let dumped = tel.dump_traces(&export).expect("export writes");
+    assert_eq!(dumped, 1, "the one completed trace exported");
+    let json = std::fs::read_to_string(&export).expect("export readable");
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    for name in ["client_send", "decode", "queue_wait", "check", "journal_append"] {
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "export misses the {name} lane"
+        );
+    }
+    assert!(json.contains(&format!("{:#018x}", trace.trace_id)), "trace id rides the args");
+    assert_eq!(tel.tracer().completed().len(), 0, "dump_traces drains the ring");
+
+    drop(store);
+    client.shutdown().expect("clean goodbye");
+    server.shutdown().expect("no worker panicked");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&export);
+}
+
+#[test]
+fn trace_spans_cohere_with_the_flight_recorder() {
+    let dir = std::env::temp_dir().join(format!("drv-store-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let journal = dir.join("coherence.journal");
+    let _ = std::fs::remove_file(&journal);
+
+    let tel = Telemetry::with_trace_sampling(1);
+    let (server, store, _stats) = serve_durable_with(
+        ("127.0.0.1", 0),
+        &journal,
+        StoreConfig::new().with_fsync(FsyncPolicy::EveryN(4)),
+        EngineConfig::new(2).with_max_pending(4096),
+        factory(),
+        ServerConfig::new(),
+        Arc::clone(&tel),
+    )
+    .expect("durable server binds");
+    let mut client = MonitorClient::connect(server.local_addr()).expect("connect");
+    client.enable_tracing(Arc::clone(&tel), 42);
+
+    // Several sampled batches over a seeded multi-object stream, strictly
+    // one in flight at a time: each batch's trace completes (and frees its
+    // object registrations) before the next batch stamps a new trace, so
+    // span→flight matching is unambiguous.
+    const BATCHES: u64 = 6;
+    for round in 0..BATCHES {
+        let batch = build_batch(&client, 4, 2, round * 100);
+        let expected = batch.len();
+        client.send_batch(&batch).expect("stamped batch sends");
+        drain(&client, expected, "coherence run");
+        await_completed(&tel, round + 1, "coherence run");
+    }
+
+    let traces = tel.tracer().take_completed();
+    assert_eq!(traces.len() as u64, BATCHES, "every sampled batch assembled a trace");
+    let flights = tel.recorder().dump();
+    assert!(!flights.is_empty(), "the flight ring recorded the run");
+
+    // Span kind → the flight stage it must cohere with.  Client-side and
+    // socket-side spans (client-send, decode, verdict-flush, socket-write)
+    // have no flight stage by design — the ring records pipeline object
+    // transitions, not I/O edges.
+    let stage_of = |kind: SpanKind| -> Option<Stage> {
+        match kind {
+            SpanKind::QueueWait => Some(Stage::Enqueue),
+            SpanKind::Check => Some(Stage::Check),
+            SpanKind::JournalAppend | SpanKind::Fsync => Some(Stage::JournalAppend),
+            SpanKind::VerdictRoute => Some(Stage::VerdictRoute),
+            _ => None,
+        }
+    };
+    let mut matched = 0u64;
+    for trace in &traces {
+        for span in &trace.spans {
+            let Some(stage) = stage_of(span.kind) else { continue };
+            let found = flights.iter().any(|flight| {
+                flight.stage == stage
+                    && flight.object == span.object
+                    // Check spans carry the recording worker; the flight
+                    // stamp must agree.  Other stages stamp worker 0.
+                    && (span.kind != SpanKind::Check || flight.worker == span.worker)
+            });
+            assert!(
+                found,
+                "{} span (object {}, worker {}) has no {stage:?} flight event",
+                span.kind.name(),
+                span.object,
+                span.worker
+            );
+            matched += 1;
+        }
+    }
+    // Each trace carries at least queue-wait + check + journal-append +
+    // verdict-route spans, so the coherence check had real teeth.
+    assert!(
+        matched >= BATCHES * 4,
+        "only {matched} span↔flight matches over {BATCHES} traces"
+    );
+
+    drop(store);
+    client.shutdown().expect("clean goodbye");
+    server.shutdown().expect("no worker panicked");
+    let _ = std::fs::remove_file(&journal);
+}

@@ -124,6 +124,52 @@ impl Snapshot {
             .map(|(_, h)| h)
     }
 
+    /// The difference `self − earlier`, metric by metric: what happened
+    /// *between* two snapshots, so rate computations (`spawn_snapshot_hook`
+    /// consumers, `drv-top`-style pollers) need no scraping math.
+    ///
+    /// Counters and histogram buckets/counts/sums subtract saturating (a
+    /// restarted registry simply reads as its own fresh window); gauges —
+    /// point-in-time signed values — subtract arithmetically.  Metrics
+    /// registered only after `earlier` was taken delta against zero;
+    /// metrics present only in `earlier` are dropped (they no longer
+    /// exist to have a rate).
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                (name.clone(), value.saturating_sub(earlier.counter(name).unwrap_or(0)))
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(name, value)| {
+                (name.clone(), value.wrapping_sub(earlier.gauge(name).unwrap_or(0)))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, hist)| {
+                let mut diff = hist.clone();
+                if let Some(base) = earlier.histogram(name) {
+                    for (bucket, earlier_n) in diff.buckets.iter_mut().zip(base.buckets.iter()) {
+                        *bucket = bucket.saturating_sub(*earlier_n);
+                    }
+                    diff.sum = diff.sum.saturating_sub(base.sum);
+                    // Re-derive from the subtracted buckets so the
+                    // count/bucket invariant survives the subtraction.
+                    diff.count = diff.buckets.iter().sum();
+                }
+                (name.clone(), diff)
+            })
+            .collect();
+        Snapshot { counters, gauges, histograms }
+    }
+
     /// Prometheus text exposition (version 0.0.4 style): counters as
     /// `TYPE counter`, gauges as `TYPE gauge`, histograms as cumulative
     /// `_bucket{le="..."}` series plus `_sum` / `_count`.
@@ -188,6 +234,65 @@ mod tests {
         assert_eq!(snap.p50(), 0);
         assert_eq!(snap.p99(), 0);
         assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn delta_subtracts_counters_gauges_and_histogram_buckets() {
+        let reg = crate::Registry::new();
+        let requests = reg.counter("requests");
+        let depth = reg.gauge("depth");
+        let lat = reg.histogram("lat");
+        requests.add(10);
+        depth.add(5);
+        lat.record(10); // bucket 4: [8,16)
+        lat.record(100); // bucket 7: [64,128)
+        let earlier = reg.snapshot();
+        requests.add(7);
+        depth.sub(2);
+        lat.record(12); // bucket 4 again
+        lat.record(100_000); // bucket 17
+        let later = reg.snapshot();
+
+        let delta = later.delta(&earlier);
+        // Hand-computed: 17 − 10 = 7; 3 − 5 = −2.
+        assert_eq!(delta.counter("requests"), Some(7));
+        assert_eq!(delta.gauge("depth"), Some(-2));
+        let hist = delta.histogram("lat").unwrap();
+        assert_eq!(hist.count, 2, "two records landed between snapshots");
+        assert_eq!(hist.sum, 100_012);
+        // Bucket-level subtraction: one new value in [8,16), the earlier
+        // [64,128) record cancelled, one new value in bucket 17.
+        assert_eq!(hist.buckets[4], 1);
+        assert_eq!(hist.buckets[7], 0);
+        assert_eq!(hist.buckets[17], 1);
+        assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+    }
+
+    #[test]
+    fn delta_handles_new_and_vanished_metrics() {
+        let earlier = Snapshot {
+            counters: vec![("gone".into(), 4), ("kept".into(), 1)],
+            gauges: vec![],
+            histograms: vec![("old".into(), HistogramSnapshot::default())],
+        };
+        let later = Snapshot {
+            counters: vec![("kept".into(), 5), ("fresh".into(), 3)],
+            gauges: vec![("g".into(), -7)],
+            histograms: vec![],
+        };
+        let delta = later.delta(&earlier);
+        assert_eq!(delta.counter("kept"), Some(4));
+        assert_eq!(delta.counter("fresh"), Some(3), "new metric deltas against zero");
+        assert_eq!(delta.counter("gone"), None, "vanished metrics drop");
+        assert_eq!(delta.gauge("g"), Some(-7));
+        assert!(delta.histograms.is_empty());
+        // Saturating, never wrapping: a restarted counter reads as fresh.
+        let restarted = Snapshot {
+            counters: vec![("kept".into(), 0)],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        assert_eq!(restarted.delta(&earlier).counter("kept"), Some(0));
     }
 
     #[test]

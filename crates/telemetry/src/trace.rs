@@ -1,0 +1,1065 @@
+//! The sampling tracer: per-batch span attribution across the pipeline.
+//!
+//! A *trace* follows one sampled client batch end to end: client-send →
+//! wire decode → shard queue-wait → check → (journal append + fsync when
+//! durable) → verdict-flush → verdict-route → socket-write.  Each layer
+//! records [`SpanEvent`]s against the batch's trace id; the trace completes
+//! when the last expected verdict's bytes reach the client socket, at which
+//! point its spans move into a bounded ring of completed traces ready for
+//! export ([`chrome_trace_json`] for Perfetto / `about://tracing`,
+//! [`render_timeline`] for postmortem dumps).
+//!
+//! ## Hot-path rules (the PR 7 contract, extended to spans)
+//!
+//! * **Relaxed atomics only.**  Claiming a span cell is one `fetch_add`;
+//!   publishing it is plain relaxed stores.  Nothing here fences, locks or
+//!   otherwise perturbs pipeline scheduling — the differential suites stay
+//!   bit-identical with tracing forced on.
+//! * **No allocation after startup.**  Active-trace slots, their span
+//!   buffers and the completed ring are all fixed-size arrays allocated at
+//!   construction.  A trace that outgrows its span buffer drops spans; a
+//!   tracer that outgrows its slots recycles the oldest trace.  Export
+//!   paths ([`Tracer::completed`], [`chrome_trace_json`]) allocate — they
+//!   run on the observer's thread.
+//! * **Unsampled work is a branch and a return.**  A batch without a
+//!   sampled [`TraceContext`] never reaches the tracer; pipeline stages
+//!   gate their per-run lookups on [`Tracer::is_active`] — one relaxed
+//!   load — so a disabled tracer ([`crate::Telemetry::passive`]) or an idle
+//!   one (no trace in flight) costs nothing beyond that load.
+//!
+//! ## Sampling
+//!
+//! Deterministic 1-in-N by trace-id hash: [`Tracer::should_sample`] mixes
+//! the trace id through an FNV-1a finisher and keeps ids whose hash is
+//! `0 (mod N)`.  The same id always makes the same decision, so retries,
+//! replays and multi-connection splits of one logical stream agree without
+//! coordination.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Where in the pipeline a span was recorded — also the Chrome-trace lane
+/// ("thread") the exporter files it under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// Client-side: credit wait + frame encode, up to the socket write.
+    ClientSend = 0,
+    /// Server-side wire decode (frame bytes → interned `EventBatch`).
+    Decode = 1,
+    /// Shard-queue residency: batch enqueue → the run's worker drain.
+    QueueWait = 2,
+    /// One shard run fed through the object's monitor.
+    Check = 3,
+    /// The drained batch's verdicts flushed into the subscriptions.
+    VerdictFlush = 4,
+    /// The journal append (frame write) of the batch, when durable.
+    JournalAppend = 5,
+    /// The journal fsync that covered the batch, when the policy syncs.
+    Fsync = 6,
+    /// Router: verdict framing + push onto the connection's outbound queue.
+    VerdictRoute = 7,
+    /// Outbound-queue residency: router push → the reactor's socket write.
+    SocketWrite = 8,
+}
+
+impl SpanKind {
+    /// Every kind, in pipeline order (the exporter's lane order).
+    pub const ALL: [SpanKind; 9] = [
+        SpanKind::ClientSend,
+        SpanKind::Decode,
+        SpanKind::QueueWait,
+        SpanKind::Check,
+        SpanKind::VerdictFlush,
+        SpanKind::JournalAppend,
+        SpanKind::Fsync,
+        SpanKind::VerdictRoute,
+        SpanKind::SocketWrite,
+    ];
+
+    /// Stable lowercase name (exporters + the timeline renderer).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::ClientSend => "client_send",
+            SpanKind::Decode => "decode",
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Check => "check",
+            SpanKind::VerdictFlush => "verdict_flush",
+            SpanKind::JournalAppend => "journal_append",
+            SpanKind::Fsync => "fsync",
+            SpanKind::VerdictRoute => "verdict_route",
+            SpanKind::SocketWrite => "socket_write",
+        }
+    }
+
+    /// Round-trips the packed `u8` tag.
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<SpanKind> {
+        SpanKind::ALL.get(tag as usize).copied()
+    }
+
+    /// Whether this kind records into the [`TAIL_RESERVED_SPANS`] region
+    /// of the span buffer (the stages that end a trace).
+    fn reserved_tail(self) -> bool {
+        matches!(self, SpanKind::VerdictRoute | SpanKind::SocketWrite)
+    }
+}
+
+/// One recorded span: a closed `[start, end]` interval on the owning
+/// [`crate::Telemetry`] clock, attributed to an object and a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The pipeline stage.
+    pub kind: SpanKind,
+    /// Span start, monotonic nanoseconds.
+    pub start_ns: u64,
+    /// Span end, monotonic nanoseconds.
+    pub end_ns: u64,
+    /// The object (or batch/connection id — kind-specific) concerned.
+    pub object: u64,
+    /// The worker (or connection slot) that recorded it.
+    pub worker: u16,
+}
+
+impl SpanEvent {
+    /// Span duration in nanoseconds (0 for a torn or inverted pair).
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// One completed trace: every span recorded between the client's stamp and
+/// the socket write of its last verdict byte, in recording order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedTrace {
+    /// The wire-propagated trace id.
+    pub trace_id: u64,
+    /// First activity on the tracer's clock.
+    pub started_ns: u64,
+    /// Completion instant (the socket flush that closed it).
+    pub ended_ns: u64,
+    /// Spans recorded before their buffer region filled — head-region
+    /// spans in recording order, then the reserved-tail
+    /// (`verdict_route`/`socket_write`) spans in theirs.
+    pub spans: Vec<SpanEvent>,
+    /// Spans dropped because the fixed per-trace buffer was full.
+    pub dropped_spans: u64,
+}
+
+impl CompletedTrace {
+    /// End-to-end wall time of the trace.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.ended_ns.saturating_sub(self.started_ns)
+    }
+}
+
+/// Spans a single active trace can hold (fixed at construction; overflow
+/// drops the span and counts it).
+pub const SPANS_PER_TRACE: usize = 48;
+/// Span-buffer slots reserved for the trace-ending stages
+/// ([`SpanKind::VerdictRoute`] / [`SpanKind::SocketWrite`]): a wide batch
+/// floods the buffer with per-run `queue_wait`/`check` spans long before
+/// the router runs, and without the reservation the spans that *close* a
+/// trace would be exactly the ones dropped.
+pub const TAIL_RESERVED_SPANS: usize = 8;
+/// Slots of the tail reserve dedicated to `socket_write` alone: a trace
+/// fanned out to many flushes records a `verdict_route` span per push, and
+/// without its own sub-reserve the one span that *closes* the trace would
+/// be exactly the one the routes crowd out.
+pub const SOCKET_RESERVED_SPANS: usize = 2;
+/// Objects one trace attributes spans to (the first N distinct objects of
+/// the batch; a wider batch still traces, attributed to those N).
+pub const OBJECTS_PER_TRACE: usize = 8;
+/// In-flight traces the tracer tracks; claiming past this recycles the
+/// oldest in-flight trace.
+pub const ACTIVE_TRACES: usize = 16;
+/// Completed traces the bounded ring retains (newest win).
+pub const COMPLETED_TRACES: usize = 32;
+
+/// One span cell: four words published with relaxed stores after the index
+/// claim.  A torn read (dump racing a writer) yields a harmless partial
+/// span, never UB — the cells are plain atomics.
+#[derive(Default)]
+struct SpanCell {
+    start_ns: AtomicU64,
+    end_ns: AtomicU64,
+    object: AtomicU64,
+    /// `kind (u8) | worker (u16) << 8`.
+    meta: AtomicU64,
+}
+
+/// One in-flight trace slot.  `trace_id == 0` means free; ids are claimed
+/// with a CAS so two claimants of the same id converge on one slot.
+struct ActiveSlot {
+    trace_id: AtomicU64,
+    started_ns: AtomicU64,
+    /// Verdicts the trace expects before it can complete (the batch's
+    /// event count, accumulated across submit chunks).
+    expected: AtomicU64,
+    /// Verdicts the router has pushed onto an outbound queue so far.
+    routed: AtomicU64,
+    /// Shard-queue entry stamp: the `queue_wait` span's start.
+    enqueue_ns: AtomicU64,
+    /// Connection id + 1 whose next socket flush closes the trace
+    /// (0 = not waiting).
+    await_conn: AtomicU64,
+    /// When the awaited bytes were queued (the `socket_write` span start).
+    await_ns: AtomicU64,
+    /// Claimed head-region span count (may exceed the head capacity; the
+    /// excess was dropped).
+    len: AtomicUsize,
+    /// Claimed `verdict_route` span count (filling the tail reserve back
+    /// to front behind the socket sub-reserve; may exceed its capacity).
+    tail_len: AtomicUsize,
+    /// Claimed `socket_write` span count (filling the last
+    /// [`SOCKET_RESERVED_SPANS`] cells back to front; may exceed them).
+    sock_len: AtomicUsize,
+    /// `object id + 1` per attributed object (0 = free entry).
+    objects: [AtomicU64; OBJECTS_PER_TRACE],
+    spans: [SpanCell; SPANS_PER_TRACE],
+}
+
+impl Default for ActiveSlot {
+    fn default() -> Self {
+        ActiveSlot {
+            trace_id: AtomicU64::new(0),
+            started_ns: AtomicU64::new(0),
+            expected: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
+            enqueue_ns: AtomicU64::new(0),
+            await_conn: AtomicU64::new(0),
+            await_ns: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            tail_len: AtomicUsize::new(0),
+            sock_len: AtomicUsize::new(0),
+            objects: Default::default(),
+            spans: std::array::from_fn(|_| SpanCell::default()),
+        }
+    }
+}
+
+impl ActiveSlot {
+    /// Resets every field for a fresh claim (called while the slot's id is
+    /// still the claimant's, so concurrent recorders of *other* traces
+    /// cannot land here).
+    fn reset(&self, now_ns: u64) {
+        self.started_ns.store(now_ns, Ordering::Relaxed);
+        self.expected.store(0, Ordering::Relaxed);
+        self.routed.store(0, Ordering::Relaxed);
+        self.enqueue_ns.store(now_ns, Ordering::Relaxed);
+        self.await_conn.store(0, Ordering::Relaxed);
+        self.await_ns.store(0, Ordering::Relaxed);
+        self.len.store(0, Ordering::Relaxed);
+        self.tail_len.store(0, Ordering::Relaxed);
+        self.sock_len.store(0, Ordering::Relaxed);
+        for entry in &self.objects {
+            entry.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn collect(&self) -> (Vec<SpanEvent>, u64) {
+        let head_claimed = self.len.load(Ordering::Acquire);
+        let tail_claimed = self.tail_len.load(Ordering::Acquire);
+        let sock_claimed = self.sock_len.load(Ordering::Acquire);
+        let head_kept = head_claimed.min(SPANS_PER_TRACE - TAIL_RESERVED_SPANS);
+        let tail_kept = tail_claimed.min(TAIL_RESERVED_SPANS - SOCKET_RESERVED_SPANS);
+        let sock_kept = sock_claimed.min(SOCKET_RESERVED_SPANS);
+        let mut spans = Vec::with_capacity(head_kept + tail_kept + sock_kept);
+        let mut push = |cell: &SpanCell| {
+            let meta = cell.meta.load(Ordering::Relaxed);
+            let Some(kind) = SpanKind::from_tag((meta & 0xFF) as u8) else {
+                return;
+            };
+            spans.push(SpanEvent {
+                kind,
+                start_ns: cell.start_ns.load(Ordering::Relaxed),
+                end_ns: cell.end_ns.load(Ordering::Relaxed),
+                object: cell.object.load(Ordering::Relaxed),
+                worker: ((meta >> 8) & 0xFFFF) as u16,
+            });
+        };
+        for cell in &self.spans[..head_kept] {
+            push(cell);
+        }
+        // The tail regions fill back to front; walking from each region's
+        // last cell restores its recording order.  Routes precede socket
+        // writes chronologically, so emit them first.
+        for offset in 0..tail_kept {
+            push(&self.spans[SPANS_PER_TRACE - 1 - SOCKET_RESERVED_SPANS - offset]);
+        }
+        for offset in 0..sock_kept {
+            push(&self.spans[SPANS_PER_TRACE - 1 - offset]);
+        }
+        let dropped = (head_claimed - head_kept)
+            + (tail_claimed - tail_kept)
+            + (sock_claimed - sock_kept);
+        (spans, dropped as u64)
+    }
+}
+
+/// A completed-ring entry (fixed-size, reused in place).
+#[derive(Clone)]
+struct CompletedSlot {
+    trace_id: u64,
+    started_ns: u64,
+    ended_ns: u64,
+    len: usize,
+    dropped_spans: u64,
+    spans: [SpanEvent; SPANS_PER_TRACE],
+}
+
+impl Default for CompletedSlot {
+    fn default() -> Self {
+        const EMPTY: SpanEvent =
+            SpanEvent { kind: SpanKind::ClientSend, start_ns: 0, end_ns: 0, object: 0, worker: 0 };
+        CompletedSlot {
+            trace_id: 0,
+            started_ns: 0,
+            ended_ns: 0,
+            len: 0,
+            dropped_spans: 0,
+            spans: [EMPTY; SPANS_PER_TRACE],
+        }
+    }
+}
+
+/// The bounded completed-trace ring, preallocated at construction.
+struct CompletedRing {
+    slots: Vec<CompletedSlot>,
+    /// Total traces ever completed; the ring holds the newest
+    /// `min(head, capacity)`.
+    head: u64,
+}
+
+/// The sampling tracer.  Obtain one through
+/// [`crate::Telemetry::tracer`]; construct [`crate::Telemetry`] with
+/// [`crate::Telemetry::with_trace_sampling`] to choose the sampling period.
+pub struct Tracer {
+    enabled: bool,
+    sample_every: u32,
+    /// In-flight trace count — the one-relaxed-load hot-path gate.
+    active: AtomicUsize,
+    /// Bit `i` set ⇒ slot `i` may hold registered objects: the
+    /// [`Tracer::lookup_object`] fast path scans only set bits, so the
+    /// per-shard-run reverse lookup costs one load plus a few set-bit
+    /// probes instead of a walk over every slot's object table.  Stale
+    /// set bits are possible (cleared on claim/complete, re-set by a
+    /// racing register) and cost one wasted probe; a *registered* object
+    /// always has its slot's bit set by the time `register_object`
+    /// returns.
+    occupied: AtomicU32,
+    slots: Vec<ActiveSlot>,
+    completed: Mutex<CompletedRing>,
+    /// Traces recycled before completing (slot pressure) or begun while
+    /// every slot was mid-claim.
+    recycled: AtomicU64,
+}
+
+/// The FNV-1a 64-bit offset basis / prime, used as the sampling hash.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Mixes a trace id for the sampling decision (and for deriving ids from
+/// batch counters): FNV-1a over the 8 little-endian bytes.
+#[must_use]
+pub fn trace_hash(value: u64) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for byte in value.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl Tracer {
+    /// An enabled tracer sampling 1-in-`sample_every` (0 is clamped to 1 =
+    /// every trace).
+    #[must_use]
+    pub(crate) fn new(sample_every: u32) -> Tracer {
+        Tracer {
+            enabled: true,
+            sample_every: sample_every.max(1),
+            active: AtomicUsize::new(0),
+            occupied: AtomicU32::new(0),
+            slots: (0..ACTIVE_TRACES).map(|_| ActiveSlot::default()).collect(),
+            completed: Mutex::new(CompletedRing {
+                slots: vec![CompletedSlot::default(); COMPLETED_TRACES],
+                head: 0,
+            }),
+            recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled tracer: no slots, every entry point a branch + return.
+    #[must_use]
+    pub(crate) fn disabled() -> Tracer {
+        Tracer {
+            enabled: false,
+            sample_every: u32::MAX,
+            active: AtomicUsize::new(0),
+            occupied: AtomicU32::new(0),
+            slots: Vec::new(),
+            completed: Mutex::new(CompletedRing { slots: Vec::new(), head: 0 }),
+            recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this tracer records anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The sampling period N of the 1-in-N decision.
+    #[must_use]
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every
+    }
+
+    /// The deterministic sampling decision for `trace_id`: enabled and
+    /// `trace_hash(id) ≡ 0 (mod N)`.  The same id always answers the same.
+    #[must_use]
+    pub fn should_sample(&self, trace_id: u64) -> bool {
+        self.enabled && trace_hash(trace_id).is_multiple_of(u64::from(self.sample_every))
+    }
+
+    /// One relaxed load: is any sampled trace currently in flight?  The
+    /// per-run pipeline gates hang off this, so an idle tracer costs a
+    /// load and a branch.
+    #[inline]
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.enabled && self.active.load(Ordering::Relaxed) != 0
+    }
+
+    /// Number of traces completed so far (monotone).
+    #[must_use]
+    pub fn completed_count(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.completed.lock().expect("tracer ring poisoned").head
+    }
+
+    /// Traces recycled before completion under slot pressure.
+    #[must_use]
+    pub fn recycled(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+
+    /// Finds the slot currently owning `trace_id`.
+    fn find(&self, trace_id: u64) -> Option<&ActiveSlot> {
+        self.slots.iter().find(|slot| slot.trace_id.load(Ordering::Relaxed) == trace_id)
+    }
+
+    /// Finds or claims a slot for `trace_id`, stamping `now_ns` as its
+    /// start on a fresh claim.  Under slot pressure the oldest in-flight
+    /// trace is recycled (dropped uncompleted).  Returns `None` only when
+    /// the tracer is disabled or every slot is mid-claim by a racing
+    /// thread.
+    pub fn begin(&self, trace_id: u64, now_ns: u64) {
+        if !self.enabled || trace_id == 0 {
+            return;
+        }
+        if self.find(trace_id).is_some() {
+            return;
+        }
+        // Free slot first; otherwise steal the oldest started trace.
+        let victim = self
+            .slots
+            .iter()
+            .position(|slot| slot.trace_id.load(Ordering::Relaxed) == 0)
+            .or_else(|| {
+                (0..self.slots.len())
+                    .min_by_key(|&index| self.slots[index].started_ns.load(Ordering::Relaxed))
+            });
+        let Some(index) = victim else {
+            return;
+        };
+        let slot = &self.slots[index];
+        // Drop the slot's occupancy bit before claiming: the new trace
+        // registers its objects only after `begin` returns, so any bit
+        // set for this slot from here on belongs to the new claim.
+        self.occupied.fetch_and(!(1 << index), Ordering::AcqRel);
+        let old = slot.trace_id.swap(trace_id, Ordering::AcqRel);
+        if old == trace_id {
+            return; // Lost a race to another claimant of the same id.
+        }
+        if old != 0 {
+            // Recycled an uncompleted trace; the active count carries over.
+            self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.active.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.reset(now_ns);
+    }
+
+    /// Adds `n` expected verdicts to the trace (called per submit chunk
+    /// with the chunk's event count).
+    pub fn add_expected(&self, trace_id: u64, n: u64) {
+        if !self.is_active() {
+            return;
+        }
+        if let Some(slot) = self.find(trace_id) {
+            slot.expected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Stamps the shard-queue entry instant (the `queue_wait` span start).
+    pub fn note_enqueue(&self, trace_id: u64, now_ns: u64) {
+        if !self.is_active() {
+            return;
+        }
+        if let Some(slot) = self.find(trace_id) {
+            slot.enqueue_ns.store(now_ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Attributes `object` to the trace.  Returns `true` when the object
+    /// was newly registered (callers pair this with a flight-recorder
+    /// stamp), `false` on re-registration, table overflow or a dead trace.
+    pub fn register_object(&self, trace_id: u64, object: u64) -> bool {
+        if !self.is_active() {
+            return false;
+        }
+        let Some(index) = self
+            .slots
+            .iter()
+            .position(|slot| slot.trace_id.load(Ordering::Relaxed) == trace_id)
+        else {
+            return false;
+        };
+        let slot = &self.slots[index];
+        let tagged = object.wrapping_add(1);
+        for entry in &slot.objects {
+            let current = entry.load(Ordering::Relaxed);
+            if current == tagged {
+                return false;
+            }
+            if current == 0
+                && entry.compare_exchange(0, tagged, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+            {
+                self.occupied.fetch_or(1 << index, Ordering::Release);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reverse lookup: the trace currently attributing `object`, with its
+    /// shard-enqueue stamp — what a worker consults once per shard run,
+    /// behind the [`Tracer::is_active`] gate.
+    #[must_use]
+    pub fn lookup_object(&self, object: u64) -> Option<(u64, u64)> {
+        if !self.is_active() {
+            return None;
+        }
+        let tagged = object.wrapping_add(1);
+        // One load of the occupancy bitmap, then only slots that may hold
+        // registrations — the common miss (a run of an untraced object
+        // while one trace is in flight) probes a single slot.
+        let mut occupied = self.occupied.load(Ordering::Acquire);
+        while occupied != 0 {
+            let index = occupied.trailing_zeros() as usize;
+            occupied &= occupied - 1;
+            let Some(slot) = self.slots.get(index) else {
+                break;
+            };
+            let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            if trace_id == 0 {
+                continue; // Stale bit: the slot completed since it was set.
+            }
+            for entry in &slot.objects {
+                let current = entry.load(Ordering::Relaxed);
+                if current == 0 {
+                    break; // Entries fill left to right.
+                }
+                if current == tagged {
+                    return Some((trace_id, slot.enqueue_ns.load(Ordering::Relaxed)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Records one span against `trace_id`.  A miss (unsampled batch,
+    /// completed/recycled trace, disabled tracer) is a branch and a
+    /// return; a full span buffer drops the span and counts it.  The
+    /// trace-ending kinds (`verdict_route` / `socket_write`) claim from a
+    /// [`TAIL_RESERVED_SPANS`]-slot reserve so a wide batch's per-run
+    /// spans can never crowd out the spans that close the trace — and
+    /// `socket_write` owns the last [`SOCKET_RESERVED_SPANS`] of those so
+    /// a route fan-out cannot crowd it out either.
+    pub fn record(
+        &self,
+        trace_id: u64,
+        kind: SpanKind,
+        start_ns: u64,
+        end_ns: u64,
+        object: u64,
+        worker: u16,
+    ) {
+        if !self.is_active() {
+            return;
+        }
+        let Some(slot) = self.find(trace_id) else {
+            return;
+        };
+        let index = if matches!(kind, SpanKind::SocketWrite) {
+            let sock = slot.sock_len.fetch_add(1, Ordering::AcqRel);
+            if sock >= SOCKET_RESERVED_SPANS {
+                return;
+            }
+            SPANS_PER_TRACE - 1 - sock
+        } else if kind.reserved_tail() {
+            let tail = slot.tail_len.fetch_add(1, Ordering::AcqRel);
+            if tail >= TAIL_RESERVED_SPANS - SOCKET_RESERVED_SPANS {
+                return;
+            }
+            SPANS_PER_TRACE - 1 - SOCKET_RESERVED_SPANS - tail
+        } else {
+            let head = slot.len.fetch_add(1, Ordering::AcqRel);
+            if head >= SPANS_PER_TRACE - TAIL_RESERVED_SPANS {
+                return;
+            }
+            head
+        };
+        let cell = &slot.spans[index];
+        cell.start_ns.store(start_ns, Ordering::Relaxed);
+        cell.end_ns.store(end_ns, Ordering::Relaxed);
+        cell.object.store(object, Ordering::Relaxed);
+        cell.meta.store(u64::from(kind as u8) | u64::from(worker) << 8, Ordering::Release);
+    }
+
+    /// Notes `n` of the trace's verdicts pushed onto connection `conn`'s
+    /// outbound queue at `now_ns`: the next flush of that connection closes
+    /// the `socket_write` span (and the trace, once all expected verdicts
+    /// routed).
+    pub fn note_routed(&self, trace_id: u64, n: u64, conn: u64, now_ns: u64) {
+        if !self.is_active() {
+            return;
+        }
+        if let Some(slot) = self.find(trace_id) {
+            slot.routed.fetch_add(n, Ordering::Relaxed);
+            slot.await_ns.store(now_ns, Ordering::Relaxed);
+            slot.await_conn.store(conn.wrapping_add(1), Ordering::Release);
+        }
+    }
+
+    /// The reactor's flush hook: connection `conn` just drained its
+    /// outbound queue to the socket at `now_ns`.  Every trace awaiting that
+    /// connection gets its `socket_write` span closed; traces whose
+    /// expected verdicts have all been routed complete into the ring.
+    /// Returns how many traces completed.
+    pub fn socket_flushed(&self, conn: u64, now_ns: u64) -> usize {
+        if !self.is_active() {
+            return 0;
+        }
+        let tagged = conn.wrapping_add(1);
+        let mut completed = 0;
+        for (index, slot) in self.slots.iter().enumerate() {
+            if slot.trace_id.load(Ordering::Relaxed) == 0
+                || slot.await_conn.load(Ordering::Acquire) != tagged
+            {
+                continue;
+            }
+            slot.await_conn.store(0, Ordering::Relaxed);
+            let trace_id = slot.trace_id.load(Ordering::Relaxed);
+            self.record(
+                trace_id,
+                SpanKind::SocketWrite,
+                slot.await_ns.load(Ordering::Relaxed),
+                now_ns,
+                conn,
+                0,
+            );
+            let expected = slot.expected.load(Ordering::Relaxed);
+            if expected > 0 && slot.routed.load(Ordering::Relaxed) >= expected {
+                self.complete(index, trace_id, now_ns);
+                completed += 1;
+            }
+        }
+        completed
+    }
+
+    /// Moves a finished slot into the completed ring and frees it.
+    fn complete(&self, index: usize, trace_id: u64, now_ns: u64) {
+        let slot = &self.slots[index];
+        let (spans, dropped) = slot.collect();
+        let started = slot.started_ns.load(Ordering::Relaxed);
+        {
+            let mut ring = self.completed.lock().expect("tracer ring poisoned");
+            let capacity = ring.slots.len();
+            if capacity > 0 {
+                let index = (ring.head % capacity as u64) as usize;
+                let entry = &mut ring.slots[index];
+                entry.trace_id = trace_id;
+                entry.started_ns = started;
+                entry.ended_ns = now_ns;
+                entry.len = spans.len();
+                entry.dropped_spans = dropped;
+                entry.spans[..spans.len()].copy_from_slice(&spans);
+                ring.head += 1;
+            }
+        }
+        // Drop the occupancy bit, then free the slot: recorders racing
+        // the completion land on a dead id and miss (a racing register of
+        // the dying trace can re-set the bit — it stays stale until the
+        // slot's next claim, costing lookups one wasted probe).
+        self.occupied.fetch_and(!(1 << index), Ordering::AcqRel);
+        slot.trace_id.store(0, Ordering::Release);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Copies the completed ring out (newest last) without draining it —
+    /// the postmortem path.
+    #[must_use]
+    pub fn completed(&self) -> Vec<CompletedTrace> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let ring = self.completed.lock().expect("tracer ring poisoned");
+        let capacity = ring.slots.len() as u64;
+        let live = ring.head.min(capacity);
+        let mut traces = Vec::with_capacity(live as usize);
+        for offset in (ring.head - live)..ring.head {
+            let entry = &ring.slots[(offset % capacity) as usize];
+            if entry.trace_id == 0 {
+                continue; // Drained by a take_completed.
+            }
+            traces.push(CompletedTrace {
+                trace_id: entry.trace_id,
+                started_ns: entry.started_ns,
+                ended_ns: entry.ended_ns,
+                spans: entry.spans[..entry.len].to_vec(),
+                dropped_spans: entry.dropped_spans,
+            });
+        }
+        traces
+    }
+
+    /// Drains the completed ring: like [`Tracer::completed`], but the ring
+    /// is empty afterwards — what `dump_traces` uses so each export file
+    /// holds each trace once.
+    #[must_use]
+    pub fn take_completed(&self) -> Vec<CompletedTrace> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let traces = self.completed();
+        // `head` keeps its monotone total (completed_count); the drained
+        // entries are zeroed, which `completed` skips.
+        let mut ring = self.completed.lock().expect("tracer ring poisoned");
+        for slot in &mut ring.slots {
+            slot.len = 0;
+            slot.trace_id = 0;
+        }
+        drop(ring);
+        traces
+    }
+}
+
+/// Renders completed traces as Chrome trace-event JSON — loadable in
+/// Perfetto / `about://tracing`.  One process, one lane ("thread") per
+/// [`SpanKind`] (named via `thread_name` metadata events), every span a
+/// complete `"X"` event with microsecond timestamps.
+#[must_use]
+pub fn chrome_trace_json(traces: &[CompletedTrace]) -> String {
+    let mut out = String::with_capacity(256 + traces.len() * SPANS_PER_TRACE * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for kind in SpanKind::ALL {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            kind as u8,
+            kind.name()
+        ));
+    }
+    for trace in traces {
+        for span in &trace.spans {
+            let ts_us = span.start_ns as f64 / 1_000.0;
+            let dur_us = span.duration_ns() as f64 / 1_000.0;
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"cat\":\"pipeline\",\"ph\":\"X\",\
+                 \"ts\":{ts_us:.3},\"dur\":{dur_us:.3},\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"trace\":\"{:#018x}\",\"object\":{},\"worker\":{}}}}}",
+                span.kind.name(),
+                span.kind as u8,
+                trace.trace_id,
+                span.object,
+                span.worker
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one trace as an indented text timeline (offsets from trace
+/// start, µs) — the form postmortem dumps attach.
+#[must_use]
+pub fn render_timeline(trace: &CompletedTrace) -> String {
+    let mut out = String::with_capacity(96 + trace.spans.len() * 72);
+    out.push_str(&format!(
+        "trace {:#018x}: {} spans, {:.1} µs end-to-end{}\n",
+        trace.trace_id,
+        trace.spans.len(),
+        trace.duration_ns() as f64 / 1_000.0,
+        if trace.dropped_spans > 0 {
+            format!(" ({} spans dropped)", trace.dropped_spans)
+        } else {
+            String::new()
+        }
+    ));
+    let origin = trace.started_ns;
+    let mut spans = trace.spans.clone();
+    spans.sort_by_key(|span| (span.start_ns, span.kind));
+    for span in &spans {
+        out.push_str(&format!(
+            "  {:>10.1} ..{:>10.1}  {:<14} object={} worker={}\n",
+            span.start_ns.saturating_sub(origin) as f64 / 1_000.0,
+            span.end_ns.saturating_sub(origin) as f64 / 1_000.0,
+            span.kind.name(),
+            span.object,
+            span.worker
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives one synthetic trace through the full lifecycle.
+    fn run_trace(tracer: &Tracer, trace_id: u64, conn: u64) {
+        tracer.begin(trace_id, 100);
+        tracer.add_expected(trace_id, 2);
+        tracer.note_enqueue(trace_id, 110);
+        assert!(tracer.register_object(trace_id, 7));
+        tracer.record(trace_id, SpanKind::Decode, 100, 105, conn, 0);
+        tracer.record(trace_id, SpanKind::QueueWait, 110, 120, 7, 1);
+        tracer.record(trace_id, SpanKind::Check, 120, 150, 7, 1);
+        tracer.note_routed(trace_id, 2, conn, 160);
+        assert_eq!(tracer.socket_flushed(conn, 170), 1);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_1_in_n() {
+        let tracer = Tracer::new(64);
+        let sampled: Vec<u64> = (0..10_000).filter(|&id| tracer.should_sample(id)).collect();
+        // Around 1/64 of ids, and the same set every time.
+        assert!((100..250).contains(&sampled.len()), "{} sampled", sampled.len());
+        let again: Vec<u64> = (0..10_000).filter(|&id| tracer.should_sample(id)).collect();
+        assert_eq!(sampled, again);
+        let all = Tracer::new(1);
+        assert!((0..100).all(|id| all.should_sample(id)));
+        assert!(!Tracer::disabled().should_sample(0));
+    }
+
+    #[test]
+    fn a_trace_completes_with_its_spans_in_the_ring() {
+        let tracer = Tracer::new(1);
+        assert!(!tracer.is_active());
+        run_trace(&tracer, 42, 3);
+        assert!(!tracer.is_active(), "completion frees the slot");
+        let traces = tracer.completed();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.trace_id, 42);
+        assert_eq!(trace.started_ns, 100);
+        assert_eq!(trace.ended_ns, 170);
+        let kinds: Vec<SpanKind> = trace.spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Decode, SpanKind::QueueWait, SpanKind::Check, SpanKind::SocketWrite]
+        );
+        assert_eq!(trace.spans[2].object, 7);
+        assert_eq!(trace.spans[2].worker, 1);
+        assert_eq!(trace.spans[3].start_ns, 160, "socket span starts at the routed stamp");
+        assert_eq!(trace.duration_ns(), 70);
+    }
+
+    #[test]
+    fn incomplete_traces_stay_active_until_all_verdicts_route() {
+        let tracer = Tracer::new(1);
+        tracer.begin(9, 0);
+        tracer.add_expected(9, 10);
+        tracer.note_routed(9, 4, 1, 50);
+        assert_eq!(tracer.socket_flushed(1, 60), 0, "6 verdicts still owed");
+        assert!(tracer.is_active());
+        tracer.note_routed(9, 6, 1, 70);
+        assert_eq!(tracer.socket_flushed(1, 80), 1);
+        let traces = tracer.completed();
+        // Two socket_write spans: one per flush of the awaited connection.
+        let sockets =
+            traces[0].spans.iter().filter(|s| s.kind == SpanKind::SocketWrite).count();
+        assert_eq!(sockets, 2);
+    }
+
+    #[test]
+    fn unsampled_and_disabled_paths_record_nothing() {
+        let disabled = Tracer::disabled();
+        disabled.begin(5, 0);
+        disabled.record(5, SpanKind::Check, 0, 1, 0, 0);
+        assert!(!disabled.is_active());
+        assert!(disabled.completed().is_empty());
+        assert_eq!(disabled.completed_count(), 0);
+
+        let tracer = Tracer::new(1);
+        // A record against an id that never began is a miss.
+        tracer.record(77, SpanKind::Check, 0, 1, 0, 0);
+        assert!(!tracer.is_active());
+        assert!(tracer.lookup_object(1).is_none());
+    }
+
+    #[test]
+    fn span_buffer_overflow_drops_and_counts() {
+        const HEAD: usize = SPANS_PER_TRACE - TAIL_RESERVED_SPANS;
+        let tracer = Tracer::new(1);
+        tracer.begin(1, 0);
+        tracer.add_expected(1, 1);
+        for i in 0..(SPANS_PER_TRACE as u64 + 10) {
+            tracer.record(1, SpanKind::Check, i, i + 1, 0, 0);
+        }
+        tracer.note_routed(1, 1, 0, 500);
+        assert_eq!(tracer.socket_flushed(0, 501), 1);
+        let trace = &tracer.completed()[0];
+        // The head region kept what fit; the flood could not crowd out
+        // the reserved tail, so the socket_write span still recorded.
+        assert_eq!(trace.spans.len(), HEAD + 1);
+        assert_eq!(trace.dropped_spans, (SPANS_PER_TRACE + 10 - HEAD) as u64);
+        assert_eq!(trace.spans.last().expect("non-empty").kind, SpanKind::SocketWrite);
+    }
+
+    #[test]
+    fn tail_reservation_keeps_trace_ending_spans_under_flood() {
+        const HEAD: usize = SPANS_PER_TRACE - TAIL_RESERVED_SPANS;
+        let tracer = Tracer::new(1);
+        tracer.begin(9, 0);
+        tracer.add_expected(9, 4);
+        // A wide batch's worth of per-run spans: far past the whole
+        // buffer's capacity.
+        for i in 0..(2 * SPANS_PER_TRACE as u64) {
+            tracer.record(9, SpanKind::QueueWait, i, i + 1, i % 4, 0);
+            tracer.record(9, SpanKind::Check, i + 1, i + 2, i % 4, 0);
+        }
+        // The router still records its spans afterwards.
+        tracer.record(9, SpanKind::VerdictRoute, 900, 910, 0, 0);
+        tracer.note_routed(9, 4, 3, 910);
+        assert_eq!(tracer.socket_flushed(3, 920), 1);
+        let trace = &tracer.completed()[0];
+        let routes =
+            trace.spans.iter().filter(|span| span.kind == SpanKind::VerdictRoute).count();
+        let writes =
+            trace.spans.iter().filter(|span| span.kind == SpanKind::SocketWrite).count();
+        assert_eq!(routes, 1, "verdict_route survives the flood");
+        assert_eq!(writes, 1, "socket_write survives the flood");
+        assert_eq!(trace.spans.len(), HEAD + 2);
+        // Tail overflow past the reserve still drops-and-counts.
+        tracer.begin(10, 0);
+        tracer.add_expected(10, 1);
+        for i in 0..(TAIL_RESERVED_SPANS as u64 + 2) {
+            tracer.record(10, SpanKind::VerdictRoute, i, i + 1, 0, 0);
+        }
+        tracer.note_routed(10, 1, 5, 100);
+        assert_eq!(tracer.socket_flushed(5, 110), 1);
+        let trace = tracer.completed().pop().expect("trace 10 completed");
+        // The route sub-reserve held its first six routes and dropped the
+        // four overflowing ones — while the closing socket_write still
+        // recorded in its own sub-reserve.
+        assert_eq!(trace.dropped_spans, 4);
+        assert_eq!(
+            trace.spans.len(),
+            TAIL_RESERVED_SPANS - SOCKET_RESERVED_SPANS + 1
+        );
+        assert_eq!(trace.spans.last().expect("non-empty").kind, SpanKind::SocketWrite);
+    }
+
+    #[test]
+    fn slot_pressure_recycles_the_oldest_trace() {
+        let tracer = Tracer::new(1);
+        for id in 1..=(ACTIVE_TRACES as u64 + 3) {
+            tracer.begin(id, id * 10);
+        }
+        assert_eq!(tracer.recycled(), 3);
+        // The newest ids survived.
+        assert!(tracer.lookup_object(u64::MAX).is_none());
+        assert!(tracer.find(ACTIVE_TRACES as u64 + 3).is_some());
+        assert!(tracer.find(1).is_none(), "oldest recycled first");
+    }
+
+    #[test]
+    fn completed_ring_is_bounded_and_take_drains() {
+        let tracer = Tracer::new(1);
+        for id in 1..=(COMPLETED_TRACES as u64 + 5) {
+            run_trace(&tracer, id, 0);
+        }
+        let traces = tracer.completed();
+        assert_eq!(traces.len(), COMPLETED_TRACES);
+        assert_eq!(traces.last().unwrap().trace_id, COMPLETED_TRACES as u64 + 5);
+        assert_eq!(traces[0].trace_id, 6, "oldest five evicted");
+        assert_eq!(tracer.completed_count(), COMPLETED_TRACES as u64 + 5);
+        let drained = tracer.take_completed();
+        assert_eq!(drained.len(), COMPLETED_TRACES);
+        assert!(tracer.completed().is_empty(), "take drains the ring");
+    }
+
+    #[test]
+    fn object_registration_is_bounded_and_reverse_lookup_works() {
+        let tracer = Tracer::new(1);
+        tracer.begin(10, 5);
+        tracer.note_enqueue(10, 99);
+        for object in 0..OBJECTS_PER_TRACE as u64 {
+            assert!(tracer.register_object(10, object));
+            assert!(!tracer.register_object(10, object), "re-registration is false");
+        }
+        assert!(!tracer.register_object(10, 1_000), "table full");
+        assert_eq!(tracer.lookup_object(3), Some((10, 99)));
+        assert_eq!(tracer.lookup_object(1_000), None);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_shaped_json_with_stage_lanes() {
+        let tracer = Tracer::new(1);
+        run_trace(&tracer, 0xABCD, 2);
+        let json = chrome_trace_json(&tracer.completed());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"traceEvents\":["));
+        // Lane metadata for every stage, spans filed under their lane.
+        for kind in SpanKind::ALL {
+            assert!(json.contains(&format!("\"name\":\"{}\"", kind.name())), "{}", kind.name());
+        }
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"trace\":\"0x000000000000abcd\""));
+        // No bare NaN/inf can appear: durations are finite by construction.
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn timeline_renders_offsets_and_span_names() {
+        let tracer = Tracer::new(1);
+        run_trace(&tracer, 7, 0);
+        let text = render_timeline(&tracer.completed()[0]);
+        assert!(text.contains("trace 0x0000000000000007: 4 spans"));
+        assert!(text.contains("queue_wait"));
+        assert!(text.contains("socket_write"));
+        assert!(text.contains("object=7 worker=1"));
+    }
+
+    #[test]
+    fn trace_hash_spreads_sequential_ids() {
+        let hashes: std::collections::HashSet<u64> = (0..1_000).map(trace_hash).collect();
+        assert_eq!(hashes.len(), 1_000);
+    }
+}

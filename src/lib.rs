@@ -39,6 +39,17 @@
 //!   hook — and zero-overhead-when-idle: the default passive handle
 //!   never reads the clock.
 //!
+//!   trace flow: MonitorClient stamps a sampled 16-byte TraceContext
+//!   (deterministic 1-in-N by trace-id hash) ──► Batch wire frame
+//!   carries it as an optional extension (legacy frames unchanged)
+//!   ──► EventBatch hands it to submit_batch ──► spans recorded at
+//!   every hop: client_send · decode · journal_append/fsync ·
+//!   queue_wait · check · verdict_flush · verdict_route ·
+//!   socket_write — assembled per trace on the shared handle, ended
+//!   when the last verdict byte hits the socket, exported as Chrome
+//!   trace-event JSON (Telemetry::dump_traces, loads in Perfetto)
+//!   and as text timelines attached to postmortem flight dumps.
+//!
 //!   scenario sources: adversary scripts [adversary] · shared-memory
 //!   substrate [shmem] · ABD message-passing sim [abd] (bridged onto
 //!   the wire by net::stream_abd) · benches and load generators [bench]
@@ -77,9 +88,11 @@
 //!   ([`Counter`](crate::telemetry::Counter) /
 //!   [`Gauge`](crate::telemetry::Gauge) /
 //!   [`Histogram`](crate::telemetry::Histogram)), the lock-free pipeline
-//!   flight recorder, and the snapshot / Prometheus exporters — engine,
-//!   net and store all record into one shared
-//!   [`Telemetry`](crate::telemetry::Telemetry) handle,
+//!   flight recorder, the sampling distributed tracer
+//!   ([`Tracer`](crate::telemetry::Tracer), spans assembled per wire-
+//!   propagated trace context, Chrome trace-event export), and the
+//!   snapshot / Prometheus exporters — engine, net and store all record
+//!   into one shared [`Telemetry`](crate::telemetry::Telemetry) handle,
 //! * [`abd`] — the ABD message-passing port,
 //! * [`bench`] — the Table 1 reproduction harness and the `netload`
 //!   loopback load generator.
